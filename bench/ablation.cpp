@@ -1,0 +1,123 @@
+// Ablations of the reproduction's design choices:
+//  1. Bufferbloat curve: sweep a device's drop-tail buffer and measure
+//     TCP throughput and queuing delay — the single mechanism behind
+//     Figures 8 and 9.
+//  2. Search cost: the modified binary search's trial count versus a
+//     naive 1-second linear scan, across the timeout range the study
+//     encountered.
+//  3. Search resolution: convergence accuracy as the resolution varies.
+#include "bench_common.hpp"
+
+#include "harness/binding_search.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+using namespace gatekit::harness;
+
+namespace {
+
+void ablate_buffer() {
+    std::cout << "Ablation 1 - drop-tail buffer size vs TCP behavior\n"
+              << "--------------------------------------------------\n";
+    report::TextTable table({"buffer [KiB]", "throughput [Mb/s]",
+                             "delay [ms]"});
+    for (const std::size_t kib : {16, 32, 64, 128, 256, 512}) {
+        gateway::DeviceProfile p;
+        p.tag = "ablate";
+        p.fwd.down_mbps = p.fwd.up_mbps = 40;
+        p.fwd.aggregate_mbps = 80;
+        p.fwd.buffer_down_bytes = p.fwd.buffer_up_bytes = kib * 1024;
+
+        sim::EventLoop loop;
+        Testbed tb(loop);
+        tb.add_device(p);
+        Testrund rund(tb);
+        CampaignConfig cfg;
+        cfg.tcp2 = true;
+        cfg.throughput.bytes = env_size("GATEKIT_BYTES", 10'000'000);
+        const auto r = rund.run_blocking(cfg).at(0);
+        table.add_row({std::to_string(kib),
+                       report::fmt_double(r.tcp2.download.mbps),
+                       report::fmt_double(r.tcp2.download.delay_ms)});
+    }
+    table.print(std::cout);
+    std::cout << "Throughput saturates once the buffer covers loss\n"
+                 "recovery; delay grows with the buffer until the slow-\n"
+                 "start bound caps the standing queue — bufferbloat with\n"
+                 "a window-limited ceiling.\n\n";
+}
+
+void ablate_search_cost() {
+    std::cout << "Ablation 2 - modified binary search vs linear scan\n"
+              << "--------------------------------------------------\n";
+    report::TextTable table({"timeout [s]", "search trials",
+                             "search probe-time [s]", "linear trials"});
+    for (const int timeout : {30, 90, 180, 450, 691, 3600}) {
+        sim::EventLoop loop;
+        SearchParams params;
+        params.hi_limit = std::chrono::hours(2);
+        double probe_time = 0.0;
+        SearchResult result;
+        BindingTimeoutSearch search(
+            loop, params,
+            [&](sim::Duration gap, std::function<void(bool)> cb) {
+                probe_time += sim::to_sec(gap);
+                loop.after(gap, [cb = std::move(cb), gap, timeout] {
+                    cb(gap < std::chrono::seconds(timeout));
+                });
+            },
+            [&](SearchResult r) { result = r; });
+        search.start();
+        loop.run();
+        // A 1 s-step linear scan needs `timeout` trials and
+        // timeout^2/2 seconds of probing.
+        table.add_row({std::to_string(timeout),
+                       std::to_string(result.trials),
+                       report::fmt_double(probe_time, 0),
+                       std::to_string(timeout)});
+    }
+    table.print(std::cout);
+    std::cout << "The search needs O(log T) trials where a scan needs "
+                 "O(T);\nthe paper's 24 h TCP cutoff is only feasible "
+                 "this way.\n\n";
+}
+
+void ablate_resolution() {
+    std::cout << "Ablation 3 - search resolution vs recovered value\n"
+              << "-------------------------------------------------\n";
+    report::TextTable table({"resolution [s]", "recovered [s]",
+                             "error [s]"});
+    static constexpr int kTrueTimeout = 187;
+    for (const int res : {1, 2, 5, 10, 30}) {
+        sim::EventLoop loop;
+        SearchParams params;
+        params.resolution = std::chrono::seconds(res);
+        SearchResult result;
+        BindingTimeoutSearch search(
+            loop, params,
+            [&](sim::Duration gap, std::function<void(bool)> cb) {
+                loop.after(gap, [cb = std::move(cb), gap] {
+                    cb(gap < std::chrono::seconds(kTrueTimeout));
+                });
+            },
+            [&](SearchResult r) { result = r; });
+        search.start();
+        loop.run();
+        const double got = sim::to_sec(result.timeout);
+        table.add_row({std::to_string(res), report::fmt_double(got),
+                       report::fmt_double(got - kTrueTimeout)});
+    }
+    table.print(std::cout);
+    std::cout << "The paper converges to 1 s; coarser resolutions bias "
+                 "upward\nby up to the resolution, never below the true "
+                 "timeout.\n";
+}
+
+} // namespace
+
+int main() {
+    ablate_buffer();
+    ablate_search_cost();
+    ablate_resolution();
+    return 0;
+}

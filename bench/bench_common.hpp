@@ -1,0 +1,86 @@
+// Shared scaffolding for the figure/table regeneration binaries: build
+// the full 34-device testbed, run the requested campaign subset, render.
+//
+// Environment knobs:
+//   GATEKIT_REPS    repetitions per binding-timeout search (default 9;
+//                   the paper used 55-100 — results converge long before)
+//   GATEKIT_BYTES   bulk transfer size for TCP-2/3 (default 25 MB;
+//                   paper used 100 MB — the throughput estimate is
+//                   rate-limited, not size-limited, so this only trades
+//                   run time)
+//   GATEKIT_DEVICES limit to the first N devices (debugging aid)
+//   GATEKIT_CSV     when set, also write gatekit_<name>.csv
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "devices/profiles.hpp"
+#include "harness/testrund.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace gatekit::bench {
+
+inline int env_int(const char* name, int def) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::atoi(v) : def;
+}
+
+inline std::size_t env_size(const char* name, std::size_t def) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? static_cast<std::size_t>(std::atoll(v)) : def;
+}
+
+inline bool env_flag(const char* name) {
+    return std::getenv(name) != nullptr;
+}
+
+/// Build the Figure-1 testbed with every profiled device and run the
+/// campaign; returns per-device results in Table 1 order.
+inline std::vector<harness::DeviceResults>
+run_campaign(sim::EventLoop& loop, const harness::CampaignConfig& config) {
+    harness::Testbed tb(loop);
+    int limit = env_int("GATEKIT_DEVICES", 0);
+    int added = 0;
+    for (const auto& profile : devices::all_profiles()) {
+        if (limit > 0 && added >= limit) break;
+        tb.add_device(profile);
+        ++added;
+    }
+    std::cerr << "[gatekit] bringing up testbed with " << added
+              << " devices...\n";
+    tb.start_and_wait();
+    std::cerr << "[gatekit] running measurement campaign...\n";
+    harness::Testrund rund(tb);
+    return rund.run_blocking(config);
+}
+
+/// Default campaign knobs shared by the benches.
+inline harness::CampaignConfig base_config() {
+    harness::CampaignConfig cfg;
+    cfg.udp.repetitions = env_int("GATEKIT_REPS", 9);
+    cfg.tcp_timeout.repetitions =
+        std::max(1, env_int("GATEKIT_REPS", 9) / 3);
+    cfg.throughput.bytes = env_size("GATEKIT_BYTES", 25'000'000);
+    return cfg;
+}
+
+/// Timeout-summary -> plot point with quartile error bars.
+inline report::PlotPoint
+timeout_point(const std::string& tag, const harness::UdpTimeoutResult& r) {
+    const auto s = r.summary();
+    return report::PlotPoint{tag, s.median, s.q1, s.q3};
+}
+
+inline void maybe_csv(const std::string& name,
+                      const report::CsvWriter& csv) {
+    if (!env_flag("GATEKIT_CSV")) return;
+    const std::string path = "gatekit_" + name + ".csv";
+    csv.save(path);
+    std::cerr << "[gatekit] wrote " << path << "\n";
+}
+
+} // namespace gatekit::bench

@@ -1,0 +1,31 @@
+// Figure 2: UDP-1/2/3 medians side by side, devices ordered by UDP-1.
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.udp1 = cfg.udp2 = cfg.udp3 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    report::PlotSeries s1{"UDP-1", {}}, s2{"UDP-2", {}}, s3{"UDP-3", {}};
+    report::CsvWriter csv({"tag", "udp1_sec", "udp2_sec", "udp3_sec"});
+    for (const auto& r : results) {
+        s1.points.push_back(timeout_point(r.tag, r.udp1));
+        s2.points.push_back(timeout_point(r.tag, r.udp2));
+        s3.points.push_back(timeout_point(r.tag, r.udp3));
+        csv.add_row({r.tag, report::fmt_double(r.udp1.summary().median),
+                     report::fmt_double(r.udp2.summary().median),
+                     report::fmt_double(r.udp3.summary().median)});
+    }
+
+    report::PlotOptions opts;
+    opts.title = "Figure 2 - Median timeout results for UDP-1, 2 and 3 "
+                 "(devices ordered by UDP-1) [sec]";
+    opts.unit = "sec";
+    render_plot(std::cout, opts, {s1, s2, s3});
+    maybe_csv("fig02_udp_timeouts", csv);
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 3: UDP-1 — binding timeout after a single outbound packet.
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.udp1 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    report::PlotSeries series{"UDP-1", {}};
+    report::CsvWriter csv({"tag", "median_sec", "q1", "q3"});
+    for (const auto& r : results) {
+        series.points.push_back(timeout_point(r.tag, r.udp1));
+        const auto s = r.udp1.summary();
+        csv.add_row({r.tag, report::fmt_double(s.median),
+                     report::fmt_double(s.q1), report::fmt_double(s.q3)});
+    }
+
+    report::PlotOptions opts;
+    opts.title = "Figure 3 - UDP-1: single packet, outbound only "
+                 "(binding timeout [sec])";
+    opts.unit = "sec";
+    render_plot(std::cout, opts, {series});
+    maybe_csv("fig03_udp1", csv);
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 4: UDP-2 — single packet out, multiple packets in.
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.udp2 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    report::PlotSeries series{"UDP-2", {}};
+    report::CsvWriter csv({"tag", "median_sec", "q1", "q3"});
+    for (const auto& r : results) {
+        series.points.push_back(timeout_point(r.tag, r.udp2));
+        const auto s = r.udp2.summary();
+        csv.add_row({r.tag, report::fmt_double(s.median),
+                     report::fmt_double(s.q1), report::fmt_double(s.q3)});
+    }
+
+    report::PlotOptions opts;
+    opts.title = "Figure 4 - UDP-2: single packet out, multiple packets in "
+                 "(binding timeout [sec])";
+    opts.unit = "sec";
+    render_plot(std::cout, opts, {series});
+    maybe_csv("fig04_udp2", csv);
+    return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 6: UDP-5 — binding timeout variations for different well-known
+// services (dns/http/ntp/snmp/tftp), devices in the Figure 2 order.
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.udp5 = true;
+    // The figure orders devices by their UDP-1 result; measure it too.
+    cfg.udp1 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    std::vector<report::PlotSeries> series;
+    series.push_back({"UDP-1", {}}); // ordering key (not printed by paper)
+    for (const auto& [name, port] : cfg.udp5_services)
+        series.push_back({name, {}});
+
+    report::CsvWriter csv({"tag", "dns", "http", "ntp", "snmp", "tftp"});
+    for (const auto& r : results) {
+        series[0].points.push_back(timeout_point(r.tag, r.udp1));
+        std::vector<std::string> row{r.tag};
+        std::size_t si = 1;
+        for (const auto& [name, port] : cfg.udp5_services) {
+            const auto& res = r.udp5.at(name);
+            series[si++].points.push_back(timeout_point(r.tag, res));
+            row.push_back(report::fmt_double(res.summary().median));
+        }
+        csv.add_row(row);
+    }
+
+    report::PlotOptions opts;
+    opts.title = "Figure 6 - UDP-5: binding timeout per well-known service "
+                 "[sec] (ordered by UDP-1)";
+    opts.unit = "sec";
+    render_plot(std::cout, opts, series);
+    maybe_csv("fig06_udp5", csv);
+    return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 7: TCP-1 — TCP binding timeouts (log scale, 24 h cutoff).
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.tcp1 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    report::PlotSeries series{"TCP-1 [min]", {}};
+    report::CsvWriter csv({"tag", "median_min", "beyond_24h"});
+    for (const auto& r : results) {
+        const auto s = r.tcp1.summary();
+        series.points.push_back(report::PlotPoint{
+            r.tag, s.median / 60.0, s.q1 / 60.0, s.q3 / 60.0});
+        csv.add_row({r.tag, report::fmt_double(s.median / 60.0),
+                     r.tcp1.exceeded_limit ? "1" : "0"});
+    }
+
+    report::PlotOptions opts;
+    opts.title = "Figure 7 - TCP-1: TCP binding timeouts [min] "
+                 "(log scale; 1440 = beyond the 24 h cutoff)";
+    opts.unit = "min";
+    opts.log_scale = true;
+    render_plot(std::cout, opts, {series});
+    maybe_csv("fig07_tcp1", csv);
+    return 0;
+}

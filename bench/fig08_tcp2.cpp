@@ -1,0 +1,36 @@
+// Figure 8: TCP-2 — medians of measured throughputs (upload, download,
+// and each direction during simultaneous transfer).
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.tcp2 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    report::PlotSeries down{"Download", {}}, up{"Upload", {}},
+        down_bi{"Down|bidir", {}}, up_bi{"Up|bidir", {}};
+    report::CsvWriter csv({"tag", "download_mbps", "upload_mbps",
+                           "download_bidir_mbps", "upload_bidir_mbps"});
+    for (const auto& r : results) {
+        down.points.push_back({r.tag, r.tcp2.download.mbps, {}, {}});
+        up.points.push_back({r.tag, r.tcp2.upload.mbps, {}, {}});
+        down_bi.points.push_back({r.tag, r.tcp2.download_bidir.mbps, {}, {}});
+        up_bi.points.push_back({r.tag, r.tcp2.upload_bidir.mbps, {}, {}});
+        csv.add_row({r.tag, report::fmt_double(r.tcp2.download.mbps),
+                     report::fmt_double(r.tcp2.upload.mbps),
+                     report::fmt_double(r.tcp2.download_bidir.mbps),
+                     report::fmt_double(r.tcp2.upload_bidir.mbps)});
+    }
+
+    report::PlotOptions opts;
+    opts.title = "Figure 8 - TCP-2: measured throughputs [Mb/s] "
+                 "(ordered by download)";
+    opts.unit = "Mb/s";
+    render_plot(std::cout, opts, {down, up, down_bi, up_bi});
+    maybe_csv("fig08_tcp2", csv);
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 10: TCP-4 — maximum number of TCP bindings to one server port.
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.tcp4 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    report::PlotSeries series{"TCP bindings", {}};
+    report::CsvWriter csv({"tag", "max_bindings"});
+    for (const auto& r : results) {
+        series.points.push_back(
+            {r.tag, static_cast<double>(r.tcp4.max_bindings), {}, {}});
+        csv.add_row({r.tag, std::to_string(r.tcp4.max_bindings)});
+    }
+
+    report::PlotOptions opts;
+    opts.title = "Figure 10 - TCP-4: max bindings to a single server port "
+                 "(log scale)";
+    opts.unit = "bindings";
+    opts.log_scale = true;
+    render_plot(std::cout, opts, {series});
+    maybe_csv("fig10_tcp4", csv);
+    return 0;
+}

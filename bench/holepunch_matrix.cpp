@@ -1,0 +1,63 @@
+// Pairwise peer-to-peer connectivity over representative devices of each
+// mapping class: direct UDP hole punching where the mappings allow it
+// (Ford et al., the paper's reference [10], report ~82% in the wild) and
+// the TURN-relay fallback otherwise — the full ICE-style ladder from the
+// paper's section-5 plans.
+#include "bench_common.hpp"
+
+#include "harness/holepunch.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+using namespace gatekit::harness;
+
+int main() {
+    // One representative per class: preserve+reuse, preserve+quarantine,
+    // sequential, plus a short-timeout preserver.
+    const std::vector<std::string> reps = {"owrt", "we", "be1", "ng3",
+                                           "ap", "ng5"};
+
+    report::TextTable table([&] {
+        std::vector<std::string> h{"A \\ B"};
+        for (const auto& t : reps) h.push_back(t);
+        return h;
+    }());
+    report::CsvWriter csv({"a", "b", "path"});
+
+    int punched = 0, relayed = 0, failed = 0, total = 0;
+    for (const auto& ta : reps) {
+        std::vector<std::string> row{ta};
+        for (const auto& tb_tag : reps) {
+            const auto pa = devices::find_profile(ta);
+            const auto pb = devices::find_profile(tb_tag);
+            const auto r = establish_p2p(*pa, *pb);
+            row.push_back(r.path == P2pPath::Punched   ? "punch"
+                          : r.path == P2pPath::Relayed ? "relay"
+                                                       : "FAIL");
+            csv.add_row({ta, tb_tag, to_string(r.path)});
+            punched += r.path == P2pPath::Punched;
+            relayed += r.path == P2pPath::Relayed;
+            failed += r.path == P2pPath::Failed;
+            ++total;
+        }
+        table.add_row(row);
+        std::cerr << "[gatekit] finished row " << ta << "\n";
+    }
+
+    std::cout << "Peer-to-peer connectivity between device pairs "
+                 "(ICE-style ladder: punch, then TURN relay)\n"
+              << "=============================================\n";
+    table.print(std::cout);
+    std::cout << "\nPaths: " << punched << " punched, " << relayed
+              << " relayed, " << failed << " failed, of " << total
+              << " pairs.\n";
+
+    const double p = 27.0 / 34.0;
+    std::cout << "Population prediction: 27/34 endpoint-independent "
+                 "mappers give ~"
+              << report::fmt_double(p * p * 100, 0)
+              << "% direct-punch success for random pairs (Ford et al. "
+                 "measured 82%\nin the wild); the relay covers the "
+                 "rest, at the cost of a middlebox.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the library's hot paths: checksums,
+// wire-format round trips, the event loop, and single-packet NAT
+// translation. These guard the simulator's throughput (the figure benches
+// push tens of millions of packets through these functions).
+#include <benchmark/benchmark.h>
+
+#include "gateway/nat_engine.hpp"
+#include "net/checksum.hpp"
+#include "net/tcp_header.hpp"
+#include "net/udp.hpp"
+#include "sim/event_loop.hpp"
+
+using namespace gatekit;
+
+namespace {
+
+void BM_InternetChecksum1500(benchmark::State& state) {
+    std::vector<std::uint8_t> data(1500, 0xab);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net::internet_checksum(data));
+}
+BENCHMARK(BM_InternetChecksum1500);
+
+void BM_Crc32c1500(benchmark::State& state) {
+    std::vector<std::uint8_t> data(1500, 0xab);
+    for (auto _ : state) benchmark::DoNotOptimize(net::crc32c(data));
+}
+BENCHMARK(BM_Crc32c1500);
+
+void BM_ChecksumIncrementalUpdate(benchmark::State& state) {
+    std::uint16_t ck = 0x1234;
+    for (auto _ : state) {
+        ck = net::checksum_update32(ck, 0xc0a80102u, 0x0a000101u);
+        benchmark::DoNotOptimize(ck);
+    }
+}
+BENCHMARK(BM_ChecksumIncrementalUpdate);
+
+void BM_Ipv4RoundTrip(benchmark::State& state) {
+    net::Ipv4Packet p;
+    p.h.protocol = net::proto::kUdp;
+    p.h.src = net::Ipv4Addr(192, 168, 1, 2);
+    p.h.dst = net::Ipv4Addr(10, 0, 1, 1);
+    p.payload.assign(1460, 0x5a);
+    for (auto _ : state) {
+        const auto bytes = p.serialize();
+        benchmark::DoNotOptimize(net::Ipv4Packet::parse(bytes));
+    }
+}
+BENCHMARK(BM_Ipv4RoundTrip);
+
+void BM_TcpSegmentRoundTrip(benchmark::State& state) {
+    net::TcpSegment s;
+    s.src_port = 40000;
+    s.dst_port = 80;
+    s.flags.ack = true;
+    s.payload.assign(1460, 0x5a);
+    const auto src = net::Ipv4Addr(192, 168, 1, 2);
+    const auto dst = net::Ipv4Addr(10, 0, 1, 1);
+    for (auto _ : state) {
+        const auto bytes = s.serialize(src, dst);
+        benchmark::DoNotOptimize(net::TcpSegment::parse(bytes, src, dst));
+    }
+}
+BENCHMARK(BM_TcpSegmentRoundTrip);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::EventLoop loop;
+        for (int i = 0; i < 100; ++i)
+            loop.after(std::chrono::microseconds(i), [] {});
+        loop.run();
+    }
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_NatOutboundUdp(benchmark::State& state) {
+    sim::EventLoop loop;
+    gateway::DeviceProfile profile;
+    profile.tag = "bench";
+    gateway::NatEngine nat(loop, profile);
+    nat.set_addresses(net::Ipv4Addr(192, 168, 1, 1), 24,
+                      net::Ipv4Addr(10, 0, 1, 10));
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kUdp;
+    pkt.h.src = net::Ipv4Addr(192, 168, 1, 100);
+    pkt.h.dst = net::Ipv4Addr(10, 0, 1, 1);
+    net::UdpDatagram d;
+    d.src_port = 40000;
+    d.dst_port = 7;
+    d.payload.assign(1400, 0x5a);
+    pkt.payload = d.serialize(pkt.h.src, pkt.h.dst);
+    for (auto _ : state) benchmark::DoNotOptimize(nat.outbound(pkt));
+}
+BENCHMARK(BM_NatOutboundUdp);
+
+} // namespace
+
+BENCHMARK_MAIN();

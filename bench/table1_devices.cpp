@@ -1,0 +1,16 @@
+// Table 1: the home gateway models included in the study.
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    report::TextTable table({"Vendor", "Model", "Firmware", "Tag"});
+    for (const auto& p : devices::all_profiles())
+        table.add_row({p.vendor, p.model, p.firmware, p.tag});
+    std::cout << "Table 1 - Home gateway models included in the study\n"
+              << "===================================================\n";
+    table.print(std::cout);
+    std::cout << "\n" << devices::all_profiles().size() << " devices.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+// UDP-4 (paper section 4.1, text result): port preservation and
+// expired-binding reuse classes. Target: 27/34 preserve the source port;
+// 23 of those reuse an expired binding, 4 allocate fresh; 7 never
+// preserve.
+#include "bench_common.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+int main() {
+    sim::EventLoop loop;
+    auto cfg = base_config();
+    cfg.udp4 = true;
+    const auto results = run_campaign(loop, cfg);
+
+    report::TextTable table({"tag", "preserves source port",
+                             "reuses expired binding"});
+    int preserve = 0, reuse = 0, fresh = 0, no_preserve = 0;
+    report::CsvWriter csv({"tag", "preserves", "reuses"});
+    for (const auto& r : results) {
+        const bool p = r.udp4.preserves_source_port;
+        const bool u = r.udp4.reuses_expired_binding;
+        table.add_row({r.tag, p ? "yes" : "no",
+                       p ? (u ? "yes" : "no (new binding)") : "-"});
+        csv.add_row({r.tag, p ? "1" : "0", p && u ? "1" : "0"});
+        if (p) {
+            ++preserve;
+            u ? ++reuse : ++fresh;
+        } else {
+            ++no_preserve;
+        }
+    }
+
+    std::cout << "UDP-4: binding and port-pair reuse behavior\n"
+              << "===========================================\n";
+    table.print(std::cout);
+    std::cout << "\nSummary: " << preserve << "/" << results.size()
+              << " devices prefer the original source port; " << reuse
+              << " of these reuse an expired binding, " << fresh
+              << " create a new one; " << no_preserve
+              << " always allocate a new external port.\n"
+              << "(Paper: 27 preserve; 23 reuse, 4 create new; 7 never "
+                 "preserve.)\n";
+    maybe_csv("udp4_port_reuse", csv);
+    return 0;
+}

@@ -1,0 +1,75 @@
+// Keepalive planner: the paper's motivating application question — how
+// often must a UDP application (VoIP, game, tunnel) send keepalives to
+// hold its NAT binding open across the deployed device base, and can a
+// TCP connection rely on the standard 2-hour keepalive?
+//
+//   ./keepalive_planner [device_count]   (default: 8 devices for speed)
+#include <algorithm>
+#include <iostream>
+
+#include "devices/profiles.hpp"
+#include "harness/testrund.hpp"
+#include "report/table.hpp"
+
+using namespace gatekit;
+
+int main(int argc, char** argv) {
+    const int count = argc > 1 ? std::atoi(argv[1]) : 8;
+
+    sim::EventLoop loop;
+    harness::Testbed tb(loop);
+    int added = 0;
+    for (const auto& p : devices::all_profiles()) {
+        if (added++ >= count) break;
+        tb.add_device(p);
+    }
+    tb.start_and_wait();
+    std::cout << "Probing " << tb.device_count()
+              << " home gateway models...\n\n";
+
+    harness::CampaignConfig cfg;
+    cfg.udp1 = cfg.udp3 = true;
+    cfg.udp.repetitions = 3;
+    cfg.tcp1 = true;
+    cfg.tcp_timeout.repetitions = 1;
+
+    harness::Testrund rund(tb);
+    const auto results = rund.run_blocking(cfg);
+
+    report::TextTable table(
+        {"device", "UDP idle timeout [s]", "UDP active timeout [s]",
+         "TCP idle timeout [min]"});
+    double worst_udp_idle = 1e9, worst_udp_active = 1e9, worst_tcp = 1e9;
+    for (const auto& r : results) {
+        const double u1 = r.udp1.summary().median;
+        const double u3 = r.udp3.summary().median;
+        const double t1 = r.tcp1.summary().median / 60.0;
+        worst_udp_idle = std::min(worst_udp_idle, u1);
+        worst_udp_active = std::min(worst_udp_active, u3);
+        worst_tcp = std::min(worst_tcp, t1);
+        table.add_row({r.tag, report::fmt_double(u1, 0),
+                       report::fmt_double(u3, 0),
+                       r.tcp1.exceeded_limit ? "> 1440"
+                                             : report::fmt_double(t1, 0)});
+    }
+    table.print(std::cout);
+
+    // Plan with a 2x safety margin against the worst observed device,
+    // exactly the reasoning the paper's section 4.4 walks through.
+    std::cout << "\nRecommendations for this device population:\n"
+              << "  UDP keepalive for mostly-idle flows: every "
+              << report::fmt_double(worst_udp_idle / 2, 0) << " s (worst "
+              << "binding timeout " << report::fmt_double(worst_udp_idle, 0)
+              << " s)\n"
+              << "  UDP keepalive for active flows: every "
+              << report::fmt_double(worst_udp_active / 2, 0) << " s\n"
+              << "  A 15 s keepalive (used by some apps) is "
+              << (worst_udp_active > 30 ? "more aggressive than needed"
+                                        : "justified")
+              << " here — the paper reached the same conclusion.\n"
+              << "  TCP: the standard 2 h keepalive is "
+              << (worst_tcp < 120 ? "NOT safe" : "safe")
+              << ": the shortest TCP binding timeout seen is "
+              << report::fmt_double(worst_tcp, 1) << " min.\n";
+    return 0;
+}

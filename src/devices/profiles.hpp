@@ -1,0 +1,24 @@
+// The 34 home gateway models of the study (paper Table 1), each expressed
+// as a DeviceProfile calibrated to the paper's published figures and
+// aggregates. Values the paper names explicitly are used verbatim; the
+// rest are interpolations consistent with every printed ordering, median
+// and mean (see DESIGN.md section 3 for the calibration targets).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gateway/profile.hpp"
+
+namespace gatekit::devices {
+
+/// All 34 profiles in the paper's Table 1 order (al, ap, as1, ..., zy1).
+const std::vector<gateway::DeviceProfile>& all_profiles();
+
+/// Look up one profile by its paper tag (e.g. "owrt"); nullopt if unknown.
+std::optional<gateway::DeviceProfile> find_profile(const std::string& tag);
+
+/// The tags in Table 1 order.
+std::vector<std::string> all_tags();
+
+} // namespace gatekit::devices

@@ -1,0 +1,97 @@
+// NAT binding table: the translation state whose lifecycle the paper's
+// UDP-1..5, TCP-1 and TCP-4 tests measure from the outside.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gateway/profile.hpp"
+#include "net/addr.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::gateway {
+
+/// 5-tuple identifying a flow from the inside.
+struct FlowKey {
+    std::uint8_t proto = 0;
+    net::Endpoint internal;
+    net::Endpoint remote;
+
+    friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) =
+        default;
+};
+
+struct Binding {
+    FlowKey key;
+    std::uint16_t external_port = 0;
+    sim::TimePoint expires_at{};
+    bool confirmed = false; ///< has seen inbound traffic
+    // TCP state tracking, so the NAT can reap closed connections.
+    bool established = false; ///< TCP three-way handshake observed
+    bool fin_in = false;
+    bool fin_out = false;
+    std::uint64_t packets_out = 0;
+    std::uint64_t packets_in = 0;
+};
+
+/// One table instance per transport protocol (UDP and TCP each get one).
+class BindingTable {
+public:
+    BindingTable(sim::EventLoop& loop, const DeviceProfile& profile,
+                 std::uint8_t proto);
+
+    /// Find the binding for an outbound flow, creating it if absent.
+    /// Returns nullptr when the table is full (per profile max) or the
+    /// port pool is exhausted. Expired entries are swept lazily.
+    Binding* find_or_create_outbound(const FlowKey& key);
+
+    /// Find the (live) binding matching an inbound packet.
+    Binding* find_inbound(std::uint16_t external_port,
+                          const net::Endpoint& remote);
+
+    /// Find a live binding by external port alone (hairpin lookups have
+    /// no fixed remote endpoint to match).
+    Binding* find_by_external(std::uint16_t external_port);
+
+    /// Refresh a binding's timer after an outbound or inbound packet.
+    /// `timeout` is the policy-chosen duration for this event.
+    void refresh(Binding& b, sim::Duration timeout);
+
+    /// Remove immediately (TCP RST, FIN linger expiry).
+    void remove(const FlowKey& key);
+
+    std::size_t size();
+    std::size_t capacity_limit() const {
+        return static_cast<std::size_t>(profile_.max_tcp_bindings);
+    }
+
+    /// Expiry check honoring the device's timer granularity.
+    bool expired(const Binding& b) const;
+
+private:
+    void sweep();
+    std::uint16_t allocate_port(const FlowKey& key);
+    /// True when `port` is claimed by a *different* internal endpoint.
+    bool port_taken_by_other(std::uint16_t port,
+                             const net::Endpoint& internal) const;
+    sim::TimePoint quantize(sim::TimePoint t) const;
+
+    sim::EventLoop& loop_;
+    const DeviceProfile& profile_;
+    std::uint8_t proto_;
+    void erase_external(std::uint16_t port, const FlowKey& key);
+
+    std::map<FlowKey, Binding> by_flow_;
+    /// External port -> flows sharing it. A port-preserving NAT maps every
+    /// flow from one internal endpoint to the same external port
+    /// (endpoint-independent mapping, RFC 4787) and demuxes inbound
+    /// traffic by remote endpoint.
+    std::multimap<std::uint16_t, FlowKey> by_external_;
+    /// Recently expired flows: flow -> (old external port, quarantine end).
+    std::map<FlowKey, std::pair<std::uint16_t, sim::TimePoint>> graveyard_;
+    std::uint16_t next_pool_port_;
+};
+
+} // namespace gatekit::gateway

@@ -1,0 +1,147 @@
+#include "gateway/dns_proxy.hpp"
+
+#include "stack/host.hpp"
+#include "stack/tcp_socket.hpp"
+#include "stack/udp_socket.hpp"
+
+namespace gatekit::gateway {
+
+DnsProxy::DnsProxy(stack::Host& host, const DeviceProfile& profile)
+    : host_(host), profile_(profile) {}
+
+DnsProxy::~DnsProxy() {
+    if (lan_sock_ != nullptr) host_.udp_close(*lan_sock_);
+    if (upstream_sock_ != nullptr) host_.udp_close(*upstream_sock_);
+    if (tcp_listener_ != nullptr) host_.tcp_close_listener(*tcp_listener_);
+}
+
+void DnsProxy::start(net::Endpoint upstream, net::Ipv4Addr wan_addr) {
+    upstream_ = upstream;
+    wan_addr_ = wan_addr;
+
+    if (profile_.dns_udp_proxy) {
+        lan_sock_ = &host_.udp_open(net::Ipv4Addr::any(), net::kDnsPort);
+        lan_sock_->set_receive_handler(
+            [this](net::Endpoint src, std::span<const std::uint8_t> payload,
+                   const net::Ipv4Packet&) { on_lan_query(src, payload); });
+        upstream_sock_ = &host_.udp_open(net::Ipv4Addr::any(), 0);
+        upstream_sock_->set_receive_handler(
+            [this](net::Endpoint, std::span<const std::uint8_t> payload,
+                   const net::Ipv4Packet&) { on_upstream_response(payload); });
+    }
+
+    if (profile_.dns_tcp != DnsTcpMode::NoListen) {
+        tcp_listener_ = &host_.tcp_listen(net::kDnsPort);
+        tcp_listener_->set_accept_handler(
+            [this](stack::TcpSocket& conn) { on_tcp_conn(conn); });
+    }
+}
+
+void DnsProxy::on_lan_query(net::Endpoint client,
+                            std::span<const std::uint8_t> payload) {
+    net::DnsMessage query;
+    try {
+        query = net::DnsMessage::parse(payload);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (query.is_response) return;
+    pending_[query.id] = client;
+    ++udp_forwarded_;
+    if (profile_.dns_proxy_strips_edns && query.edns_udp_size) {
+        // Re-serialize without the OPT record (the studies' observed
+        // breakage: the proxy "cleans" queries it does not understand).
+        query.edns_udp_size.reset();
+        upstream_sock_->send_to(upstream_, query.serialize());
+        return;
+    }
+    upstream_sock_->send_to(upstream_,
+                            net::Bytes(payload.begin(), payload.end()));
+}
+
+void DnsProxy::on_upstream_response(std::span<const std::uint8_t> payload) {
+    net::DnsMessage resp;
+    try {
+        resp = net::DnsMessage::parse(payload);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    auto it = pending_.find(resp.id);
+    if (it == pending_.end()) return;
+    if (profile_.dns_proxy_max_udp != 0 &&
+        payload.size() > profile_.dns_proxy_max_udp)
+        return; // silently dropped, as the broken devices do
+    lan_sock_->send_to(it->second, net::Bytes(payload.begin(), payload.end()));
+    pending_.erase(it);
+}
+
+void DnsProxy::on_tcp_conn(stack::TcpSocket& conn) {
+    ++tcp_accepted_;
+    if (profile_.dns_tcp == DnsTcpMode::AcceptOnly) {
+        // Accepts the connection, reads, answers nothing. (Real devices
+        // in this class leave dig hanging until its timeout.)
+        conn.on_data = [](std::span<const std::uint8_t>) {};
+        conn.on_remote_close = [&conn] { conn.close(); };
+        return;
+    }
+    auto framer = std::make_shared<stack::DnsTcpFramer>();
+    tcp_framers_[&conn] = framer;
+    conn.on_data = [this, framer, &conn](std::span<const std::uint8_t> d) {
+        framer->feed(d);
+        net::Bytes query;
+        while (framer->next(query)) forward_tcp_query(conn, query);
+    };
+    conn.on_remote_close = [this, &conn] {
+        tcp_framers_.erase(&conn);
+        conn.close();
+    };
+    conn.on_error = [this, &conn](const std::string&) {
+        tcp_framers_.erase(&conn);
+    };
+}
+
+void DnsProxy::forward_tcp_query(stack::TcpSocket& client_conn,
+                                 net::Bytes query) {
+    if (profile_.dns_tcp == DnsTcpMode::ProxyViaUdp) {
+        // ap's quirk: the TCP-received query goes upstream over UDP.
+        net::DnsMessage q;
+        try {
+            q = net::DnsMessage::parse(query);
+        } catch (const net::ParseError&) {
+            return;
+        }
+        auto& sock = host_.udp_open(net::Ipv4Addr::any(), 0);
+        auto* client = &client_conn;
+        sock.set_receive_handler(
+            [this, client, &sock](net::Endpoint,
+                                  std::span<const std::uint8_t> payload,
+                                  const net::Ipv4Packet&) {
+                client->send(stack::DnsTcpFramer::frame(
+                    net::Bytes(payload.begin(), payload.end())));
+                host_.udp_close(sock);
+            });
+        sock.send_to(upstream_, std::move(query));
+        return;
+    }
+
+    // ProxyTcp: one upstream TCP connection per query.
+    auto& up = host_.tcp_connect(wan_addr_, 0, upstream_);
+    auto up_framer = std::make_shared<stack::DnsTcpFramer>();
+    auto* client = &client_conn;
+    up.on_established = [&up, q = std::move(query)] {
+        up.send(stack::DnsTcpFramer::frame(q));
+    };
+    up.on_data = [this, up_framer, client,
+                  &up](std::span<const std::uint8_t> d) {
+        up_framer->feed(d);
+        net::Bytes resp;
+        while (up_framer->next(resp)) {
+            if (tcp_framers_.contains(client))
+                client->send(stack::DnsTcpFramer::frame(resp));
+            up.close();
+        }
+    };
+    up.on_remote_close = [&up] { up.close(); };
+}
+
+} // namespace gatekit::gateway

@@ -1,0 +1,61 @@
+// The gateway's DNS proxy. Every studied device proxies DNS over UDP;
+// TCP support varies wildly (paper section 4.3): 20 devices refuse TCP/53,
+// 4 accept but never answer, 9 proxy over TCP, and ap forwards TCP
+// queries upstream over UDP.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "gateway/profile.hpp"
+#include "net/dns.hpp"
+#include "sim/event_loop.hpp"
+#include "stack/dns_service.hpp"
+
+namespace gatekit::stack {
+class Host;
+class UdpSocket;
+class TcpListener;
+class TcpSocket;
+} // namespace gatekit::stack
+
+namespace gatekit::gateway {
+
+class DnsProxy {
+public:
+    DnsProxy(stack::Host& host, const DeviceProfile& profile);
+    ~DnsProxy();
+
+    DnsProxy(const DnsProxy&) = delete;
+    DnsProxy& operator=(const DnsProxy&) = delete;
+
+    /// Start listening; `upstream` is the resolver learned via WAN DHCP
+    /// and `wan_addr` the gateway's own upstream-facing address (used as
+    /// the source of proxied TCP queries).
+    void start(net::Endpoint upstream, net::Ipv4Addr wan_addr);
+
+    std::uint64_t udp_forwarded() const { return udp_forwarded_; }
+    std::uint64_t tcp_accepted() const { return tcp_accepted_; }
+
+private:
+    void on_lan_query(net::Endpoint client,
+                      std::span<const std::uint8_t> payload);
+    void on_upstream_response(std::span<const std::uint8_t> payload);
+    void on_tcp_conn(stack::TcpSocket& conn);
+    void forward_tcp_query(stack::TcpSocket& client_conn, net::Bytes query);
+
+    stack::Host& host_;
+    const DeviceProfile& profile_;
+    net::Endpoint upstream_;
+    net::Ipv4Addr wan_addr_;
+    stack::UdpSocket* lan_sock_ = nullptr;
+    stack::UdpSocket* upstream_sock_ = nullptr;
+    stack::TcpListener* tcp_listener_ = nullptr;
+    std::map<std::uint16_t, net::Endpoint> pending_; ///< query id -> client
+    std::map<stack::TcpSocket*, std::shared_ptr<stack::DnsTcpFramer>>
+        tcp_framers_;
+    std::uint64_t udp_forwarded_ = 0;
+    std::uint64_t tcp_accepted_ = 0;
+};
+
+} // namespace gatekit::gateway

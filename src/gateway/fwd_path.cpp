@@ -1,0 +1,100 @@
+#include "gateway/fwd_path.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::gateway {
+
+FwdPath::FwdPath(sim::EventLoop& loop, const ForwardingModel& model)
+    : loop_(loop), model_(model) {
+    down_.limit = model.buffer_down_bytes;
+    down_.line_mbps = model.down_mbps;
+    up_.limit = model.buffer_up_bytes;
+    up_.line_mbps = model.up_mbps;
+}
+
+sim::Duration FwdPath::service_time(std::size_t bytes, double mbps) {
+    GK_EXPECTS(mbps > 0.0);
+    const double seconds = static_cast<double>(bytes) * 8.0 / (mbps * 1e6);
+    return sim::from_sec(seconds);
+}
+
+bool FwdPath::submit(Direction dir, std::size_t bytes, DeliverFn deliver) {
+    Queue& queue = q(dir);
+    if (queue.bytes + bytes > queue.limit) {
+        ++queue.drops;
+        return false;
+    }
+    queue.jobs.push_back(Job{bytes, std::move(deliver)});
+    queue.bytes += bytes;
+    schedule();
+    return true;
+}
+
+void FwdPath::schedule() {
+    if (cpu_busy_) return;
+    const auto now = loop_.now();
+
+    // Pick an eligible direction: non-empty queue whose line is free.
+    // Round-robin between the two when both are eligible.
+    auto eligible = [&](Direction dir) {
+        return !q(dir).jobs.empty() && q(dir).line_free_at <= now;
+    };
+    Direction pick = last_served_ == Direction::Down ? Direction::Up
+                                                     : Direction::Down;
+    if (!eligible(pick)) {
+        pick = pick == Direction::Down ? Direction::Up : Direction::Down;
+        if (!eligible(pick)) {
+            // Nothing eligible now: if work is waiting on a busy line,
+            // retry when the earliest line frees up.
+            sim::TimePoint wake = sim::TimePoint::max();
+            for (Direction d : {Direction::Down, Direction::Up})
+                if (!q(d).jobs.empty())
+                    wake = std::min(wake, q(d).line_free_at);
+            if (wake != sim::TimePoint::max() && !retry_event_) {
+                retry_event_ = loop_.at(wake, [this] {
+                    retry_event_ = sim::EventId{};
+                    schedule();
+                });
+            }
+            return;
+        }
+    }
+    start_service(pick);
+}
+
+void FwdPath::start_service(Direction dir) {
+    Queue& queue = q(dir);
+    GK_ASSERT(!queue.jobs.empty());
+    Job job = std::move(queue.jobs.front());
+    queue.jobs.pop_front();
+    queue.bytes -= job.bytes;
+
+    cpu_busy_ = true;
+    last_served_ = dir;
+    const auto cpu_time = service_time(job.bytes, model_.aggregate_mbps);
+    const auto line_time = service_time(job.bytes, queue.line_mbps);
+    queue.line_free_at = loop_.now() + line_time;
+    ++queue.forwarded;
+
+    loop_.after(cpu_time, [this, deliver = std::move(job.deliver)]() mutable {
+        cpu_busy_ = false;
+        // Completion of processing: hand the packet to the egress side
+        // after the fixed processing latency, snapped up to the device's
+        // forwarding tick (timer-batched forwarders). Quantization is
+        // monotonic, so packet order is preserved.
+        sim::TimePoint when = loop_.now() + model_.processing_delay;
+        if (model_.forwarding_tick > sim::Duration::zero()) {
+            const auto tick = model_.forwarding_tick.count();
+            const auto ticks = (when.count() + tick - 1) / tick;
+            when = sim::TimePoint{ticks * tick};
+        }
+        if (when > loop_.now()) {
+            loop_.at(when, std::move(deliver));
+        } else {
+            deliver();
+        }
+        schedule();
+    });
+}
+
+} // namespace gatekit::gateway

@@ -1,0 +1,66 @@
+// Gateway forwarding path: drop-tail ingress buffers, per-direction line
+// processing and a shared forwarding CPU. TCP-2's throughput caps and
+// TCP-3's bufferbloat delays both emerge from this single mechanism, as
+// they did on the physical devices.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "gateway/profile.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::gateway {
+
+enum class Direction { Down, Up }; ///< Down = WAN->LAN, Up = LAN->WAN
+
+class FwdPath {
+public:
+    using DeliverFn = std::function<void()>;
+
+    FwdPath(sim::EventLoop& loop, const ForwardingModel& model);
+
+    /// Submit a translated packet of `bytes` length for forwarding in
+    /// `dir`; `deliver` runs when the device finishes processing it.
+    /// Returns false (and drops) when the ingress buffer is full.
+    bool submit(Direction dir, std::size_t bytes, DeliverFn deliver);
+
+    std::uint64_t drops(Direction dir) const { return q(dir).drops; }
+    std::uint64_t forwarded(Direction dir) const { return q(dir).forwarded; }
+    std::size_t queued_bytes(Direction dir) const { return q(dir).bytes; }
+
+private:
+    struct Job {
+        std::size_t bytes;
+        DeliverFn deliver;
+    };
+    struct Queue {
+        std::deque<Job> jobs;
+        std::size_t bytes = 0;
+        std::size_t limit = 0;
+        double line_mbps = 100.0;
+        sim::TimePoint line_free_at{};
+        std::uint64_t drops = 0;
+        std::uint64_t forwarded = 0;
+    };
+
+    Queue& q(Direction dir) { return dir == Direction::Down ? down_ : up_; }
+    const Queue& q(Direction dir) const {
+        return dir == Direction::Down ? down_ : up_;
+    }
+
+    void schedule();
+    void start_service(Direction dir);
+    static sim::Duration service_time(std::size_t bytes, double mbps);
+
+    sim::EventLoop& loop_;
+    ForwardingModel model_;
+    Queue down_;
+    Queue up_;
+    bool cpu_busy_ = false;
+    Direction last_served_ = Direction::Up; ///< round-robin fairness
+    sim::EventId retry_event_;
+};
+
+} // namespace gatekit::gateway

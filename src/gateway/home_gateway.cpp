@@ -1,0 +1,141 @@
+#include "gateway/home_gateway.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::gateway {
+
+HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
+    : loop_(loop), config_(std::move(config)),
+      host_(loop, "gw-" + config_.profile.tag,
+            net::MacAddr::from_index(config_.mac_index)),
+      wan_nic_(host_.add_nic(
+          config_.profile.same_mac_both_sides
+              ? net::MacAddr::from_index(config_.mac_index)
+              : net::MacAddr::from_index(config_.mac_index + 1))),
+      lan_if_(host_.add_iface()), wan_if_(host_.add_iface_on(wan_nic_)),
+      nat_(loop, config_.profile), fwd_(loop, config_.profile.fwd),
+      dns_proxy_(host_, config_.profile) {
+    lan_if_.configure(config_.lan_addr, config_.lan_prefix_len);
+    host_.add_route(config_.lan_addr, config_.lan_prefix_len, lan_if_);
+
+    // Datapath hooks: LAN->WAN via the forward hook (dst is never local),
+    // WAN->LAN via local intercept (inbound packets target the WAN addr).
+    host_.set_forward_hook([this](stack::Iface& in,
+                                  const net::Ipv4Packet& pkt,
+                                  std::span<const std::uint8_t>) {
+        if (&in == &lan_if_) on_lan_ip(in, pkt);
+        // WAN-side packets for non-local destinations: only the plain
+        // router fallback forwards into the LAN subnet.
+        else if (config_.profile.unknown_proto ==
+                     UnknownProtocolPolicy::Untranslated &&
+                 pkt.h.dst.same_subnet(config_.lan_addr,
+                                       config_.lan_prefix_len)) {
+            net::Ipv4Packet out = pkt;
+            if (config_.profile.decrement_ttl) {
+                if (pkt.h.ttl <= 1) return;
+                out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+            }
+            auto bytes = out.serialize();
+            const auto dst = out.h.dst;
+            const std::size_t len = bytes.size();
+            fwd_.submit(Direction::Down, len,
+                        [this, bytes = std::move(bytes), dst] {
+                            emit_lan(bytes, dst);
+                        });
+        }
+    });
+    host_.set_local_intercept([this](stack::Iface& in,
+                                     const net::Ipv4Packet& pkt,
+                                     std::span<const std::uint8_t>) {
+        if (!nat_.configured()) return false;
+        if (&in == &wan_if_) return on_wan_local(pkt);
+        // LAN-side packets addressed to the WAN address: hairpin
+        // candidates on devices that support it; otherwise they reach
+        // the gateway's own stack (e.g. pinging the WAN address).
+        if (&in == &lan_if_ && pkt.h.dst == nat_.wan_addr()) {
+            auto out = nat_.hairpin(pkt);
+            if (!out) return false;
+            const auto dst = net::Ipv4Packet::parse(*out).h.dst;
+            const std::size_t len = out->size();
+            fwd_.submit(Direction::Down, len,
+                        [this, bytes = std::move(*out), dst] {
+                            emit_lan(bytes, dst);
+                        });
+            return true;
+        }
+        return false;
+    });
+}
+
+void HomeGateway::connect_lan(sim::Link& link, sim::Link::Side side) {
+    host_.nic().connect(link, side);
+}
+
+void HomeGateway::connect_wan(sim::Link& link, sim::Link::Side side) {
+    wan_nic_.connect(link, side);
+}
+
+void HomeGateway::start(std::function<void(net::Ipv4Addr)> on_ready) {
+    on_ready_ = std::move(on_ready);
+    wan_dhcp_ = std::make_unique<stack::DhcpClient>(host_, wan_if_);
+    wan_dhcp_->start([this](const stack::DhcpLease& lease) {
+        host_.add_route(lease.addr, lease.prefix_len, wan_if_);
+        if (!lease.router.is_unspecified())
+            host_.add_route(net::Ipv4Addr::any(), 0, wan_if_, lease.router);
+        nat_.set_addresses(config_.lan_addr, config_.lan_prefix_len,
+                           lease.addr);
+
+        // LAN-side services come up once the uplink works.
+        stack::DhcpServerConfig lan_cfg;
+        lan_cfg.pool_base = config_.lan_pool_base;
+        lan_cfg.prefix_len = config_.lan_prefix_len;
+        lan_cfg.router = config_.lan_addr;
+        lan_cfg.dns_server = config_.lan_addr; // we proxy DNS
+        lan_dhcp_ = std::make_unique<stack::DhcpServer>(host_, lan_if_,
+                                                        lan_cfg);
+        dns_proxy_.start({lease.dns_server, net::kDnsPort}, lease.addr);
+        if (on_ready_) on_ready_(lease.addr);
+    });
+}
+
+void HomeGateway::on_lan_ip(stack::Iface&, const net::Ipv4Packet& pkt) {
+    if (!nat_.configured()) return;
+    auto out = nat_.outbound(pkt);
+    if (!out) return;
+    const auto dst = net::Ipv4Packet::parse(*out).h.dst;
+    // Read the size before the lambda capture moves the buffer out.
+    const std::size_t len = out->size();
+    fwd_.submit(Direction::Up, len,
+                [this, bytes = std::move(*out), dst] {
+                    emit_wan(bytes, dst);
+                });
+}
+
+bool HomeGateway::on_wan_local(const net::Ipv4Packet& pkt) {
+    bool handled = false;
+    auto out = nat_.inbound(pkt, handled);
+    if (!handled) return false; // gateway-local traffic (DHCP, DNS, ping)
+    if (out) {
+        const auto dst = net::Ipv4Packet::parse(*out).h.dst;
+        const std::size_t len = out->size();
+        fwd_.submit(Direction::Down, len,
+                    [this, bytes = std::move(*out), dst] {
+                        emit_lan(bytes, dst);
+                    });
+    }
+    return true;
+}
+
+void HomeGateway::emit_wan(net::Bytes datagram, net::Ipv4Addr dst) {
+    const stack::Route* route = host_.lookup_route(dst);
+    if (route == nullptr || route->iface != &wan_if_) return;
+    const auto next_hop = route->via ? *route->via : dst;
+    host_.send_raw(wan_if_, std::move(datagram), next_hop);
+}
+
+void HomeGateway::emit_lan(net::Bytes datagram, net::Ipv4Addr dst) {
+    if (!dst.same_subnet(config_.lan_addr, config_.lan_prefix_len)) return;
+    host_.send_raw(lan_if_, std::move(datagram), dst);
+}
+
+} // namespace gatekit::gateway

@@ -1,0 +1,75 @@
+// HomeGateway: a complete simulated CPE device. Internally it is a Host
+// (giving it ARP, DHCP client/server, a DNS proxy and its own sockets)
+// plus a NAT datapath hooked in front of forwarding and local delivery,
+// and a forwarding-performance model. Behavior is entirely driven by its
+// DeviceProfile; src/devices instantiates the paper's 34 models.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "gateway/dns_proxy.hpp"
+#include "gateway/fwd_path.hpp"
+#include "gateway/nat_engine.hpp"
+#include "gateway/profile.hpp"
+#include "stack/dhcp_service.hpp"
+#include "stack/host.hpp"
+
+namespace gatekit::gateway {
+
+class HomeGateway {
+public:
+    struct Config {
+        DeviceProfile profile;
+        net::Ipv4Addr lan_addr{192, 168, 1, 1};
+        int lan_prefix_len = 24;
+        net::Ipv4Addr lan_pool_base{192, 168, 1, 100};
+        /// Base index for deterministic MAC assignment.
+        std::uint32_t mac_index = 1000;
+    };
+
+    HomeGateway(sim::EventLoop& loop, Config config);
+
+    HomeGateway(const HomeGateway&) = delete;
+    HomeGateway& operator=(const HomeGateway&) = delete;
+
+    void connect_lan(sim::Link& link, sim::Link::Side side);
+    void connect_wan(sim::Link& link, sim::Link::Side side);
+
+    /// Bring the device up: run the WAN DHCP client; once a lease arrives
+    /// the NAT, LAN DHCP server, and DNS proxy become operational and
+    /// `on_ready` fires with the acquired WAN address.
+    void start(std::function<void(net::Ipv4Addr)> on_ready = {});
+
+    bool ready() const { return nat_.configured(); }
+    net::Ipv4Addr lan_addr() const { return config_.lan_addr; }
+    net::Ipv4Addr wan_addr() const { return nat_.wan_addr(); }
+    const DeviceProfile& profile() const { return config_.profile; }
+
+    stack::Host& host() { return host_; }
+    NatEngine& nat() { return nat_; }
+    FwdPath& fwd() { return fwd_; }
+    DnsProxy& dns_proxy() { return dns_proxy_; }
+    stack::DhcpServer* lan_dhcp() { return lan_dhcp_.get(); }
+
+private:
+    void on_lan_ip(stack::Iface& in, const net::Ipv4Packet& pkt);
+    bool on_wan_local(const net::Ipv4Packet& pkt);
+    void emit_wan(net::Bytes datagram, net::Ipv4Addr dst);
+    void emit_lan(net::Bytes datagram, net::Ipv4Addr dst);
+
+    sim::EventLoop& loop_;
+    Config config_;
+    stack::Host host_;
+    stack::NetIf& wan_nic_;
+    stack::Iface& lan_if_;
+    stack::Iface& wan_if_;
+    NatEngine nat_;
+    FwdPath fwd_;
+    DnsProxy dns_proxy_;
+    std::unique_ptr<stack::DhcpClient> wan_dhcp_;
+    std::unique_ptr<stack::DhcpServer> lan_dhcp_;
+    std::function<void(net::Ipv4Addr)> on_ready_;
+};
+
+} // namespace gatekit::gateway

@@ -1,0 +1,508 @@
+#include "gateway/nat_engine.hpp"
+
+#include "net/checksum.hpp"
+#include "net/tcp_header.hpp"
+#include "net/udp.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::gateway {
+
+namespace {
+constexpr sim::Duration kIcmpQueryTimeout = std::chrono::seconds(60);
+}
+
+NatEngine::NatEngine(sim::EventLoop& loop, const DeviceProfile& profile)
+    : loop_(loop), profile_(profile), udp_(loop, profile, net::proto::kUdp),
+      tcp_(loop, profile, net::proto::kTcp) {}
+
+void NatEngine::set_addresses(net::Ipv4Addr lan_addr, int lan_prefix_len,
+                              net::Ipv4Addr wan_addr) {
+    lan_addr_ = lan_addr;
+    lan_prefix_len_ = lan_prefix_len;
+    wan_addr_ = wan_addr;
+}
+
+net::Ipv4Packet NatEngine::translated_header(const net::Ipv4Packet& pkt,
+                                             net::Ipv4Addr new_src,
+                                             net::Ipv4Addr new_dst) const {
+    net::Ipv4Packet out;
+    out.h = pkt.h;
+    out.h.src = new_src;
+    out.h.dst = new_dst;
+    if (profile_.decrement_ttl)
+        out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+    if (profile_.honor_record_route) out.record_route(wan_addr_);
+    return out;
+}
+
+sim::Duration NatEngine::udp_timeout_for(const Binding& b,
+                                         bool inbound_packet,
+                                         std::uint16_t service_port) const {
+    auto it = profile_.udp.per_service.find(service_port);
+    if (it != profile_.udp.per_service.end()) return it->second;
+    if (inbound_packet) return profile_.udp.inbound_refresh;
+    return b.confirmed ? profile_.udp.outbound_refresh
+                       : profile_.udp.initial;
+}
+
+std::optional<net::Bytes> NatEngine::outbound(const net::Ipv4Packet& pkt) {
+    GK_EXPECTS(configured());
+    if (profile_.decrement_ttl && pkt.h.ttl <= 1) return std::nullopt;
+    switch (pkt.h.protocol) {
+    case net::proto::kUdp:
+        return outbound_udp(pkt);
+    case net::proto::kTcp:
+        return outbound_tcp(pkt);
+    case net::proto::kIcmp:
+        return outbound_icmp(pkt);
+    default:
+        return outbound_unknown(pkt);
+    }
+}
+
+std::optional<net::Bytes> NatEngine::outbound_udp(const net::Ipv4Packet& pkt) {
+    net::UdpDatagram dgram;
+    try {
+        dgram = net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    const FlowKey key{net::proto::kUdp,
+                      {pkt.h.src, dgram.src_port},
+                      {pkt.h.dst, dgram.dst_port}};
+    Binding* b = udp_.find_or_create_outbound(key);
+    if (b == nullptr) {
+        ++stats_.dropped_capacity;
+        return std::nullopt;
+    }
+    ++b->packets_out;
+    if (profile_.udp.outbound_refreshes || b->packets_out == 1)
+        udp_.refresh(*b, udp_timeout_for(*b, false, key.remote.port));
+
+    auto out = translated_header(pkt, wan_addr_, pkt.h.dst);
+    dgram.src_port = b->external_port;
+    out.payload = dgram.serialize(out.h.src, out.h.dst);
+    return out.serialize();
+}
+
+std::optional<net::Bytes> NatEngine::outbound_tcp(const net::Ipv4Packet& pkt) {
+    net::TcpSegment seg;
+    try {
+        seg = net::TcpSegment::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    const FlowKey key{net::proto::kTcp,
+                      {pkt.h.src, seg.src_port},
+                      {pkt.h.dst, seg.dst_port}};
+    Binding* b = tcp_.find_or_create_outbound(key);
+    if (b == nullptr) {
+        ++stats_.dropped_capacity;
+        return std::nullopt;
+    }
+    if (seg.flags.syn && !seg.flags.ack)
+        b->expires_at = loop_.now() + profile_.tcp_transitory_timeout;
+    ++b->packets_out;
+    if (b->packets_in > 0 && !seg.flags.syn) b->established = true;
+    refresh_tcp(*b);
+    if (seg.flags.fin) b->fin_out = true;
+
+    auto out = translated_header(pkt, wan_addr_, pkt.h.dst);
+    seg.src_port = b->external_port;
+    out.payload = seg.serialize(out.h.src, out.h.dst);
+    const auto bytes = out.serialize();
+
+    if (seg.flags.rst) {
+        tcp_.remove(key);
+    } else if (b->fin_in && b->fin_out) {
+        b->expires_at = loop_.now() + profile_.tcp_fin_linger;
+    }
+    return bytes;
+}
+
+void NatEngine::refresh_tcp(Binding& b) {
+    tcp_.refresh(b, b.established ? profile_.tcp_established_timeout
+                                  : profile_.tcp_transitory_timeout);
+}
+
+std::optional<net::Bytes> NatEngine::outbound_icmp(
+    const net::Ipv4Packet& pkt) {
+    net::IcmpMessage msg;
+    try {
+        msg = net::IcmpMessage::parse(pkt.payload);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    if (msg.type == net::IcmpType::Echo) {
+        const IcmpQueryKey key{pkt.h.src, msg.echo_id(), pkt.h.dst};
+        icmp_queries_[key] =
+            IcmpQueryBinding{key, loop_.now() + kIcmpQueryTimeout};
+        auto out = translated_header(pkt, wan_addr_, pkt.h.dst);
+        out.payload = pkt.payload; // id preserved
+        return out.serialize();
+    }
+    // Outbound errors from LAN hosts: forward with outer translation.
+    auto out = translated_header(pkt, wan_addr_, pkt.h.dst);
+    out.payload = pkt.payload;
+    return out.serialize();
+}
+
+std::optional<net::Bytes> NatEngine::outbound_unknown(
+    const net::Ipv4Packet& pkt) {
+    switch (profile_.unknown_proto) {
+    case UnknownProtocolPolicy::Drop:
+        ++stats_.dropped_policy;
+        return std::nullopt;
+    case UnknownProtocolPolicy::Untranslated: {
+        // Behave as a plain router: forward verbatim (TTL per profile).
+        net::Ipv4Packet out = pkt;
+        if (profile_.decrement_ttl)
+            out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+        return out.serialize();
+    }
+    case UnknownProtocolPolicy::TranslateIpOnly: {
+        ip_only_[IpOnlyKey{pkt.h.protocol, pkt.h.dst}] = IpOnlyBinding{
+            pkt.h.src, loop_.now() + profile_.unknown_proto_timeout};
+        // Rewrite only the source address and the IP header checksum,
+        // leaving the transport payload bytes untouched: SCTP's CRC
+        // survives this, DCCP's pseudo-header checksum does not.
+        net::Ipv4Packet out = pkt;
+        out.h.src = wan_addr_;
+        if (profile_.decrement_ttl)
+            out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+        return out.serialize(); // payload bytes preserved verbatim
+    }
+    }
+    return std::nullopt;
+}
+
+std::optional<net::Bytes> NatEngine::hairpin(const net::Ipv4Packet& pkt) {
+    if (!profile_.hairpin || pkt.h.protocol != net::proto::kUdp)
+        return std::nullopt;
+    net::UdpDatagram dgram;
+    try {
+        dgram = net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    Binding* target = udp_.find_by_external(dgram.dst_port);
+    if (target == nullptr) return std::nullopt;
+
+    // The sender gets its own external mapping too, so the target sees
+    // hairpinned traffic from the same endpoint an outside peer would.
+    const FlowKey key{net::proto::kUdp,
+                      {pkt.h.src, dgram.src_port},
+                      {wan_addr_, dgram.dst_port}};
+    Binding* sender = udp_.find_or_create_outbound(key);
+    if (sender == nullptr) return std::nullopt;
+    ++sender->packets_out;
+    udp_.refresh(*sender, udp_timeout_for(*sender, false, dgram.dst_port));
+
+    auto out = translated_header(pkt, wan_addr_, target->key.internal.addr);
+    dgram.src_port = sender->external_port;
+    dgram.dst_port = target->key.internal.port;
+    out.payload = dgram.serialize(out.h.src, out.h.dst);
+    return out.serialize();
+}
+
+std::optional<net::Bytes> NatEngine::inbound(const net::Ipv4Packet& pkt,
+                                             bool& handled) {
+    GK_EXPECTS(configured());
+    handled = false;
+    switch (pkt.h.protocol) {
+    case net::proto::kUdp:
+        return inbound_udp(pkt, handled);
+    case net::proto::kTcp:
+        return inbound_tcp(pkt, handled);
+    case net::proto::kIcmp:
+        return inbound_icmp(pkt, handled);
+    default:
+        return inbound_unknown(pkt, handled);
+    }
+}
+
+std::optional<net::Bytes> NatEngine::inbound_udp(const net::Ipv4Packet& pkt,
+                                                 bool& handled) {
+    net::UdpDatagram dgram;
+    try {
+        dgram = net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    Binding* b = udp_.find_inbound(dgram.dst_port,
+                                   {pkt.h.src, dgram.src_port});
+    if (b == nullptr) return std::nullopt; // not ours: maybe gateway-local
+    handled = true;
+    ++b->packets_in;
+    const bool first_inbound = !b->confirmed;
+    b->confirmed = true;
+    if (profile_.udp.inbound_refreshes || first_inbound)
+        udp_.refresh(*b, udp_timeout_for(*b, true, b->key.remote.port));
+
+    auto out = translated_header(pkt, pkt.h.src, b->key.internal.addr);
+    dgram.dst_port = b->key.internal.port;
+    out.payload = dgram.serialize(out.h.src, out.h.dst);
+    return out.serialize();
+}
+
+std::optional<net::Bytes> NatEngine::inbound_tcp(const net::Ipv4Packet& pkt,
+                                                 bool& handled) {
+    net::TcpSegment seg;
+    try {
+        seg = net::TcpSegment::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    Binding* b = tcp_.find_inbound(seg.dst_port, {pkt.h.src, seg.src_port});
+    if (b == nullptr) return std::nullopt;
+    handled = true;
+    ++b->packets_in;
+    if (b->packets_out > 1) b->established = true;
+    refresh_tcp(*b);
+    if (seg.flags.fin) b->fin_in = true;
+
+    auto out = translated_header(pkt, pkt.h.src, b->key.internal.addr);
+    seg.dst_port = b->key.internal.port;
+    out.payload = seg.serialize(out.h.src, out.h.dst);
+    const auto bytes = out.serialize();
+
+    if (seg.flags.rst) {
+        tcp_.remove(b->key);
+    } else if (b->fin_in && b->fin_out) {
+        b->expires_at = loop_.now() + profile_.tcp_fin_linger;
+    }
+    return bytes;
+}
+
+std::optional<IcmpKind> NatEngine::classify_icmp(const net::IcmpMessage& m) {
+    using net::IcmpType;
+    namespace code = net::icmp_code;
+    switch (m.type) {
+    case IcmpType::DestUnreachable:
+        switch (m.code) {
+        case code::kNetUnreachable:
+            return IcmpKind::NetUnreachable;
+        case code::kHostUnreachable:
+            return IcmpKind::HostUnreachable;
+        case code::kProtoUnreachable:
+            return IcmpKind::ProtoUnreachable;
+        case code::kPortUnreachable:
+            return IcmpKind::PortUnreachable;
+        case code::kFragNeeded:
+            return IcmpKind::FragNeeded;
+        case code::kSourceRouteFailed:
+            return IcmpKind::SourceRouteFailed;
+        default:
+            return std::nullopt;
+        }
+    case IcmpType::SourceQuench:
+        return IcmpKind::SourceQuench;
+    case IcmpType::TimeExceeded:
+        return m.code == code::kReassemblyTimeExceeded
+                   ? IcmpKind::ReassemblyTimeExceeded
+                   : IcmpKind::TtlExceeded;
+    case IcmpType::ParamProblem:
+        return IcmpKind::ParamProblem;
+    default:
+        return std::nullopt;
+    }
+}
+
+net::Bytes NatEngine::translate_embedded(const net::Bytes& quoted,
+                                         const Binding& binding,
+                                         std::uint8_t proto) const {
+    net::Bytes out = quoted;
+    if (out.size() < 20) return out;
+    const std::size_t ihl = static_cast<std::size_t>(out[0] & 0xf) * 4;
+    if (out.size() < ihl) return out;
+
+    // Rewrite the embedded source address (external -> internal).
+    const std::uint32_t old_addr = wan_addr_.value();
+    const std::uint32_t new_addr = binding.key.internal.addr.value();
+    for (int i = 0; i < 4; ++i)
+        out[12 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(new_addr >> (24 - 8 * i));
+
+    if (profile_.fix_embedded_ip_checksum) {
+        const auto old_ck =
+            static_cast<std::uint16_t>((quoted[10] << 8) | quoted[11]);
+        const auto new_ck = net::checksum_update32(old_ck, old_addr, new_addr);
+        out[10] = static_cast<std::uint8_t>(new_ck >> 8);
+        out[11] = static_cast<std::uint8_t>(new_ck);
+    }
+
+    if (profile_.fix_embedded_transport && out.size() >= ihl + 2) {
+        // Rewrite the embedded source port (external -> internal).
+        const std::uint16_t old_port = binding.external_port;
+        const std::uint16_t new_port = binding.key.internal.port;
+        out[ihl] = static_cast<std::uint8_t>(new_port >> 8);
+        out[ihl + 1] = static_cast<std::uint8_t>(new_port);
+        // Fix the embedded transport checksum when it is inside the quote
+        // (UDP: offset 6; TCP's checksum at offset 16 is beyond the
+        // 8-byte quote). Account for both the port and the pseudo-header
+        // address change.
+        if (proto == net::proto::kUdp && out.size() >= ihl + 8) {
+            auto ck = static_cast<std::uint16_t>((out[ihl + 6] << 8) |
+                                                 out[ihl + 7]);
+            if (ck != 0) { // zero means checksum disabled
+                ck = net::checksum_update32(ck, old_addr, new_addr);
+                ck = net::checksum_update16(ck, old_port, new_port);
+                out[ihl + 6] = static_cast<std::uint8_t>(ck >> 8);
+                out[ihl + 7] = static_cast<std::uint8_t>(ck);
+            }
+        }
+    }
+    return out;
+}
+
+net::Bytes NatEngine::synthesize_rst_from_icmp(
+    const net::Ipv4Packet& embedded, const Binding& binding) const {
+    // ls2 behavior: instead of relaying the ICMP error, fabricate a TCP
+    // RST toward the internal host. The RST is invalid: sequence and ack
+    // numbers are zero, so a correct TCP stack ignores it.
+    net::TcpSegment rst;
+    rst.src_port = binding.key.remote.port;
+    rst.dst_port = binding.key.internal.port;
+    rst.flags.rst = true;
+    net::Ipv4Packet out;
+    out.h.protocol = net::proto::kTcp;
+    out.h.src = embedded.h.dst; // the remote the flow was talking to
+    out.h.dst = binding.key.internal.addr;
+    out.h.ttl = 64;
+    out.payload = rst.serialize(out.h.src, out.h.dst);
+    return out.serialize();
+}
+
+std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
+                                                  bool& handled) {
+    net::IcmpMessage msg;
+    try {
+        msg = net::IcmpMessage::parse(pkt.payload);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+
+    if (msg.type == net::IcmpType::EchoReply) {
+        for (auto it = icmp_queries_.begin(); it != icmp_queries_.end();) {
+            if (loop_.now() >= it->second.expires_at) {
+                it = icmp_queries_.erase(it);
+                continue;
+            }
+            if (it->first.id == msg.echo_id() &&
+                it->first.remote == pkt.h.src) {
+                handled = true;
+                auto out = translated_header(pkt, pkt.h.src,
+                                             it->first.internal);
+                out.payload = pkt.payload;
+                return out.serialize();
+            }
+            ++it;
+        }
+        return std::nullopt; // unsolicited reply: gateway-local (its ping)
+    }
+
+    if (!msg.is_error()) return std::nullopt;
+
+    // Parse the quoted datagram to identify the binding it concerns.
+    net::Ipv4Packet embedded;
+    try {
+        embedded = net::Ipv4Packet::parse_prefix(msg.payload);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    if (embedded.h.src != wan_addr_) return std::nullopt; // not our flow
+
+    const auto kind = classify_icmp(msg);
+    if (!kind) return std::nullopt;
+
+    if (embedded.h.protocol == net::proto::kIcmp) {
+        // Error about an ICMP echo flow (Table 2 "ICMP: Host Unreach.").
+        handled = true;
+        if (!profile_.icmp_query_errors_translated) {
+            ++stats_.icmp_dropped;
+            return std::nullopt;
+        }
+        if (embedded.payload.size() < 8) return std::nullopt;
+        const auto id = static_cast<std::uint16_t>(
+            (embedded.payload[4] << 8) | embedded.payload[5]);
+        for (const auto& [key, qb] : icmp_queries_) {
+            if (key.id == id && key.remote == embedded.h.dst) {
+                ++stats_.icmp_translated;
+                net::Bytes quoted = msg.payload;
+                // Rewrite the embedded source address back.
+                const std::uint32_t v = key.internal.value();
+                for (int i = 0; i < 4; ++i)
+                    quoted[12 + static_cast<std::size_t>(i)] =
+                        static_cast<std::uint8_t>(v >> (24 - 8 * i));
+                net::IcmpMessage fwd = msg;
+                fwd.payload = std::move(quoted);
+                auto out = translated_header(pkt, pkt.h.src, key.internal);
+                out.payload = fwd.serialize();
+                return out.serialize();
+            }
+        }
+        return std::nullopt;
+    }
+
+    if (embedded.h.protocol != net::proto::kUdp &&
+        embedded.h.protocol != net::proto::kTcp)
+        return std::nullopt;
+    if (embedded.payload.size() < 4) return std::nullopt;
+
+    const auto ext_port = static_cast<std::uint16_t>(
+        (embedded.payload[0] << 8) | embedded.payload[1]);
+    const auto remote_port = static_cast<std::uint16_t>(
+        (embedded.payload[2] << 8) | embedded.payload[3]);
+    const net::Endpoint remote{embedded.h.dst, remote_port};
+
+    const bool is_tcp = embedded.h.protocol == net::proto::kTcp;
+    BindingTable& table = is_tcp ? tcp_ : udp_;
+    Binding* b = table.find_inbound(ext_port, remote);
+    if (b == nullptr) return std::nullopt;
+    handled = true;
+
+    const auto& set = is_tcp ? profile_.icmp_tcp : profile_.icmp_udp;
+    if (!set.translates(*kind)) {
+        ++stats_.icmp_dropped;
+        return std::nullopt;
+    }
+
+    if (is_tcp && profile_.tcp_icmp_becomes_rst) {
+        ++stats_.icmp_translated;
+        return synthesize_rst_from_icmp(embedded, *b);
+    }
+
+    ++stats_.icmp_translated;
+    net::IcmpMessage fwd = msg;
+    fwd.payload =
+        translate_embedded(msg.payload, *b, embedded.h.protocol);
+    auto out = translated_header(pkt, pkt.h.src, b->key.internal.addr);
+    out.payload = fwd.serialize(); // outer ICMP checksum recomputed
+    return out.serialize();
+}
+
+std::optional<net::Bytes> NatEngine::inbound_unknown(
+    const net::Ipv4Packet& pkt, bool& handled) {
+    if (profile_.unknown_proto != UnknownProtocolPolicy::TranslateIpOnly)
+        return std::nullopt;
+    auto it = ip_only_.find(IpOnlyKey{pkt.h.protocol, pkt.h.src});
+    if (it == ip_only_.end()) return std::nullopt;
+    if (loop_.now() >= it->second.expires_at) {
+        ip_only_.erase(it);
+        return std::nullopt;
+    }
+    handled = true;
+    if (!profile_.unknown_proto_inbound_allowed) {
+        ++stats_.dropped_policy;
+        return std::nullopt;
+    }
+    it->second.expires_at = loop_.now() + profile_.unknown_proto_timeout;
+    // IP-only rewrite of the destination; transport bytes untouched.
+    net::Ipv4Packet out = pkt;
+    out.h.dst = it->second.internal;
+    if (profile_.decrement_ttl)
+        out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+    return out.serialize();
+}
+
+} // namespace gatekit::gateway

@@ -1,0 +1,33 @@
+#include "gateway/profile.hpp"
+
+namespace gatekit::gateway {
+
+const char* to_string(IcmpKind kind) {
+    switch (kind) {
+    case IcmpKind::ReassemblyTimeExceeded:
+        return "Reass.Time.Ex.";
+    case IcmpKind::FragNeeded:
+        return "Frag.Needed";
+    case IcmpKind::ParamProblem:
+        return "Param.Prob.";
+    case IcmpKind::SourceRouteFailed:
+        return "Src.Route Fail.";
+    case IcmpKind::SourceQuench:
+        return "Source Quench";
+    case IcmpKind::TtlExceeded:
+        return "TTL Exceeded";
+    case IcmpKind::HostUnreachable:
+        return "Host Unreach.";
+    case IcmpKind::NetUnreachable:
+        return "Net Unreach.";
+    case IcmpKind::PortUnreachable:
+        return "Port Unreach.";
+    case IcmpKind::ProtoUnreachable:
+        return "Proto.Unreach.";
+    case IcmpKind::kCount:
+        break;
+    }
+    return "?";
+}
+
+} // namespace gatekit::gateway

@@ -1,0 +1,201 @@
+// DeviceProfile: the complete behavioral parameterization of one home
+// gateway model. Every application-observable quirk the paper measured is
+// a knob here; src/devices/profiles.cpp instantiates 34 of these,
+// calibrated to the paper's figures and tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace gatekit::gateway {
+
+/// External port selection for new bindings (paper test UDP-4).
+enum class PortAllocation {
+    PreserveSourcePort, ///< use the internal source port when free (27/34)
+    Sequential,         ///< always pick the next pool port (7/34)
+};
+
+/// What happens to an unknown transport protocol (paper section 4.3).
+enum class UnknownProtocolPolicy {
+    Drop,            ///< firewall it (10/34)
+    Untranslated,    ///< route it through with no rewriting at all (4/34)
+    TranslateIpOnly, ///< rewrite only the IP source address (20/34)
+};
+
+/// DNS proxy behavior on TCP port 53 (paper section 4.3, "DNS").
+enum class DnsTcpMode {
+    NoListen,    ///< connection refused (20/34)
+    AcceptOnly,  ///< accepts the connection but never answers (4/34)
+    ProxyTcp,    ///< forwards the query upstream over TCP (9/34)
+    ProxyViaUdp, ///< forwards the query upstream over UDP (ap)
+};
+
+/// The ten ICMP error kinds the study probes, for each of TCP and UDP.
+enum class IcmpKind : int {
+    ReassemblyTimeExceeded = 0,
+    FragNeeded,
+    ParamProblem,
+    SourceRouteFailed,
+    SourceQuench,
+    TtlExceeded,
+    HostUnreachable,
+    NetUnreachable,
+    PortUnreachable,
+    ProtoUnreachable,
+    kCount,
+};
+inline constexpr int kIcmpKindCount = static_cast<int>(IcmpKind::kCount);
+
+const char* to_string(IcmpKind kind);
+
+/// Per-transport bitmask of ICMP kinds the device translates.
+class IcmpTranslationSet {
+public:
+    constexpr IcmpTranslationSet() = default;
+    static constexpr IcmpTranslationSet all() {
+        IcmpTranslationSet s;
+        s.bits_ = (1u << kIcmpKindCount) - 1;
+        return s;
+    }
+    static constexpr IcmpTranslationSet none() { return {}; }
+
+    constexpr IcmpTranslationSet& set(IcmpKind k, bool on = true) {
+        const auto bit = 1u << static_cast<int>(k);
+        bits_ = on ? (bits_ | bit) : (bits_ & ~bit);
+        return *this;
+    }
+    constexpr bool translates(IcmpKind k) const {
+        return (bits_ >> static_cast<int>(k)) & 1u;
+    }
+    constexpr int count() const {
+        int n = 0;
+        for (int i = 0; i < kIcmpKindCount; ++i)
+            n += static_cast<int>((bits_ >> i) & 1u);
+        return n;
+    }
+
+private:
+    std::uint32_t bits_ = 0;
+};
+
+/// UDP binding timer policy. A binding starts NEW; the first inbound
+/// packet confirms it. Refreshes set the timer to the state-appropriate
+/// value, which is how the paper's UDP-1/2/3 differences arise.
+struct UdpTimerPolicy {
+    sim::Duration initial{std::chrono::seconds(90)}; ///< UDP-1 measures this
+    /// Timer granted when an inbound packet refreshes the binding (UDP-2).
+    sim::Duration inbound_refresh{std::chrono::seconds(180)};
+    /// Timer granted when a later outbound packet refreshes it (UDP-3).
+    sim::Duration outbound_refresh{std::chrono::seconds(180)};
+    bool inbound_refreshes = true;
+    bool outbound_refreshes = true;
+    /// Coarse binding-timer granularity: expiries snap up to multiples of
+    /// this (0 = exact). Produces the wide inter-quartile ranges the paper
+    /// saw on we/al/je/ng5.
+    sim::Duration granularity{0};
+    /// Per-destination-port overrides of all three timers (dl8 shortens
+    /// DNS bindings; paper test UDP-5).
+    std::map<std::uint16_t, sim::Duration> per_service;
+};
+
+/// Forwarding performance model: per-direction line-processing rates, one
+/// shared CPU, and drop-tail ingress buffers. Throughput (TCP-2) and
+/// queuing delay (TCP-3) both emerge from these five numbers.
+struct ForwardingModel {
+    double down_mbps = 100.0; ///< WAN->LAN direction service rate
+    double up_mbps = 100.0;   ///< LAN->WAN direction service rate
+    double aggregate_mbps = 200.0; ///< shared CPU budget across directions
+    std::size_t buffer_down_bytes = 64 * 1024;
+    std::size_t buffer_up_bytes = 64 * 1024;
+    /// Fixed per-packet processing latency.
+    sim::Duration processing_delay{std::chrono::microseconds(100)};
+    /// Timer-batched forwarding: deliveries snap up to multiples of this
+    /// tick (0 = immediate). Software gateways that schedule forwarding
+    /// on a coarse timer add large delays even at full throughput — the
+    /// paper's dl8/ap/ng4 pattern of high TCP-3 delay with decent TCP-2
+    /// rates. The per-packet delay is uniform in [0, tick), median ~tick/2.
+    sim::Duration forwarding_tick{0};
+};
+
+struct DeviceProfile {
+    // --- identity (paper Table 1) --------------------------------------
+    std::string tag;      ///< shorthand used throughout the paper
+    std::string vendor;
+    std::string model;
+    std::string firmware;
+
+    // --- UDP binding behavior -------------------------------------------
+    UdpTimerPolicy udp;
+
+    // --- TCP binding behavior -------------------------------------------
+    /// Idle timeout of an established TCP binding (TCP-1). Values above
+    /// 24 h exceed the paper's measurement cutoff.
+    sim::Duration tcp_established_timeout{std::chrono::minutes(60)};
+    /// Timeout while the handshake is incomplete.
+    sim::Duration tcp_transitory_timeout{std::chrono::minutes(4)};
+    /// Linger after observing both FINs before dropping the binding.
+    sim::Duration tcp_fin_linger{std::chrono::seconds(10)};
+    /// Maximum concurrent TCP bindings (TCP-4); also bounds UDP bindings.
+    int max_tcp_bindings = 1024;
+
+    // --- port allocation (UDP-4) ----------------------------------------
+    PortAllocation port_allocation = PortAllocation::PreserveSourcePort;
+    /// Quarantine on a just-expired binding's port: a new binding for the
+    /// same flow within this window gets a fresh port instead (the 4/34
+    /// "creates a new binding" devices). Zero = immediate reuse.
+    sim::Duration port_quarantine{0};
+    std::uint16_t pool_begin = 20000; ///< sequential allocation pool
+    std::uint16_t pool_end = 29999;
+
+    // --- ICMP translation (Table 2) --------------------------------------
+    IcmpTranslationSet icmp_tcp;
+    IcmpTranslationSet icmp_udp;
+    /// Errors concerning ICMP-echo bindings (Table 2 "ICMP: Host Unreach.").
+    bool icmp_query_errors_translated = true;
+    /// Rewrites the transport header embedded in ICMP payloads (ports +
+    /// transport checksum); ~half the devices fail this.
+    bool fix_embedded_transport = true;
+    /// Fixes the embedded IP header checksum after rewriting it
+    /// (zy1 and ls1 do not).
+    bool fix_embedded_ip_checksum = true;
+    /// ls2: turns TCP-related ICMP errors into (invalid) TCP RSTs.
+    bool tcp_icmp_becomes_rst = false;
+
+    // --- unknown transport protocols (SCTP/DCCP) -------------------------
+    UnknownProtocolPolicy unknown_proto = UnknownProtocolPolicy::Drop;
+    /// With TranslateIpOnly: whether inbound packets of unknown protocols
+    /// are forwarded back (2 of the 20 ip-only devices firewall them,
+    /// which is why only 18 pass SCTP).
+    bool unknown_proto_inbound_allowed = true;
+    sim::Duration unknown_proto_timeout{std::chrono::seconds(120)};
+
+    // --- DNS proxy --------------------------------------------------------
+    bool dns_udp_proxy = true;
+    DnsTcpMode dns_tcp = DnsTcpMode::NoListen;
+    /// Strips EDNS0 OPT records from forwarded queries — the breakage the
+    /// DNSSEC router studies ([1], [5], [9] in the paper) found: upstream
+    /// servers then truncate anything beyond 512 bytes.
+    bool dns_proxy_strips_edns = false;
+    /// Largest UDP response the proxy forwards; larger ones are silently
+    /// dropped (the other common DNSSEC failure mode). 0 = unlimited.
+    std::size_t dns_proxy_max_udp = 0;
+
+    /// Hairpinning: a LAN host can reach another LAN host through its
+    /// external mapping (tested in the paper's related work [14]; kept as
+    /// a behavior knob and probed by the future-work bench).
+    bool hairpin = false;
+
+    // --- IP-level quirks (paper section 4.4) ------------------------------
+    bool decrement_ttl = true;
+    bool honor_record_route = false;
+    bool same_mac_both_sides = false;
+
+    // --- forwarding performance -------------------------------------------
+    ForwardingModel fwd;
+};
+
+} // namespace gatekit::gateway

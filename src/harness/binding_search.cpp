@@ -1,0 +1,58 @@
+#include "harness/binding_search.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::harness {
+
+BindingTimeoutSearch::BindingTimeoutSearch(sim::EventLoop& loop,
+                                           SearchParams params, TrialFn trial,
+                                           DoneFn finished)
+    : loop_(loop), params_(params), trial_(std::move(trial)),
+      finished_(std::move(finished)), next_guess_(params.first_guess) {
+    GK_EXPECTS(params_.first_guess > sim::Duration::zero());
+    GK_EXPECTS(params_.resolution > sim::Duration::zero());
+    GK_EXPECTS(params_.hi_limit >= params_.first_guess);
+}
+
+void BindingTimeoutSearch::start() { next_trial(); }
+
+void BindingTimeoutSearch::next_trial() {
+    sim::Duration gap;
+    if (!have_expired_) {
+        gap = std::min(next_guess_, params_.hi_limit);
+    } else {
+        // Converged? Report the shortest gap at which the binding was
+        // observed expired — the timeout, to within the resolution.
+        if (shortest_expired_ - longest_alive_ <= params_.resolution ||
+            shortest_expired_ <= longest_alive_) {
+            finished_(SearchResult{shortest_expired_, false, trials_});
+            return;
+        }
+        gap = longest_alive_ + (shortest_expired_ - longest_alive_) / 2;
+    }
+    ++trials_;
+    trial_(gap, [this, gap](bool alive) { on_trial(gap, alive); });
+}
+
+void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
+    if (alive) {
+        longest_alive_ = std::max(longest_alive_, gap);
+        if (!have_expired_) {
+            if (gap >= params_.hi_limit) {
+                // The binding outlives the measurement cutoff.
+                finished_(SearchResult{params_.hi_limit, true, trials_});
+                return;
+            }
+            next_guess_ = std::min(gap * 2, params_.hi_limit);
+        }
+    } else {
+        if (!have_expired_ || gap < shortest_expired_)
+            shortest_expired_ = gap;
+        have_expired_ = true;
+    }
+    // Schedule the next trial as a fresh event, keeping stack depth flat
+    // across the potentially many iterations.
+    loop_.after(sim::Duration::zero(), [this] { next_trial(); });
+}
+
+} // namespace gatekit::harness

@@ -1,0 +1,57 @@
+// The paper's modified binary search (section 3.2.1): each trial creates
+// a fresh binding, idles a candidate gap, then checks liveness via an
+// inbound probe. The search keeps the longest observed-alive gap and the
+// shortest observed-expired gap and probes their midpoint, converging to
+// one second. An initial exponential phase brackets the timeout.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_loop.hpp"
+
+namespace gatekit::harness {
+
+struct SearchParams {
+    sim::Duration first_guess{std::chrono::seconds(16)};
+    sim::Duration hi_limit{std::chrono::hours(1)};
+    sim::Duration resolution{std::chrono::seconds(1)};
+};
+
+struct SearchResult {
+    /// Converged timeout estimate (shortest observed expiry), or hi_limit
+    /// when the binding outlived the cutoff.
+    sim::Duration timeout{};
+    bool exceeded_limit = false;
+    int trials = 0;
+};
+
+/// Async driver. `trial(gap, done)` must create a fresh binding, wait
+/// `gap`, probe it, and call `done(alive)`; cleanup between trials is the
+/// trial's responsibility. `finished` fires once converged.
+class BindingTimeoutSearch {
+public:
+    using TrialFn =
+        std::function<void(sim::Duration, std::function<void(bool)>)>;
+    using DoneFn = std::function<void(SearchResult)>;
+
+    BindingTimeoutSearch(sim::EventLoop& loop, SearchParams params,
+                         TrialFn trial, DoneFn finished);
+
+    void start();
+
+private:
+    void next_trial();
+    void on_trial(sim::Duration gap, bool alive);
+
+    sim::EventLoop& loop_;
+    SearchParams params_;
+    TrialFn trial_;
+    DoneFn finished_;
+    sim::Duration longest_alive_{0};
+    sim::Duration shortest_expired_{0};
+    bool have_expired_ = false;
+    sim::Duration next_guess_;
+    int trials_ = 0;
+};
+
+} // namespace gatekit::harness

@@ -1,0 +1,140 @@
+#include "harness/dns_probe.hpp"
+
+#include <memory>
+
+#include "stack/dns_service.hpp"
+#include "stack/tcp_socket.hpp"
+#include "stack/udp_socket.hpp"
+
+namespace gatekit::harness {
+
+namespace {
+
+class DnsMeasurement : public std::enable_shared_from_this<DnsMeasurement> {
+public:
+    DnsMeasurement(Testbed& tb, int slot,
+                   std::function<void(DnsProbeResult)> done)
+        : tb_(tb), slot_(tb.slot(slot)), done_(std::move(done)),
+          client_(tb.client()) {}
+
+    void start() {
+        auto self = shared_from_this();
+        const net::Endpoint proxy{slot_.gw->lan_addr(), net::kDnsPort};
+        client_.query_udp(proxy, Testbed::kTestName,
+                          [self](const stack::DnsClient::Result& r) {
+                              self->result_.udp_ok = r.ok;
+                              self->run_tcp();
+                          });
+    }
+
+private:
+    void run_tcp() {
+        auto self = shared_from_this();
+        const net::Endpoint proxy{slot_.gw->lan_addr(), net::kDnsPort};
+        const auto udp_before = tb_.dns().udp_queries();
+        client_.query_tcp(
+            proxy, slot_.client_addr, Testbed::kTestName,
+            [self, udp_before](const stack::DnsClient::Result& r) {
+                self->result_.tcp_answers = r.ok;
+                // "Refused" means no listener; a timeout means the proxy
+                // accepted but never answered.
+                self->result_.tcp_connects =
+                    r.ok || r.error != "connection refused";
+                self->result_.tcp_upstream_udp =
+                    r.ok && self->tb_.dns().udp_queries() > udp_before;
+                self->run_big_udp();
+            });
+    }
+
+    /// DNSSEC readiness step 1: EDNS0 query for a ~1.1 KB TXT answer.
+    void run_big_udp() {
+        auto self = shared_from_this();
+        auto& sock = tb_.client().udp_open(slot_.client_addr, 0);
+        big_sock_ = &sock;
+        sock.set_receive_handler(
+            [self](net::Endpoint, std::span<const std::uint8_t> payload,
+                   const net::Ipv4Packet&) {
+                net::DnsMessage resp;
+                try {
+                    resp = net::DnsMessage::parse(payload);
+                } catch (const net::ParseError&) {
+                    return;
+                }
+                if (!resp.is_response || resp.id != 0x6b1d) return;
+                if (resp.truncated) {
+                    self->result_.truncated_seen = true;
+                } else if (!resp.answers.empty() &&
+                           payload.size() > Testbed::kBigAnswerSize) {
+                    self->result_.big_udp_ok = true;
+                }
+            });
+        auto query = net::DnsMessage::make_query(0x6b1d, Testbed::kBigName,
+                                                 net::kDnsTypeTxt);
+        query.edns_udp_size = 4096;
+        sock.send_to({slot_.gw->lan_addr(), net::kDnsPort},
+                     query.serialize());
+        tb_.loop().after(std::chrono::seconds(2), [self] {
+            self->tb_.client().udp_close(*self->big_sock_);
+            if (self->result_.big_udp_ok) {
+                self->result_.dnssec_ready = true;
+                self->done_(self->result_);
+            } else {
+                self->run_big_tcp();
+            }
+        });
+    }
+
+    /// DNSSEC readiness step 2: resolvers retry over TCP after TC (or
+    /// after a UDP timeout); the proxy's TCP support decides the outcome.
+    void run_big_tcp() {
+        auto self = shared_from_this();
+        auto& conn = tb_.client().tcp_connect(
+            slot_.client_addr, 0, {slot_.gw->lan_addr(), net::kDnsPort});
+        auto framer = std::make_shared<stack::DnsTcpFramer>();
+        auto finished = std::make_shared<bool>(false);
+        auto finish = [self, finished](bool ok) {
+            if (*finished) return;
+            *finished = true;
+            self->result_.dnssec_ready = ok;
+            self->done_(self->result_);
+        };
+        conn.on_established = [&conn] {
+            auto query = net::DnsMessage::make_query(
+                0x6b1e, Testbed::kBigName, net::kDnsTypeTxt);
+            conn.send(stack::DnsTcpFramer::frame(query.serialize()));
+        };
+        conn.on_data = [framer, finish](std::span<const std::uint8_t> d) {
+            framer->feed(d);
+            net::Bytes msg;
+            while (framer->next(msg)) {
+                try {
+                    const auto resp = net::DnsMessage::parse(msg);
+                    finish(resp.is_response && !resp.answers.empty() &&
+                           msg.size() > Testbed::kBigAnswerSize);
+                } catch (const net::ParseError&) {
+                }
+                return;
+            }
+        };
+        conn.on_error = [finish](const std::string&) { finish(false); };
+        tb_.loop().after(std::chrono::seconds(5),
+                         [finish] { finish(false); });
+    }
+
+    Testbed& tb_;
+    Testbed::DeviceSlot& slot_;
+    std::function<void(DnsProbeResult)> done_;
+    stack::DnsClient client_;
+    stack::UdpSocket* big_sock_ = nullptr;
+    DnsProbeResult result_;
+};
+
+} // namespace
+
+void measure_dns(Testbed& tb, int slot,
+                 std::function<void(DnsProbeResult)> done) {
+    auto m = std::make_shared<DnsMeasurement>(tb, slot, std::move(done));
+    m->start();
+}
+
+} // namespace gatekit::harness

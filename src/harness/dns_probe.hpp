@@ -1,0 +1,26 @@
+// DNS proxy test (paper section 3.2.3): query the gateway's proxy (the
+// address its DHCP advertised) over UDP and over TCP with the library's
+// dig-equivalent, and determine which upstream transport the proxy used.
+#pragma once
+
+#include <functional>
+
+#include "harness/testbed.hpp"
+
+namespace gatekit::harness {
+
+struct DnsProbeResult {
+    bool udp_ok = false;          ///< proxy answered a UDP query
+    bool tcp_connects = false;    ///< TCP/53 connection accepted
+    bool tcp_answers = false;     ///< got an answer over the connection
+    bool tcp_upstream_udp = false;///< TCP query proxied upstream via UDP
+    // DNSSEC readiness (the paper's cited router studies [1,5,9]):
+    bool big_udp_ok = false;   ///< a ~1.1 KB EDNS0 UDP answer came through
+    bool truncated_seen = false; ///< got a TC response instead (EDNS lost)
+    bool dnssec_ready = false; ///< big UDP answer, or TC + TCP retry works
+};
+
+void measure_dns(Testbed& tb, int slot,
+                 std::function<void(DnsProbeResult)> done);
+
+} // namespace gatekit::harness

@@ -1,0 +1,49 @@
+// Probes for the paper's future-work list (section 5): STUN success and
+// mapping classification, IP-level quirks (TTL decrement, Record Route),
+// hairpinning, and the binding-creation rate.
+#pragma once
+
+#include <functional>
+
+#include "harness/testbed.hpp"
+#include "stun/stun_service.hpp"
+
+namespace gatekit::harness {
+
+/// "Some devices do not decrement the IP TTL field and few honor a
+/// Record Route IP option" (paper section 4.4).
+struct QuirksResult {
+    bool decrements_ttl = false;
+    bool honors_record_route = false;
+    bool hairpins_udp = false;
+};
+
+void measure_quirks(Testbed& tb, int slot,
+                    std::function<void(QuirksResult)> done);
+
+/// STUN success + RFC 4787 mapping classification through one device.
+/// The second query targets a second port on the test server, which
+/// distinguishes endpoint-independent from endpoint-dependent mapping.
+struct StunProbeResult {
+    bool success = false;              ///< got a reflexive address at all
+    bool reflexive_correct = false;    ///< address matches the WAN lease
+    bool port_preserved = false;
+    stun::Mapping mapping = stun::Mapping::Blocked;
+};
+
+void measure_stun(Testbed& tb, int slot,
+                  std::function<void(StunProbeResult)> done);
+
+/// "Measure the rate at which NATs are capable of creating new bindings":
+/// burst `count` single-packet UDP flows and report how many bindings the
+/// device actually established (its table cap is usually the limit).
+struct BindingRateResult {
+    int attempted = 0;
+    int established = 0;
+    double bindings_per_sec = 0.0;
+};
+
+void measure_binding_rate(Testbed& tb, int slot, int count,
+                          std::function<void(BindingRateResult)> done);
+
+} // namespace gatekit::harness

@@ -1,0 +1,44 @@
+// UDP hole punching between two device profiles (Ford et al., the
+// paper's reference [10]): a rendezvous server learns both peers'
+// reflexive endpoints, then both punch simultaneously. Success depends on
+// the mapping behaviors this library measures.
+#pragma once
+
+#include "gateway/profile.hpp"
+#include "net/addr.hpp"
+
+namespace gatekit::harness {
+
+struct HolePunchResult {
+    bool registered = false; ///< both peers reached the rendezvous server
+    bool success = false;    ///< both peers heard the other's punch
+    net::Endpoint reflexive_a;
+    net::Endpoint reflexive_b;
+};
+
+/// Run the complete scenario on a fresh two-device testbed (synchronous;
+/// builds and drives its own event loop).
+HolePunchResult run_hole_punch(const gateway::DeviceProfile& a,
+                               const gateway::DeviceProfile& b);
+
+/// ICE-style connectivity ladder (the paper's section-5 STUN/TURN/ICE
+/// plans, composed): try a direct hole punch; when the mapping classes
+/// make punching impossible, fall back to a TURN relay, which works
+/// through any NAT that passes outbound UDP.
+enum class P2pPath {
+    Punched, ///< direct peer-to-peer after hole punching
+    Relayed, ///< via the TURN relay
+    Failed,
+};
+
+const char* to_string(P2pPath p);
+
+struct P2pResult {
+    P2pPath path = P2pPath::Failed;
+    bool bidirectional = false; ///< data flowed both ways on `path`
+};
+
+P2pResult establish_p2p(const gateway::DeviceProfile& a,
+                        const gateway::DeviceProfile& b);
+
+} // namespace gatekit::harness

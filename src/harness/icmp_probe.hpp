@@ -1,0 +1,39 @@
+// ICMP translation test (paper section 3.2.3): for each of ten ICMP error
+// kinds, related to both a UDP and a TCP flow, the test server "hijacks"
+// the flow's packets as they emerge from the NAT, forges the error
+// quoting them, sends it back at the NAT, and the client side inspects
+// what (if anything) came through — including whether the embedded
+// transport header and embedded IP checksum were translated correctly.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "gateway/profile.hpp"
+#include "harness/testbed.hpp"
+
+namespace gatekit::harness {
+
+struct IcmpVerdict {
+    bool forwarded = false;    ///< an ICMP error reached the client
+    bool rst_instead = false;  ///< a TCP RST arrived instead (ls2 behavior)
+    bool embedded_transport_ok = false; ///< inner ports rewritten correctly
+    bool embedded_ip_checksum_ok = false; ///< inner IP checksum consistent
+};
+
+struct IcmpProbeResult {
+    std::array<IcmpVerdict, gateway::kIcmpKindCount> udp;
+    std::array<IcmpVerdict, gateway::kIcmpKindCount> tcp;
+    /// Host-Unreachable related to an ICMP echo flow (Table 2, first
+    /// ICMP column).
+    bool query_error_forwarded = false;
+
+    const IcmpVerdict& verdict(bool is_tcp, gateway::IcmpKind k) const {
+        return (is_tcp ? tcp : udp)[static_cast<std::size_t>(k)];
+    }
+};
+
+void measure_icmp(Testbed& tb, int slot,
+                  std::function<void(IcmpProbeResult)> done);
+
+} // namespace gatekit::harness

@@ -1,0 +1,146 @@
+#include "harness/testbed.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::harness {
+
+namespace {
+constexpr std::uint64_t kLinkRate = 100'000'000; // 100 Mb/s Ethernet
+constexpr sim::Duration kLinkProp = std::chrono::microseconds(1);
+} // namespace
+
+Testbed::Testbed(sim::EventLoop& loop)
+    : loop_(loop), lan_switch_(loop), wan_switch_(loop),
+      client_(loop, "test-client", net::MacAddr::from_index(1)),
+      server_(loop, "test-server", net::MacAddr::from_index(2)),
+      client_trunk_(loop, kLinkRate, kLinkProp),
+      server_trunk_(loop, kLinkRate, kLinkProp) {
+    // Trunk links from hosts to their switches.
+    client_.nic().connect(client_trunk_, sim::Link::Side::A);
+    lan_switch_.connect(lan_switch_.add_trunk_port(), client_trunk_,
+                        sim::Link::Side::B);
+    server_.nic().connect(server_trunk_, sim::Link::Side::A);
+    wan_switch_.connect(wan_switch_.add_trunk_port(), server_trunk_,
+                        sim::Link::Side::B);
+    dns_ = std::make_unique<stack::DnsServer>(server_, net::Ipv4Addr::any());
+    dns_->add_txt_record(kBigName, kBigAnswerSize);
+
+    // The test server is every gateway's default router, so it must also
+    // route *between* the per-device WAN subnets — that is "the Internet"
+    // as far as two homes talking to each other are concerned (the
+    // hole-punching example depends on it).
+    server_.set_forward_hook([this](stack::Iface&,
+                                    const net::Ipv4Packet& pkt,
+                                    std::span<const std::uint8_t>) {
+        if (pkt.h.ttl <= 1) return;
+        const stack::Route* route = server_.lookup_route(pkt.h.dst);
+        if (route == nullptr || !route->iface->configured()) return;
+        net::Ipv4Packet fwd = pkt;
+        fwd.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+        server_.send_raw(*route->iface, fwd.serialize(),
+                         route->via ? *route->via : pkt.h.dst);
+    });
+}
+
+int Testbed::add_device(gateway::DeviceProfile profile) {
+    GK_EXPECTS(!started_);
+    const int n = static_cast<int>(slots_.size()) + 1;
+    auto slot = std::make_unique<DeviceSlot>();
+    slot->index = n;
+    const auto n8 = static_cast<std::uint8_t>(n);
+
+    // Gateway n: LAN 192.168.n.1/24, WAN leased from 10.0.n.0/24.
+    gateway::HomeGateway::Config cfg;
+    cfg.profile = std::move(profile);
+    cfg.lan_addr = net::Ipv4Addr(192, 168, n8, 1);
+    cfg.lan_pool_base = net::Ipv4Addr(192, 168, n8, 100);
+    cfg.mac_index = 1000 + static_cast<std::uint32_t>(2 * n);
+    slot->gw = std::make_unique<gateway::HomeGateway>(loop_, std::move(cfg));
+
+    // LAN side: access port on VLAN 2000+n, client vlan-if on the trunk.
+    slot->lan_link = std::make_unique<sim::Link>(loop_, kLinkRate, kLinkProp);
+    slot->gw->connect_lan(*slot->lan_link, sim::Link::Side::A);
+    lan_switch_.connect(
+        lan_switch_.add_access_port(static_cast<std::uint16_t>(2000 + n)),
+        *slot->lan_link, sim::Link::Side::B);
+    slot->client_if =
+        &client_.add_iface(static_cast<std::uint16_t>(2000 + n));
+
+    // WAN side: access port on VLAN 1000+n, server vlan-if 10.0.n.1/24.
+    slot->wan_link = std::make_unique<sim::Link>(loop_, kLinkRate, kLinkProp);
+    slot->gw->connect_wan(*slot->wan_link, sim::Link::Side::A);
+    wan_switch_.connect(
+        wan_switch_.add_access_port(static_cast<std::uint16_t>(1000 + n)),
+        *slot->wan_link, sim::Link::Side::B);
+    slot->wan_tap.attach(*slot->wan_link);
+    slot->server_if =
+        &server_.add_iface(static_cast<std::uint16_t>(1000 + n));
+    slot->server_addr = net::Ipv4Addr(10, 0, n8, 1);
+    slot->server_if->configure(slot->server_addr, 24);
+    server_.add_route(net::Ipv4Addr(10, 0, n8, 0), 24, *slot->server_if);
+
+    // Test server leases 10.0.n.10.. to the gateway's WAN port, pointing
+    // the gateway at itself for routing and DNS (the global DNS server
+    // answers on every server address).
+    stack::DhcpServerConfig wan_dhcp_cfg;
+    wan_dhcp_cfg.pool_base = net::Ipv4Addr(10, 0, n8, 10);
+    wan_dhcp_cfg.router = slot->server_addr;
+    wan_dhcp_cfg.dns_server = slot->server_addr;
+    slot->wan_dhcp = std::make_unique<stack::DhcpServer>(
+        server_, *slot->server_if, wan_dhcp_cfg);
+
+    slots_.push_back(std::move(slot));
+    dns_->add_record(kTestName, slots_.back()->server_addr);
+    return n - 1;
+}
+
+void Testbed::start(std::function<void()> on_ready) {
+    GK_EXPECTS(!started_);
+    started_ = true;
+    on_ready_ = std::move(on_ready);
+    for (auto& slot_ptr : slots_) {
+        DeviceSlot* slot = slot_ptr.get();
+        slot->gw->start([this, slot](net::Ipv4Addr wan_addr) {
+            slot->gw_wan_addr = wan_addr;
+            // Gateway is up: configure the client's vlan-if through the
+            // gateway's own DHCP server, then install the paper's
+            // "interface-specific" routes (no default route).
+            slot->client_dhcp =
+                std::make_unique<stack::DhcpClient>(client_, *slot->client_if);
+            slot->client_dhcp->start([this, slot](const stack::DhcpLease& l) {
+                slot->client_addr = l.addr;
+                slot->client_if->set_gateway(l.router);
+                client_.add_route(l.addr, l.prefix_len, *slot->client_if);
+                const auto n8 = static_cast<std::uint8_t>(slot->index);
+                client_.add_route(net::Ipv4Addr(10, 0, n8, 0), 24,
+                                  *slot->client_if, l.router);
+                slot->ready = true;
+                maybe_ready();
+            });
+        });
+    }
+}
+
+void Testbed::maybe_ready() {
+    if (all_ready() && on_ready_) {
+        auto cb = std::move(on_ready_);
+        on_ready_ = nullptr;
+        cb();
+    }
+}
+
+bool Testbed::all_ready() const {
+    for (const auto& slot : slots_)
+        if (!slot->ready) return false;
+    return !slots_.empty();
+}
+
+void Testbed::start_and_wait() {
+    bool ready = false;
+    start([&ready] { ready = true; });
+    loop_.run_until(loop_.now() + std::chrono::seconds(60));
+    if (!ready)
+        throw std::runtime_error("testbed bring-up failed (DHCP)");
+}
+
+} // namespace gatekit::harness

@@ -1,0 +1,92 @@
+// The paper's Figure 1 testbed: a test server and test client (Linux
+// hosts with one physical NIC each, carrying per-device VLAN
+// subinterfaces over trunk links), two VLAN switches, and N home gateways
+// wired WAN-side to VLAN 1000+n / LAN-side to VLAN 2000+n. The test
+// server runs a per-VLAN DHCP service and the global DNS server; each
+// gateway leases its WAN address, then serves DHCP and proxies DNS toward
+// the test client.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gateway/home_gateway.hpp"
+#include "l2/vlan_switch.hpp"
+#include "pcap/capture_tap.hpp"
+#include "stack/dhcp_service.hpp"
+#include "stack/dns_service.hpp"
+#include "stack/host.hpp"
+
+namespace gatekit::harness {
+
+class Testbed {
+public:
+    struct DeviceSlot {
+        int index = 0; ///< 1-based device number n
+        std::unique_ptr<gateway::HomeGateway> gw;
+        std::unique_ptr<sim::Link> lan_link; ///< gw LAN <-> LAN switch
+        std::unique_ptr<sim::Link> wan_link; ///< gw WAN <-> WAN switch
+        stack::Iface* client_if = nullptr;   ///< test client's vlan-if
+        stack::Iface* server_if = nullptr;   ///< test server's vlan-if
+        std::unique_ptr<stack::DhcpServer> wan_dhcp; ///< test-server side
+        std::unique_ptr<stack::DhcpClient> client_dhcp;
+        net::Ipv4Addr server_addr; ///< 10.0.n.1
+        net::Ipv4Addr client_addr; ///< leased from the gateway
+        net::Ipv4Addr gw_wan_addr; ///< leased from the test server
+        pcap::CaptureTap wan_tap;  ///< capture on the gateway's WAN link
+        bool ready = false;
+    };
+
+    explicit Testbed(sim::EventLoop& loop);
+
+    Testbed(const Testbed&) = delete;
+    Testbed& operator=(const Testbed&) = delete;
+
+    /// Add a gateway with the given behavior profile; returns its slot
+    /// index (0-based). Must be called before start().
+    int add_device(gateway::DeviceProfile profile);
+
+    /// Bring everything up (gateway WAN DHCP, then client-side DHCP per
+    /// VLAN). `on_ready` fires when every device slot is operational.
+    void start(std::function<void()> on_ready);
+
+    /// Convenience: start() and run the loop until ready (bounded wait).
+    /// Throws on bring-up failure.
+    void start_and_wait();
+
+    bool all_ready() const;
+
+    stack::Host& client() { return client_; }
+    stack::Host& server() { return server_; }
+    sim::Link& client_trunk() { return client_trunk_; }
+    sim::Link& server_trunk() { return server_trunk_; }
+    stack::DnsServer& dns() { return *dns_; }
+    sim::EventLoop& loop() { return loop_; }
+
+    std::size_t device_count() const { return slots_.size(); }
+    DeviceSlot& slot(int i) { return *slots_.at(static_cast<std::size_t>(i)); }
+
+    /// The DNS name the global server resolves (paper: hiit.fi zone).
+    static constexpr const char* kTestName = "server.hiit.fi";
+    /// A name with a DNSSEC-sized (~1100 byte) TXT answer.
+    static constexpr const char* kBigName = "big.hiit.fi";
+    static constexpr std::size_t kBigAnswerSize = 1100;
+
+private:
+    void maybe_ready();
+
+    sim::EventLoop& loop_;
+    l2::VlanSwitch lan_switch_;
+    l2::VlanSwitch wan_switch_;
+    stack::Host client_;
+    stack::Host server_;
+    sim::Link client_trunk_;
+    sim::Link server_trunk_;
+    std::unique_ptr<stack::DnsServer> dns_;
+    std::vector<std::unique_ptr<DeviceSlot>> slots_;
+    std::function<void()> on_ready_;
+    bool started_ = false;
+};
+
+} // namespace gatekit::harness

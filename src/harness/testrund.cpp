@@ -1,0 +1,196 @@
+#include "harness/testrund.hpp"
+
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace gatekit::harness {
+
+/// Drives the test sequence for one device after another. Each step is a
+/// callback-completion probe; `advance()` moves to the next step/device.
+struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
+    Runner(Testbed& tb, CampaignConfig config,
+           std::function<void(std::vector<DeviceResults>)> done)
+        : tb(tb), config(std::move(config)), done(std::move(done)) {}
+
+    Testbed& tb;
+    CampaignConfig config;
+    std::function<void(std::vector<DeviceResults>)> done;
+    std::vector<DeviceResults> results;
+    int device = 0;
+    std::size_t udp5_index = 0;
+
+    DeviceResults& cur() { return results.back(); }
+
+    void start() {
+        if (tb.device_count() == 0) {
+            done({});
+            return;
+        }
+        begin_device();
+    }
+
+    void begin_device() {
+        results.emplace_back();
+        cur().tag = tb.slot(device).gw->profile().tag;
+        step_udp1();
+    }
+
+    void next_device() {
+        ++device;
+        if (device >= static_cast<int>(tb.device_count())) {
+            done(std::move(results));
+            return;
+        }
+        begin_device();
+    }
+
+    void step_udp1() {
+        if (!config.udp1) return step_udp2();
+        measure_udp_timeout(tb, device, UdpPattern::SolitaryOutbound,
+                            config.udp, [self = shared_from_this()](
+                                            UdpTimeoutResult r) {
+                                self->cur().udp1 = std::move(r);
+                                self->step_udp2();
+                            });
+    }
+    void step_udp2() {
+        if (!config.udp2) return step_udp3();
+        measure_udp_timeout(tb, device, UdpPattern::InboundRefresh,
+                            config.udp, [self = shared_from_this()](
+                                            UdpTimeoutResult r) {
+                                self->cur().udp2 = std::move(r);
+                                self->step_udp3();
+                            });
+    }
+    void step_udp3() {
+        if (!config.udp3) return step_udp4();
+        measure_udp_timeout(tb, device, UdpPattern::Bidirectional,
+                            config.udp, [self = shared_from_this()](
+                                            UdpTimeoutResult r) {
+                                self->cur().udp3 = std::move(r);
+                                self->step_udp4();
+                            });
+    }
+    void step_udp4() {
+        if (!config.udp4) return step_udp5();
+        measure_port_reuse(tb, device, config.udp,
+                           [self = shared_from_this()](PortReuseResult r) {
+                               self->cur().udp4 = std::move(r);
+                               self->step_udp5();
+                           });
+    }
+    void step_udp5() {
+        if (!config.udp5 || udp5_index >= config.udp5_services.size()) {
+            udp5_index = 0;
+            return step_tcp1();
+        }
+        const auto& [name, port] = config.udp5_services[udp5_index];
+        auto cfg = config.udp;
+        cfg.server_port = port;
+        measure_udp_timeout(tb, device, UdpPattern::InboundRefresh, cfg,
+                            [self = shared_from_this(),
+                             name = name](UdpTimeoutResult r) {
+                                self->cur().udp5[name] = std::move(r);
+                                ++self->udp5_index;
+                                self->step_udp5();
+                            });
+    }
+    void step_tcp1() {
+        if (!config.tcp1) return step_tcp2();
+        measure_tcp_timeout(tb, device, config.tcp_timeout,
+                            [self = shared_from_this()](TcpTimeoutResult r) {
+                                self->cur().tcp1 = std::move(r);
+                                self->step_tcp2();
+                            });
+    }
+    void step_tcp2() {
+        if (!config.tcp2) return step_tcp4();
+        measure_throughput(tb, device, config.throughput,
+                           [self = shared_from_this()](ThroughputResult r) {
+                               self->cur().tcp2 = r;
+                               self->step_tcp4();
+                           });
+    }
+    void step_tcp4() {
+        if (!config.tcp4) return step_icmp();
+        measure_max_bindings(tb, device, config.max_bindings,
+                             [self = shared_from_this()](
+                                 MaxBindingsResult r) {
+                                 self->cur().tcp4 = r;
+                                 self->step_icmp();
+                             });
+    }
+    void step_icmp() {
+        if (!config.icmp) return step_transports();
+        measure_icmp(tb, device,
+                     [self = shared_from_this()](IcmpProbeResult r) {
+                         self->cur().icmp = r;
+                         self->step_transports();
+                     });
+    }
+    void step_transports() {
+        if (!config.transports) return step_dns();
+        measure_transport_support(
+            tb, device, [self = shared_from_this()](
+                            TransportSupportResult r) {
+                self->cur().transports = r;
+                self->step_dns();
+            });
+    }
+    void step_dns() {
+        if (!config.dns) return step_quirks();
+        measure_dns(tb, device,
+                    [self = shared_from_this()](DnsProbeResult r) {
+                        self->cur().dns = r;
+                        self->step_quirks();
+                    });
+    }
+    void step_quirks() {
+        if (!config.quirks) return step_stun();
+        measure_quirks(tb, device,
+                       [self = shared_from_this()](QuirksResult r) {
+                           self->cur().quirks = r;
+                           self->step_stun();
+                       });
+    }
+    void step_stun() {
+        if (!config.stun) return step_binding_rate();
+        measure_stun(tb, device,
+                     [self = shared_from_this()](StunProbeResult r) {
+                         self->cur().stun = r;
+                         self->step_binding_rate();
+                     });
+    }
+    void step_binding_rate() {
+        if (!config.binding_rate) return next_device();
+        measure_binding_rate(
+            tb, device, config.binding_rate_count,
+            [self = shared_from_this()](BindingRateResult r) {
+                self->cur().binding_rate = r;
+                self->next_device();
+            });
+    }
+};
+
+void Testrund::run(const CampaignConfig& config,
+                   std::function<void(std::vector<DeviceResults>)> done) {
+    auto runner = std::make_shared<Runner>(tb_, config, std::move(done));
+    runner->start();
+}
+
+std::vector<DeviceResults>
+Testrund::run_blocking(const CampaignConfig& config) {
+    if (!tb_.all_ready()) tb_.start_and_wait();
+    std::vector<DeviceResults> out;
+    bool finished = false;
+    run(config, [&](std::vector<DeviceResults> r) {
+        out = std::move(r);
+        finished = true;
+    });
+    tb_.loop().run();
+    GK_ENSURES(finished);
+    return out;
+}
+
+} // namespace gatekit::harness

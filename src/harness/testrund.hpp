@@ -1,0 +1,95 @@
+// testrund: the measurement orchestrator (the paper's client/server
+// daemon pair). Runs any subset of the study's tests across every device
+// in a testbed and collects the per-device results the figures are built
+// from. Coordination uses the out-of-band management link, modeled as
+// direct invocation between the client- and server-side probe halves.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/dns_probe.hpp"
+#include "harness/futurework_probes.hpp"
+#include "harness/icmp_probe.hpp"
+#include "harness/tcp_probes.hpp"
+#include "harness/transport_probe.hpp"
+#include "harness/udp_probes.hpp"
+
+namespace gatekit::harness {
+
+/// Which measurements to run (each maps to a paper test).
+struct CampaignConfig {
+    bool udp1 = false;
+    bool udp2 = false;
+    bool udp3 = false;
+    bool udp4 = false;
+    bool udp5 = false;
+    bool tcp1 = false;
+    bool tcp2 = false; ///< also produces TCP-3 delay results
+    bool tcp4 = false;
+    bool icmp = false;
+    bool transports = false;
+    bool dns = false;
+    bool quirks = false;     ///< future work: TTL / Record Route / hairpin
+    bool stun = false;       ///< future work: STUN success + mapping
+    bool binding_rate = false; ///< future work: binding creation rate
+    int binding_rate_count = 200;
+
+    UdpProbeConfig udp;
+    TcpTimeoutConfig tcp_timeout;
+    ThroughputConfig throughput;
+    MaxBindingsConfig max_bindings;
+
+    /// UDP-5 well-known services (paper Figure 6).
+    std::vector<std::pair<std::string, std::uint16_t>> udp5_services{
+        {"dns", 53}, {"http", 80}, {"ntp", 123}, {"snmp", 161}, {"tftp", 69}};
+
+    static CampaignConfig all() {
+        CampaignConfig c;
+        c.udp1 = c.udp2 = c.udp3 = c.udp4 = c.udp5 = true;
+        c.tcp1 = c.tcp2 = c.tcp4 = true;
+        c.icmp = c.transports = c.dns = true;
+        return c;
+    }
+};
+
+struct DeviceResults {
+    std::string tag;
+    UdpTimeoutResult udp1, udp2, udp3;
+    PortReuseResult udp4;
+    std::map<std::string, UdpTimeoutResult> udp5; ///< service -> result
+    TcpTimeoutResult tcp1;
+    ThroughputResult tcp2; ///< includes the TCP-3 delay medians
+    MaxBindingsResult tcp4;
+    IcmpProbeResult icmp;
+    TransportSupportResult transports;
+    DnsProbeResult dns;
+    QuirksResult quirks;
+    StunProbeResult stun;
+    BindingRateResult binding_rate;
+};
+
+/// Run a campaign over every device in the testbed. Tests run
+/// sequentially per device and devices sequentially (the paper ran most
+/// tests in parallel across devices and throughput alone — in virtual
+/// time the distinction costs nothing and sequential keeps flows apart).
+class Testrund {
+public:
+    explicit Testrund(Testbed& tb) : tb_(tb) {}
+
+    /// Asynchronous: drive the event loop until `done` fires.
+    void run(const CampaignConfig& config,
+             std::function<void(std::vector<DeviceResults>)> done);
+
+    /// Convenience: start the testbed if needed, run, and drive the loop
+    /// to completion.
+    std::vector<DeviceResults> run_blocking(const CampaignConfig& config);
+
+private:
+    struct Runner;
+    Testbed& tb_;
+};
+
+} // namespace gatekit::harness

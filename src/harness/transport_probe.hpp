@@ -1,0 +1,33 @@
+// SCTP and DCCP support test (paper section 3.2.3): attempt a single
+// connection and exchange data. The WAN-side capture classifies what the
+// NAT actually did with the unknown transport (dropped / forwarded
+// untranslated / IP-only translation), matching the paper's analysis of
+// why 18 devices pass SCTP while none pass DCCP.
+#pragma once
+
+#include <functional>
+
+#include "harness/testbed.hpp"
+
+namespace gatekit::harness {
+
+enum class NatAction {
+    Dropped,      ///< nothing emerged on the WAN side
+    Untranslated, ///< forwarded with the private source address intact
+    IpOnly,       ///< source address rewritten (transport bytes untouched)
+};
+
+const char* to_string(NatAction a);
+
+struct TransportSupportResult {
+    bool sctp_connects = false;
+    bool sctp_data_ok = false;
+    bool dccp_connects = false;
+    NatAction sctp_action = NatAction::Dropped;
+    NatAction dccp_action = NatAction::Dropped;
+};
+
+void measure_transport_support(
+    Testbed& tb, int slot, std::function<void(TransportSupportResult)> done);
+
+} // namespace gatekit::harness

@@ -1,0 +1,313 @@
+#include "harness/udp_probes.hpp"
+
+#include <memory>
+
+#include "stack/udp_socket.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::harness {
+
+namespace {
+
+/// One full UDP timeout measurement for a device: `repetitions`
+/// independent binary searches, each using its own client source port
+/// (one flow per search, as the paper's testrund did). The object keeps
+/// itself alive via shared_ptr until the last search completes.
+class UdpMeasurement
+    : public std::enable_shared_from_this<UdpMeasurement> {
+public:
+    UdpMeasurement(Testbed& tb, int slot, UdpPattern pattern,
+                   UdpProbeConfig config,
+                   std::function<void(UdpTimeoutResult)> done)
+        : tb_(tb), slot_(tb.slot(slot)), pattern_(pattern),
+          config_(config), done_(std::move(done)), loop_(tb.loop()) {}
+
+    void start() {
+        server_sock_ =
+            &tb_.server().udp_open(net::Ipv4Addr::any(), config_.server_port);
+        server_sock_->set_receive_handler(
+            [self = shared_from_this()](net::Endpoint src,
+                                        std::span<const std::uint8_t>,
+                                        const net::Ipv4Packet&) {
+                self->on_server_rx(src);
+            });
+        next_repetition();
+    }
+
+private:
+    void on_server_rx(net::Endpoint src) {
+        last_peer_ = src;
+        have_peer_ = true;
+        // UDP-2/3: the binding-creating packet is answered immediately,
+        // confirming the binding. Only the first packet of a trial is
+        // echoed — echoing the client's UDP-3 reply too would ping-pong
+        // forever and keep the binding alive unconditionally.
+        if (server_echo_budget_ > 0) {
+            --server_echo_budget_;
+            server_sock_->send_to(src, {'e', 'c', 'h', 'o'});
+        }
+    }
+
+    void next_repetition() {
+        if (static_cast<int>(result_.samples_sec.size()) >=
+            config_.repetitions) {
+            finish();
+            return;
+        }
+        // Fresh flow per search: a new client source port.
+        const auto port = static_cast<std::uint16_t>(
+            40000 + result_.samples_sec.size());
+        client_sock_ = &tb_.client().udp_open(slot_.client_addr, port);
+        client_sock_->set_receive_handler(
+            [self = shared_from_this()](net::Endpoint,
+                                        std::span<const std::uint8_t>,
+                                        const net::Ipv4Packet&) {
+                self->on_client_rx();
+            });
+        prev_trial_alive_ = false;
+        min_dead_gap_ = sim::Duration::zero();
+        have_dead_gap_ = false;
+
+        search_ = std::make_unique<BindingTimeoutSearch>(
+            loop_, config_.search,
+            [self = shared_from_this()](sim::Duration gap,
+                                        std::function<void(bool)> cb) {
+                self->run_trial(gap, std::move(cb));
+            },
+            [self = shared_from_this()](SearchResult r) {
+                self->on_search_done(r);
+            });
+        search_->start();
+    }
+
+    void on_client_rx() {
+        ++client_rx_in_trial_;
+        // UDP-3: answer every server packet, refreshing via outbound.
+        if (pattern_ == UdpPattern::Bidirectional && trial_running_)
+            client_sock_->send_to({slot_.server_addr, config_.server_port},
+                                  {'r', 'e'});
+    }
+
+    /// Idle long enough for any binding from an alive trial to die, so
+    /// every trial starts from a clean slate (the paper's "identical to
+    /// the first search" modification).
+    sim::Duration cooldown() const {
+        if (!prev_trial_alive_) return sim::Duration::zero();
+        if (have_dead_gap_)
+            return min_dead_gap_ * 2 + std::chrono::seconds(180);
+        return config_.search.hi_limit;
+    }
+
+    void run_trial(sim::Duration gap, std::function<void(bool)> cb) {
+        auto self = shared_from_this();
+        loop_.after(cooldown(), [self, gap, cb = std::move(cb)]() mutable {
+            self->trial_running_ = true;
+            self->client_rx_in_trial_ = 0;
+            self->server_echo_budget_ =
+                self->pattern_ == UdpPattern::SolitaryOutbound ? 0 : 1;
+            // Step 1: create the binding with a single outbound packet.
+            self->client_sock_->send_to(
+                {self->slot_.server_addr, self->config_.server_port},
+                {'s', 'y', 'n'});
+            // Step 2: idle for the candidate gap. For UDP-2/3 the server's
+            // immediate echo (and the client's reply) happen meanwhile.
+            self->loop_.after(gap, [self, gap, cb = std::move(cb)]() mutable {
+                // Step 3: inbound probe over the management link.
+                const int before = self->client_rx_in_trial_;
+                if (self->have_peer_)
+                    self->server_sock_->send_to(self->last_peer_,
+                                                {'p', 'r', 'o', 'b', 'e'});
+                self->loop_.after(self->config_.grace, [self, gap, before,
+                                                        cb = std::move(
+                                                            cb)]() mutable {
+                    const bool alive = self->client_rx_in_trial_ > before;
+                    self->trial_running_ = false;
+                    self->prev_trial_alive_ = alive;
+                    if (!alive) {
+                        if (!self->have_dead_gap_ ||
+                            gap < self->min_dead_gap_)
+                            self->min_dead_gap_ = gap;
+                        self->have_dead_gap_ = true;
+                    }
+                    cb(alive);
+                });
+            });
+        });
+    }
+
+    void on_search_done(SearchResult r) {
+        result_.samples_sec.push_back(sim::to_sec(r.timeout));
+        tb_.client().udp_close(*client_sock_);
+        client_sock_ = nullptr;
+        loop_.after(sim::Duration::zero(),
+                    [self = shared_from_this()] { self->next_repetition(); });
+    }
+
+    void finish() {
+        tb_.server().udp_close(*server_sock_);
+        server_sock_ = nullptr;
+        done_(std::move(result_));
+    }
+
+    Testbed& tb_;
+    Testbed::DeviceSlot& slot_;
+    UdpPattern pattern_;
+    UdpProbeConfig config_;
+    std::function<void(UdpTimeoutResult)> done_;
+    sim::EventLoop& loop_;
+
+    stack::UdpSocket* server_sock_ = nullptr;
+    stack::UdpSocket* client_sock_ = nullptr;
+    std::unique_ptr<BindingTimeoutSearch> search_;
+    UdpTimeoutResult result_;
+
+    net::Endpoint last_peer_;
+    bool have_peer_ = false;
+    int client_rx_in_trial_ = 0;
+    int server_echo_budget_ = 0;
+    bool trial_running_ = false;
+    bool prev_trial_alive_ = false;
+    sim::Duration min_dead_gap_{};
+    bool have_dead_gap_ = false;
+};
+
+/// UDP-4 observer: runs one UDP-1 search on a fixed flow and watches the
+/// external source ports the server sees.
+class PortReuseMeasurement
+    : public std::enable_shared_from_this<PortReuseMeasurement> {
+public:
+    PortReuseMeasurement(Testbed& tb, int slot, UdpProbeConfig config,
+                         std::function<void(PortReuseResult)> done)
+        : tb_(tb), slot_(tb.slot(slot)), config_(config),
+          done_(std::move(done)), loop_(tb.loop()) {}
+
+    static constexpr std::uint16_t kClientPort = 41999;
+
+    void start() {
+        server_sock_ =
+            &tb_.server().udp_open(net::Ipv4Addr::any(), config_.server_port);
+        server_sock_->set_receive_handler(
+            [self = shared_from_this()](net::Endpoint src,
+                                        std::span<const std::uint8_t>,
+                                        const net::Ipv4Packet&) {
+                self->last_peer_ = src;
+                self->have_peer_ = true;
+                self->port_this_trial_ = src.port;
+            });
+        client_sock_ = &tb_.client().udp_open(slot_.client_addr, kClientPort);
+        client_sock_->set_receive_handler(
+            [self = shared_from_this()](net::Endpoint,
+                                        std::span<const std::uint8_t>,
+                                        const net::Ipv4Packet&) {
+                ++self->client_rx_in_trial_;
+            });
+
+        search_ = std::make_unique<BindingTimeoutSearch>(
+            loop_, config_.search,
+            [self = shared_from_this()](sim::Duration gap,
+                                        std::function<void(bool)> cb) {
+                self->run_trial(gap, std::move(cb));
+            },
+            [self = shared_from_this()](SearchResult) { self->finish(); });
+        search_->start();
+    }
+
+private:
+    sim::Duration cooldown() const {
+        if (!prev_trial_alive_) return sim::Duration::zero();
+        if (have_dead_gap_)
+            return min_dead_gap_ * 2 + std::chrono::seconds(180);
+        return config_.search.hi_limit;
+    }
+
+    void run_trial(sim::Duration gap, std::function<void(bool)> cb) {
+        auto self = shared_from_this();
+        loop_.after(cooldown(), [self, gap, cb = std::move(cb)]() mutable {
+            self->client_rx_in_trial_ = 0;
+            self->port_this_trial_ = 0;
+            self->client_sock_->send_to(
+                {self->slot_.server_addr, self->config_.server_port}, {'s'});
+            self->loop_.after(gap, [self, gap, cb = std::move(cb)]() mutable {
+                const int before = self->client_rx_in_trial_;
+                if (self->have_peer_)
+                    self->server_sock_->send_to(self->last_peer_, {'p'});
+                self->loop_.after(
+                    self->config_.grace,
+                    [self, gap, before, cb = std::move(cb)]() mutable {
+                        const bool alive =
+                            self->client_rx_in_trial_ > before;
+                        self->record_trial(gap, alive);
+                        cb(alive);
+                    });
+            });
+        });
+    }
+
+    void record_trial(sim::Duration gap, bool alive) {
+        result_.observed_ports.push_back(port_this_trial_);
+        if (prev_trial_was_dead_ && !result_.observed_ports.empty()) {
+            // This trial began immediately after an observed expiry: the
+            // paper's reuse observation point.
+            post_expiry_ports_.push_back(port_this_trial_);
+        }
+        prev_trial_was_dead_ = !alive;
+        prev_trial_alive_ = alive;
+        if (!alive) {
+            if (!have_dead_gap_ || gap < min_dead_gap_) min_dead_gap_ = gap;
+            have_dead_gap_ = true;
+        }
+    }
+
+    void finish() {
+        if (!result_.observed_ports.empty()) {
+            result_.preserves_source_port =
+                result_.observed_ports.front() == kClientPort;
+            // Reuse: bindings created right after an expiry kept the port.
+            result_.reuses_expired_binding = !post_expiry_ports_.empty();
+            for (auto p : post_expiry_ports_)
+                if (p != result_.observed_ports.front())
+                    result_.reuses_expired_binding = false;
+        }
+        tb_.client().udp_close(*client_sock_);
+        tb_.server().udp_close(*server_sock_);
+        done_(std::move(result_));
+    }
+
+    Testbed& tb_;
+    Testbed::DeviceSlot& slot_;
+    UdpProbeConfig config_;
+    std::function<void(PortReuseResult)> done_;
+    sim::EventLoop& loop_;
+    stack::UdpSocket* server_sock_ = nullptr;
+    stack::UdpSocket* client_sock_ = nullptr;
+    std::unique_ptr<BindingTimeoutSearch> search_;
+    PortReuseResult result_;
+    std::vector<std::uint16_t> post_expiry_ports_;
+    net::Endpoint last_peer_;
+    bool have_peer_ = false;
+    int client_rx_in_trial_ = 0;
+    std::uint16_t port_this_trial_ = 0;
+    bool prev_trial_alive_ = false;
+    bool prev_trial_was_dead_ = false;
+    sim::Duration min_dead_gap_{};
+    bool have_dead_gap_ = false;
+};
+
+} // namespace
+
+void measure_udp_timeout(Testbed& tb, int slot, UdpPattern pattern,
+                         const UdpProbeConfig& config,
+                         std::function<void(UdpTimeoutResult)> done) {
+    auto m = std::make_shared<UdpMeasurement>(tb, slot, pattern, config,
+                                              std::move(done));
+    m->start();
+}
+
+void measure_port_reuse(Testbed& tb, int slot, const UdpProbeConfig& config,
+                        std::function<void(PortReuseResult)> done) {
+    auto m = std::make_shared<PortReuseMeasurement>(tb, slot, config,
+                                                    std::move(done));
+    m->start();
+}
+
+} // namespace gatekit::harness

@@ -1,0 +1,74 @@
+#include "l2/vlan_switch.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::l2 {
+
+int VlanSwitch::add_access_port(std::uint16_t vlan) {
+    GK_EXPECTS(vlan > 0 && vlan < 4096);
+    const int index = static_cast<int>(ports_.size());
+    ports_.push_back(std::make_unique<Port>(*this, index, false, vlan));
+    return index;
+}
+
+int VlanSwitch::add_trunk_port() {
+    const int index = static_cast<int>(ports_.size());
+    ports_.push_back(std::make_unique<Port>(*this, index, true, 0));
+    return index;
+}
+
+void VlanSwitch::connect(int port, sim::Link& link, sim::Link::Side side) {
+    GK_EXPECTS(port >= 0 && static_cast<std::size_t>(port) < ports_.size());
+    Port& p = *ports_[static_cast<std::size_t>(port)];
+    p.out = sim::LinkEnd(link, side);
+    link.attach(side, p);
+}
+
+void VlanSwitch::ingress(Port& port, sim::Frame raw) {
+    net::EthernetFrame frame;
+    try {
+        frame = net::EthernetFrame::parse(raw);
+    } catch (const net::ParseError&) {
+        return;
+    }
+
+    std::uint16_t vlan = 0;
+    if (port.trunk) {
+        if (!frame.vlan_id) return; // untagged on trunk: drop
+        vlan = *frame.vlan_id;
+    } else {
+        if (frame.vlan_id) return; // tagged on access port: drop
+        vlan = port.access_vlan;
+    }
+
+    // Learn the source, then forward.
+    if (!frame.src.is_multicast()) fdb_[{vlan, frame.src}] = port.index;
+
+    if (!frame.dst.is_multicast()) {
+        auto it = fdb_.find({vlan, frame.dst});
+        if (it != fdb_.end()) {
+            Port& out = *ports_[static_cast<std::size_t>(it->second)];
+            if (out.index != port.index && member(out, vlan))
+                egress(out, vlan, frame);
+            return;
+        }
+    }
+    // Broadcast/multicast/unknown unicast: flood the VLAN.
+    for (auto& out : ports_) {
+        if (out->index == port.index || !member(*out, vlan)) continue;
+        egress(*out, vlan, frame);
+    }
+}
+
+void VlanSwitch::egress(Port& port, std::uint16_t vlan,
+                        const net::EthernetFrame& frame) {
+    if (!port.out.connected()) return;
+    net::EthernetFrame out = frame;
+    if (port.trunk)
+        out.vlan_id = vlan;
+    else
+        out.vlan_id.reset();
+    port.out.send(out.serialize());
+}
+
+} // namespace gatekit::l2

@@ -1,0 +1,60 @@
+// 802.1Q-aware learning switch, standing in for the paper's HP-2524s:
+// access ports (one VLAN, untagged) and trunk ports (all VLANs, tagged).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/ethernet.hpp"
+#include "sim/link.hpp"
+
+namespace gatekit::l2 {
+
+class VlanSwitch {
+public:
+    explicit VlanSwitch(sim::EventLoop& loop) : loop_(loop) {}
+
+    VlanSwitch(const VlanSwitch&) = delete;
+    VlanSwitch& operator=(const VlanSwitch&) = delete;
+
+    /// Create an access port for `vlan`; frames on the wire are untagged.
+    int add_access_port(std::uint16_t vlan);
+    /// Create a trunk port; all frames on the wire carry VLAN tags.
+    int add_trunk_port();
+
+    /// Attach a port to one side of a link.
+    void connect(int port, sim::Link& link, sim::Link::Side side);
+
+    std::size_t port_count() const { return ports_.size(); }
+    std::size_t mac_table_size() const { return fdb_.size(); }
+
+private:
+    struct Port : sim::FrameSink {
+        Port(VlanSwitch& sw, int index, bool trunk, std::uint16_t vlan)
+            : owner(sw), index(index), trunk(trunk), access_vlan(vlan) {}
+        void frame_in(sim::Frame frame) override {
+            owner.ingress(*this, std::move(frame));
+        }
+        VlanSwitch& owner;
+        int index;
+        bool trunk;
+        std::uint16_t access_vlan; ///< meaningful for access ports only
+        sim::LinkEnd out;
+    };
+
+    void ingress(Port& port, sim::Frame raw);
+    void egress(Port& port, std::uint16_t vlan,
+                const net::EthernetFrame& frame);
+    bool member(const Port& port, std::uint16_t vlan) const {
+        return port.trunk || port.access_vlan == vlan;
+    }
+
+    sim::EventLoop& loop_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::map<std::pair<std::uint16_t, net::MacAddr>, int> fdb_;
+};
+
+} // namespace gatekit::l2

@@ -1,0 +1,76 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+
+#include "net/buffer.hpp"
+
+namespace gatekit::net {
+
+namespace {
+
+// Parse an integer component in [0, max]; advances `text`.
+unsigned parse_component(std::string_view& text, unsigned max, int base,
+                         char separator, bool expect_sep) {
+    unsigned value = 0;
+    const auto* begin = text.data();
+    const auto* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value, base);
+    if (ec != std::errc{} || value > max || ptr == begin)
+        throw ParseError("bad address component in '" + std::string(text) +
+                         "'");
+    text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    if (expect_sep) {
+        if (text.empty() || text.front() != separator)
+            throw ParseError("expected separator in address");
+        text.remove_prefix(1);
+    }
+    return value;
+}
+
+} // namespace
+
+MacAddr MacAddr::parse(std::string_view text) {
+    std::array<std::uint8_t, 6> octets{};
+    for (int i = 0; i < 6; ++i)
+        octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+            parse_component(text, 0xff, 16, ':', i != 5));
+    if (!text.empty()) throw ParseError("trailing characters in MAC address");
+    return MacAddr{octets};
+}
+
+std::string MacAddr::to_string() const {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(17);
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (i != 0) out.push_back(':');
+        out.push_back(digits[octets_[i] >> 4]);
+        out.push_back(digits[octets_[i] & 0xf]);
+    }
+    return out;
+}
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v = (v << 8) | parse_component(text, 255, 10, '.', i != 3);
+    if (!text.empty())
+        throw ParseError("trailing characters in IPv4 address");
+    return Ipv4Addr{v};
+}
+
+std::string Ipv4Addr::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        if (shift != 24) out.push_back('.');
+        out += std::to_string((v_ >> shift) & 0xff);
+    }
+    return out;
+}
+
+std::string to_string(const Endpoint& ep) {
+    return ep.addr.to_string() + ":" + std::to_string(ep.port);
+}
+
+} // namespace gatekit::net

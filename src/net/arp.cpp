@@ -1,0 +1,39 @@
+#include "net/arp.hpp"
+
+namespace gatekit::net {
+
+Bytes ArpMessage::serialize() const {
+    BufferWriter w(28);
+    w.u16(1);      // htype: Ethernet
+    w.u16(0x0800); // ptype: IPv4
+    w.u8(6);       // hlen
+    w.u8(4);       // plen
+    w.u16(static_cast<std::uint16_t>(op));
+    w.bytes(sender_mac.octets());
+    w.u32(sender_ip.value());
+    w.bytes(target_mac.octets());
+    w.u32(target_ip.value());
+    return w.take();
+}
+
+ArpMessage ArpMessage::parse(std::span<const std::uint8_t> data) {
+    BufferReader r(data);
+    if (r.u16() != 1 || r.u16() != 0x0800 || r.u8() != 6 || r.u8() != 4)
+        throw ParseError("unsupported ARP hardware/protocol type");
+    ArpMessage m;
+    const auto op = r.u16();
+    if (op != 1 && op != 2) throw ParseError("bad ARP opcode");
+    m.op = static_cast<Op>(op);
+    std::array<std::uint8_t, 6> mac{};
+    auto b = r.bytes(6);
+    std::copy(b.begin(), b.end(), mac.begin());
+    m.sender_mac = MacAddr{mac};
+    m.sender_ip = Ipv4Addr{r.u32()};
+    b = r.bytes(6);
+    std::copy(b.begin(), b.end(), mac.begin());
+    m.target_mac = MacAddr{mac};
+    m.target_ip = Ipv4Addr{r.u32()};
+    return m;
+}
+
+} // namespace gatekit::net

@@ -1,0 +1,22 @@
+// ARP for IPv4-over-Ethernet (RFC 826), the only flavor the testbed needs.
+#pragma once
+
+#include "net/addr.hpp"
+#include "net/buffer.hpp"
+
+namespace gatekit::net {
+
+struct ArpMessage {
+    enum class Op : std::uint16_t { Request = 1, Reply = 2 };
+
+    Op op = Op::Request;
+    MacAddr sender_mac;
+    Ipv4Addr sender_ip;
+    MacAddr target_mac; ///< zero in requests
+    Ipv4Addr target_ip;
+
+    Bytes serialize() const;
+    static ArpMessage parse(std::span<const std::uint8_t> data);
+};
+
+} // namespace gatekit::net

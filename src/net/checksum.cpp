@@ -1,0 +1,78 @@
+#include "net/checksum.hpp"
+
+#include <array>
+
+namespace gatekit::net {
+
+void ChecksumAccumulator::add_bytes(std::span<const std::uint8_t> data) {
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2)
+        sum_ += static_cast<std::uint16_t>((data[i] << 8) | data[i + 1]);
+    if (i < data.size()) sum_ += static_cast<std::uint16_t>(data[i] << 8);
+}
+
+std::uint16_t ChecksumAccumulator::finalize() const {
+    std::uint64_t s = sum_;
+    while (s >> 16) s = (s & 0xffff) + (s >> 16);
+    return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+    ChecksumAccumulator acc;
+    acc.add_bytes(data);
+    return acc.finalize();
+}
+
+std::uint16_t checksum_update16(std::uint16_t old_checksum,
+                                std::uint16_t old_word,
+                                std::uint16_t new_word) {
+    // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+    std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+    sum += static_cast<std::uint16_t>(~old_word);
+    sum += new_word;
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t checksum_update32(std::uint16_t old_checksum,
+                                std::uint32_t old_word,
+                                std::uint32_t new_word) {
+    std::uint16_t c = checksum_update16(
+        old_checksum, static_cast<std::uint16_t>(old_word >> 16),
+        static_cast<std::uint16_t>(new_word >> 16));
+    return checksum_update16(c, static_cast<std::uint16_t>(old_word),
+                             static_cast<std::uint16_t>(new_word));
+}
+
+void add_pseudo_header(ChecksumAccumulator& acc, Ipv4Addr src, Ipv4Addr dst,
+                       std::uint8_t protocol, std::uint16_t length) {
+    acc.add_u32(src.value());
+    acc.add_u32(dst.value());
+    acc.add_u16(protocol);
+    acc.add_u16(length);
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+    std::array<std::uint32_t, 256> table{};
+    constexpr std::uint32_t poly = 0x82f63b78u; // reflected 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data) {
+    static const auto table = make_crc32c_table();
+    std::uint32_t crc = 0xffffffffu;
+    for (auto b : data) crc = table[(crc ^ b) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace gatekit::net

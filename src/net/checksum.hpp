@@ -1,0 +1,54 @@
+// Internet checksum (RFC 1071), incremental update (RFC 1624) and CRC32c
+// (RFC 3309, used by SCTP). The NAT engine uses the incremental form the
+// way real devices do; tests cross-check it against full recomputation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/addr.hpp"
+
+namespace gatekit::net {
+
+/// One's-complement sum accumulator. Feed byte ranges and 16-bit words,
+/// then finalize() to the complemented checksum value.
+class ChecksumAccumulator {
+public:
+    void add_bytes(std::span<const std::uint8_t> data);
+    void add_u16(std::uint16_t v) { sum_ += v; }
+    void add_u32(std::uint32_t v) {
+        add_u16(static_cast<std::uint16_t>(v >> 16));
+        add_u16(static_cast<std::uint16_t>(v));
+    }
+
+    /// Folded, complemented checksum ready for the wire.
+    std::uint16_t finalize() const;
+
+private:
+    std::uint64_t sum_ = 0;
+};
+
+/// RFC 1071 checksum over a byte range (odd lengths padded with zero).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Incremental checksum update per RFC 1624 (eqn. 3): returns the new
+/// checksum after a 16-bit word changes from `old_word` to `new_word`.
+std::uint16_t checksum_update16(std::uint16_t old_checksum,
+                                std::uint16_t old_word,
+                                std::uint16_t new_word);
+
+/// Incremental update for a 32-bit field (e.g. an IPv4 address).
+std::uint16_t checksum_update32(std::uint16_t old_checksum,
+                                std::uint32_t old_word,
+                                std::uint32_t new_word);
+
+/// IPv4 pseudo-header contribution for TCP/UDP/DCCP checksums.
+void add_pseudo_header(ChecksumAccumulator& acc, Ipv4Addr src, Ipv4Addr dst,
+                       std::uint8_t protocol, std::uint16_t length);
+
+/// CRC32c (Castagnoli) over a byte range, as SCTP uses; returned in the
+/// natural (host-order) form. SCTP serialization stores it little-endian
+/// per RFC 4960 appendix B.
+std::uint32_t crc32c(std::span<const std::uint8_t> data);
+
+} // namespace gatekit::net

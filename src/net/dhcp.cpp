@@ -1,0 +1,103 @@
+#include "net/dhcp.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+namespace {
+constexpr std::uint32_t kMagicCookie = 0x63825363;
+}
+
+Bytes DhcpMessage::serialize() const {
+    BufferWriter w(300);
+    w.u8(op);
+    w.u8(1); // htype: Ethernet
+    w.u8(6); // hlen
+    w.u8(0); // hops
+    w.u32(xid);
+    w.u16(0);      // secs
+    w.u16(0x8000); // flags: broadcast
+    w.u32(ciaddr.value());
+    w.u32(yiaddr.value());
+    w.u32(siaddr.value());
+    w.u32(giaddr.value());
+    w.bytes(chaddr.octets());
+    w.zeros(10);  // chaddr padding
+    w.zeros(64);  // sname
+    w.zeros(128); // file
+    w.u32(kMagicCookie);
+    for (const auto& [code, value] : options) {
+        GK_EXPECTS(value.size() <= 255);
+        w.u8(code);
+        w.u8(static_cast<std::uint8_t>(value.size()));
+        w.bytes(value);
+    }
+    w.u8(dhcp_opt::kEnd);
+    return w.take();
+}
+
+DhcpMessage DhcpMessage::parse(std::span<const std::uint8_t> data) {
+    BufferReader r(data);
+    DhcpMessage m;
+    m.op = r.u8();
+    if (r.u8() != 1 || r.u8() != 6) throw ParseError("bad DHCP htype/hlen");
+    r.skip(1); // hops
+    m.xid = r.u32();
+    r.skip(4); // secs + flags
+    m.ciaddr = Ipv4Addr{r.u32()};
+    m.yiaddr = Ipv4Addr{r.u32()};
+    m.siaddr = Ipv4Addr{r.u32()};
+    m.giaddr = Ipv4Addr{r.u32()};
+    std::array<std::uint8_t, 6> mac{};
+    auto b = r.bytes(6);
+    std::copy(b.begin(), b.end(), mac.begin());
+    m.chaddr = MacAddr{mac};
+    r.skip(10 + 64 + 128);
+    if (r.u32() != kMagicCookie) throw ParseError("bad DHCP magic cookie");
+    while (!r.empty()) {
+        const std::uint8_t code = r.u8();
+        if (code == dhcp_opt::kEnd) break;
+        if (code == 0) continue; // pad
+        const std::uint8_t len = r.u8();
+        const auto val = r.bytes(len);
+        m.options[code] = Bytes(val.begin(), val.end());
+    }
+    return m;
+}
+
+void DhcpMessage::set_type(DhcpMessageType t) {
+    options[dhcp_opt::kMessageType] = {static_cast<std::uint8_t>(t)};
+}
+
+std::optional<DhcpMessageType> DhcpMessage::type() const {
+    auto it = options.find(dhcp_opt::kMessageType);
+    if (it == options.end() || it->second.size() != 1) return std::nullopt;
+    return static_cast<DhcpMessageType>(it->second[0]);
+}
+
+void DhcpMessage::set_addr_option(std::uint8_t opt, Ipv4Addr a) {
+    set_u32_option(opt, a.value());
+}
+
+std::optional<Ipv4Addr> DhcpMessage::addr_option(std::uint8_t opt) const {
+    auto v = u32_option(opt);
+    if (!v) return std::nullopt;
+    return Ipv4Addr{*v};
+}
+
+void DhcpMessage::set_u32_option(std::uint8_t opt, std::uint32_t v) {
+    options[opt] = {static_cast<std::uint8_t>(v >> 24),
+                    static_cast<std::uint8_t>(v >> 16),
+                    static_cast<std::uint8_t>(v >> 8),
+                    static_cast<std::uint8_t>(v)};
+}
+
+std::optional<std::uint32_t> DhcpMessage::u32_option(std::uint8_t opt) const {
+    auto it = options.find(opt);
+    if (it == options.end() || it->second.size() != 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (auto byte : it->second) v = (v << 8) | byte;
+    return v;
+}
+
+} // namespace gatekit::net

@@ -1,0 +1,62 @@
+// DHCP (RFC 2131/2132). The testbed uses DHCP on both sides of every
+// gateway: the test server leases WAN addresses to gateways, and each
+// gateway's own DHCP server configures the test client's VLAN interface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/buffer.hpp"
+
+namespace gatekit::net {
+
+inline constexpr std::uint16_t kDhcpServerPort = 67;
+inline constexpr std::uint16_t kDhcpClientPort = 68;
+
+enum class DhcpMessageType : std::uint8_t {
+    Discover = 1,
+    Offer = 2,
+    Request = 3,
+    Decline = 4,
+    Ack = 5,
+    Nak = 6,
+    Release = 7,
+};
+
+namespace dhcp_opt {
+inline constexpr std::uint8_t kSubnetMask = 1;
+inline constexpr std::uint8_t kRouter = 3;
+inline constexpr std::uint8_t kDnsServer = 6;
+inline constexpr std::uint8_t kRequestedIp = 50;
+inline constexpr std::uint8_t kLeaseTime = 51;
+inline constexpr std::uint8_t kMessageType = 53;
+inline constexpr std::uint8_t kServerId = 54;
+inline constexpr std::uint8_t kEnd = 255;
+} // namespace dhcp_opt
+
+struct DhcpMessage {
+    std::uint8_t op = 1; ///< 1 = BOOTREQUEST, 2 = BOOTREPLY
+    std::uint32_t xid = 0;
+    Ipv4Addr ciaddr; ///< client's current address (renewals)
+    Ipv4Addr yiaddr; ///< "your" address (offers/acks)
+    Ipv4Addr siaddr;
+    Ipv4Addr giaddr;
+    MacAddr chaddr;
+    std::map<std::uint8_t, Bytes> options;
+
+    Bytes serialize() const;
+    static DhcpMessage parse(std::span<const std::uint8_t> data);
+
+    // Typed option helpers.
+    void set_type(DhcpMessageType t);
+    std::optional<DhcpMessageType> type() const;
+    void set_addr_option(std::uint8_t opt, Ipv4Addr a);
+    std::optional<Ipv4Addr> addr_option(std::uint8_t opt) const;
+    void set_u32_option(std::uint8_t opt, std::uint32_t v);
+    std::optional<std::uint32_t> u32_option(std::uint8_t opt) const;
+};
+
+} // namespace gatekit::net

@@ -1,0 +1,207 @@
+#include "net/dns.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+namespace {
+
+void write_name(BufferWriter& w, const std::string& name) {
+    std::size_t start = 0;
+    while (start < name.size()) {
+        auto dot = name.find('.', start);
+        if (dot == std::string::npos) dot = name.size();
+        const std::size_t len = dot - start;
+        if (len == 0 || len > 63) throw ParseError("bad DNS label length");
+        w.u8(static_cast<std::uint8_t>(len));
+        w.bytes({reinterpret_cast<const std::uint8_t*>(name.data() + start),
+                 len});
+        start = dot + 1;
+    }
+    w.u8(0);
+}
+
+std::string read_name(BufferReader& r) {
+    std::string out;
+    int hops = 0;
+    std::size_t follow_pos = static_cast<std::size_t>(-1); // npos: not yet jumped
+    std::size_t pos = r.position();
+    const auto whole = r.whole();
+    while (true) {
+        if (pos >= whole.size()) throw ParseError("DNS name runs off packet");
+        const std::uint8_t len = whole[pos];
+        if ((len & 0xc0) == 0xc0) {
+            if (pos + 1 >= whole.size())
+                throw ParseError("truncated DNS compression pointer");
+            if (++hops > 16) throw ParseError("DNS pointer loop");
+            if (follow_pos == static_cast<std::size_t>(-1))
+                follow_pos = pos + 2;
+            pos = static_cast<std::size_t>((len & 0x3f) << 8) |
+                  whole[pos + 1];
+            continue;
+        }
+        if (len > 63) throw ParseError("bad DNS label");
+        if (len == 0) {
+            ++pos;
+            break;
+        }
+        if (pos + 1 + len > whole.size())
+            throw ParseError("DNS label runs off packet");
+        if (!out.empty()) out.push_back('.');
+        out.append(reinterpret_cast<const char*>(whole.data() + pos + 1),
+                   len);
+        pos += 1u + len;
+    }
+    const std::size_t end =
+        follow_pos == static_cast<std::size_t>(-1) ? pos : follow_pos;
+    r.skip(end - r.position());
+    return out;
+}
+
+} // namespace
+
+DnsRecord DnsRecord::a_record(std::string name, Ipv4Addr addr,
+                              std::uint32_t ttl) {
+    DnsRecord rec;
+    rec.name = std::move(name);
+    rec.ttl = ttl;
+    const std::uint32_t v = addr.value();
+    rec.rdata = {static_cast<std::uint8_t>(v >> 24),
+                 static_cast<std::uint8_t>(v >> 16),
+                 static_cast<std::uint8_t>(v >> 8),
+                 static_cast<std::uint8_t>(v)};
+    return rec;
+}
+
+Ipv4Addr DnsRecord::a_addr() const {
+    if (rtype != kDnsTypeA || rdata.size() != 4)
+        throw ParseError("not an A record");
+    return Ipv4Addr{rdata[0], rdata[1], rdata[2], rdata[3]};
+}
+
+Bytes DnsMessage::serialize() const {
+    BufferWriter w(64);
+    w.u16(id);
+    std::uint16_t flags = 0;
+    if (is_response) flags |= 0x8000;
+    flags |= static_cast<std::uint16_t>((opcode & 0xf) << 11);
+    if (authoritative) flags |= 0x0400;
+    if (truncated) flags |= 0x0200;
+    if (recursion_desired) flags |= 0x0100;
+    if (recursion_available) flags |= 0x0080;
+    flags |= rcode & 0xf;
+    w.u16(flags);
+    w.u16(static_cast<std::uint16_t>(questions.size()));
+    w.u16(static_cast<std::uint16_t>(answers.size()));
+    w.u16(0); // authority
+    w.u16(edns_udp_size ? 1 : 0); // additional: the OPT pseudo-RR
+    for (const auto& q : questions) {
+        write_name(w, q.name);
+        w.u16(q.qtype);
+        w.u16(q.qclass);
+    }
+    for (const auto& a : answers) {
+        write_name(w, a.name);
+        w.u16(a.rtype);
+        w.u16(a.rclass);
+        w.u32(a.ttl);
+        GK_EXPECTS(a.rdata.size() <= 0xffff);
+        w.u16(static_cast<std::uint16_t>(a.rdata.size()));
+        w.bytes(a.rdata);
+    }
+    if (edns_udp_size) {
+        // OPT pseudo-RR (RFC 6891): root name, type 41, "class" carries
+        // the advertised UDP payload size.
+        w.u8(0); // root
+        w.u16(kDnsTypeOpt);
+        w.u16(*edns_udp_size);
+        w.u32(0); // extended rcode + flags
+        w.u16(0); // no options
+    }
+    return w.take();
+}
+
+DnsMessage DnsMessage::parse(std::span<const std::uint8_t> data) {
+    BufferReader r(data);
+    DnsMessage m;
+    m.id = r.u16();
+    const std::uint16_t flags = r.u16();
+    m.is_response = (flags & 0x8000) != 0;
+    m.opcode = static_cast<std::uint8_t>((flags >> 11) & 0xf);
+    m.authoritative = (flags & 0x0400) != 0;
+    m.truncated = (flags & 0x0200) != 0;
+    m.recursion_desired = (flags & 0x0100) != 0;
+    m.recursion_available = (flags & 0x0080) != 0;
+    m.rcode = static_cast<std::uint8_t>(flags & 0xf);
+    const std::uint16_t qd = r.u16();
+    const std::uint16_t an = r.u16();
+    r.skip(2); // authority count (ignored)
+    const std::uint16_t ar = r.u16();
+    for (std::uint16_t i = 0; i < qd; ++i) {
+        DnsQuestion q;
+        q.name = read_name(r);
+        q.qtype = r.u16();
+        q.qclass = r.u16();
+        m.questions.push_back(std::move(q));
+    }
+    for (std::uint16_t i = 0; i < an; ++i) {
+        DnsRecord rec;
+        rec.name = read_name(r);
+        rec.rtype = r.u16();
+        rec.rclass = r.u16();
+        rec.ttl = r.u32();
+        const std::uint16_t rdlen = r.u16();
+        const auto rd = r.bytes(rdlen);
+        rec.rdata.assign(rd.begin(), rd.end());
+        m.answers.push_back(std::move(rec));
+    }
+    for (std::uint16_t i = 0; i < ar && !r.empty(); ++i) {
+        const std::string name = read_name(r);
+        const std::uint16_t rtype = r.u16();
+        const std::uint16_t rclass_or_size = r.u16();
+        r.skip(4); // ttl / extended flags
+        const std::uint16_t rdlen = r.u16();
+        r.skip(std::min<std::size_t>(rdlen, r.remaining()));
+        if (rtype == kDnsTypeOpt && name.empty())
+            m.edns_udp_size = rclass_or_size;
+    }
+    return m;
+}
+
+DnsRecord DnsMessage::make_txt_filler(std::string name, std::size_t size) {
+    DnsRecord rec;
+    rec.name = std::move(name);
+    rec.rtype = kDnsTypeTxt;
+    // TXT RDATA: length-prefixed strings of up to 255 bytes each.
+    while (rec.rdata.size() < size) {
+        const auto chunk = static_cast<std::uint8_t>(
+            std::min<std::size_t>(255, size - rec.rdata.size()));
+        rec.rdata.push_back(chunk);
+        rec.rdata.insert(rec.rdata.end(), chunk, 'x');
+    }
+    return rec;
+}
+
+DnsMessage DnsMessage::make_query(std::uint16_t id, std::string name,
+                                  std::uint16_t qtype) {
+    DnsMessage m;
+    m.id = id;
+    m.questions.push_back(DnsQuestion{std::move(name), qtype, kDnsClassIn});
+    return m;
+}
+
+DnsMessage DnsMessage::make_a_response(const DnsMessage& query,
+                                       Ipv4Addr addr) {
+    GK_EXPECTS(!query.questions.empty());
+    DnsMessage m;
+    m.id = query.id;
+    m.is_response = true;
+    m.recursion_desired = query.recursion_desired;
+    m.recursion_available = true;
+    m.questions = query.questions;
+    m.answers.push_back(DnsRecord::a_record(query.questions.front().name,
+                                            addr));
+    return m;
+}
+
+} // namespace gatekit::net

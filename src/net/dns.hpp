@@ -1,0 +1,73 @@
+// DNS message wire format (RFC 1035): enough for A queries/responses over
+// UDP and TCP, which is what the study's DNS proxy tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/buffer.hpp"
+
+namespace gatekit::net {
+
+inline constexpr std::uint16_t kDnsTypeA = 1;
+inline constexpr std::uint16_t kDnsTypeTxt = 16;
+inline constexpr std::uint16_t kDnsTypeOpt = 41; ///< EDNS0 pseudo-RR
+inline constexpr std::uint16_t kDnsClassIn = 1;
+inline constexpr std::uint16_t kDnsPort = 53;
+/// Classic DNS-over-UDP limit without EDNS0 (RFC 1035).
+inline constexpr std::size_t kDnsClassicUdpLimit = 512;
+
+struct DnsQuestion {
+    std::string name; ///< presentation form, e.g. "server.hiit.fi"
+    std::uint16_t qtype = kDnsTypeA;
+    std::uint16_t qclass = kDnsClassIn;
+
+    friend bool operator==(const DnsQuestion&, const DnsQuestion&) = default;
+};
+
+struct DnsRecord {
+    std::string name;
+    std::uint16_t rtype = kDnsTypeA;
+    std::uint16_t rclass = kDnsClassIn;
+    std::uint32_t ttl = 60;
+    Bytes rdata;
+
+    /// Convenience for A records.
+    static DnsRecord a_record(std::string name, Ipv4Addr addr,
+                              std::uint32_t ttl = 60);
+    Ipv4Addr a_addr() const;
+
+    friend bool operator==(const DnsRecord&, const DnsRecord&) = default;
+};
+
+struct DnsMessage {
+    std::uint16_t id = 0;
+    bool is_response = false;
+    std::uint8_t opcode = 0;
+    bool authoritative = false;
+    bool truncated = false;
+    bool recursion_desired = true;
+    bool recursion_available = false;
+    std::uint8_t rcode = 0;
+    std::vector<DnsQuestion> questions;
+    std::vector<DnsRecord> answers;
+    /// EDNS0 (RFC 6891): advertised UDP payload size; nullopt = no OPT
+    /// record. Serialized as an OPT pseudo-RR in the additional section.
+    std::optional<std::uint16_t> edns_udp_size;
+
+    Bytes serialize() const;
+    static DnsMessage parse(std::span<const std::uint8_t> data);
+
+    static DnsMessage make_query(std::uint16_t id, std::string name,
+                                 std::uint16_t qtype = kDnsTypeA);
+    /// Build a TXT record padded to roughly `size` bytes of RDATA (for
+    /// large-response tests standing in for DNSSEC-sized answers).
+    static DnsRecord make_txt_filler(std::string name, std::size_t size);
+    /// Build a response answering `query` with a single A record.
+    static DnsMessage make_a_response(const DnsMessage& query, Ipv4Addr addr);
+};
+
+} // namespace gatekit::net

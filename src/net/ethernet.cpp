@@ -1,0 +1,43 @@
+#include "net/ethernet.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+Bytes EthernetFrame::serialize() const {
+    BufferWriter w(payload.size() + 18);
+    w.bytes(dst.octets());
+    w.bytes(src.octets());
+    if (vlan_id) {
+        GK_EXPECTS(*vlan_id < 4096);
+        w.u16(kEtherTypeVlan);
+        w.u16(*vlan_id); // PCP/DEI zero
+    }
+    w.u16(ethertype);
+    w.bytes(payload);
+    return w.take();
+}
+
+EthernetFrame EthernetFrame::parse(std::span<const std::uint8_t> data) {
+    BufferReader r(data);
+    EthernetFrame f;
+    std::array<std::uint8_t, 6> mac{};
+    auto read_mac = [&r, &mac] {
+        auto b = r.bytes(6);
+        std::copy(b.begin(), b.end(), mac.begin());
+        return MacAddr{mac};
+    };
+    f.dst = read_mac();
+    f.src = read_mac();
+    std::uint16_t type = r.u16();
+    if (type == kEtherTypeVlan) {
+        f.vlan_id = r.u16() & 0x0fff;
+        type = r.u16();
+    }
+    f.ethertype = type;
+    const auto rest = r.rest();
+    f.payload.assign(rest.begin(), rest.end());
+    return f;
+}
+
+} // namespace gatekit::net

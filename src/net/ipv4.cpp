@@ -1,0 +1,153 @@
+#include "net/ipv4.hpp"
+
+#include "net/checksum.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+Bytes Ipv4Packet::serialize() const {
+    const std::size_t hlen = h.header_len();
+    GK_EXPECTS(hlen >= 20 && hlen <= 60);
+    const std::size_t total = hlen + payload.size();
+    GK_EXPECTS(total <= 0xffff);
+
+    BufferWriter w(total);
+    w.u8(static_cast<std::uint8_t>(0x40 | (hlen / 4))); // version 4 + IHL
+    w.u8(h.tos);
+    w.u16(static_cast<std::uint16_t>(total));
+    w.u16(h.id);
+    std::uint16_t flags_frag = h.frag_offset & 0x1fff;
+    if (h.dont_fragment) flags_frag |= 0x4000;
+    if (h.more_fragments) flags_frag |= 0x2000;
+    w.u16(flags_frag);
+    w.u8(h.ttl);
+    w.u8(h.protocol);
+    w.u16(0); // checksum placeholder
+    w.u32(h.src.value());
+    w.u32(h.dst.value());
+    w.bytes(h.options);
+    // Pad options to a 4-byte boundary with End-of-Options octets.
+    w.zeros(hlen - 20 - h.options.size());
+    const auto ck = internet_checksum(w.view().subspan(0, hlen));
+    w.patch_u16(10, ck);
+    w.bytes(payload);
+    return w.take();
+}
+
+namespace {
+
+/// Shared header parser; `truncated_ok` relaxes the total-length check for
+/// datagram prefixes quoted inside ICMP errors.
+Ipv4Packet parse_impl(std::span<const std::uint8_t> data, bool truncated_ok) {
+    BufferReader r(data);
+    const std::uint8_t ver_ihl = r.u8();
+    if ((ver_ihl >> 4) != 4) throw ParseError("not IPv4");
+    const std::size_t hlen = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
+    if (hlen < 20 || hlen > data.size())
+        throw ParseError("bad IPv4 header length");
+
+    Ipv4Packet p;
+    p.h.tos = r.u8();
+    const std::uint16_t total = r.u16();
+    if (total < hlen || (!truncated_ok && total > data.size()))
+        throw ParseError("bad IPv4 total length");
+    p.h.id = r.u16();
+    const std::uint16_t flags_frag = r.u16();
+    p.h.dont_fragment = (flags_frag & 0x4000) != 0;
+    p.h.more_fragments = (flags_frag & 0x2000) != 0;
+    p.h.frag_offset = flags_frag & 0x1fff;
+    p.h.ttl = r.u8();
+    p.h.protocol = r.u8();
+    p.h.stored_checksum = r.u16();
+    p.h.src = Ipv4Addr{r.u32()};
+    p.h.dst = Ipv4Addr{r.u32()};
+    if (hlen > 20) {
+        // Keep option bytes verbatim (padding included): option bodies
+        // such as Record Route legitimately contain zero bytes.
+        auto opts = r.bytes(hlen - 20);
+        p.h.options.assign(opts.begin(), opts.end());
+    }
+    p.h.checksum_ok = internet_checksum(data.subspan(0, hlen)) == 0;
+    const std::size_t body_len =
+        std::min<std::size_t>(total - hlen, data.size() - hlen);
+    const auto body = data.subspan(hlen, body_len);
+    p.payload.assign(body.begin(), body.end());
+    return p;
+}
+
+} // namespace
+
+Ipv4Packet Ipv4Packet::parse(std::span<const std::uint8_t> data) {
+    return parse_impl(data, /*truncated_ok=*/false);
+}
+
+Ipv4Packet Ipv4Packet::parse_prefix(std::span<const std::uint8_t> data) {
+    return parse_impl(data, /*truncated_ok=*/true);
+}
+
+Bytes Ipv4Packet::make_record_route_option(int slots) {
+    GK_EXPECTS(slots >= 1 && slots <= 9);
+    Bytes opt;
+    opt.push_back(ipopt::kRecordRoute);
+    opt.push_back(static_cast<std::uint8_t>(3 + 4 * slots)); // length
+    opt.push_back(4);                                        // pointer
+    opt.insert(opt.end(), static_cast<std::size_t>(4 * slots), 0);
+    return opt;
+}
+
+namespace {
+
+/// Locate the Record Route option inside raw option bytes; returns the
+/// offset of its type octet or npos.
+std::size_t find_record_route(const Bytes& options) {
+    std::size_t i = 0;
+    while (i < options.size()) {
+        const std::uint8_t type = options[i];
+        if (type == ipopt::kEnd) break;
+        if (type == ipopt::kNop) {
+            ++i;
+            continue;
+        }
+        if (i + 1 >= options.size()) break;
+        const std::uint8_t len = options[i + 1];
+        if (len < 2 || i + len > options.size()) break;
+        if (type == ipopt::kRecordRoute) return i;
+        i += len;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+} // namespace
+
+std::vector<Ipv4Addr> Ipv4Packet::recorded_route() const {
+    std::vector<Ipv4Addr> out;
+    const auto at = find_record_route(h.options);
+    if (at == static_cast<std::size_t>(-1)) return out;
+    const std::uint8_t len = h.options[at + 1];
+    const std::uint8_t ptr = h.options[at + 2];
+    // Entries occupy [4, ptr) relative to the option start.
+    for (std::size_t off = 3; off + 4 <= std::min<std::size_t>(ptr - 1, len);
+         off += 4) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v = (v << 8) | h.options[at + off + i];
+        out.emplace_back(v);
+    }
+    return out;
+}
+
+void Ipv4Packet::record_route(Ipv4Addr router) {
+    const auto at = find_record_route(h.options);
+    if (at == static_cast<std::size_t>(-1)) return;
+    const std::uint8_t len = h.options[at + 1];
+    const std::uint8_t ptr = h.options[at + 2];
+    if (ptr + 3 > len + 1) return; // full
+    const std::size_t slot = at + ptr - 1;
+    if (slot + 4 > at + len) return;
+    const std::uint32_t v = router.value();
+    for (int i = 0; i < 4; ++i)
+        h.options[slot + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (24 - 8 * i));
+    h.options[at + 2] = static_cast<std::uint8_t>(ptr + 4);
+}
+
+} // namespace gatekit::net

@@ -1,0 +1,78 @@
+// IPv4 header + datagram (RFC 791), including option handling (the paper
+// notes some gateways ignore Record Route, so options are first-class).
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "net/buffer.hpp"
+
+namespace gatekit::net {
+
+/// IP protocol numbers used in this study.
+namespace proto {
+inline constexpr std::uint8_t kIcmp = 1;
+inline constexpr std::uint8_t kTcp = 6;
+inline constexpr std::uint8_t kUdp = 17;
+inline constexpr std::uint8_t kDccp = 33;
+inline constexpr std::uint8_t kSctp = 132;
+} // namespace proto
+
+/// IPv4 option type octets.
+namespace ipopt {
+inline constexpr std::uint8_t kEnd = 0;
+inline constexpr std::uint8_t kNop = 1;
+inline constexpr std::uint8_t kRecordRoute = 7;
+} // namespace ipopt
+
+struct Ipv4Header {
+    std::uint8_t tos = 0;
+    std::uint16_t id = 0;
+    bool dont_fragment = false;
+    bool more_fragments = false;
+    std::uint16_t frag_offset = 0; ///< in 8-byte units
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = 0;
+    Ipv4Addr src;
+    Ipv4Addr dst;
+    Bytes options; ///< raw option bytes; serializer pads to 4-byte multiple
+
+    /// Set by parse(): the checksum value found on the wire and whether it
+    /// verified. The NAT bug tests depend on being able to see bad sums.
+    std::uint16_t stored_checksum = 0;
+    bool checksum_ok = true;
+
+    std::size_t header_len() const {
+        return 20 + ((options.size() + 3) / 4) * 4;
+    }
+};
+
+struct Ipv4Packet {
+    Ipv4Header h;
+    Bytes payload;
+
+    /// Serialize with freshly computed header checksum and total length.
+    Bytes serialize() const;
+
+    /// Parse a datagram. Never throws on a bad checksum (that's data, and
+    /// the study inspects it); throws ParseError on structural damage.
+    static Ipv4Packet parse(std::span<const std::uint8_t> data);
+
+    /// Parse a possibly truncated datagram prefix, as quoted inside ICMP
+    /// error payloads (IP header + first 8 transport bytes). The payload
+    /// holds however many bytes follow the header, regardless of the
+    /// total-length field.
+    static Ipv4Packet parse_prefix(std::span<const std::uint8_t> data);
+
+    /// Build a Record Route option body with `slots` empty entries.
+    static Bytes make_record_route_option(int slots);
+
+    /// Extract the addresses recorded in a Record Route option, if present.
+    std::vector<Ipv4Addr> recorded_route() const;
+
+    /// Append this router's address into the Record Route option (if one
+    /// exists and has space), as a cooperating router would.
+    void record_route(Ipv4Addr router);
+};
+
+} // namespace gatekit::net

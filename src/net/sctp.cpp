@@ -1,0 +1,74 @@
+#include "net/sctp.hpp"
+
+#include "net/checksum.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+Bytes SctpPacket::serialize() const {
+    BufferWriter w(12 + chunks.size() * 8);
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u32(verification_tag);
+    w.u32(0); // checksum placeholder
+    for (const auto& c : chunks) {
+        const std::size_t len = 4 + c.value.size();
+        GK_EXPECTS(len <= 0xffff);
+        w.u8(static_cast<std::uint8_t>(c.type));
+        w.u8(c.flags);
+        w.u16(static_cast<std::uint16_t>(len));
+        w.bytes(c.value);
+        // Chunks are padded to 4-byte boundaries; padding is not counted
+        // in the chunk length.
+        w.zeros((4 - len % 4) % 4);
+    }
+    // RFC 4960 appendix B: CRC32c computed with the checksum field zeroed,
+    // then stored in little-endian byte order.
+    const std::uint32_t crc = crc32c(w.view());
+    auto bytes = w.mutable_view();
+    bytes[8] = static_cast<std::uint8_t>(crc);
+    bytes[9] = static_cast<std::uint8_t>(crc >> 8);
+    bytes[10] = static_cast<std::uint8_t>(crc >> 16);
+    bytes[11] = static_cast<std::uint8_t>(crc >> 24);
+    return w.take();
+}
+
+SctpPacket SctpPacket::parse(std::span<const std::uint8_t> data) {
+    if (data.size() < 12) throw ParseError("SCTP packet too short");
+    BufferReader r(data);
+    SctpPacket p;
+    p.src_port = r.u16();
+    p.dst_port = r.u16();
+    p.verification_tag = r.u32();
+    // Little-endian stored CRC.
+    const auto c0 = r.u8(), c1 = r.u8(), c2 = r.u8(), c3 = r.u8();
+    p.stored_crc = static_cast<std::uint32_t>(c0) |
+                   (static_cast<std::uint32_t>(c1) << 8) |
+                   (static_cast<std::uint32_t>(c2) << 16) |
+                   (static_cast<std::uint32_t>(c3) << 24);
+    Bytes zeroed(data.begin(), data.end());
+    zeroed[8] = zeroed[9] = zeroed[10] = zeroed[11] = 0;
+    p.crc_ok = crc32c(zeroed) == p.stored_crc;
+
+    while (r.remaining() >= 4) {
+        SctpChunk c;
+        c.type = static_cast<SctpChunkType>(r.u8());
+        c.flags = r.u8();
+        const std::uint16_t len = r.u16();
+        if (len < 4 || static_cast<std::size_t>(len) - 4 > r.remaining())
+            throw ParseError("bad SCTP chunk length");
+        const auto body = r.bytes(len - 4u);
+        c.value.assign(body.begin(), body.end());
+        r.skip(std::min<std::size_t>((4 - len % 4) % 4, r.remaining()));
+        p.chunks.push_back(std::move(c));
+    }
+    return p;
+}
+
+const SctpChunk* SctpPacket::find(SctpChunkType t) const {
+    for (const auto& c : chunks)
+        if (c.type == t) return &c;
+    return nullptr;
+}
+
+} // namespace gatekit::net

@@ -1,0 +1,52 @@
+// SCTP wire format (RFC 4960): common header + chunk list, CRC32c
+// checksum. Crucially for the paper's Table 2 analysis, the CRC covers
+// only the SCTP packet itself — no IPv4 pseudo-header — which is why an
+// "IP-only" NAT fallback still yields working SCTP connections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/buffer.hpp"
+
+namespace gatekit::net {
+
+enum class SctpChunkType : std::uint8_t {
+    Data = 0,
+    Init = 1,
+    InitAck = 2,
+    Sack = 3,
+    Heartbeat = 4,
+    HeartbeatAck = 5,
+    Abort = 6,
+    Shutdown = 7,
+    ShutdownAck = 8,
+    CookieEcho = 10,
+    CookieAck = 11,
+};
+
+struct SctpChunk {
+    SctpChunkType type = SctpChunkType::Data;
+    std::uint8_t flags = 0;
+    Bytes value; ///< chunk body after the 4-byte chunk header
+
+    friend bool operator==(const SctpChunk&, const SctpChunk&) = default;
+};
+
+struct SctpPacket {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint32_t verification_tag = 0;
+    std::vector<SctpChunk> chunks;
+
+    std::uint32_t stored_crc = 0; ///< parse only
+    bool crc_ok = true;           ///< parse only
+
+    Bytes serialize() const;
+    static SctpPacket parse(std::span<const std::uint8_t> data);
+
+    const SctpChunk* find(SctpChunkType t) const;
+};
+
+} // namespace gatekit::net

@@ -1,0 +1,148 @@
+#include "net/tcp_header.hpp"
+
+#include "net/checksum.hpp"
+#include "net/ipv4.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+Bytes TcpSegment::serialize(Ipv4Addr src, Ipv4Addr dst) const {
+    const std::size_t hlen = header_len();
+    GK_EXPECTS(hlen <= 60);
+    const std::size_t total = hlen + payload.size();
+    GK_EXPECTS(total <= 0xffff);
+
+    BufferWriter w(total);
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u32(seq);
+    w.u32(ack);
+    std::uint16_t off_flags =
+        static_cast<std::uint16_t>((hlen / 4) << 12);
+    if (flags.urg) off_flags |= 0x20;
+    if (flags.ack) off_flags |= 0x10;
+    if (flags.psh) off_flags |= 0x08;
+    if (flags.rst) off_flags |= 0x04;
+    if (flags.syn) off_flags |= 0x02;
+    if (flags.fin) off_flags |= 0x01;
+    w.u16(off_flags);
+    w.u16(window);
+    w.u16(0); // checksum placeholder
+    w.u16(urgent);
+    w.bytes(options);
+    w.zeros(hlen - 20 - options.size());
+    w.bytes(payload);
+
+    ChecksumAccumulator acc;
+    add_pseudo_header(acc, src, dst, proto::kTcp,
+                      static_cast<std::uint16_t>(total));
+    acc.add_bytes(w.view());
+    w.patch_u16(16, acc.finalize());
+    return w.take();
+}
+
+TcpSegment TcpSegment::parse(std::span<const std::uint8_t> data,
+                             Ipv4Addr src, Ipv4Addr dst) {
+    BufferReader r(data);
+    TcpSegment s;
+    s.src_port = r.u16();
+    s.dst_port = r.u16();
+    s.seq = r.u32();
+    s.ack = r.u32();
+    const std::uint16_t off_flags = r.u16();
+    const std::size_t hlen = static_cast<std::size_t>(off_flags >> 12) * 4;
+    if (hlen < 20 || hlen > data.size())
+        throw ParseError("bad TCP data offset");
+    s.flags.urg = (off_flags & 0x20) != 0;
+    s.flags.ack = (off_flags & 0x10) != 0;
+    s.flags.psh = (off_flags & 0x08) != 0;
+    s.flags.rst = (off_flags & 0x04) != 0;
+    s.flags.syn = (off_flags & 0x02) != 0;
+    s.flags.fin = (off_flags & 0x01) != 0;
+    s.window = r.u16();
+    s.stored_checksum = r.u16();
+    s.urgent = r.u16();
+    if (hlen > 20) {
+        // Keep option bytes verbatim; option values may end in zero.
+        auto opts = r.bytes(hlen - 20);
+        s.options.assign(opts.begin(), opts.end());
+    }
+    const auto body = data.subspan(hlen);
+    s.payload.assign(body.begin(), body.end());
+
+    ChecksumAccumulator acc;
+    add_pseudo_header(acc, src, dst, proto::kTcp,
+                      static_cast<std::uint16_t>(data.size()));
+    acc.add_bytes(data);
+    s.checksum_ok = acc.finalize() == 0;
+    return s;
+}
+
+void TcpSegment::add_mss_option(std::uint16_t mss) {
+    options.push_back(2); // kind
+    options.push_back(4); // length
+    options.push_back(static_cast<std::uint8_t>(mss >> 8));
+    options.push_back(static_cast<std::uint8_t>(mss));
+}
+
+void TcpSegment::add_wscale_option(std::uint8_t shift) {
+    options.push_back(3); // kind
+    options.push_back(3); // length
+    options.push_back(shift);
+}
+
+namespace {
+
+/// Walk the option TLVs for `kind`; returns a view of its value bytes.
+std::optional<std::span<const std::uint8_t>>
+find_option(const Bytes& options, std::uint8_t want, std::uint8_t want_len) {
+    std::size_t i = 0;
+    while (i < options.size()) {
+        const std::uint8_t kind = options[i];
+        if (kind == 0) break; // end of options
+        if (kind == 1) {      // NOP
+            ++i;
+            continue;
+        }
+        if (i + 1 >= options.size()) break;
+        const std::uint8_t len = options[i + 1];
+        if (len < 2 || i + len > options.size()) break;
+        if (kind == want && len == want_len)
+            return std::span<const std::uint8_t>(options).subspan(i + 2,
+                                                                  len - 2u);
+        i += len;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::uint16_t> TcpSegment::mss_option() const {
+    if (auto v = find_option(options, 2, 4))
+        return static_cast<std::uint16_t>(((*v)[0] << 8) | (*v)[1]);
+    return std::nullopt;
+}
+
+std::optional<std::uint8_t> TcpSegment::wscale_option() const {
+    if (auto v = find_option(options, 3, 3)) return (*v)[0];
+    return std::nullopt;
+}
+
+std::string TcpSegment::flag_string() const {
+    std::string out;
+    auto add = [&out](bool on, const char* name) {
+        if (!on) return;
+        if (!out.empty()) out += '|';
+        out += name;
+    };
+    add(flags.syn, "SYN");
+    add(flags.ack, "ACK");
+    add(flags.fin, "FIN");
+    add(flags.rst, "RST");
+    add(flags.psh, "PSH");
+    add(flags.urg, "URG");
+    if (out.empty()) out = "-";
+    return out;
+}
+
+} // namespace gatekit::net

@@ -1,0 +1,51 @@
+#include "net/udp.hpp"
+
+#include "net/checksum.hpp"
+#include "net/ipv4.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+Bytes UdpDatagram::serialize(Ipv4Addr src, Ipv4Addr dst) const {
+    const std::size_t total = 8 + payload.size();
+    GK_EXPECTS(total <= 0xffff);
+    BufferWriter w(total);
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(static_cast<std::uint16_t>(total));
+    w.u16(0); // checksum placeholder
+    w.bytes(payload);
+
+    ChecksumAccumulator acc;
+    add_pseudo_header(acc, src, dst, proto::kUdp,
+                      static_cast<std::uint16_t>(total));
+    acc.add_bytes(w.view());
+    std::uint16_t ck = acc.finalize();
+    if (ck == 0) ck = 0xffff; // RFC 768: 0 means "no checksum"
+    w.patch_u16(6, ck);
+    return w.take();
+}
+
+UdpDatagram UdpDatagram::parse(std::span<const std::uint8_t> data,
+                               Ipv4Addr src, Ipv4Addr dst) {
+    BufferReader r(data);
+    UdpDatagram d;
+    d.src_port = r.u16();
+    d.dst_port = r.u16();
+    const std::uint16_t len = r.u16();
+    if (len < 8 || len > data.size()) throw ParseError("bad UDP length");
+    d.stored_checksum = r.u16();
+    const auto body = data.subspan(8, len - 8);
+    d.payload.assign(body.begin(), body.end());
+    if (d.stored_checksum == 0) {
+        d.checksum_ok = true; // checksum disabled by sender
+    } else {
+        ChecksumAccumulator acc;
+        add_pseudo_header(acc, src, dst, proto::kUdp, len);
+        acc.add_bytes(data.subspan(0, len));
+        d.checksum_ok = acc.finalize() == 0;
+    }
+    return d;
+}
+
+} // namespace gatekit::net

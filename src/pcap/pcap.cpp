@@ -1,0 +1,104 @@
+#include "pcap/pcap.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "net/buffer.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::pcap {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4; // microsecond timestamps
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    out.write(b, 4);
+}
+
+void put_u16le(std::ostream& out, std::uint16_t v) {
+    char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+    out.write(b, 2);
+}
+
+std::uint32_t get_u32le(std::span<const std::uint8_t> d, std::size_t off) {
+    return static_cast<std::uint32_t>(d[off]) |
+           (static_cast<std::uint32_t>(d[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(d[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(d[off + 3]) << 24);
+}
+
+} // namespace
+
+void Writer::write_header(std::ostream& out) {
+    put_u32le(out, kMagic);
+    put_u16le(out, 2); // version major
+    put_u16le(out, 4); // version minor
+    put_u32le(out, 0); // thiszone
+    put_u32le(out, 0); // sigfigs
+    put_u32le(out, 65535); // snaplen
+    put_u32le(out, kLinkTypeEthernet);
+}
+
+void Writer::write_record(std::ostream& out, const Record& rec) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        rec.timestamp)
+                        .count();
+    put_u32le(out, static_cast<std::uint32_t>(us / 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(us % 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(rec.frame.size()));
+    put_u32le(out, static_cast<std::uint32_t>(rec.frame.size()));
+    out.write(reinterpret_cast<const char*>(rec.frame.data()),
+              static_cast<std::streamsize>(rec.frame.size()));
+}
+
+void Writer::write_file(const std::string& path,
+                        std::span<const Record> records) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    write_header(out);
+    for (const auto& rec : records) write_record(out, rec);
+    if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<Record> Reader::read(std::span<const std::uint8_t> data) {
+    if (data.size() < 24) throw net::ParseError("pcap too short");
+    if (get_u32le(data, 0) != kMagic)
+        throw net::ParseError("bad pcap magic (only usec little-endian "
+                              "captures supported)");
+    if (get_u32le(data, 20) != kLinkTypeEthernet)
+        throw net::ParseError("unsupported pcap link type");
+    std::vector<Record> records;
+    std::size_t off = 24;
+    while (off + 16 <= data.size()) {
+        const std::uint32_t sec = get_u32le(data, off);
+        const std::uint32_t usec = get_u32le(data, off + 4);
+        const std::uint32_t caplen = get_u32le(data, off + 8);
+        off += 16;
+        if (off + caplen > data.size())
+            throw net::ParseError("truncated pcap record");
+        Record rec;
+        rec.timestamp = std::chrono::seconds(sec) +
+                        std::chrono::microseconds(usec);
+        rec.frame.assign(data.begin() + static_cast<long>(off),
+                         data.begin() + static_cast<long>(off + caplen));
+        records.push_back(std::move(rec));
+        off += caplen;
+    }
+    if (off != data.size()) throw net::ParseError("trailing pcap bytes");
+    return records;
+}
+
+std::vector<Record> Reader::read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string s = ss.str();
+    return read({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+} // namespace gatekit::pcap

@@ -1,0 +1,41 @@
+// Classic pcap file format (LINKTYPE_ETHERNET, microsecond timestamps).
+// The paper's ICMP verdicts come from inspecting packet traces; ours come
+// from the same kind of trace, written by taps on simulated links. Files
+// are also readable by Wireshark/tcpdump for debugging.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gatekit::pcap {
+
+struct Record {
+    sim::TimePoint timestamp{};
+    std::vector<std::uint8_t> frame;
+};
+
+/// Serialize records to a pcap byte stream / file.
+class Writer {
+public:
+    /// Write the 24-byte global header.
+    static void write_header(std::ostream& out);
+    /// Append one record.
+    static void write_record(std::ostream& out, const Record& rec);
+    /// Convenience: whole capture to a file. Throws std::runtime_error on
+    /// I/O failure.
+    static void write_file(const std::string& path,
+                           std::span<const Record> records);
+};
+
+/// Parse a pcap byte stream; throws net::ParseError on malformed input.
+class Reader {
+public:
+    static std::vector<Record> read(std::span<const std::uint8_t> data);
+    static std::vector<Record> read_file(const std::string& path);
+};
+
+} // namespace gatekit::pcap

@@ -1,0 +1,99 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <ostream>
+
+#include "report/table.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace gatekit::report {
+
+void render_plot(std::ostream& out, const PlotOptions& options,
+                 const std::vector<PlotSeries>& series) {
+    GK_EXPECTS(!series.empty());
+    const auto& first = series.front();
+    GK_EXPECTS(!first.points.empty());
+    for (const auto& s : series)
+        GK_EXPECTS(s.points.size() == first.points.size());
+
+    // Device order: ascending by the first series (paper convention).
+    std::vector<std::size_t> order(first.points.size());
+    std::iota(order.begin(), order.end(), 0u);
+    if (options.sort_by_first_series) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return first.points[a].value <
+                                    first.points[b].value;
+                         });
+    }
+
+    double max_v = 0.0, min_v = 1e300;
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            max_v = std::max(max_v, p.value);
+            if (p.value > 0) min_v = std::min(min_v, p.value);
+        }
+    }
+    if (max_v <= 0) max_v = 1.0;
+    if (min_v > max_v) min_v = max_v;
+
+    auto bar_len = [&](double v) -> int {
+        if (v <= 0) return 0;
+        double frac;
+        if (options.log_scale && max_v > min_v) {
+            frac = (std::log10(v) - std::log10(min_v)) /
+                   (std::log10(max_v) - std::log10(min_v));
+        } else {
+            frac = v / max_v;
+        }
+        frac = std::clamp(frac, 0.0, 1.0);
+        return static_cast<int>(std::lround(frac * options.bar_width));
+    };
+
+    out << options.title << '\n';
+    out << std::string(options.title.size(), '=') << '\n';
+
+    std::size_t label_w = 5;
+    for (const auto& p : first.points)
+        label_w = std::max(label_w, p.label.size());
+
+    // Header for multi-series output.
+    if (series.size() > 1) {
+        out << std::setw(static_cast<int>(label_w)) << std::left << "tag";
+        for (const auto& s : series)
+            out << "  " << std::setw(10) << std::right << s.name;
+        out << '\n';
+    }
+
+    for (std::size_t idx : order) {
+        const auto& p = first.points[idx];
+        out << std::setw(static_cast<int>(label_w)) << std::left << p.label;
+        for (const auto& s : series) {
+            out << "  " << std::setw(10) << std::right
+                << fmt_double(s.points[idx].value);
+        }
+        if (p.q1 && p.q3 && (*p.q3 - *p.q1) > 0.005 * std::max(1.0, p.value)) {
+            out << "  [" << fmt_double(*p.q1) << ", " << fmt_double(*p.q3)
+                << "]";
+        }
+        out << "  |" << std::string(static_cast<std::size_t>(
+                            std::max(0, bar_len(p.value))), '#')
+            << '\n';
+    }
+
+    if (options.footer_stats) {
+        std::vector<double> xs;
+        for (const auto& p : first.points) xs.push_back(p.value);
+        out << "Pop. Median = " << fmt_double(stats::median(xs))
+            << " " << options.unit
+            << "   Pop. Mean = " << fmt_double(stats::mean(xs)) << " "
+            << options.unit << '\n';
+    }
+    out << '\n';
+}
+
+} // namespace gatekit::report

@@ -1,0 +1,40 @@
+// Terminal rendering of the paper's device-ordered figures: one row per
+// device, values as aligned numbers plus a proportional bar, population
+// median/mean in the footer — the same information Figures 2-10 carry.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gatekit::report {
+
+struct PlotPoint {
+    std::string label; ///< device tag
+    double value = 0.0;
+    std::optional<double> q1; ///< lower quartile (error bar)
+    std::optional<double> q3; ///< upper quartile
+};
+
+struct PlotSeries {
+    std::string name;
+    std::vector<PlotPoint> points; ///< same label order across series
+};
+
+struct PlotOptions {
+    std::string title;
+    std::string unit;
+    bool log_scale = false; ///< Figure 7 uses a log axis
+    bool sort_by_first_series = true; ///< devices ordered by value, as in
+                                      ///< the paper's figures
+    int bar_width = 40;
+    bool footer_stats = true; ///< print Pop. Median / Pop. Mean
+};
+
+/// Render one or more series (multi-series figures like Figure 2 print
+/// every series' value per device; the bar tracks the first series).
+void render_plot(std::ostream& out, const PlotOptions& options,
+                 const std::vector<PlotSeries>& series);
+
+} // namespace gatekit::report

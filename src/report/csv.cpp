@@ -1,0 +1,52 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace gatekit::report {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    GK_EXPECTS(!headers_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+    GK_EXPECTS(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string CsvWriter::to_string() const {
+    std::ostringstream ss;
+    auto emit = [&ss](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i) ss << ',';
+            ss << escape(cells[i]);
+        }
+        ss << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return ss.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << to_string();
+    if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+} // namespace gatekit::report

@@ -1,0 +1,26 @@
+// CSV export of bench results, for replotting with external tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gatekit::report {
+
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Write the file; throws std::runtime_error on I/O failure.
+    void save(const std::string& path) const;
+
+    std::string to_string() const;
+
+private:
+    static std::string escape(const std::string& cell);
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gatekit::report

@@ -1,0 +1,57 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace gatekit::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    GK_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    GK_EXPECTS(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]))
+                << cells[c];
+            if (c + 1 < cells.size()) out << "  ";
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+    std::ostringstream ss;
+    print(ss);
+    return ss.str();
+}
+
+std::string fmt_double(double v, int decimals) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << v;
+    return ss.str();
+}
+
+} // namespace gatekit::report

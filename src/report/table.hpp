@@ -1,0 +1,31 @@
+// Column-aligned text tables for bench output (Table 1, Table 2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gatekit::report {
+
+class TextTable {
+public:
+    /// Define columns; every subsequent row must match the column count.
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with single-space-padded columns and a separator rule.
+    void print(std::ostream& out) const;
+    std::string to_string() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the bench binaries.
+std::string fmt_double(double v, int decimals = 2);
+
+} // namespace gatekit::report

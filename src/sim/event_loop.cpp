@@ -1,0 +1,69 @@
+#include "sim/event_loop.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gatekit::sim {
+
+EventId EventLoop::at(TimePoint t, Handler fn) {
+    GK_EXPECTS(t >= now_);
+    GK_EXPECTS(fn != nullptr);
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(Event{t, seq, std::move(fn)});
+    return EventId{seq};
+}
+
+EventId EventLoop::after(Duration d, Handler fn) {
+    GK_EXPECTS(d >= Duration::zero());
+    return at(now_ + d, std::move(fn));
+}
+
+void EventLoop::cancel(EventId id) {
+    if (!id) return;
+    cancelled_.push_back(id.value());
+}
+
+bool EventLoop::is_cancelled(std::uint64_t seq) const {
+    return std::find(cancelled_.begin(), cancelled_.end(), seq) !=
+           cancelled_.end();
+}
+
+void EventLoop::fire(Event& ev) {
+    now_ = ev.when;
+    if (is_cancelled(ev.seq)) {
+        cancelled_.erase(
+            std::remove(cancelled_.begin(), cancelled_.end(), ev.seq),
+            cancelled_.end());
+        return;
+    }
+    ++processed_;
+    ev.fn();
+}
+
+bool EventLoop::step() {
+    if (queue_.empty()) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    fire(ev);
+    return true;
+}
+
+void EventLoop::run() {
+    while (step()) {
+    }
+}
+
+void EventLoop::run_until(TimePoint t) {
+    GK_EXPECTS(t >= now_);
+    while (!queue_.empty() && queue_.top().when <= t) {
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        fire(ev);
+    }
+    now_ = t;
+}
+
+void EventLoop::run_for(Duration d) { run_until(now_ + d); }
+
+} // namespace gatekit::sim

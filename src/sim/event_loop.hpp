@@ -1,0 +1,90 @@
+// Discrete-event simulation core: a priority queue of timestamped callbacks
+// driven in virtual time. A 24-hour NAT-timeout binary search runs in
+// milliseconds of wall time because nothing ever sleeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gatekit::sim {
+
+/// Handle that allows cancelling a scheduled event. Cancellation is lazy:
+/// the event stays queued but its handler is not invoked.
+class EventId {
+public:
+    EventId() = default;
+
+    explicit operator bool() const { return seq_ != 0; }
+    std::uint64_t value() const { return seq_; }
+
+private:
+    friend class EventLoop;
+    explicit EventId(std::uint64_t seq) : seq_(seq) {}
+    std::uint64_t seq_ = 0;
+};
+
+/// The virtual-time event loop. Events scheduled for the same instant run
+/// in FIFO order of scheduling, which keeps packet ordering deterministic.
+class EventLoop {
+public:
+    using Handler = std::function<void()>;
+
+    /// Current virtual time.
+    TimePoint now() const { return now_; }
+
+    /// Schedule `fn` at absolute virtual time `t` (>= now()).
+    EventId at(TimePoint t, Handler fn);
+
+    /// Schedule `fn` after `d` has elapsed (d >= 0).
+    EventId after(Duration d, Handler fn);
+
+    /// Cancel a scheduled event. Idempotent; cancelling a fired or unknown
+    /// event is a no-op.
+    void cancel(EventId id);
+
+    /// Run a single event if any is pending. Returns false when idle.
+    bool step();
+
+    /// Run until the queue drains.
+    void run();
+
+    /// Run all events with timestamps <= t, then advance the clock to t.
+    void run_until(TimePoint t);
+
+    /// Convenience: run_until(now() + d).
+    void run_for(Duration d);
+
+    /// Number of handlers executed so far (diagnostics).
+    std::uint64_t events_processed() const { return processed_; }
+
+    /// Number of events currently queued (including cancelled ones).
+    std::size_t pending() const { return queue_.size(); }
+
+private:
+    struct Event {
+        TimePoint when;
+        std::uint64_t seq; // tie-break: FIFO among equal timestamps
+        Handler fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void fire(Event& ev);
+    bool is_cancelled(std::uint64_t seq) const;
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::vector<std::uint64_t> cancelled_; // sorted lazily on lookup
+    TimePoint now_{0};
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace gatekit::sim

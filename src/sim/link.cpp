@@ -1,0 +1,50 @@
+#include "sim/link.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::sim {
+
+Link::Link(EventLoop& loop, std::uint64_t bits_per_sec, Duration propagation)
+    : loop_(loop), rate_(bits_per_sec), prop_(propagation) {
+    GK_EXPECTS(bits_per_sec > 0);
+    GK_EXPECTS(propagation >= Duration::zero());
+}
+
+void Link::attach(Side side, FrameSink& sink) {
+    // The receiver for frames arriving at `side` terminates the direction
+    // flowing *toward* that side.
+    dir(side == Side::A ? Side::B : Side::A).receiver = &sink;
+}
+
+Duration Link::tx_time(std::size_t bytes) const {
+    // Whole-frame serialization delay at the configured bit rate.
+    const auto bits = static_cast<std::uint64_t>(bytes) * 8u;
+    return Duration(static_cast<std::int64_t>(bits * 1'000'000'000ULL / rate_));
+}
+
+void Link::send(Side from, Frame frame) {
+    Direction& d = dir(from);
+    GK_EXPECTS(d.receiver != nullptr);
+    // Finite transmit backlog: drop when more than tx_queue_bytes_ of
+    // serialization time is already committed ahead of this frame.
+    if (d.busy_until > loop_.now()) {
+        const auto backlog_bits =
+            static_cast<double>((d.busy_until - loop_.now()).count()) *
+            static_cast<double>(rate_) / 1e9;
+        if (backlog_bits / 8.0 > static_cast<double>(tx_queue_bytes_)) {
+            ++d.tx_drops;
+            return;
+        }
+    }
+    const TimePoint start = std::max(loop_.now(), d.busy_until);
+    const TimePoint done = start + tx_time(frame.size());
+    d.busy_until = done;
+    ++d.frames_sent;
+    if (tap_) tap_(from, start, frame);
+    FrameSink* rx = d.receiver;
+    loop_.at(done + prop_, [rx, f = std::move(frame)]() mutable {
+        rx->frame_in(std::move(f));
+    });
+}
+
+} // namespace gatekit::sim

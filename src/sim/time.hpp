@@ -1,0 +1,38 @@
+// Virtual time vocabulary types. All simulation time is nanoseconds since
+// simulation start; std::chrono gives us unit-safe arithmetic for free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gatekit::sim {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds; // offset from simulation start
+
+constexpr Duration operator""_sec(unsigned long long s) {
+    return std::chrono::seconds(s);
+}
+constexpr Duration operator""_ms(unsigned long long ms) {
+    return std::chrono::milliseconds(ms);
+}
+constexpr Duration operator""_us(unsigned long long us) {
+    return std::chrono::microseconds(us);
+}
+
+/// Seconds as a double -> Duration (rounding to whole nanoseconds).
+constexpr Duration from_sec(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+
+/// Duration -> seconds as a double.
+constexpr double to_sec(Duration d) {
+    return static_cast<double>(d.count()) / 1e9;
+}
+
+/// Duration -> milliseconds as a double.
+constexpr double to_ms(Duration d) {
+    return static_cast<double>(d.count()) / 1e6;
+}
+
+} // namespace gatekit::sim

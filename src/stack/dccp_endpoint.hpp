@@ -1,0 +1,61 @@
+// Minimal DCCP endpoint: Request / Response / Ack handshake plus Data
+// packets — enough for the paper's DCCP connectivity test. The endpoint
+// validates the DCCP checksum (which covers an IPv4 pseudo-header), so
+// packets whose addresses were rewritten without a checksum fix-up are
+// dropped here, exactly as on a real host.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/addr.hpp"
+#include "net/dccp.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::stack {
+
+class Host;
+
+class DccpEndpoint {
+public:
+    std::function<void()> on_established;
+    std::function<void(std::span<const std::uint8_t>)> on_data;
+    std::function<void(const std::string&)> on_error;
+
+    net::Endpoint local() const { return {local_addr_, local_port_}; }
+
+    /// Active open. Retries the Request a few times, then fails.
+    void connect(net::Endpoint remote, std::uint32_t service_code = 42);
+
+    /// Passive mode: accept the first connection arriving at our port.
+    void listen() { listening_ = true; }
+
+    bool send_data(net::Bytes payload);
+
+    bool established() const { return state_ == State::Open; }
+
+private:
+    friend class Host;
+    DccpEndpoint(Host& host, net::Ipv4Addr local_addr,
+                 std::uint16_t local_port)
+        : host_(host), local_addr_(local_addr), local_port_(local_port) {}
+
+    enum class State { Closed, RequestSent, RespondSent, Open };
+
+    void on_packet(const net::DccpPacket& pkt, net::Ipv4Addr peer_addr);
+    void send_packet(net::DccpPacket pkt);
+    void arm_retry();
+
+    Host& host_;
+    net::Ipv4Addr local_addr_;
+    std::uint16_t local_port_ = 0;
+    net::Endpoint remote_;
+    State state_ = State::Closed;
+    bool listening_ = false;
+    std::uint32_t service_code_ = 0;
+    std::uint64_t seq_ = 1;
+    sim::EventId retry_timer_;
+    int retries_ = 0;
+};
+
+} // namespace gatekit::stack

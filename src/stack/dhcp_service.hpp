@@ -1,0 +1,103 @@
+// DHCP server and client services (RFC 2131) over Host UDP sockets.
+// The testbed uses one server instance per WAN VLAN (the test server
+// leasing gateway WAN addresses) plus one inside every home gateway, and
+// a client per test-client vlan-if and per gateway WAN interface.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/dhcp.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::stack {
+
+class Host;
+class Iface;
+class UdpSocket;
+
+/// Network configuration handed out by a DHCP server.
+struct DhcpServerConfig {
+    net::Ipv4Addr pool_base;  ///< first leasable address
+    int pool_size = 100;
+    int prefix_len = 24;
+    net::Ipv4Addr router;
+    net::Ipv4Addr dns_server;
+    std::uint32_t lease_seconds = 86400;
+};
+
+class DhcpServer {
+public:
+    /// Serve on `iface` (must be configured; its address becomes the
+    /// server identifier).
+    DhcpServer(Host& host, Iface& iface, DhcpServerConfig config);
+    ~DhcpServer();
+
+    DhcpServer(const DhcpServer&) = delete;
+    DhcpServer& operator=(const DhcpServer&) = delete;
+
+    std::size_t lease_count() const { return leases_.size(); }
+    std::optional<net::Ipv4Addr> lease_for(net::MacAddr mac) const;
+
+private:
+    void on_datagram(const net::DhcpMessage& msg);
+    net::Ipv4Addr allocate(net::MacAddr mac);
+    void reply(const net::DhcpMessage& req, net::DhcpMessageType type,
+               net::Ipv4Addr yiaddr);
+
+    Host& host_;
+    Iface& iface_;
+    DhcpServerConfig config_;
+    UdpSocket* sock_ = nullptr;
+    std::map<net::MacAddr, net::Ipv4Addr> leases_;
+    int next_offset_ = 0;
+};
+
+/// Result of a successful DHCP exchange.
+struct DhcpLease {
+    net::Ipv4Addr addr;
+    int prefix_len = 24;
+    net::Ipv4Addr router;
+    net::Ipv4Addr dns_server;
+    std::uint32_t lease_seconds = 0;
+};
+
+class DhcpClient {
+public:
+    using ConfiguredHandler = std::function<void(const DhcpLease&)>;
+    using FailedHandler = std::function<void()>;
+
+    DhcpClient(Host& host, Iface& iface);
+    ~DhcpClient();
+
+    DhcpClient(const DhcpClient&) = delete;
+    DhcpClient& operator=(const DhcpClient&) = delete;
+
+    /// Run DISCOVER/OFFER/REQUEST/ACK. On ACK, configures the interface
+    /// and fires the callback. Mirrors the paper's modified dhcp client:
+    /// it does NOT install a default route; the caller decides routes.
+    void start(ConfiguredHandler on_configured, FailedHandler on_failed = {});
+
+    bool configured() const { return lease_.has_value(); }
+    const std::optional<DhcpLease>& lease() const { return lease_; }
+
+private:
+    void send_discover();
+    void on_datagram(const net::DhcpMessage& msg);
+    void arm_timeout();
+
+    Host& host_;
+    Iface& iface_;
+    UdpSocket* sock_ = nullptr;
+    std::uint32_t xid_ = 0;
+    std::optional<DhcpLease> lease_;
+    ConfiguredHandler on_configured_;
+    FailedHandler on_failed_;
+    sim::EventId timeout_;
+    int attempts_ = 0;
+    enum class Phase { Idle, Selecting, Requesting, Bound } phase_ =
+        Phase::Idle;
+};
+
+} // namespace gatekit::stack

@@ -1,0 +1,96 @@
+// DNS server and client over Host sockets, speaking both UDP and TCP
+// transports (TCP uses the RFC 1035 two-byte length prefix). The client
+// doubles as the study's `dig`-equivalent for the DNS-over-TCP proxy test.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/dns.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::stack {
+
+class Host;
+class UdpSocket;
+class TcpListener;
+class TcpSocket;
+
+/// Authoritative-style DNS server: a static name -> A-record table,
+/// answering over UDP and (optionally) TCP on port 53.
+class DnsServer {
+public:
+    DnsServer(Host& host, net::Ipv4Addr listen_addr, bool with_tcp = true);
+    ~DnsServer();
+
+    DnsServer(const DnsServer&) = delete;
+    DnsServer& operator=(const DnsServer&) = delete;
+
+    void add_record(std::string name, net::Ipv4Addr addr);
+    /// Serve a large TXT answer (a stand-in for DNSSEC-sized responses)
+    /// of ~`size` bytes under `name`.
+    void add_txt_record(std::string name, std::size_t size);
+
+    std::uint64_t udp_queries() const { return udp_queries_; }
+    std::uint64_t tcp_queries() const { return tcp_queries_; }
+
+    /// Answer a query message (shared by both transports; public so the
+    /// gateway's DNS proxy can reuse the logic in tests).
+    net::DnsMessage answer(const net::DnsMessage& query) const;
+
+private:
+    void on_tcp_conn(TcpSocket& conn);
+
+    Host& host_;
+    std::map<std::string, net::Ipv4Addr> records_;
+    std::map<std::string, net::DnsRecord> txt_records_;
+    UdpSocket* udp_ = nullptr;
+    TcpListener* tcp_ = nullptr;
+    std::uint64_t udp_queries_ = 0;
+    std::uint64_t tcp_queries_ = 0;
+    std::map<TcpSocket*, net::Bytes> tcp_rx_; ///< per-conn reassembly
+};
+
+/// Stream reassembler for the RFC 1035 TCP framing: feed segments, pop
+/// complete DNS messages.
+class DnsTcpFramer {
+public:
+    void feed(std::span<const std::uint8_t> data);
+    /// Extract the next complete message, if any.
+    bool next(net::Bytes& out);
+    /// Frame a message for the wire.
+    static net::Bytes frame(const net::Bytes& message);
+
+private:
+    net::Bytes buf_;
+};
+
+/// One-shot DNS resolver with UDP and TCP transports.
+class DnsClient {
+public:
+    explicit DnsClient(Host& host) : host_(host) {}
+
+    struct Result {
+        bool ok = false;
+        net::Ipv4Addr addr;
+        std::string error; ///< set when !ok
+    };
+    using Handler = std::function<void(const Result&)>;
+
+    /// Resolve over UDP with retransmission; fails after `retries`.
+    void query_udp(net::Endpoint server, const std::string& name, Handler h,
+                   int retries = 2,
+                   sim::Duration timeout = std::chrono::seconds(2));
+
+    /// Resolve over TCP (connect, length-prefixed query, response).
+    void query_tcp(net::Endpoint server, net::Ipv4Addr local_addr,
+                   const std::string& name, Handler h,
+                   sim::Duration timeout = std::chrono::seconds(5));
+
+private:
+    Host& host_;
+    std::uint16_t next_id_ = 0x4242;
+};
+
+} // namespace gatekit::stack

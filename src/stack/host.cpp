@@ -1,0 +1,406 @@
+#include "stack/host.hpp"
+
+#include "net/dccp.hpp"
+#include "net/sctp.hpp"
+#include "net/udp.hpp"
+#include "stack/dccp_endpoint.hpp"
+#include "stack/sctp_endpoint.hpp"
+#include "stack/tcp_socket.hpp"
+#include "stack/udp_socket.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::stack {
+
+Host::Host(sim::EventLoop& loop, std::string name, net::MacAddr mac)
+    : loop_(loop), name_(std::move(name)) {
+    nics_.push_back(std::make_unique<NetIf>(loop, mac));
+}
+
+Host::~Host() = default;
+
+NetIf& Host::add_nic(net::MacAddr mac) {
+    nics_.push_back(std::make_unique<NetIf>(loop_, mac));
+    return *nics_.back();
+}
+
+Iface& Host::add_iface(std::optional<std::uint16_t> vlan) {
+    return add_iface_on(nic(), vlan);
+}
+
+Iface& Host::add_iface_on(NetIf& nic, std::optional<std::uint16_t> vlan) {
+    Iface& iface = nic.add_iface(vlan);
+    iface.set_ip_handler([this, &iface](const net::Ipv4Packet& pkt,
+                                        std::span<const std::uint8_t> raw) {
+        on_ip(iface, pkt, raw);
+    });
+    ifaces_.push_back(&iface);
+    return iface;
+}
+
+void Host::add_route(net::Ipv4Addr prefix, int prefix_len, Iface& iface,
+                     std::optional<net::Ipv4Addr> via) {
+    GK_EXPECTS(prefix_len >= 0 && prefix_len <= 32);
+    routes_.push_back(Route{prefix, prefix_len, &iface, via});
+}
+
+void Host::remove_routes_via(const Iface& iface) {
+    std::erase_if(routes_, [&](const Route& r) { return r.iface == &iface; });
+}
+
+const Route* Host::lookup_route(net::Ipv4Addr dst) const {
+    const Route* best = nullptr;
+    for (const auto& r : routes_) {
+        if (!dst.same_subnet(r.prefix, r.prefix_len)) continue;
+        if (best == nullptr || r.prefix_len > best->prefix_len) best = &r;
+    }
+    return best;
+}
+
+bool Host::send_ip(net::Ipv4Packet pkt) {
+    if (pkt.h.dst.is_broadcast()) return false; // needs an iface-bound send
+    // Local delivery without touching the wire (same-host traffic).
+    if (is_local_addr(pkt.h.dst)) {
+        GK_ASSERT(!ifaces_.empty());
+        const auto raw = pkt.serialize();
+        loop_.after(sim::Duration::zero(), [this, raw]() {
+            const auto parsed = net::Ipv4Packet::parse(raw);
+            deliver_local(*ifaces_.front(), parsed, raw);
+        });
+        return true;
+    }
+    const Route* route = lookup_route(pkt.h.dst);
+    if (route == nullptr || !route->iface->configured()) return false;
+    if (pkt.h.src.is_unspecified()) pkt.h.src = route->iface->addr();
+    if (pkt.h.id == 0) pkt.h.id = ip_id_++;
+    const net::Ipv4Addr next_hop = route->via ? *route->via : pkt.h.dst;
+    route->iface->send_ip(pkt, next_hop);
+    return true;
+}
+
+void Host::send_raw(Iface& iface, net::Bytes datagram,
+                    net::Ipv4Addr next_hop) {
+    iface.send_ip_raw(std::move(datagram), next_hop);
+}
+
+bool Host::is_local_addr(net::Ipv4Addr addr) const {
+    for (const Iface* iface : ifaces_)
+        if (iface->configured() && iface->addr() == addr) return true;
+    return false;
+}
+
+std::uint16_t Host::alloc_ephemeral_port() {
+    // Skip ports below the ephemeral range and wrap; collisions across
+    // protocols are harmless (separate demux spaces).
+    if (next_ephemeral_ < 33000) next_ephemeral_ = 33000;
+    return next_ephemeral_++;
+}
+
+void Host::on_ip(Iface& iface, const net::Ipv4Packet& pkt,
+                 std::span<const std::uint8_t> raw) {
+    const bool local = pkt.h.dst.is_broadcast() || is_local_addr(pkt.h.dst);
+    if (!local) {
+        if (forward_hook_) forward_hook_(iface, pkt, raw);
+        return; // hosts do not forward
+    }
+    deliver_local(iface, pkt, raw);
+}
+
+void Host::deliver_local(Iface& iface, const net::Ipv4Packet& pkt,
+                         std::span<const std::uint8_t> raw) {
+    if (local_intercept_ && local_intercept_(iface, pkt, raw)) return;
+    if (ip_observer_) ip_observer_(iface, pkt, raw);
+    switch (pkt.h.protocol) {
+    case net::proto::kIcmp:
+        handle_icmp(iface, pkt);
+        break;
+    case net::proto::kUdp:
+        handle_udp(iface, pkt);
+        break;
+    case net::proto::kTcp:
+        handle_tcp(iface, pkt);
+        break;
+    case net::proto::kSctp:
+        handle_sctp(iface, pkt);
+        break;
+    case net::proto::kDccp:
+        handle_dccp(iface, pkt);
+        break;
+    default:
+        if (icmp_enabled_)
+            send_icmp_error(pkt, net::IcmpType::DestUnreachable,
+                            net::icmp_code::kProtoUnreachable);
+        break;
+    }
+}
+
+void Host::handle_icmp(Iface& iface, const net::Ipv4Packet& pkt) {
+    net::IcmpMessage msg;
+    try {
+        msg = net::IcmpMessage::parse(pkt.payload);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (!msg.checksum_ok) return;
+
+    if (msg.type == net::IcmpType::Echo && icmp_enabled_) {
+        net::IcmpMessage reply = net::IcmpMessage::make_echo(
+            true, msg.echo_id(), msg.echo_seq(), msg.payload);
+        send_icmp(iface.addr(), pkt.h.src, reply);
+    }
+    if (icmp_observer_) icmp_observer_(pkt, msg);
+    if (msg.is_error()) dispatch_icmp_to_transport(pkt, msg);
+}
+
+void Host::dispatch_icmp_to_transport(const net::Ipv4Packet& outer,
+                                      const net::IcmpMessage& msg) {
+    net::Ipv4Packet inner;
+    try {
+        inner = net::Ipv4Packet::parse_prefix(msg.payload);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (inner.h.protocol == net::proto::kUdp && inner.payload.size() >= 4) {
+        const auto src_port = static_cast<std::uint16_t>(
+            (inner.payload[0] << 8) | inner.payload[1]);
+        for (auto& sock : udp_socks_) {
+            if (sock->local().port == src_port &&
+                (sock->local().addr.is_unspecified() ||
+                 sock->local().addr == inner.h.src)) {
+                if (sock->on_icmp_) sock->on_icmp_(msg, outer);
+            }
+        }
+    }
+    // TCP ICMP errors are observable via the observer; the paper's Linux
+    // config treats most of them as soft errors, so sockets ignore them.
+}
+
+void Host::handle_udp(Iface& iface, const net::Ipv4Packet& pkt) {
+    net::UdpDatagram dgram;
+    try {
+        dgram = net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (!dgram.checksum_ok) return;
+
+    for (auto& sock : udp_socks_) {
+        if (sock->closed_) continue;
+        const auto local = sock->local();
+        if (local.port != dgram.dst_port) continue;
+        const bool addr_match =
+            local.addr.is_unspecified() || local.addr == pkt.h.dst ||
+            pkt.h.dst.is_broadcast();
+        if (!addr_match) continue;
+        // Iface-bound sockets only see traffic from their interface.
+        if (sock->iface_ != nullptr && sock->iface_ != &iface) continue;
+        sock->deliver({pkt.h.src, dgram.src_port}, dgram.payload, pkt);
+        return;
+    }
+    if (icmp_enabled_ && !pkt.h.dst.is_broadcast())
+        send_icmp_error(pkt, net::IcmpType::DestUnreachable,
+                        net::icmp_code::kPortUnreachable);
+}
+
+void Host::handle_tcp(Iface&, const net::Ipv4Packet& pkt) {
+    net::TcpSegment seg;
+    try {
+        seg = net::TcpSegment::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (!seg.checksum_ok) return;
+
+    const net::Endpoint local{pkt.h.dst, seg.dst_port};
+    const net::Endpoint remote{pkt.h.src, seg.src_port};
+    auto it = tcp_conns_.find({local, remote});
+    if (it != tcp_conns_.end()) {
+        it->second->on_segment(seg);
+        // Finished sockets schedule their own reaping.
+        return;
+    }
+
+    // No connection: a listener may take a SYN.
+    auto lit = tcp_listeners_.find(seg.dst_port);
+    if (lit != tcp_listeners_.end() && seg.flags.syn && !seg.flags.ack) {
+        auto sock = std::unique_ptr<TcpSocket>(new TcpSocket(
+            *this, local, remote, /*active=*/false,
+            /*iss=*/static_cast<std::uint32_t>(0x40000000u + ip_id_ * 7919u)));
+        TcpSocket* raw = sock.get();
+        TcpListener* listener = lit->second.get();
+        tcp_conns_[{local, remote}] = std::move(sock);
+        raw->on_established = [listener, raw] {
+            if (listener->on_accept_) listener->on_accept_(*raw);
+        };
+        raw->start_passive(seg.seq);
+        return;
+    }
+
+    if (!seg.flags.rst) send_tcp_rst(pkt, seg);
+}
+
+void Host::handle_sctp(Iface&, const net::Ipv4Packet& pkt) {
+    net::SctpPacket sp;
+    try {
+        sp = net::SctpPacket::parse(pkt.payload);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (!sp.crc_ok) return;
+    for (auto& ep : sctp_eps_) {
+        if (ep->local_port_ != sp.dst_port) continue;
+        if (!ep->local_addr_.is_unspecified() &&
+            ep->local_addr_ != pkt.h.dst)
+            continue;
+        ep->on_packet(sp, pkt.h.src);
+        return;
+    }
+    // RFC 4960 would ABORT here; for the study, silence is equivalent.
+}
+
+void Host::handle_dccp(Iface&, const net::Ipv4Packet& pkt) {
+    net::DccpPacket dp;
+    try {
+        dp = net::DccpPacket::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (!dp.checksum_ok) return; // pseudo-header mismatch lands here
+    for (auto& ep : dccp_eps_) {
+        if (ep->local_port_ != dp.dst_port) continue;
+        if (!ep->local_addr_.is_unspecified() &&
+            ep->local_addr_ != pkt.h.dst)
+            continue;
+        ep->on_packet(dp, pkt.h.src);
+        return;
+    }
+}
+
+void Host::send_icmp(net::Ipv4Addr src, net::Ipv4Addr dst,
+                     const net::IcmpMessage& msg, std::uint8_t ttl) {
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kIcmp;
+    pkt.h.src = src;
+    pkt.h.dst = dst;
+    pkt.h.ttl = ttl;
+    pkt.payload = msg.serialize();
+    send_ip(std::move(pkt));
+}
+
+void Host::send_icmp_error(const net::Ipv4Packet& offending,
+                           net::IcmpType type, std::uint8_t code) {
+    if (offending.h.src.is_unspecified() || offending.h.src.is_broadcast())
+        return;
+    const auto original = offending.serialize();
+    const auto err = net::IcmpMessage::make_error(type, code, 0, original);
+    send_icmp(offending.h.dst, offending.h.src, err);
+}
+
+void Host::send_tcp_rst(const net::Ipv4Packet& pkt,
+                        const net::TcpSegment& seg) {
+    net::TcpSegment rst;
+    rst.src_port = seg.dst_port;
+    rst.dst_port = seg.src_port;
+    rst.flags.rst = true;
+    if (seg.flags.ack) {
+        rst.seq = seg.ack;
+    } else {
+        rst.flags.ack = true;
+        rst.ack = seg.seq + (seg.flags.syn ? 1 : 0) +
+                  static_cast<std::uint32_t>(seg.payload.size());
+    }
+    net::Ipv4Packet out;
+    out.h.protocol = net::proto::kTcp;
+    out.h.src = pkt.h.dst;
+    out.h.dst = pkt.h.src;
+    out.payload = rst.serialize(out.h.src, out.h.dst);
+    send_ip(std::move(out));
+}
+
+// --- socket factories ----------------------------------------------------
+
+UdpSocket& Host::udp_open(net::Ipv4Addr local_addr, std::uint16_t local_port,
+                          Iface* iface) {
+    if (local_port == 0) local_port = alloc_ephemeral_port();
+    // Newest bind shadows older ones on the same port (demux iterates
+    // front to back), letting probes temporarily take over well-known
+    // ports such as 53 that long-lived services hold.
+    udp_socks_.insert(udp_socks_.begin(),
+                      std::unique_ptr<UdpSocket>(new UdpSocket(
+                          *this, local_addr, local_port, iface)));
+    return **udp_socks_.begin();
+}
+
+void Host::udp_close(UdpSocket& sock) {
+    // Handlers may close their own socket; destroy it only once the
+    // current event has unwound.
+    sock.closed_ = true;
+    loop_.after(sim::Duration::zero(), [this, target = &sock] {
+        std::erase_if(udp_socks_,
+                      [&](const auto& s) { return s.get() == target; });
+    });
+}
+
+TcpSocket& Host::tcp_connect(net::Ipv4Addr local_addr,
+                             std::uint16_t local_port, net::Endpoint remote) {
+    GK_EXPECTS(!local_addr.is_unspecified());
+    if (local_port == 0) local_port = alloc_ephemeral_port();
+    const net::Endpoint local{local_addr, local_port};
+    GK_EXPECTS(!tcp_conns_.contains({local, remote}));
+    auto sock = std::unique_ptr<TcpSocket>(new TcpSocket(
+        *this, local, remote, /*active=*/true,
+        static_cast<std::uint32_t>(0x10000000u + local_port * 104729u)));
+    TcpSocket* raw = sock.get();
+    tcp_conns_[{local, remote}] = std::move(sock);
+    raw->start_connect();
+    return *raw;
+}
+
+TcpListener& Host::tcp_listen(std::uint16_t port) {
+    GK_EXPECTS(!tcp_listeners_.contains(port));
+    tcp_listeners_[port] =
+        std::unique_ptr<TcpListener>(new TcpListener(*this, port));
+    return *tcp_listeners_[port];
+}
+
+void Host::tcp_close_listener(TcpListener& lst) {
+    tcp_listeners_.erase(lst.port());
+}
+
+void Host::tcp_destroy(TcpSocket& sock) {
+    sock.disarm_rto();
+    tcp_conns_.erase({sock.local(), sock.remote()});
+}
+
+void Host::tcp_reap(net::Endpoint local, net::Endpoint remote) {
+    auto it = tcp_conns_.find({local, remote});
+    if (it != tcp_conns_.end() &&
+        (it->second->state() == TcpSocket::State::Closed ||
+         it->second->state() == TcpSocket::State::TimeWait))
+        tcp_conns_.erase(it);
+}
+
+SctpEndpoint& Host::sctp_open(net::Ipv4Addr local_addr,
+                              std::uint16_t local_port) {
+    if (local_port == 0) local_port = alloc_ephemeral_port();
+    sctp_eps_.push_back(std::unique_ptr<SctpEndpoint>(
+        new SctpEndpoint(*this, local_addr, local_port)));
+    return *sctp_eps_.back();
+}
+
+void Host::sctp_close(SctpEndpoint& ep) {
+    std::erase_if(sctp_eps_, [&](const auto& e) { return e.get() == &ep; });
+}
+
+DccpEndpoint& Host::dccp_open(net::Ipv4Addr local_addr,
+                              std::uint16_t local_port) {
+    if (local_port == 0) local_port = alloc_ephemeral_port();
+    dccp_eps_.push_back(std::unique_ptr<DccpEndpoint>(
+        new DccpEndpoint(*this, local_addr, local_port)));
+    return *dccp_eps_.back();
+}
+
+void Host::dccp_close(DccpEndpoint& ep) {
+    std::erase_if(dccp_eps_, [&](const auto& e) { return e.get() == &ep; });
+}
+
+} // namespace gatekit::stack

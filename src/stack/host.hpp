@@ -1,0 +1,188 @@
+// A Linux-like end host: interfaces, longest-prefix routing, ICMP, and
+// transport demux for UDP, TCP, SCTP and DCCP. Both testbed hosts (test
+// client, test server) and the home gateway's control plane are Hosts;
+// the gateway adds a forwarding hook for its NAT datapath.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/icmp.hpp"
+#include "net/tcp_header.hpp"
+#include "net/ipv4.hpp"
+#include "stack/netif.hpp"
+
+namespace gatekit::stack {
+
+class UdpSocket;
+class TcpSocket;
+class TcpListener;
+class SctpEndpoint;
+class DccpEndpoint;
+
+/// Routing table entry (longest prefix wins; ties broken by insertion
+/// order, earliest first).
+struct Route {
+    net::Ipv4Addr prefix;
+    int prefix_len = 0;
+    Iface* iface = nullptr;
+    std::optional<net::Ipv4Addr> via; ///< next-hop gateway; nullopt = on-link
+};
+
+class Host {
+public:
+    Host(sim::EventLoop& loop, std::string name, net::MacAddr mac);
+    ~Host();
+
+    Host(const Host&) = delete;
+    Host& operator=(const Host&) = delete;
+
+    const std::string& name() const { return name_; }
+    sim::EventLoop& loop() { return loop_; }
+
+    /// The host's first (default) physical port.
+    NetIf& nic() { return *nics_.front(); }
+
+    /// Add another physical port (home gateways have LAN + WAN ports).
+    NetIf& add_nic(net::MacAddr mac);
+
+    /// Create a subinterface on the default NIC and register it with the
+    /// host's IP input path.
+    Iface& add_iface(std::optional<std::uint16_t> vlan = std::nullopt);
+
+    /// Create a subinterface on a specific NIC.
+    Iface& add_iface_on(NetIf& nic,
+                        std::optional<std::uint16_t> vlan = std::nullopt);
+
+    // --- routing -----------------------------------------------------
+    void add_route(net::Ipv4Addr prefix, int prefix_len, Iface& iface,
+                   std::optional<net::Ipv4Addr> via = std::nullopt);
+    void remove_routes_via(const Iface& iface);
+    const Route* lookup_route(net::Ipv4Addr dst) const;
+
+    /// Route and send a datagram. Fills in the source address from the
+    /// egress interface when unset. Returns false when no route exists or
+    /// the egress interface is unconfigured.
+    bool send_ip(net::Ipv4Packet pkt);
+
+    /// Inject pre-serialized datagram bytes out of a specific interface
+    /// (used by probes that forge packets, bypassing routing).
+    void send_raw(Iface& iface, net::Bytes datagram, net::Ipv4Addr next_hop);
+
+    // --- transports ----------------------------------------------------
+    /// Open a UDP socket. `local_port == 0` picks an ephemeral port.
+    /// `iface` binds the socket for broadcast sends (DHCP needs this).
+    UdpSocket& udp_open(net::Ipv4Addr local_addr, std::uint16_t local_port,
+                        Iface* iface = nullptr);
+    void udp_close(UdpSocket& sock);
+
+    /// Active TCP open. `local_port == 0` picks an ephemeral port.
+    TcpSocket& tcp_connect(net::Ipv4Addr local_addr,
+                           std::uint16_t local_port, net::Endpoint remote);
+    /// Passive TCP open on all local addresses.
+    TcpListener& tcp_listen(std::uint16_t port);
+    void tcp_close_listener(TcpListener& lst);
+    /// Destroy a socket immediately (no FIN/RST); for harness cleanup.
+    void tcp_destroy(TcpSocket& sock);
+
+    SctpEndpoint& sctp_open(net::Ipv4Addr local_addr,
+                            std::uint16_t local_port);
+    void sctp_close(SctpEndpoint& ep);
+    DccpEndpoint& dccp_open(net::Ipv4Addr local_addr,
+                            std::uint16_t local_port);
+    void dccp_close(DccpEndpoint& ep);
+
+    // --- ICMP ----------------------------------------------------------
+    /// Send an ICMP message (routed by dst).
+    void send_icmp(net::Ipv4Addr src, net::Ipv4Addr dst,
+                   const net::IcmpMessage& msg, std::uint8_t ttl = 64);
+
+    /// Observe every ICMP message this host receives (after the echo
+    /// responder). Outer IP packet + parsed ICMP.
+    using IcmpObserver = std::function<void(const net::Ipv4Packet&,
+                                            const net::IcmpMessage&)>;
+    void set_icmp_observer(IcmpObserver obs) { icmp_observer_ = std::move(obs); }
+
+    /// Observe every IP datagram delivered locally (diagnostics/probes).
+    using IpObserver = std::function<void(Iface&, const net::Ipv4Packet&,
+                                          std::span<const std::uint8_t>)>;
+    void set_ip_observer(IpObserver obs) { ip_observer_ = std::move(obs); }
+
+    /// Forwarding hook: invoked for datagrams that arrive addressed to
+    /// some other host. Default behavior without a hook is to drop, as
+    /// hosts do not forward.
+    using ForwardHook = std::function<void(Iface&, const net::Ipv4Packet&,
+                                           std::span<const std::uint8_t>)>;
+    void set_forward_hook(ForwardHook hook) { forward_hook_ = std::move(hook); }
+
+    /// Pre-delivery intercept for datagrams addressed to this host.
+    /// Returning true consumes the packet. A NAT uses this on its WAN
+    /// interface: inbound packets for active bindings are addressed to
+    /// the WAN address, yet must be translated rather than delivered.
+    using LocalIntercept = std::function<bool(Iface&, const net::Ipv4Packet&,
+                                              std::span<const std::uint8_t>)>;
+    void set_local_intercept(LocalIntercept fn) {
+        local_intercept_ = std::move(fn);
+    }
+
+    /// Whether this host answers ICMP echo and emits ICMP errors.
+    void set_icmp_enabled(bool on) { icmp_enabled_ = on; }
+
+    std::uint16_t alloc_ephemeral_port();
+
+    /// True when `addr` is one of this host's interface addresses.
+    bool is_local_addr(net::Ipv4Addr addr) const;
+
+private:
+    friend class UdpSocket;
+    friend class TcpSocket;
+    friend class TcpListener;
+    friend class SctpEndpoint;
+    friend class DccpEndpoint;
+
+    void on_ip(Iface& iface, const net::Ipv4Packet& pkt,
+               std::span<const std::uint8_t> raw);
+    void deliver_local(Iface& iface, const net::Ipv4Packet& pkt,
+                       std::span<const std::uint8_t> raw);
+    void handle_icmp(Iface& iface, const net::Ipv4Packet& pkt);
+    void handle_udp(Iface& iface, const net::Ipv4Packet& pkt);
+    void handle_tcp(Iface& iface, const net::Ipv4Packet& pkt);
+    void handle_sctp(Iface& iface, const net::Ipv4Packet& pkt);
+    void handle_dccp(Iface& iface, const net::Ipv4Packet& pkt);
+    void send_icmp_error(const net::Ipv4Packet& offending,
+                         net::IcmpType type, std::uint8_t code);
+    void send_tcp_rst(const net::Ipv4Packet& pkt,
+                      const net::TcpSegment& seg);
+    /// Remove a finished connection from the table (deferred from socket
+    /// state transitions so handlers never delete a live socket).
+    void tcp_reap(net::Endpoint local, net::Endpoint remote);
+    /// Route ICMP errors to the transport socket they concern.
+    void dispatch_icmp_to_transport(const net::Ipv4Packet& outer,
+                                    const net::IcmpMessage& msg);
+
+    sim::EventLoop& loop_;
+    std::string name_;
+    std::vector<std::unique_ptr<NetIf>> nics_;
+    std::vector<Iface*> ifaces_;
+    std::vector<Route> routes_;
+    std::vector<std::unique_ptr<UdpSocket>> udp_socks_;
+    std::map<std::pair<net::Endpoint, net::Endpoint>,
+             std::unique_ptr<TcpSocket>>
+        tcp_conns_; ///< key: (local, remote)
+    std::map<std::uint16_t, std::unique_ptr<TcpListener>> tcp_listeners_;
+    std::vector<std::unique_ptr<SctpEndpoint>> sctp_eps_;
+    std::vector<std::unique_ptr<DccpEndpoint>> dccp_eps_;
+    IcmpObserver icmp_observer_;
+    IpObserver ip_observer_;
+    ForwardHook forward_hook_;
+    LocalIntercept local_intercept_;
+    bool icmp_enabled_ = true;
+    std::uint16_t next_ephemeral_ = 33000;
+    std::uint16_t ip_id_ = 1;
+};
+
+} // namespace gatekit::stack

@@ -1,0 +1,168 @@
+#include "stack/netif.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::stack {
+
+std::optional<net::MacAddr> ArpCache::lookup(net::Ipv4Addr ip) const {
+    auto it = entries_.find(ip);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+void ArpCache::insert(net::Ipv4Addr ip, net::MacAddr mac) {
+    entries_[ip] = mac;
+}
+
+Iface::Iface(NetIf& parent, std::optional<std::uint16_t> vlan)
+    : parent_(parent), vlan_(vlan) {}
+
+void Iface::configure(net::Ipv4Addr addr, int prefix_len) {
+    GK_EXPECTS(prefix_len >= 0 && prefix_len <= 32);
+    addr_ = addr;
+    prefix_len_ = prefix_len;
+    configured_ = true;
+}
+
+void Iface::deconfigure() {
+    configured_ = false;
+    addr_ = net::Ipv4Addr{};
+    prefix_len_ = 0;
+}
+
+net::MacAddr Iface::mac() const { return parent_.mac(); }
+
+void Iface::send_ip(const net::Ipv4Packet& pkt, net::Ipv4Addr next_hop) {
+    send_ip_raw(pkt.serialize(), next_hop);
+}
+
+void Iface::send_ip_raw(net::Bytes datagram, net::Ipv4Addr next_hop) {
+    if (next_hop.is_broadcast()) {
+        transmit_ip(std::move(datagram), net::MacAddr::broadcast());
+        return;
+    }
+    if (auto mac = arp_.lookup(next_hop)) {
+        transmit_ip(std::move(datagram), *mac);
+        return;
+    }
+    // Queue behind an ARP request. Only the first packet triggers one; the
+    // reply flushes the whole queue. (No retry timer: the simulated segment
+    // never loses frames, so a request is answered iff the host exists.)
+    const bool request_outstanding = awaiting_arp_.contains(next_hop);
+    awaiting_arp_[next_hop].push_back(std::move(datagram));
+    if (request_outstanding) return;
+
+    net::ArpMessage req;
+    req.op = net::ArpMessage::Op::Request;
+    req.sender_mac = mac();
+    req.sender_ip = addr_;
+    req.target_ip = next_hop;
+    net::EthernetFrame frame;
+    frame.dst = net::MacAddr::broadcast();
+    frame.src = mac();
+    frame.vlan_id = vlan_;
+    frame.ethertype = net::kEtherTypeArp;
+    frame.payload = req.serialize();
+    parent_.transmit(std::move(frame));
+}
+
+void Iface::transmit_ip(net::Bytes datagram, net::MacAddr dst) {
+    net::EthernetFrame frame;
+    frame.dst = dst;
+    frame.src = mac();
+    frame.vlan_id = vlan_;
+    frame.ethertype = net::kEtherTypeIpv4;
+    frame.payload = std::move(datagram);
+    parent_.transmit(std::move(frame));
+}
+
+void Iface::handle_frame(const net::EthernetFrame& frame) {
+    if (frame.ethertype == net::kEtherTypeArp) {
+        handle_arp(frame);
+        return;
+    }
+    if (frame.ethertype != net::kEtherTypeIpv4) return;
+    net::Ipv4Packet pkt;
+    try {
+        pkt = net::Ipv4Packet::parse(frame.payload);
+    } catch (const net::ParseError&) {
+        return; // malformed input is dropped, as a real stack would
+    }
+    if (on_ip_) on_ip_(pkt, frame.payload);
+}
+
+void Iface::handle_arp(const net::EthernetFrame& frame) {
+    net::ArpMessage msg;
+    try {
+        msg = net::ArpMessage::parse(frame.payload);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    // Learn the sender either way.
+    if (!msg.sender_ip.is_unspecified())
+        arp_.insert(msg.sender_ip, msg.sender_mac);
+
+    if (msg.op == net::ArpMessage::Op::Request && configured_ &&
+        msg.target_ip == addr_) {
+        net::ArpMessage reply;
+        reply.op = net::ArpMessage::Op::Reply;
+        reply.sender_mac = mac();
+        reply.sender_ip = addr_;
+        reply.target_mac = msg.sender_mac;
+        reply.target_ip = msg.sender_ip;
+        net::EthernetFrame out;
+        out.dst = msg.sender_mac;
+        out.src = mac();
+        out.vlan_id = vlan_;
+        out.ethertype = net::kEtherTypeArp;
+        out.payload = reply.serialize();
+        parent_.transmit(std::move(out));
+    }
+
+    // Flush datagrams that were waiting on this resolution.
+    auto it = awaiting_arp_.find(msg.sender_ip);
+    if (it != awaiting_arp_.end()) {
+        auto queued = std::move(it->second);
+        awaiting_arp_.erase(it);
+        for (auto& dgram : queued)
+            transmit_ip(std::move(dgram), msg.sender_mac);
+    }
+}
+
+NetIf::NetIf(sim::EventLoop& loop, net::MacAddr mac)
+    : loop_(loop), mac_(mac) {}
+
+void NetIf::connect(sim::Link& link, sim::Link::Side side) {
+    out_ = sim::LinkEnd(link, side);
+    link.attach(side, *this);
+}
+
+Iface& NetIf::add_iface(std::optional<std::uint16_t> vlan) {
+    GK_EXPECTS(find_iface(vlan) == nullptr);
+    ifaces_.push_back(std::make_unique<Iface>(*this, vlan));
+    return *ifaces_.back();
+}
+
+Iface* NetIf::find_iface(std::optional<std::uint16_t> vlan) {
+    for (auto& iface : ifaces_)
+        if (iface->vlan() == vlan) return iface.get();
+    return nullptr;
+}
+
+void NetIf::transmit(net::EthernetFrame frame) {
+    GK_EXPECTS(out_.connected());
+    out_.send(frame.serialize());
+}
+
+void NetIf::frame_in(sim::Frame raw) {
+    net::EthernetFrame frame;
+    try {
+        frame = net::EthernetFrame::parse(raw);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (!frame.dst.is_broadcast() && frame.dst != mac_) return;
+    if (Iface* iface = find_iface(frame.vlan_id)) iface->handle_frame(frame);
+}
+
+} // namespace gatekit::stack

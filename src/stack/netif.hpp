@@ -1,0 +1,126 @@
+// Network interfaces: a physical port (NetIf) carrying one untagged and/or
+// several 802.1Q-tagged subinterfaces (Iface), each with its own IPv4
+// configuration and ARP state. The test client in the paper's Figure 1 has
+// one physical NIC with a vlan-if per home gateway; gateways have two
+// physical ports with one untagged interface each. Both are built from
+// these two classes.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "sim/link.hpp"
+
+namespace gatekit::stack {
+
+class NetIf;
+
+/// ARP resolution cache with a queue of datagrams awaiting resolution.
+class ArpCache {
+public:
+    std::optional<net::MacAddr> lookup(net::Ipv4Addr ip) const;
+    void insert(net::Ipv4Addr ip, net::MacAddr mac);
+    std::size_t size() const { return entries_.size(); }
+
+private:
+    std::map<net::Ipv4Addr, net::MacAddr> entries_;
+};
+
+/// An L3 (sub)interface. Owns addressing, ARP, and IP encapsulation;
+/// delivers received IP datagrams upward via a callback.
+class Iface {
+public:
+    Iface(NetIf& parent, std::optional<std::uint16_t> vlan);
+
+    Iface(const Iface&) = delete;
+    Iface& operator=(const Iface&) = delete;
+
+    /// Assign the IPv4 configuration (e.g. from DHCP).
+    void configure(net::Ipv4Addr addr, int prefix_len);
+    void deconfigure();
+
+    bool configured() const { return configured_; }
+    net::Ipv4Addr addr() const { return addr_; }
+    int prefix_len() const { return prefix_len_; }
+
+    /// Per-interface default gateway (for interface-bound sockets that
+    /// must not consult the host routing table, a la SO_BINDTODEVICE).
+    void set_gateway(net::Ipv4Addr gw) { gateway_ = gw; }
+    net::Ipv4Addr gateway() const { return gateway_; }
+    net::MacAddr mac() const;
+    std::optional<std::uint16_t> vlan() const { return vlan_; }
+
+    /// Handler for IP datagrams addressed to (or broadcast at) this iface.
+    /// Receives the parsed packet plus the raw datagram bytes, which probes
+    /// and NAT bug-detection need verbatim.
+    using IpHandler = std::function<void(const net::Ipv4Packet&,
+                                         std::span<const std::uint8_t>)>;
+    void set_ip_handler(IpHandler h) { on_ip_ = std::move(h); }
+
+    /// Send an IP datagram to `next_hop` on this interface's subnet (or an
+    /// IP broadcast). ARP-resolves the next hop, queueing the datagram
+    /// while a request is outstanding.
+    void send_ip(const net::Ipv4Packet& pkt, net::Ipv4Addr next_hop);
+
+    /// Send pre-serialized datagram bytes (raw injection for probes).
+    void send_ip_raw(net::Bytes datagram, net::Ipv4Addr next_hop);
+
+    ArpCache& arp_cache() { return arp_; }
+
+    /// Called by NetIf on a frame for this subinterface.
+    void handle_frame(const net::EthernetFrame& frame);
+
+private:
+    void transmit_ip(net::Bytes datagram, net::MacAddr dst);
+    void handle_arp(const net::EthernetFrame& frame);
+
+    NetIf& parent_;
+    std::optional<std::uint16_t> vlan_;
+    net::Ipv4Addr addr_;
+    net::Ipv4Addr gateway_;
+    int prefix_len_ = 0;
+    bool configured_ = false;
+    ArpCache arp_;
+    std::map<net::Ipv4Addr, std::deque<net::Bytes>> awaiting_arp_;
+    IpHandler on_ip_;
+};
+
+/// A physical Ethernet port: owns the MAC address, attaches to a Link, and
+/// demuxes frames to subinterfaces by VLAN tag.
+class NetIf : public sim::FrameSink {
+public:
+    NetIf(sim::EventLoop& loop, net::MacAddr mac);
+
+    /// Attach this port to one side of a link.
+    void connect(sim::Link& link, sim::Link::Side side);
+
+    /// Create a subinterface. `vlan == nullopt` receives untagged frames.
+    /// At most one subinterface per tag. Returned reference is stable.
+    Iface& add_iface(std::optional<std::uint16_t> vlan = std::nullopt);
+
+    Iface* find_iface(std::optional<std::uint16_t> vlan);
+
+    net::MacAddr mac() const { return mac_; }
+    sim::EventLoop& loop() { return loop_; }
+
+    /// Serialize and transmit a frame (VLAN tag per `vlan`).
+    void transmit(net::EthernetFrame frame);
+
+    void frame_in(sim::Frame frame) override;
+
+private:
+    sim::EventLoop& loop_;
+    net::MacAddr mac_;
+    sim::LinkEnd out_;
+    std::vector<std::unique_ptr<Iface>> ifaces_;
+};
+
+} // namespace gatekit::stack

@@ -1,0 +1,63 @@
+// Minimal single-homed SCTP endpoint: the four-way handshake
+// (INIT / INIT-ACK+cookie / COOKIE-ECHO / COOKIE-ACK) plus unordered DATA
+// and SACK — exactly enough to run the paper's "can an SCTP association be
+// established and exchange data through this gateway?" test.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/addr.hpp"
+#include "net/sctp.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::stack {
+
+class Host;
+
+class SctpEndpoint {
+public:
+    std::function<void()> on_established;
+    std::function<void(std::span<const std::uint8_t>)> on_data;
+    std::function<void(const std::string&)> on_error;
+
+    net::Endpoint local() const { return {local_addr_, local_port_}; }
+
+    /// Active open toward `remote`. Retries INIT a few times, then fails.
+    void connect(net::Endpoint remote);
+
+    /// Passive mode: accept the first association arriving at our port.
+    void listen() { listening_ = true; }
+
+    /// Send one DATA chunk over the established association.
+    bool send_data(net::Bytes payload);
+
+    bool established() const { return state_ == State::Established; }
+
+private:
+    friend class Host;
+    SctpEndpoint(Host& host, net::Ipv4Addr local_addr,
+                 std::uint16_t local_port)
+        : host_(host), local_addr_(local_addr), local_port_(local_port) {}
+
+    enum class State { Closed, CookieWait, CookieEchoed, Established };
+
+    void on_packet(const net::SctpPacket& pkt, net::Ipv4Addr peer_addr);
+    void send_packet(net::SctpPacket pkt);
+    void send_init();
+    void arm_t1();
+
+    Host& host_;
+    net::Ipv4Addr local_addr_;
+    std::uint16_t local_port_ = 0;
+    net::Endpoint remote_;
+    State state_ = State::Closed;
+    bool listening_ = false;
+    std::uint32_t my_vtag_ = 0;   ///< tag peers must send to us
+    std::uint32_t peer_vtag_ = 0; ///< tag we send to the peer
+    std::uint32_t my_tsn_ = 1;
+    sim::EventId t1_timer_;
+    int init_retries_ = 0;
+};
+
+} // namespace gatekit::stack

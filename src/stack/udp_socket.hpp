@@ -1,0 +1,66 @@
+// Event-driven UDP socket bound to a Host.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "net/buffer.hpp"
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+
+namespace gatekit::stack {
+
+class Host;
+class Iface;
+
+class UdpSocket {
+public:
+    /// (source endpoint, payload, full IP packet)
+    using ReceiveHandler = std::function<void(
+        net::Endpoint, std::span<const std::uint8_t>, const net::Ipv4Packet&)>;
+    /// ICMP error concerning a datagram this socket sent.
+    using IcmpHandler =
+        std::function<void(const net::IcmpMessage&, const net::Ipv4Packet&)>;
+
+    net::Endpoint local() const { return {local_addr_, local_port_}; }
+
+    void set_receive_handler(ReceiveHandler h) { on_receive_ = std::move(h); }
+    void set_icmp_handler(IcmpHandler h) { on_icmp_ = std::move(h); }
+
+    /// Send a datagram. Options customize probe traffic:
+    /// `ttl` overrides the default 64; `ip_options` adds raw IPv4 options
+    /// (e.g. Record Route).
+    struct SendOptions {
+        std::uint8_t ttl = 64;
+        net::Bytes ip_options;
+    };
+    bool send_to(net::Endpoint dst, net::Bytes payload,
+                 const SendOptions& opts);
+    bool send_to(net::Endpoint dst, net::Bytes payload) {
+        return send_to(dst, std::move(payload), SendOptions{});
+    }
+
+    std::uint64_t datagrams_received() const { return rx_count_; }
+
+private:
+    friend class Host;
+    UdpSocket(Host& host, net::Ipv4Addr local_addr, std::uint16_t local_port,
+              Iface* iface)
+        : host_(host), local_addr_(local_addr), local_port_(local_port),
+          iface_(iface) {}
+
+    void deliver(net::Endpoint src, std::span<const std::uint8_t> payload,
+                 const net::Ipv4Packet& pkt);
+
+    Host& host_;
+    net::Ipv4Addr local_addr_;
+    bool closed_ = false; ///< close requested; destruction is deferred
+    std::uint16_t local_port_;
+    Iface* iface_; ///< bound interface (broadcast sends); may be null
+    ReceiveHandler on_receive_;
+    IcmpHandler on_icmp_;
+    std::uint64_t rx_count_ = 0;
+};
+
+} // namespace gatekit::stack

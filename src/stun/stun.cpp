@@ -1,0 +1,145 @@
+#include "stun/stun.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::stun {
+
+TransactionId TransactionId::from_seed(std::uint64_t seed) {
+    TransactionId id;
+    for (int i = 0; i < 12; ++i)
+        id.bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((seed * 0x9e3779b97f4a7c15ULL) >>
+                                      ((i % 8) * 8));
+    id.bytes[11] = static_cast<std::uint8_t>(seed);
+    return id;
+}
+
+namespace {
+
+void write_xor_address(net::BufferWriter& w, net::Endpoint ep,
+                       const TransactionId&) {
+    w.u8(0);    // reserved
+    w.u8(0x01); // family: IPv4
+    w.u16(static_cast<std::uint16_t>(ep.port ^ (kMagicCookie >> 16)));
+    w.u32(ep.addr.value() ^ kMagicCookie);
+}
+
+net::Endpoint read_xor_address(net::BufferReader& r) {
+    r.skip(1);
+    if (r.u8() != 0x01) throw net::ParseError("STUN: not IPv4");
+    const auto xport = r.u16();
+    const auto xaddr = r.u32();
+    return {net::Ipv4Addr{xaddr ^ kMagicCookie},
+            static_cast<std::uint16_t>(xport ^ (kMagicCookie >> 16))};
+}
+
+} // namespace
+
+net::Bytes Message::serialize() const {
+    net::BufferWriter w(32);
+    w.u16(static_cast<std::uint16_t>(type));
+    w.u16(0); // length placeholder
+    w.u32(kMagicCookie);
+    w.bytes(transaction.bytes);
+    if (xor_mapped) {
+        w.u16(attr::kXorMappedAddress);
+        w.u16(8);
+        write_xor_address(w, *xor_mapped, transaction);
+    }
+    if (xor_relayed) {
+        w.u16(attr::kXorRelayedAddress);
+        w.u16(8);
+        write_xor_address(w, *xor_relayed, transaction);
+    }
+    if (xor_peer) {
+        w.u16(attr::kXorPeerAddress);
+        w.u16(8);
+        write_xor_address(w, *xor_peer, transaction);
+    }
+    if (data) {
+        GK_EXPECTS(data->size() <= 0xffff);
+        w.u16(attr::kData);
+        w.u16(static_cast<std::uint16_t>(data->size()));
+        w.bytes(*data);
+        w.zeros((4 - data->size() % 4) % 4); // attribute padding
+    }
+    if (mapped) {
+        w.u16(attr::kMappedAddress);
+        w.u16(8);
+        w.u8(0);
+        w.u8(0x01);
+        w.u16(mapped->port);
+        w.u32(mapped->addr.value());
+    }
+    w.patch_u16(2, static_cast<std::uint16_t>(w.size() - 20));
+    return w.take();
+}
+
+Message Message::parse(std::span<const std::uint8_t> data) {
+    net::BufferReader r(data);
+    Message m;
+    const auto type = r.u16();
+    switch (type) {
+    case 0x0001:
+    case 0x0101:
+    case 0x0111:
+    case 0x0003:
+    case 0x0103:
+    case 0x0113:
+    case 0x0016:
+    case 0x0017:
+        break;
+    default:
+        throw net::ParseError("unknown STUN message type");
+    }
+    m.type = static_cast<MessageType>(type);
+    const auto length = r.u16();
+    if (r.u32() != kMagicCookie)
+        throw net::ParseError("bad STUN magic cookie");
+    auto txn = r.bytes(12);
+    std::copy(txn.begin(), txn.end(), m.transaction.bytes.begin());
+    if (length > r.remaining())
+        throw net::ParseError("STUN length beyond packet");
+
+    std::size_t consumed = 0;
+    while (consumed + 4 <= length) {
+        const auto attr_type = r.u16();
+        const auto attr_len = r.u16();
+        consumed += 4;
+        if (attr_len > r.remaining())
+            throw net::ParseError("STUN attribute beyond packet");
+        net::BufferReader attr_r(r.bytes(attr_len));
+        const auto padded = (attr_len + 3u) / 4u * 4u;
+        r.skip(std::min<std::size_t>(padded - attr_len, r.remaining()));
+        consumed += padded;
+        switch (attr_type) {
+        case attr::kXorMappedAddress:
+            m.xor_mapped = read_xor_address(attr_r);
+            break;
+        case attr::kXorRelayedAddress:
+            m.xor_relayed = read_xor_address(attr_r);
+            break;
+        case attr::kXorPeerAddress:
+            m.xor_peer = read_xor_address(attr_r);
+            break;
+        case attr::kData: {
+            auto body = attr_r.rest();
+            m.data = net::Bytes(body.begin(), body.end());
+            break;
+        }
+        case attr::kMappedAddress: {
+            attr_r.skip(1);
+            if (attr_r.u8() != 0x01)
+                throw net::ParseError("STUN: not IPv4");
+            const auto port = attr_r.u16();
+            m.mapped = net::Endpoint{net::Ipv4Addr{attr_r.u32()}, port};
+            break;
+        }
+        default:
+            break; // comprehension-optional for this subset
+        }
+    }
+    return m;
+}
+
+} // namespace gatekit::stun

@@ -1,0 +1,65 @@
+// STUN (RFC 5389, binding-discovery subset). The paper's future-work list
+// includes "measuring the success rates of STUN"; this module provides
+// the wire format plus client/server endpoints so the harness can run
+// that experiment against every device profile.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/buffer.hpp"
+
+namespace gatekit::stun {
+
+inline constexpr std::uint32_t kMagicCookie = 0x2112A442;
+inline constexpr std::uint16_t kDefaultPort = 3478;
+
+enum class MessageType : std::uint16_t {
+    BindingRequest = 0x0001,
+    BindingResponse = 0x0101,
+    BindingError = 0x0111,
+    // TURN subset (RFC 5766 methods, simplified attributes):
+    AllocateRequest = 0x0003,
+    AllocateResponse = 0x0103,
+    AllocateError = 0x0113,
+    SendIndication = 0x0016,
+    DataIndication = 0x0017,
+};
+
+namespace attr {
+inline constexpr std::uint16_t kMappedAddress = 0x0001;
+inline constexpr std::uint16_t kXorMappedAddress = 0x0020;
+inline constexpr std::uint16_t kErrorCode = 0x0009;
+// TURN attributes:
+inline constexpr std::uint16_t kXorPeerAddress = 0x0012;
+inline constexpr std::uint16_t kData = 0x0013;
+inline constexpr std::uint16_t kXorRelayedAddress = 0x0016;
+} // namespace attr
+
+/// 96-bit transaction id.
+struct TransactionId {
+    std::array<std::uint8_t, 12> bytes{};
+
+    static TransactionId from_seed(std::uint64_t seed);
+    friend bool operator==(const TransactionId&, const TransactionId&) =
+        default;
+};
+
+struct Message {
+    MessageType type = MessageType::BindingRequest;
+    TransactionId transaction;
+    /// Reflexive transport address (responses).
+    std::optional<net::Endpoint> xor_mapped;
+    std::optional<net::Endpoint> mapped; ///< legacy MAPPED-ADDRESS
+    // TURN attributes:
+    std::optional<net::Endpoint> xor_relayed; ///< allocated relay address
+    std::optional<net::Endpoint> xor_peer;    ///< Send/Data peer
+    std::optional<net::Bytes> data;           ///< relayed payload
+
+    net::Bytes serialize() const;
+    static Message parse(std::span<const std::uint8_t> data);
+};
+
+} // namespace gatekit::stun

@@ -1,0 +1,80 @@
+// STUN server and client over Host UDP sockets. The client performs the
+// RFC 5780-style mapping-behavior discovery the paper's future work
+// calls for: query two distinct server addresses from one local socket
+// and compare the reflexive candidates.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "stun/stun.hpp"
+
+namespace gatekit::stack {
+class Host;
+class Iface;
+class UdpSocket;
+} // namespace gatekit::stack
+
+namespace gatekit::stun {
+
+/// Answers Binding Requests with the observed source endpoint. One
+/// instance can serve any number of local addresses (binds the wildcard).
+class StunServer {
+public:
+    StunServer(stack::Host& host, std::uint16_t port = kDefaultPort);
+    ~StunServer();
+
+    StunServer(const StunServer&) = delete;
+    StunServer& operator=(const StunServer&) = delete;
+
+    std::uint64_t requests_served() const { return served_; }
+
+private:
+    stack::Host& host_;
+    stack::UdpSocket* sock_ = nullptr;
+    std::uint64_t served_ = 0;
+};
+
+/// NAT mapping behavior, in RFC 4787 terms, as discovered via STUN.
+enum class Mapping {
+    NoNat,               ///< reflexive address equals the local address
+    EndpointIndependent, ///< same mapping toward different destinations
+    AddressDependent,    ///< mapping changes with the destination
+    Blocked,             ///< no response at all
+};
+
+const char* to_string(Mapping m);
+
+struct StunResult {
+    bool ok = false;
+    net::Endpoint reflexive;       ///< from the first server
+    net::Endpoint reflexive_alt;   ///< from the second server (if probed)
+    Mapping mapping = Mapping::Blocked;
+    bool port_preserved = false;   ///< reflexive port == local port
+    std::string error;
+};
+
+class StunClient {
+public:
+    explicit StunClient(stack::Host& host) : host_(host) {}
+
+    using Handler = std::function<void(const StunResult&)>;
+
+    /// One Binding Request (with retransmissions) to `server`.
+    void query(net::Ipv4Addr local_addr, net::Endpoint server, Handler h,
+               int retries = 3,
+               sim::Duration timeout = std::chrono::milliseconds(500));
+
+    /// Full mapping discovery: query `server_a` and `server_b` from one
+    /// socket and classify the NAT per RFC 4787.
+    void discover(net::Ipv4Addr local_addr, net::Endpoint server_a,
+                  net::Endpoint server_b, Handler h);
+
+private:
+    stack::Host& host_;
+    std::uint64_t next_txn_ = 1;
+};
+
+} // namespace gatekit::stun

@@ -1,0 +1,101 @@
+// TURN-style relay (RFC 5766 subset): Allocate a relay address on the
+// server; data for that relay address is wrapped in Data indications
+// toward the allocating client, and the client's Send indications emerge
+// from the relay address toward arbitrary peers. The paper lists "success
+// rates of ... TURN" among its planned experiments; together with STUN
+// this gives the harness a complete ICE-style connectivity ladder.
+// (Simplifications vs RFC 5766: no authentication, no permissions, no
+// lifetime refresh; allocations live for the test's duration.)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/event_loop.hpp"
+#include "stun/stun.hpp"
+
+namespace gatekit::stack {
+class Host;
+class Iface;
+class UdpSocket;
+} // namespace gatekit::stack
+
+namespace gatekit::stun {
+
+inline constexpr std::uint16_t kTurnPort = 3480;
+
+class TurnServer {
+public:
+    /// `relay_addr` is the address relay sockets bind to (the server
+    /// host's public address on the relevant network).
+    TurnServer(stack::Host& host, net::Ipv4Addr relay_addr,
+               std::uint16_t port = kTurnPort);
+    ~TurnServer();
+
+    TurnServer(const TurnServer&) = delete;
+    TurnServer& operator=(const TurnServer&) = delete;
+
+    std::size_t allocations() const { return allocations_.size(); }
+    std::uint64_t relayed_packets() const { return relayed_; }
+
+private:
+    struct Allocation {
+        net::Endpoint client;       ///< the allocating client (as seen)
+        stack::UdpSocket* relay = nullptr;
+    };
+
+    void on_control(net::Endpoint src, std::span<const std::uint8_t> data);
+    void handle_allocate(net::Endpoint src, const Message& request);
+    void handle_send(net::Endpoint src, const Message& indication);
+
+    stack::Host& host_;
+    net::Ipv4Addr relay_addr_;
+    stack::UdpSocket* control_ = nullptr;
+    std::map<net::Endpoint, std::unique_ptr<Allocation>> allocations_;
+    std::uint64_t relayed_ = 0;
+};
+
+/// Client side: allocate, then exchange datagrams through the relay.
+class TurnClient {
+public:
+    /// (peer endpoint as reported by the relay, payload)
+    using DataHandler =
+        std::function<void(net::Endpoint, std::span<const std::uint8_t>)>;
+    using AllocatedHandler = std::function<void(bool ok,
+                                                net::Endpoint relayed)>;
+
+    /// `iface` (optional) pins traffic to one interface, as hole-punching
+    /// peers require.
+    TurnClient(stack::Host& host, net::Ipv4Addr local_addr,
+               net::Endpoint server, stack::Iface* iface = nullptr);
+    ~TurnClient();
+
+    TurnClient(const TurnClient&) = delete;
+    TurnClient& operator=(const TurnClient&) = delete;
+
+    /// Request a relay address. Retries, then reports failure.
+    void allocate(AllocatedHandler h);
+
+    /// Send a datagram to `peer` from the relay address.
+    bool send(net::Endpoint peer, net::Bytes payload);
+
+    void set_data_handler(DataHandler h) { on_data_ = std::move(h); }
+
+    net::Endpoint relayed() const { return relayed_; }
+    bool allocated() const { return allocated_; }
+
+private:
+    stack::Host& host_;
+    net::Endpoint server_;
+    stack::UdpSocket* sock_ = nullptr;
+    TransactionId txn_;
+    sim::EventId retry_;
+    int tries_left_ = 3;
+    bool allocated_ = false;
+    net::Endpoint relayed_;
+    AllocatedHandler on_allocated_;
+    DataHandler on_data_;
+};
+
+} // namespace gatekit::stun

@@ -1,0 +1,42 @@
+// Lightweight contract checks (Core Guidelines I.5/I.7 style).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gatekit {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                            file + ":" + std::to_string(line));
+}
+
+} // namespace gatekit
+
+#define GK_EXPECTS(cond)                                                     \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::gatekit::contract_failure("precondition", #cond, __FILE__,     \
+                                        __LINE__);                           \
+    } while (false)
+
+#define GK_ENSURES(cond)                                                     \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::gatekit::contract_failure("postcondition", #cond, __FILE__,    \
+                                        __LINE__);                           \
+    } while (false)
+
+#define GK_ASSERT(cond)                                                      \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::gatekit::contract_failure("invariant", #cond, __FILE__,        \
+                                        __LINE__);                           \
+    } while (false)

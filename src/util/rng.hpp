@@ -1,0 +1,33 @@
+// Deterministic random source used across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace gatekit {
+
+/// Seeded pseudo-random generator. Every component that needs randomness
+/// takes an Rng& so runs are reproducible from a single seed.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x67617465'6b697421ULL) : eng_(seed) {}
+
+    /// Uniform integer in [lo, hi] (inclusive).
+    std::uint32_t uniform(std::uint32_t lo, std::uint32_t hi) {
+        return std::uniform_int_distribution<std::uint32_t>(lo, hi)(eng_);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform01() {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(eng_);
+    }
+
+    std::uint64_t next_u64() { return eng_(); }
+
+    std::mt19937_64& engine() { return eng_; }
+
+private:
+    std::mt19937_64 eng_;
+};
+
+} // namespace gatekit

@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gatekit::stats {
+
+namespace {
+
+std::vector<double> sorted(std::span<const double> xs) {
+    std::vector<double> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+double percentile_sorted(const std::vector<double>& v, double p) {
+    GK_EXPECTS(!v.empty());
+    GK_EXPECTS(p >= 0.0 && p <= 100.0);
+    if (v.size() == 1) return v.front();
+    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+} // namespace
+
+double median(std::span<const double> xs) {
+    return percentile(xs, 50.0);
+}
+
+double mean(std::span<const double> xs) {
+    GK_EXPECTS(!xs.empty());
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double quartile_lo(std::span<const double> xs) { return percentile(xs, 25.0); }
+double quartile_hi(std::span<const double> xs) { return percentile(xs, 75.0); }
+
+double percentile(std::span<const double> xs, double p) {
+    return percentile_sorted(sorted(xs), p);
+}
+
+Summary summarize(std::span<const double> xs) {
+    GK_EXPECTS(!xs.empty());
+    const auto v = sorted(xs);
+    Summary s;
+    s.n = v.size();
+    s.min = v.front();
+    s.max = v.back();
+    s.median = percentile_sorted(v, 50.0);
+    s.q1 = percentile_sorted(v, 25.0);
+    s.q3 = percentile_sorted(v, 75.0);
+    s.mean = mean(xs);
+    return s;
+}
+
+} // namespace gatekit::stats

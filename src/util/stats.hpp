@@ -1,0 +1,41 @@
+// Order statistics used throughout the paper's result reporting:
+// per-device medians with quartile error bars, and population median/mean.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gatekit::stats {
+
+/// Median of a sample (average of the two middle elements for even sizes).
+/// Precondition: non-empty.
+double median(std::span<const double> xs);
+
+/// Arithmetic mean. Precondition: non-empty.
+double mean(std::span<const double> xs);
+
+/// Lower quartile (25th percentile, linear interpolation, R-7 method).
+double quartile_lo(std::span<const double> xs);
+
+/// Upper quartile (75th percentile, linear interpolation, R-7 method).
+double quartile_hi(std::span<const double> xs);
+
+/// Arbitrary percentile p in [0,100] using the R-7 (linear interpolation)
+/// definition used by numpy/Excel. Precondition: non-empty, 0 <= p <= 100.
+double percentile(std::span<const double> xs, double p);
+
+/// Summary of repeated measurements of one quantity.
+struct Summary {
+    double median = 0.0;
+    double mean = 0.0;
+    double q1 = 0.0; ///< lower quartile
+    double q3 = 0.0; ///< upper quartile
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t n = 0;
+};
+
+/// Compute all summary statistics of a sample. Precondition: non-empty.
+Summary summarize(std::span<const double> xs);
+
+} // namespace gatekit::stats

@@ -1,0 +1,89 @@
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace gatekit::net;
+
+TEST(BufferWriter, BigEndianIntegers) {
+    BufferWriter w;
+    w.u8(0x01);
+    w.u16(0x0203);
+    w.u32(0x04050607);
+    const Bytes expected{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+    EXPECT_EQ(w.take(), expected);
+}
+
+TEST(BufferWriter, U48) {
+    BufferWriter w;
+    w.u48(0x0102030405'06ULL);
+    const Bytes expected{0x01, 0x02, 0x03, 0x04, 0x05, 0x06};
+    EXPECT_EQ(w.take(), expected);
+}
+
+TEST(BufferWriter, PatchFields) {
+    BufferWriter w;
+    w.u16(0);
+    w.u32(0);
+    w.patch_u16(0, 0xbeef);
+    w.patch_u32(2, 0xdeadc0de);
+    const Bytes expected{0xbe, 0xef, 0xde, 0xad, 0xc0, 0xde};
+    EXPECT_EQ(w.take(), expected);
+}
+
+TEST(BufferWriter, ZerosAndBytes) {
+    BufferWriter w;
+    w.zeros(3);
+    const std::uint8_t tail[] = {9, 8};
+    w.bytes(tail);
+    const Bytes expected{0, 0, 0, 9, 8};
+    EXPECT_EQ(w.take(), expected);
+}
+
+TEST(BufferReader, RoundTrip) {
+    BufferWriter w;
+    w.u8(0xaa);
+    w.u16(0x1234);
+    w.u32(0x89abcdef);
+    w.u48(0x010203040506ULL);
+    const auto data = w.take();
+    BufferReader r(data);
+    EXPECT_EQ(r.u8(), 0xaa);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0x89abcdefu);
+    EXPECT_EQ(r.u48(), 0x010203040506ULL);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(BufferReader, UnderrunThrowsParseError) {
+    const Bytes data{0x01};
+    BufferReader r(data);
+    EXPECT_THROW(r.u16(), ParseError);
+    // Failed read must not consume anything.
+    EXPECT_EQ(r.u8(), 0x01);
+}
+
+TEST(BufferReader, BytesAndSkip) {
+    const Bytes data{1, 2, 3, 4, 5};
+    BufferReader r(data);
+    r.skip(1);
+    auto mid = r.bytes(2);
+    ASSERT_EQ(mid.size(), 2u);
+    EXPECT_EQ(mid[0], 2);
+    EXPECT_EQ(mid[1], 3);
+    EXPECT_EQ(r.remaining(), 2u);
+    EXPECT_THROW(r.skip(3), ParseError);
+}
+
+TEST(BufferReader, RestDoesNotConsume) {
+    const Bytes data{1, 2, 3};
+    BufferReader r(data);
+    r.u8();
+    EXPECT_EQ(r.rest().size(), 2u);
+    EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Hexdump, Formats) {
+    const Bytes data{0x00, 0x0a, 0xff};
+    EXPECT_EQ(hexdump(data), "00 0a ff");
+    EXPECT_EQ(hexdump({}), "");
+}

@@ -1,0 +1,119 @@
+// End-to-end calibration spot checks: run the real harness against a few
+// registry devices and verify the measurements land on the paper's
+// numbers. This is the miniature version of the bench campaign that runs
+// in the test suite on every build.
+#include <gtest/gtest.h>
+
+#include "devices/profiles.hpp"
+#include "harness/testrund.hpp"
+
+using namespace gatekit;
+using namespace gatekit::harness;
+
+namespace {
+
+DeviceResults measure(const std::string& tag, const CampaignConfig& cfg) {
+    sim::EventLoop loop;
+    Testbed tb(loop);
+    tb.add_device(*devices::find_profile(tag));
+    Testrund rund(tb);
+    return rund.run_blocking(cfg).at(0);
+}
+
+CampaignConfig udp_cfg() {
+    CampaignConfig cfg;
+    cfg.udp1 = true;
+    cfg.udp.repetitions = 3;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CalibrationSpotCheck, Ls1HasThePapersExtremes) {
+    // ls1: the longest UDP-1 timeout (691 s), untranslated unknown
+    // transports, broken embedded IP checksums, 32 max bindings.
+    auto cfg = udp_cfg();
+    cfg.tcp4 = true;
+    cfg.transports = true;
+    cfg.icmp = true;
+    const auto r = measure("ls1", cfg);
+    EXPECT_NEAR(r.udp1.summary().median, 691.0, 1.5);
+    EXPECT_EQ(r.tcp4.max_bindings, 32);
+    EXPECT_EQ(r.transports.sctp_action, NatAction::Untranslated);
+    EXPECT_FALSE(r.transports.sctp_connects);
+    const auto& v =
+        r.icmp.verdict(false, gateway::IcmpKind::PortUnreachable);
+    EXPECT_TRUE(v.forwarded);
+    EXPECT_FALSE(v.embedded_ip_checksum_ok);
+}
+
+TEST(CalibrationSpotCheck, Be1HasThePapersShortestTcpTimeout) {
+    CampaignConfig cfg;
+    cfg.tcp1 = true;
+    cfg.tcp_timeout.repetitions = 1;
+    const auto r = measure("be1", cfg);
+    // Paper: be1 consistently times out TCP bindings after 239 s.
+    EXPECT_NEAR(r.tcp1.summary().median, 239.0, 1.5);
+    EXPECT_FALSE(r.tcp1.exceeded_limit);
+}
+
+TEST(CalibrationSpotCheck, ApIsThePapersOddDnsProxy) {
+    CampaignConfig cfg;
+    cfg.dns = true;
+    cfg.stun = true;
+    const auto r = measure("ap", cfg);
+    // ap answers DNS-over-TCP by proxying upstream over UDP, and it is
+    // one of the 7 devices that never preserve source ports.
+    EXPECT_TRUE(r.dns.tcp_answers);
+    EXPECT_TRUE(r.dns.tcp_upstream_udp);
+    EXPECT_FALSE(r.stun.port_preserved);
+    EXPECT_EQ(r.stun.mapping, stun::Mapping::AddressDependent);
+}
+
+TEST(CalibrationSpotCheck, Dl8ShortensDnsBindingsOnly) {
+    CampaignConfig cfg;
+    cfg.udp5 = true;
+    cfg.udp.repetitions = 2;
+    const auto r = measure("dl8", cfg);
+    const double dns = r.udp5.at("dns").summary().median;
+    const double http = r.udp5.at("http").summary().median;
+    const double ntp = r.udp5.at("ntp").summary().median;
+    EXPECT_NEAR(dns, 60.0, 2.0);
+    EXPECT_NEAR(http, 240.0, 2.0);
+    EXPECT_NEAR(ntp, 240.0, 2.0);
+}
+
+TEST(CalibrationSpotCheck, Nw1TranslatesNoIcmpButProxiesDns) {
+    CampaignConfig cfg;
+    cfg.icmp = true;
+    cfg.dns = true;
+    const auto r = measure("nw1", cfg);
+    for (int k = 0; k < gateway::kIcmpKindCount; ++k) {
+        const auto kind = static_cast<gateway::IcmpKind>(k);
+        EXPECT_FALSE(r.icmp.verdict(true, kind).forwarded);
+        EXPECT_FALSE(r.icmp.verdict(false, kind).forwarded);
+    }
+    EXPECT_FALSE(r.icmp.query_error_forwarded);
+    EXPECT_TRUE(r.dns.udp_ok);
+    EXPECT_FALSE(r.dns.tcp_connects);
+}
+
+TEST(CalibrationSpotCheck, Ls2FabricatesRstsFromTcpErrors) {
+    CampaignConfig cfg;
+    cfg.icmp = true;
+    const auto r = measure("ls2", cfg);
+    const auto& tcp_v =
+        r.icmp.verdict(true, gateway::IcmpKind::HostUnreachable);
+    EXPECT_FALSE(tcp_v.forwarded);
+    EXPECT_TRUE(tcp_v.rst_instead);
+    // UDP-related errors still pass normally.
+    EXPECT_TRUE(
+        r.icmp.verdict(false, gateway::IcmpKind::HostUnreachable).forwarded);
+}
+
+TEST(CalibrationSpotCheck, Smc16BindingsAndAsymmetricRates) {
+    CampaignConfig cfg;
+    cfg.tcp4 = true;
+    const auto r = measure("smc", cfg);
+    EXPECT_EQ(r.tcp4.max_bindings, 16);
+}

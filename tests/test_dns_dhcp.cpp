@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "net/dhcp.hpp"
+#include "net/dns.hpp"
+
+using namespace gatekit::net;
+
+TEST(Dns, QueryRoundTrip) {
+    const auto q = DnsMessage::make_query(0xbeef, "server.hiit.fi");
+    const auto g = DnsMessage::parse(q.serialize());
+    EXPECT_EQ(g.id, 0xbeef);
+    EXPECT_FALSE(g.is_response);
+    EXPECT_TRUE(g.recursion_desired);
+    ASSERT_EQ(g.questions.size(), 1u);
+    EXPECT_EQ(g.questions[0].name, "server.hiit.fi");
+    EXPECT_EQ(g.questions[0].qtype, kDnsTypeA);
+}
+
+TEST(Dns, ResponseRoundTrip) {
+    const auto q = DnsMessage::make_query(7, "www.example.com");
+    const auto resp = DnsMessage::make_a_response(q, Ipv4Addr(93, 184, 216, 34));
+    const auto g = DnsMessage::parse(resp.serialize());
+    EXPECT_TRUE(g.is_response);
+    EXPECT_TRUE(g.recursion_available);
+    EXPECT_EQ(g.id, 7);
+    ASSERT_EQ(g.answers.size(), 1u);
+    EXPECT_EQ(g.answers[0].name, "www.example.com");
+    EXPECT_EQ(g.answers[0].a_addr(), Ipv4Addr(93, 184, 216, 34));
+}
+
+TEST(Dns, CompressionPointerParsed) {
+    // Hand-craft a response whose answer name is a pointer to the question
+    // name at offset 12 (as BIND would emit).
+    const auto q = DnsMessage::make_query(1, "a.fi");
+    auto bytes = q.serialize();
+    bytes[7] = 1; // ancount = 1
+    // answer: ptr to offset 12, type A, class IN, ttl 1, rdlen 4, addr
+    const std::uint8_t answer[] = {0xc0, 12,  0, 1, 0, 1, 0, 0,
+                                   0,    1,   0, 4, 1, 2, 3, 4};
+    bytes.insert(bytes.end(), std::begin(answer), std::end(answer));
+    const auto g = DnsMessage::parse(bytes);
+    ASSERT_EQ(g.answers.size(), 1u);
+    EXPECT_EQ(g.answers[0].name, "a.fi");
+    EXPECT_EQ(g.answers[0].a_addr(), Ipv4Addr(1, 2, 3, 4));
+}
+
+TEST(Dns, PointerLoopThrows) {
+    auto bytes = DnsMessage::make_query(1, "x.fi").serialize();
+    bytes[7] = 1; // ancount = 1
+    const std::size_t self = bytes.size();
+    bytes.push_back(0xc0);
+    bytes.push_back(static_cast<std::uint8_t>(self)); // points at itself
+    bytes.insert(bytes.end(), 10, 0);
+    EXPECT_THROW(DnsMessage::parse(bytes), ParseError);
+}
+
+TEST(Dns, EmptyLabelRejectedOnSerialize) {
+    const auto q = DnsMessage::make_query(1, "bad..name");
+    EXPECT_THROW(q.serialize(), ParseError);
+}
+
+TEST(Dns, RcodeAndFlagsRoundTrip) {
+    DnsMessage m;
+    m.id = 2;
+    m.is_response = true;
+    m.rcode = 3; // NXDOMAIN
+    m.truncated = true;
+    m.authoritative = true;
+    const auto g = DnsMessage::parse(m.serialize());
+    EXPECT_EQ(g.rcode, 3);
+    EXPECT_TRUE(g.truncated);
+    EXPECT_TRUE(g.authoritative);
+}
+
+TEST(Dns, NotAnARecordThrows) {
+    DnsRecord rec;
+    rec.rtype = 28; // AAAA
+    EXPECT_THROW(rec.a_addr(), ParseError);
+}
+
+TEST(Dhcp, DiscoverRoundTrip) {
+    DhcpMessage m;
+    m.op = 1;
+    m.xid = 0xcafef00d;
+    m.chaddr = MacAddr::from_index(55);
+    m.set_type(DhcpMessageType::Discover);
+    const auto bytes = m.serialize();
+    EXPECT_GE(bytes.size(), 240u);
+    const auto g = DhcpMessage::parse(bytes);
+    EXPECT_EQ(g.op, 1);
+    EXPECT_EQ(g.xid, 0xcafef00du);
+    EXPECT_EQ(g.chaddr, m.chaddr);
+    ASSERT_TRUE(g.type().has_value());
+    EXPECT_EQ(*g.type(), DhcpMessageType::Discover);
+}
+
+TEST(Dhcp, OfferCarriesNetworkConfig) {
+    DhcpMessage m;
+    m.op = 2;
+    m.yiaddr = Ipv4Addr(192, 168, 1, 100);
+    m.set_type(DhcpMessageType::Offer);
+    m.set_addr_option(dhcp_opt::kSubnetMask, Ipv4Addr(255, 255, 255, 0));
+    m.set_addr_option(dhcp_opt::kRouter, Ipv4Addr(192, 168, 1, 1));
+    m.set_addr_option(dhcp_opt::kDnsServer, Ipv4Addr(192, 168, 1, 1));
+    m.set_addr_option(dhcp_opt::kServerId, Ipv4Addr(192, 168, 1, 1));
+    m.set_u32_option(dhcp_opt::kLeaseTime, 3600);
+    const auto g = DhcpMessage::parse(m.serialize());
+    EXPECT_EQ(g.yiaddr, Ipv4Addr(192, 168, 1, 100));
+    EXPECT_EQ(*g.addr_option(dhcp_opt::kSubnetMask),
+              Ipv4Addr(255, 255, 255, 0));
+    EXPECT_EQ(*g.addr_option(dhcp_opt::kRouter), Ipv4Addr(192, 168, 1, 1));
+    EXPECT_EQ(*g.u32_option(dhcp_opt::kLeaseTime), 3600u);
+}
+
+TEST(Dhcp, MissingOptionsReturnNullopt) {
+    DhcpMessage m;
+    const auto g = DhcpMessage::parse(m.serialize());
+    EXPECT_FALSE(g.type().has_value());
+    EXPECT_FALSE(g.addr_option(dhcp_opt::kRouter).has_value());
+    EXPECT_FALSE(g.u32_option(dhcp_opt::kLeaseTime).has_value());
+}
+
+TEST(Dhcp, BadMagicCookieThrows) {
+    DhcpMessage m;
+    auto bytes = m.serialize();
+    bytes[236] ^= 0xff;
+    EXPECT_THROW(DhcpMessage::parse(bytes), ParseError);
+}

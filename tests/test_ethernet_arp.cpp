@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+
+using namespace gatekit::net;
+
+TEST(Ethernet, UntaggedRoundTrip) {
+    EthernetFrame f;
+    f.dst = MacAddr::parse("ff:ff:ff:ff:ff:ff");
+    f.src = MacAddr::from_index(3);
+    f.ethertype = kEtherTypeIpv4;
+    f.payload = {1, 2, 3};
+    const auto bytes = f.serialize();
+    EXPECT_EQ(bytes.size(), 14u + 3u);
+    const auto g = EthernetFrame::parse(bytes);
+    EXPECT_EQ(g.dst, f.dst);
+    EXPECT_EQ(g.src, f.src);
+    EXPECT_FALSE(g.vlan_id.has_value());
+    EXPECT_EQ(g.ethertype, kEtherTypeIpv4);
+    EXPECT_EQ(g.payload, f.payload);
+}
+
+TEST(Ethernet, VlanTaggedRoundTrip) {
+    EthernetFrame f;
+    f.dst = MacAddr::from_index(1);
+    f.src = MacAddr::from_index(2);
+    f.vlan_id = 1001;
+    f.ethertype = kEtherTypeArp;
+    f.payload = {0xaa};
+    const auto bytes = f.serialize();
+    EXPECT_EQ(bytes.size(), 18u + 1u);
+    const auto g = EthernetFrame::parse(bytes);
+    ASSERT_TRUE(g.vlan_id.has_value());
+    EXPECT_EQ(*g.vlan_id, 1001);
+    EXPECT_EQ(g.ethertype, kEtherTypeArp);
+    EXPECT_EQ(g.payload, f.payload);
+}
+
+TEST(Ethernet, TagOnTheWireIs8100) {
+    EthernetFrame f;
+    f.vlan_id = 7;
+    f.ethertype = kEtherTypeIpv4;
+    const auto bytes = f.serialize();
+    EXPECT_EQ(bytes[12], 0x81);
+    EXPECT_EQ(bytes[13], 0x00);
+    EXPECT_EQ(bytes[15], 7);
+}
+
+TEST(Ethernet, TruncatedFrameThrows) {
+    const Bytes junk{1, 2, 3};
+    EXPECT_THROW(EthernetFrame::parse(junk), ParseError);
+}
+
+TEST(Ethernet, VlanIdOutOfRangeRejected) {
+    EthernetFrame f;
+    f.vlan_id = 5000;
+    EXPECT_THROW(f.serialize(), gatekit::ContractViolation);
+}
+
+TEST(Arp, RequestRoundTrip) {
+    ArpMessage m;
+    m.op = ArpMessage::Op::Request;
+    m.sender_mac = MacAddr::from_index(10);
+    m.sender_ip = Ipv4Addr(192, 168, 1, 1);
+    m.target_ip = Ipv4Addr(192, 168, 1, 2);
+    const auto bytes = m.serialize();
+    EXPECT_EQ(bytes.size(), 28u);
+    const auto g = ArpMessage::parse(bytes);
+    EXPECT_EQ(g.op, ArpMessage::Op::Request);
+    EXPECT_EQ(g.sender_mac, m.sender_mac);
+    EXPECT_EQ(g.sender_ip, m.sender_ip);
+    EXPECT_EQ(g.target_mac, MacAddr{});
+    EXPECT_EQ(g.target_ip, m.target_ip);
+}
+
+TEST(Arp, ReplyRoundTrip) {
+    ArpMessage m;
+    m.op = ArpMessage::Op::Reply;
+    m.sender_mac = MacAddr::from_index(20);
+    m.sender_ip = Ipv4Addr(10, 0, 1, 1);
+    m.target_mac = MacAddr::from_index(21);
+    m.target_ip = Ipv4Addr(10, 0, 1, 2);
+    const auto g = ArpMessage::parse(m.serialize());
+    EXPECT_EQ(g.op, ArpMessage::Op::Reply);
+    EXPECT_EQ(g.target_mac, m.target_mac);
+}
+
+TEST(Arp, BadOpcodeThrows) {
+    ArpMessage m;
+    auto bytes = m.serialize();
+    bytes[7] = 9; // opcode low byte
+    EXPECT_THROW(ArpMessage::parse(bytes), ParseError);
+}
+
+TEST(Arp, NonEthernetHtypeThrows) {
+    ArpMessage m;
+    auto bytes = m.serialize();
+    bytes[1] = 6;
+    EXPECT_THROW(ArpMessage::parse(bytes), ParseError);
+}

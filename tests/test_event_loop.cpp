@@ -1,0 +1,109 @@
+#include "sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+using namespace gatekit::sim;
+
+TEST(EventLoop, StartsAtZero) {
+    EventLoop loop;
+    EXPECT_EQ(loop.now(), TimePoint{0});
+    EXPECT_FALSE(loop.step());
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+    EventLoop loop;
+    std::vector<int> order;
+    loop.after(3_sec, [&] { order.push_back(3); });
+    loop.after(1_sec, [&] { order.push_back(1); });
+    loop.after(2_sec, [&] { order.push_back(2); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(loop.now(), TimePoint{3_sec});
+}
+
+TEST(EventLoop, SameTimestampIsFifo) {
+    EventLoop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        loop.after(1_sec, [&order, i] { order.push_back(i); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, RunUntilAdvancesClockPastLastEvent) {
+    EventLoop loop;
+    int fired = 0;
+    loop.after(1_sec, [&] { ++fired; });
+    loop.after(10_sec, [&] { ++fired; });
+    loop.run_until(TimePoint{5_sec});
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(loop.now(), TimePoint{5_sec});
+    loop.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RunUntilIncludesBoundary) {
+    EventLoop loop;
+    int fired = 0;
+    loop.after(5_sec, [&] { ++fired; });
+    loop.run_until(TimePoint{5_sec});
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, NestedSchedulingFromHandler) {
+    EventLoop loop;
+    std::vector<TimePoint> at;
+    loop.after(1_sec, [&] {
+        at.push_back(loop.now());
+        loop.after(1_sec, [&] { at.push_back(loop.now()); });
+    });
+    loop.run();
+    ASSERT_EQ(at.size(), 2u);
+    EXPECT_EQ(at[0], TimePoint{1_sec});
+    EXPECT_EQ(at[1], TimePoint{2_sec});
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+    EventLoop loop;
+    int fired = 0;
+    auto id = loop.after(1_sec, [&] { ++fired; });
+    loop.after(2_sec, [&] { ++fired; });
+    loop.cancel(id);
+    loop.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(loop.events_processed(), 1u);
+}
+
+TEST(EventLoop, CancelIsIdempotent) {
+    EventLoop loop;
+    int fired = 0;
+    auto id = loop.after(1_sec, [&] { ++fired; });
+    loop.cancel(id);
+    loop.cancel(id);
+    loop.cancel(EventId{}); // null handle is a no-op
+    loop.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoop, SchedulingInThePastViolatesContract) {
+    EventLoop loop;
+    loop.after(2_sec, [] {});
+    loop.run();
+    EXPECT_THROW(loop.at(TimePoint{1_sec}, [] {}),
+                 gatekit::ContractViolation);
+    EXPECT_THROW(loop.after(Duration{-1}, [] {}),
+                 gatekit::ContractViolation);
+}
+
+TEST(EventLoop, LongVirtualHorizonIsExact) {
+    // A 24-hour timer must fire at exactly 86400 s of virtual time.
+    EventLoop loop;
+    TimePoint fired_at{};
+    loop.after(std::chrono::hours(24), [&] { fired_at = loop.now(); });
+    loop.run();
+    EXPECT_EQ(fired_at, TimePoint{std::chrono::hours(24)});
+}

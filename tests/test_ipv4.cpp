@@ -1,0 +1,121 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+using namespace gatekit::net;
+
+namespace {
+
+Ipv4Packet sample() {
+    Ipv4Packet p;
+    p.h.id = 0x1234;
+    p.h.ttl = 64;
+    p.h.protocol = proto::kUdp;
+    p.h.src = Ipv4Addr(192, 168, 1, 2);
+    p.h.dst = Ipv4Addr(10, 0, 1, 1);
+    p.payload = {1, 2, 3, 4};
+    return p;
+}
+
+} // namespace
+
+TEST(Ipv4, RoundTrip) {
+    const auto p = sample();
+    const auto bytes = p.serialize();
+    EXPECT_EQ(bytes.size(), 24u);
+    const auto g = Ipv4Packet::parse(bytes);
+    EXPECT_EQ(g.h.id, 0x1234);
+    EXPECT_EQ(g.h.ttl, 64);
+    EXPECT_EQ(g.h.protocol, proto::kUdp);
+    EXPECT_EQ(g.h.src, p.h.src);
+    EXPECT_EQ(g.h.dst, p.h.dst);
+    EXPECT_EQ(g.payload, p.payload);
+    EXPECT_TRUE(g.h.checksum_ok);
+}
+
+TEST(Ipv4, ChecksumValidOnWire) {
+    const auto bytes = sample().serialize();
+    EXPECT_EQ(internet_checksum({bytes.data(), 20}), 0);
+}
+
+TEST(Ipv4, CorruptedChecksumDetectedNotThrown) {
+    auto bytes = sample().serialize();
+    bytes[10] ^= 0xff;
+    const auto g = Ipv4Packet::parse(bytes);
+    EXPECT_FALSE(g.h.checksum_ok);
+    EXPECT_EQ(g.payload.size(), 4u); // rest of packet parsed fine
+}
+
+TEST(Ipv4, FlagsAndFragmentFields) {
+    auto p = sample();
+    p.h.dont_fragment = true;
+    p.h.frag_offset = 100;
+    const auto g = Ipv4Packet::parse(p.serialize());
+    EXPECT_TRUE(g.h.dont_fragment);
+    EXPECT_FALSE(g.h.more_fragments);
+    EXPECT_EQ(g.h.frag_offset, 100);
+}
+
+TEST(Ipv4, NotIpv4Throws) {
+    auto bytes = sample().serialize();
+    bytes[0] = 0x60; // version 6
+    EXPECT_THROW(Ipv4Packet::parse(bytes), ParseError);
+}
+
+TEST(Ipv4, TruncatedThrows) {
+    const auto bytes = sample().serialize();
+    EXPECT_THROW(
+        Ipv4Packet::parse({bytes.data(), 10}), ParseError);
+}
+
+TEST(Ipv4, BadTotalLengthThrows) {
+    auto bytes = sample().serialize();
+    bytes[2] = 0xff; // total length > buffer
+    bytes[3] = 0xff;
+    EXPECT_THROW(Ipv4Packet::parse(bytes), ParseError);
+}
+
+TEST(Ipv4, RecordRouteOptionRoundTrip) {
+    auto p = sample();
+    p.h.options = Ipv4Packet::make_record_route_option(4);
+    const auto bytes = p.serialize();
+    // header must grow to 20 + 20 (19 option bytes padded to 20)
+    EXPECT_EQ(bytes[0] & 0xf, 10);
+    auto g = Ipv4Packet::parse(bytes);
+    EXPECT_TRUE(g.h.checksum_ok);
+    EXPECT_TRUE(g.recorded_route().empty());
+
+    g.record_route(Ipv4Addr(10, 0, 1, 254));
+    g.record_route(Ipv4Addr(10, 0, 2, 254));
+    const auto hops = g.recorded_route();
+    ASSERT_EQ(hops.size(), 2u);
+    EXPECT_EQ(hops[0], Ipv4Addr(10, 0, 1, 254));
+    EXPECT_EQ(hops[1], Ipv4Addr(10, 0, 2, 254));
+}
+
+TEST(Ipv4, RecordRouteStopsWhenFull) {
+    auto p = sample();
+    p.h.options = Ipv4Packet::make_record_route_option(2);
+    for (int i = 0; i < 5; ++i)
+        p.record_route(Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+    EXPECT_EQ(p.recorded_route().size(), 2u);
+}
+
+TEST(Ipv4, RecordRouteSurvivesReserialize) {
+    auto p = sample();
+    p.h.options = Ipv4Packet::make_record_route_option(3);
+    p.record_route(Ipv4Addr(1, 2, 3, 4));
+    const auto g = Ipv4Packet::parse(p.serialize());
+    ASSERT_EQ(g.recorded_route().size(), 1u);
+    EXPECT_EQ(g.recorded_route()[0], Ipv4Addr(1, 2, 3, 4));
+}
+
+TEST(Ipv4, NoOptionNoRoute) {
+    const auto p = sample();
+    EXPECT_TRUE(p.recorded_route().empty());
+    auto q = p;
+    q.record_route(Ipv4Addr(9, 9, 9, 9)); // no-op without the option
+    EXPECT_TRUE(q.recorded_route().empty());
+}

@@ -1,0 +1,136 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace gatekit::sim;
+
+namespace {
+
+class Collector : public FrameSink {
+public:
+    void frame_in(Frame frame) override {
+        frames.push_back(std::move(frame));
+        arrival_times.push_back(when ? *when : TimePoint{});
+    }
+    std::vector<Frame> frames;
+    std::vector<TimePoint> arrival_times;
+    const TimePoint* when = nullptr; // points at loop-now for timestamping
+};
+
+class TimedCollector : public FrameSink {
+public:
+    explicit TimedCollector(EventLoop& loop) : loop_(loop) {}
+    void frame_in(Frame frame) override {
+        frames.push_back(std::move(frame));
+        times.push_back(loop_.now());
+    }
+    std::vector<Frame> frames;
+    std::vector<TimePoint> times;
+
+private:
+    EventLoop& loop_;
+};
+
+Frame make_frame(std::size_t size, std::uint8_t fill = 0xab) {
+    return Frame(size, fill);
+}
+
+} // namespace
+
+TEST(Link, DeliversFrameToOppositeSide) {
+    EventLoop loop;
+    Link link(loop, 100'000'000, 1_us);
+    TimedCollector at_b(loop);
+    link.attach(Link::Side::B, at_b);
+    link.send(Link::Side::A, make_frame(100));
+    loop.run();
+    ASSERT_EQ(at_b.frames.size(), 1u);
+    EXPECT_EQ(at_b.frames[0].size(), 100u);
+}
+
+TEST(Link, SerializationPlusPropagationDelay) {
+    EventLoop loop;
+    // 100 Mb/s: a 1250-byte frame serializes in exactly 100 us.
+    Link link(loop, 100'000'000, 5_us);
+    TimedCollector at_b(loop);
+    link.attach(Link::Side::B, at_b);
+    link.send(Link::Side::A, make_frame(1250));
+    loop.run();
+    ASSERT_EQ(at_b.times.size(), 1u);
+    EXPECT_EQ(at_b.times[0], TimePoint{105_us});
+}
+
+TEST(Link, BackToBackFramesQueueOnTheWire) {
+    EventLoop loop;
+    Link link(loop, 100'000'000, 0_us);
+    TimedCollector at_b(loop);
+    link.attach(Link::Side::B, at_b);
+    link.send(Link::Side::A, make_frame(1250)); // 100 us each
+    link.send(Link::Side::A, make_frame(1250));
+    loop.run();
+    ASSERT_EQ(at_b.times.size(), 2u);
+    EXPECT_EQ(at_b.times[0], TimePoint{100_us});
+    EXPECT_EQ(at_b.times[1], TimePoint{200_us});
+}
+
+TEST(Link, DirectionsAreIndependent) {
+    EventLoop loop;
+    Link link(loop, 100'000'000, 0_us);
+    TimedCollector at_a(loop);
+    TimedCollector at_b(loop);
+    link.attach(Link::Side::A, at_a);
+    link.attach(Link::Side::B, at_b);
+    link.send(Link::Side::A, make_frame(1250));
+    link.send(Link::Side::B, make_frame(1250));
+    loop.run();
+    ASSERT_EQ(at_a.times.size(), 1u);
+    ASSERT_EQ(at_b.times.size(), 1u);
+    // Full duplex: both deliveries complete after one serialization time.
+    EXPECT_EQ(at_a.times[0], TimePoint{100_us});
+    EXPECT_EQ(at_b.times[0], TimePoint{100_us});
+}
+
+TEST(Link, PreservesFrameContent) {
+    EventLoop loop;
+    Link link(loop, 1'000'000, 0_us);
+    TimedCollector at_b(loop);
+    link.attach(Link::Side::B, at_b);
+    Frame f{1, 2, 3, 4, 5};
+    link.send(Link::Side::A, f);
+    loop.run();
+    ASSERT_EQ(at_b.frames.size(), 1u);
+    EXPECT_EQ(at_b.frames[0], f);
+}
+
+TEST(Link, TapObservesBothDirections) {
+    EventLoop loop;
+    Link link(loop, 100'000'000, 0_us);
+    TimedCollector at_a(loop);
+    TimedCollector at_b(loop);
+    link.attach(Link::Side::A, at_a);
+    link.attach(Link::Side::B, at_b);
+    std::vector<Link::Side> seen;
+    link.set_tap([&](Link::Side from, TimePoint, auto) {
+        seen.push_back(from);
+    });
+    link.send(Link::Side::A, make_frame(10));
+    link.send(Link::Side::B, make_frame(10));
+    loop.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], Link::Side::A);
+    EXPECT_EQ(seen[1], Link::Side::B);
+}
+
+TEST(Link, FrameCountersPerSide) {
+    EventLoop loop;
+    Link link(loop, 100'000'000, 0_us);
+    TimedCollector at_b(loop);
+    link.attach(Link::Side::B, at_b);
+    link.send(Link::Side::A, make_frame(10));
+    link.send(Link::Side::A, make_frame(10));
+    loop.run();
+    EXPECT_EQ(link.frames_sent(Link::Side::A), 2u);
+    EXPECT_EQ(link.frames_sent(Link::Side::B), 0u);
+}

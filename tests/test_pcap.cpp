@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/buffer.hpp"
+#include "pcap/capture_tap.hpp"
+#include "pcap/pcap.hpp"
+
+using namespace gatekit;
+using namespace gatekit::pcap;
+
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::string& s) {
+    return {s.begin(), s.end()};
+}
+
+} // namespace
+
+TEST(Pcap, StreamRoundTrip) {
+    std::ostringstream out;
+    Writer::write_header(out);
+    Record r1{sim::TimePoint{std::chrono::microseconds(1'500'001)},
+              {1, 2, 3, 4}};
+    Record r2{sim::TimePoint{std::chrono::seconds(3)}, {9}};
+    Writer::write_record(out, r1);
+    Writer::write_record(out, r2);
+    const auto records = Reader::read(to_bytes(out.str()));
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].timestamp,
+              sim::TimePoint{std::chrono::microseconds(1'500'001)});
+    EXPECT_EQ(records[0].frame, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+    EXPECT_EQ(records[1].timestamp, sim::TimePoint{std::chrono::seconds(3)});
+}
+
+TEST(Pcap, FileRoundTrip) {
+    const std::string path = "/tmp/gatekit_pcap_test.pcap";
+    std::vector<Record> records{
+        {sim::TimePoint{std::chrono::milliseconds(10)}, {0xde, 0xad}}};
+    Writer::write_file(path, records);
+    const auto back = Reader::read_file(path);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].frame, records[0].frame);
+    std::remove(path.c_str());
+}
+
+TEST(Pcap, BadMagicThrows) {
+    std::vector<std::uint8_t> junk(24, 0);
+    EXPECT_THROW(Reader::read(junk), net::ParseError);
+}
+
+TEST(Pcap, TruncatedRecordThrows) {
+    std::ostringstream out;
+    Writer::write_header(out);
+    Record r{sim::TimePoint{}, {1, 2, 3}};
+    Writer::write_record(out, r);
+    auto bytes = to_bytes(out.str());
+    bytes.pop_back();
+    EXPECT_THROW(Reader::read(bytes), net::ParseError);
+}
+
+TEST(CaptureTap, RecordsFramesWithTimestamps) {
+    sim::EventLoop loop;
+    sim::Link link(loop, 100'000'000, sim::Duration::zero());
+    struct Sink : sim::FrameSink {
+        void frame_in(sim::Frame) override {}
+    } sink;
+    link.attach(sim::Link::Side::B, sink);
+    link.attach(sim::Link::Side::A, sink);
+
+    CaptureTap tap;
+    tap.attach(link);
+    link.send(sim::Link::Side::A, sim::Frame{1, 2});
+    loop.run_for(std::chrono::seconds(1));
+    link.send(sim::Link::Side::B, sim::Frame{3});
+    loop.run();
+
+    ASSERT_EQ(tap.records().size(), 2u);
+    EXPECT_EQ(tap.records()[0].frame, (std::vector<std::uint8_t>{1, 2}));
+    EXPECT_EQ(tap.records()[1].timestamp,
+              sim::TimePoint{std::chrono::seconds(1)});
+}
+
+TEST(CaptureTap, DirectionalFilter) {
+    sim::EventLoop loop;
+    sim::Link link(loop, 100'000'000, sim::Duration::zero());
+    struct Sink : sim::FrameSink {
+        void frame_in(sim::Frame) override {}
+    } sink;
+    link.attach(sim::Link::Side::B, sink);
+    link.attach(sim::Link::Side::A, sink);
+
+    CaptureTap tap(CaptureTap::Filter::AToB);
+    tap.attach(link);
+    link.send(sim::Link::Side::A, sim::Frame{1});
+    link.send(sim::Link::Side::B, sim::Frame{2});
+    loop.run();
+    ASSERT_EQ(tap.records().size(), 1u);
+    EXPECT_EQ(tap.records()[0].frame, (std::vector<std::uint8_t>{1}));
+}

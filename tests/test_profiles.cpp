@@ -1,0 +1,324 @@
+// Calibration invariants: the 34 device profiles must reproduce every
+// aggregate the paper states (population medians/means, class counts,
+// named per-device values). A profile edit that breaks the published
+// numbers fails here before any bench runs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "devices/profiles.hpp"
+#include "util/stats.hpp"
+
+using namespace gatekit;
+using namespace gatekit::devices;
+using gateway::DeviceProfile;
+using gateway::DnsTcpMode;
+using gateway::IcmpKind;
+using gateway::PortAllocation;
+using gateway::UnknownProtocolPolicy;
+
+namespace {
+
+std::vector<double> collect(double (*f)(const DeviceProfile&)) {
+    std::vector<double> out;
+    for (const auto& p : all_profiles()) out.push_back(f(p));
+    return out;
+}
+
+double udp1(const DeviceProfile& p) { return sim::to_sec(p.udp.initial); }
+double udp2(const DeviceProfile& p) {
+    return sim::to_sec(p.udp.inbound_refresh);
+}
+double udp3(const DeviceProfile& p) {
+    return sim::to_sec(p.udp.outbound_refresh);
+}
+
+DeviceProfile dev(const std::string& tag) {
+    auto p = find_profile(tag);
+    EXPECT_TRUE(p.has_value()) << tag;
+    return p.value_or(DeviceProfile{});
+}
+
+} // namespace
+
+TEST(Profiles, ThirtyFourDevicesWithUniqueTags) {
+    EXPECT_EQ(all_profiles().size(), 34u);
+    std::set<std::string> tags;
+    for (const auto& p : all_profiles()) tags.insert(p.tag);
+    EXPECT_EQ(tags.size(), 34u);
+    EXPECT_FALSE(find_profile("nonsense").has_value());
+    EXPECT_EQ(all_tags().size(), 34u);
+}
+
+TEST(Profiles, Udp1PopulationStatistics) {
+    // Paper Figure 3: median 90 s, mean 160.41 s, min 30 s, max 691 s.
+    const auto xs = collect(udp1);
+    EXPECT_DOUBLE_EQ(stats::median(xs), 90.0);
+    EXPECT_NEAR(stats::mean(xs), 160.41, 3.0);
+    EXPECT_DOUBLE_EQ(*std::min_element(xs.begin(), xs.end()), 30.0);
+    EXPECT_DOUBLE_EQ(*std::max_element(xs.begin(), xs.end()), 691.0);
+}
+
+TEST(Profiles, Udp1NamedDeviceValues) {
+    // Paper: je among the shortest (30 s); ed/owrt/to/te share 30 s;
+    // ls1 = 691 s; only ls1 meets the IETF-recommended 600 s.
+    for (const char* tag : {"je", "ed", "owrt", "to", "te"})
+        EXPECT_DOUBLE_EQ(udp1(dev(tag)), 30.0) << tag;
+    EXPECT_DOUBLE_EQ(udp1(dev("ls1")), 691.0);
+    int above600 = 0, below120 = 0;
+    for (const auto& p : all_profiles()) {
+        if (udp1(p) >= 600.0) ++above600;
+        if (udp1(p) < 120.0) ++below120;
+    }
+    EXPECT_EQ(above600, 2); // ls1 691 plus ng5 600 boundary
+    EXPECT_GT(below120, 17); // more than half below the RFC 4787 floor
+}
+
+TEST(Profiles, Udp2PopulationStatistics) {
+    // Paper Figure 4: min 54 s (ap), median 180 s, mean 174.67 s.
+    const auto xs = collect(udp2);
+    EXPECT_DOUBLE_EQ(stats::median(xs), 180.0);
+    EXPECT_NEAR(stats::mean(xs), 174.67, 3.0);
+    EXPECT_DOUBLE_EQ(*std::min_element(xs.begin(), xs.end()), 54.0);
+    EXPECT_DOUBLE_EQ(udp2(dev("ap")), 54.0);
+    EXPECT_NEAR(udp2(dev("be2")), 202.0, 0.1); // paper: drops 450 -> ~202
+    for (const char* tag : {"ed", "owrt", "to", "te"})
+        EXPECT_DOUBLE_EQ(udp2(dev(tag)), 180.0) << tag;
+}
+
+TEST(Profiles, Udp3PopulationStatistics) {
+    // Paper Figure 5: median 181 s, mean 225.94 s; nobody shortens
+    // vs UDP-2; the named devices return to their UDP-1 level.
+    const auto xs = collect(udp3);
+    EXPECT_DOUBLE_EQ(stats::median(xs), 181.0);
+    EXPECT_NEAR(stats::mean(xs), 225.94, 4.0);
+    for (const auto& p : all_profiles())
+        EXPECT_GE(sim::to_sec(p.udp.outbound_refresh),
+                  sim::to_sec(p.udp.inbound_refresh))
+            << p.tag;
+    for (const char* tag : {"be2", "ng5", "ng3", "ng4"})
+        EXPECT_DOUBLE_EQ(udp3(dev(tag)), udp1(dev(tag))) << tag;
+}
+
+TEST(Profiles, Udp4ClassCounts) {
+    // Paper: 27/34 preserve the source port; 23 reuse expired bindings,
+    // 4 quarantine; 7 never preserve.
+    int preserve = 0, quarantine = 0, sequential = 0;
+    for (const auto& p : all_profiles()) {
+        if (p.port_allocation == PortAllocation::PreserveSourcePort) {
+            ++preserve;
+            if (p.port_quarantine > sim::Duration::zero()) ++quarantine;
+        } else {
+            ++sequential;
+        }
+    }
+    EXPECT_EQ(preserve, 27);
+    EXPECT_EQ(quarantine, 4);
+    EXPECT_EQ(sequential, 7);
+    for (const char* tag : {"be1", "dl10", "ng3", "ng4"})
+        EXPECT_GT(dev(tag).port_quarantine, sim::Duration::zero()) << tag;
+}
+
+TEST(Profiles, Udp5OnlyDl8VariesByService) {
+    for (const auto& p : all_profiles()) {
+        if (p.tag == "dl8") {
+            ASSERT_TRUE(p.udp.per_service.contains(53));
+            EXPECT_LT(p.udp.per_service.at(53), p.udp.inbound_refresh);
+        } else {
+            EXPECT_TRUE(p.udp.per_service.empty()) << p.tag;
+        }
+    }
+}
+
+TEST(Profiles, Tcp1PopulationStatistics) {
+    // Paper Figure 7: be1 = 239 s shortest; median ~60 min; mean ~386 min
+    // with the 24 h cutoff; exactly 7 devices beyond the cutoff; more
+    // than half under the 124-minute RFC 5382 floor.
+    std::vector<double> minutes;
+    int beyond = 0, under_floor = 0;
+    for (const auto& p : all_profiles()) {
+        double m = sim::to_sec(p.tcp_established_timeout) / 60.0;
+        if (m > 24 * 60) {
+            ++beyond;
+            m = 24 * 60; // measurement cutoff
+        }
+        if (m < 124) ++under_floor;
+        minutes.push_back(m);
+    }
+    EXPECT_EQ(beyond, 7);
+    EXPECT_GT(under_floor, 17);
+    EXPECT_NEAR(stats::median(minutes), 60.0, 1.0);
+    EXPECT_NEAR(stats::mean(minutes), 386.46, 10.0);
+    EXPECT_DOUBLE_EQ(sim::to_sec(dev("be1").tcp_established_timeout), 239.0);
+    for (const char* tag : {"ap", "bu1", "ed", "ls3", "ls5", "ng1", "te"})
+        EXPECT_GT(dev(tag).tcp_established_timeout, std::chrono::hours(24))
+            << tag;
+}
+
+TEST(Profiles, Tcp2PopulationStatistics) {
+    // Paper Figure 8: 13 devices sustain 100 Mb/s; unidirectional median
+    // ~59 Mb/s; dl10 ~6/6, ls1 ~8/6; smc asymmetric 41 up / 27 down.
+    // "Full rate" devices are capped at 94 Mb/s so that the device (not
+    // the 100 Mb/s wire) owns the bottleneck queue; see profiles.cpp.
+    int full_rate = 0;
+    std::vector<double> down;
+    for (const auto& p : all_profiles()) {
+        if (p.fwd.down_mbps >= 94.0 && p.fwd.up_mbps >= 94.0) ++full_rate;
+        down.push_back(p.fwd.down_mbps);
+    }
+    EXPECT_EQ(full_rate, 13);
+    EXPECT_NEAR(stats::median(down), 59.0, 1.0);
+    EXPECT_DOUBLE_EQ(dev("dl10").fwd.down_mbps, 6.0);
+    EXPECT_DOUBLE_EQ(dev("ls1").fwd.down_mbps, 8.0);
+    EXPECT_DOUBLE_EQ(dev("ls1").fwd.up_mbps, 6.0);
+    EXPECT_DOUBLE_EQ(dev("smc").fwd.up_mbps, 41.0);
+    EXPECT_DOUBLE_EQ(dev("smc").fwd.down_mbps, 27.0);
+    for (const auto& p : all_profiles()) {
+        EXPECT_GE(p.fwd.aggregate_mbps,
+                  std::max(p.fwd.down_mbps, p.fwd.up_mbps))
+            << p.tag << ": aggregate below a direction rate";
+    }
+}
+
+TEST(Profiles, Tcp4PopulationStatistics) {
+    // Paper Figure 10: min 16 (dl9, smc), max ~1024 (ng1, ap),
+    // median 135.5, mean ~259.
+    std::vector<double> binds;
+    for (const auto& p : all_profiles())
+        binds.push_back(static_cast<double>(p.max_tcp_bindings));
+    EXPECT_DOUBLE_EQ(stats::median(binds), 135.5);
+    EXPECT_NEAR(stats::mean(binds), 259.21, 3.0);
+    EXPECT_EQ(dev("dl9").max_tcp_bindings, 16);
+    EXPECT_EQ(dev("smc").max_tcp_bindings, 16);
+    EXPECT_EQ(dev("ng1").max_tcp_bindings, 1024);
+    EXPECT_EQ(dev("ap").max_tcp_bindings, 1024);
+}
+
+TEST(Profiles, IcmpMatrixAggregates) {
+    // Paper Table 2 / section 4.3: nw1 translates nothing; everyone else
+    // at least Port-Unreachable and TTL-Exceeded; 16/34 mistranslate
+    // embedded transport headers; zy1/ls1 break embedded IP checksums;
+    // ls2 fabricates RSTs from TCP-related errors.
+    int no_fix_transport = 0, no_fix_ipck = 0;
+    for (const auto& p : all_profiles()) {
+        if (p.tag == "nw1") {
+            EXPECT_EQ(p.icmp_tcp.count(), 0);
+            EXPECT_EQ(p.icmp_udp.count(), 0);
+        } else {
+            EXPECT_TRUE(p.icmp_udp.translates(IcmpKind::PortUnreachable))
+                << p.tag;
+            EXPECT_TRUE(p.icmp_udp.translates(IcmpKind::TtlExceeded))
+                << p.tag;
+            EXPECT_TRUE(p.icmp_tcp.translates(IcmpKind::PortUnreachable))
+                << p.tag;
+        }
+        if (!p.fix_embedded_transport) ++no_fix_transport;
+        if (!p.fix_embedded_ip_checksum) ++no_fix_ipck;
+        EXPECT_EQ(p.tcp_icmp_becomes_rst, p.tag == "ls2") << p.tag;
+    }
+    EXPECT_EQ(no_fix_transport, 16);
+    EXPECT_EQ(no_fix_ipck, 2);
+    EXPECT_FALSE(dev("zy1").fix_embedded_ip_checksum);
+    EXPECT_FALSE(dev("ls1").fix_embedded_ip_checksum);
+}
+
+TEST(Profiles, UnknownProtocolClassCounts) {
+    // Paper: 4 forward untranslated (dl4/dl9/dl10/ls1), 20 rewrite only
+    // the IP source, and SCTP succeeds through 18 of those 20.
+    int drop = 0, untranslated = 0, ip_only = 0, sctp_capable = 0;
+    for (const auto& p : all_profiles()) {
+        switch (p.unknown_proto) {
+        case UnknownProtocolPolicy::Drop:
+            ++drop;
+            break;
+        case UnknownProtocolPolicy::Untranslated:
+            ++untranslated;
+            break;
+        case UnknownProtocolPolicy::TranslateIpOnly:
+            ++ip_only;
+            if (p.unknown_proto_inbound_allowed) ++sctp_capable;
+            break;
+        }
+    }
+    EXPECT_EQ(untranslated, 4);
+    EXPECT_EQ(ip_only, 20);
+    EXPECT_EQ(drop, 10);
+    EXPECT_EQ(sctp_capable, 18);
+    for (const char* tag : {"dl4", "dl9", "dl10", "ls1"})
+        EXPECT_EQ(dev(tag).unknown_proto, UnknownProtocolPolicy::Untranslated)
+            << tag;
+}
+
+TEST(Profiles, DnsClassCounts) {
+    // Paper: all proxy DNS over UDP; 14 accept TCP/53; 10 answer over it
+    // (ap via a UDP upstream); 4 accept but never answer.
+    int listen = 0, answer = 0, accept_only = 0, via_udp = 0;
+    for (const auto& p : all_profiles()) {
+        EXPECT_TRUE(p.dns_udp_proxy) << p.tag;
+        switch (p.dns_tcp) {
+        case DnsTcpMode::NoListen:
+            break;
+        case DnsTcpMode::AcceptOnly:
+            ++listen;
+            ++accept_only;
+            break;
+        case DnsTcpMode::ProxyTcp:
+            ++listen;
+            ++answer;
+            break;
+        case DnsTcpMode::ProxyViaUdp:
+            ++listen;
+            ++answer;
+            ++via_udp;
+            break;
+        }
+    }
+    EXPECT_EQ(listen, 14);
+    EXPECT_EQ(answer, 10);
+    EXPECT_EQ(accept_only, 4);
+    EXPECT_EQ(via_udp, 1);
+    EXPECT_EQ(dev("ap").dns_tcp, DnsTcpMode::ProxyViaUdp);
+}
+
+TEST(Profiles, DnssecBreakageCounts) {
+    // Synthetic assignments sized to the router studies the paper cites
+    // ([1], [5], [9]): 6 proxies strip EDNS0, 8 cap UDP responses at
+    // 512 bytes; none of the broken ones offer the TCP escape hatch.
+    int strips = 0, capped = 0, rescued = 0;
+    for (const auto& p : all_profiles()) {
+        if (p.dns_proxy_strips_edns) ++strips;
+        if (p.dns_proxy_max_udp != 0) ++capped;
+        if ((p.dns_proxy_strips_edns || p.dns_proxy_max_udp != 0) &&
+            p.dns_tcp != DnsTcpMode::NoListen)
+            ++rescued;
+    }
+    EXPECT_EQ(strips, 6);
+    EXPECT_EQ(capped, 8);
+    EXPECT_EQ(rescued, 0); // 20/34 DNSSEC-ready, 14 broken
+}
+
+TEST(Profiles, IpQuirkCounts) {
+    // Paper section 4.4: some devices do not decrement TTL; few honor
+    // Record Route; some share one MAC across both ports.
+    int no_ttl = 0, rr = 0, same_mac = 0;
+    for (const auto& p : all_profiles()) {
+        if (!p.decrement_ttl) ++no_ttl;
+        if (p.honor_record_route) ++rr;
+        if (p.same_mac_both_sides) ++same_mac;
+    }
+    EXPECT_EQ(no_ttl, 3);
+    EXPECT_EQ(rr, 2);
+    EXPECT_EQ(same_mac, 2);
+}
+
+TEST(Profiles, CoarseTimerDevices) {
+    // Paper Figure 4 commentary: we/al (strongly) and je/ng5 (less so)
+    // use coarse binding timers.
+    for (const char* tag : {"we", "al", "je", "ng5"})
+        EXPECT_GT(dev(tag).udp.granularity, sim::Duration::zero()) << tag;
+    EXPECT_GT(dev("we").udp.granularity, dev("je").udp.granularity);
+    int coarse = 0;
+    for (const auto& p : all_profiles())
+        if (p.udp.granularity > sim::Duration::zero()) ++coarse;
+    EXPECT_EQ(coarse, 4);
+}

@@ -1,0 +1,118 @@
+// Reporting: text tables, ASCII plots, CSV escaping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/assert.hpp"
+
+using namespace gatekit::report;
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"tag", "value"});
+    t.add_row({"a", "1"});
+    t.add_row({"longtag", "22"});
+    const auto s = t.to_string();
+    EXPECT_NE(s.find("tag      value"), std::string::npos);
+    EXPECT_NE(s.find("longtag  22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RowArityChecked) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), gatekit::ContractViolation);
+}
+
+TEST(FmtDouble, Precision) {
+    EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_double(3.0, 0), "3");
+    EXPECT_EQ(fmt_double(1234.5), "1234.50");
+}
+
+TEST(AsciiPlot, SortsAndSummarizes) {
+    PlotSeries s{"vals",
+                 {{"b", 20.0, {}, {}}, {"a", 10.0, {}, {}},
+                  {"c", 30.0, {}, {}}}};
+    PlotOptions opts;
+    opts.title = "T";
+    opts.unit = "u";
+    std::ostringstream out;
+    render_plot(out, opts, {s});
+    const auto text = out.str();
+    // Ascending by value: a before b before c.
+    EXPECT_LT(text.find("a "), text.find("b "));
+    EXPECT_LT(text.find("b "), text.find("c "));
+    EXPECT_NE(text.find("Pop. Median = 20.00 u"), std::string::npos);
+    EXPECT_NE(text.find("Pop. Mean = 20.00 u"), std::string::npos);
+}
+
+TEST(AsciiPlot, QuartileErrorBarsShownWhenWide) {
+    PlotSeries s{"vals", {{"x", 100.0, 90.0, 110.0}}};
+    PlotOptions opts;
+    opts.title = "T";
+    std::ostringstream out;
+    render_plot(out, opts, {s});
+    EXPECT_NE(out.str().find("[90.00, 110.00]"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultiSeriesHeader) {
+    PlotSeries a{"A", {{"x", 1.0, {}, {}}}};
+    PlotSeries b{"B", {{"x", 2.0, {}, {}}}};
+    PlotOptions opts;
+    opts.title = "T";
+    std::ostringstream out;
+    render_plot(out, opts, {a, b});
+    const auto text = out.str();
+    EXPECT_NE(text.find("A"), std::string::npos);
+    EXPECT_NE(text.find("B"), std::string::npos);
+    EXPECT_NE(text.find("2.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleBarsMonotone) {
+    PlotSeries s{"vals",
+                 {{"lo", 10.0, {}, {}}, {"mid", 100.0, {}, {}},
+                  {"hi", 1000.0, {}, {}}}};
+    PlotOptions opts;
+    opts.title = "T";
+    opts.log_scale = true;
+    std::ostringstream out;
+    render_plot(out, opts, {s});
+    // Log scale: the mid bar sits halfway between lo and hi.
+    std::string text = out.str();
+    auto bar_len = [&](const std::string& tag) {
+        const auto line_start = text.find(tag);
+        const auto bar = text.find('|', line_start);
+        const auto end = text.find('\n', bar);
+        return end - bar - 1;
+    };
+    EXPECT_LT(bar_len("lo"), bar_len("mid"));
+    EXPECT_LT(bar_len("mid"), bar_len("hi"));
+    EXPECT_NEAR(static_cast<double>(bar_len("mid")),
+                (bar_len("lo") + bar_len("hi")) / 2.0, 2.0);
+}
+
+TEST(AsciiPlot, SeriesSizeMismatchViolatesContract) {
+    PlotSeries a{"A", {{"x", 1.0, {}, {}}}};
+    PlotSeries b{"B", {}};
+    PlotOptions opts;
+    std::ostringstream out;
+    EXPECT_THROW(render_plot(out, opts, {a, b}),
+                 gatekit::ContractViolation);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+    CsvWriter csv({"name", "note"});
+    csv.add_row({"plain", "hello"});
+    csv.add_row({"comma,inside", "quote\"inside"});
+    const auto s = csv.to_string();
+    EXPECT_NE(s.find("\"comma,inside\""), std::string::npos);
+    EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+    EXPECT_EQ(s.find("plain,hello"), std::string("name,note\n").size());
+}
+
+TEST(Csv, RowArityChecked) {
+    CsvWriter csv({"a"});
+    EXPECT_THROW(csv.add_row({"1", "2"}), gatekit::ContractViolation);
+}

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include "net/dccp.hpp"
+#include "net/sctp.hpp"
+
+using namespace gatekit::net;
+
+namespace {
+const Ipv4Addr kSrc(192, 168, 5, 2);
+const Ipv4Addr kDst(10, 0, 5, 1);
+} // namespace
+
+TEST(Sctp, InitRoundTrip) {
+    SctpPacket p;
+    p.src_port = 5000;
+    p.dst_port = 6000;
+    p.verification_tag = 0; // INIT carries vtag 0
+    SctpChunk init;
+    init.type = SctpChunkType::Init;
+    init.value = {0, 0, 0, 1, 0, 1, 0, 1}; // arbitrary init body
+    p.chunks.push_back(init);
+    const auto bytes = p.serialize();
+    const auto g = SctpPacket::parse(bytes);
+    EXPECT_EQ(g.src_port, 5000);
+    EXPECT_EQ(g.dst_port, 6000);
+    EXPECT_TRUE(g.crc_ok);
+    ASSERT_EQ(g.chunks.size(), 1u);
+    EXPECT_EQ(g.chunks[0].type, SctpChunkType::Init);
+    EXPECT_EQ(g.chunks[0].value, init.value);
+}
+
+TEST(Sctp, MultipleChunksWithPadding) {
+    SctpPacket p;
+    p.src_port = 1;
+    p.dst_port = 2;
+    p.verification_tag = 42;
+    SctpChunk data;
+    data.type = SctpChunkType::Data;
+    data.value = {1, 2, 3, 4, 5}; // 9-byte chunk -> 3 pad bytes
+    SctpChunk sack;
+    sack.type = SctpChunkType::Sack;
+    sack.value = {0, 0, 0, 9};
+    p.chunks = {data, sack};
+    const auto g = SctpPacket::parse(p.serialize());
+    ASSERT_EQ(g.chunks.size(), 2u);
+    EXPECT_EQ(g.chunks[0].value, data.value);
+    EXPECT_EQ(g.chunks[1].type, SctpChunkType::Sack);
+    EXPECT_NE(g.find(SctpChunkType::Sack), nullptr);
+    EXPECT_EQ(g.find(SctpChunkType::Abort), nullptr);
+}
+
+TEST(Sctp, CrcDoesNotCoverIpAddresses) {
+    // The paper's key observation: rewriting the IP source address leaves
+    // the SCTP CRC valid. Serialize, then parse — the packet has no
+    // knowledge of addresses at all.
+    SctpPacket p;
+    p.src_port = 7;
+    p.dst_port = 8;
+    const auto bytes = p.serialize();
+    const auto g = SctpPacket::parse(bytes); // address-free parse
+    EXPECT_TRUE(g.crc_ok);
+}
+
+TEST(Sctp, CrcDetectsPortRewriteWithoutFixup) {
+    SctpPacket p;
+    p.src_port = 7;
+    p.dst_port = 8;
+    auto bytes = p.serialize();
+    bytes[0] = 0x12; // clobber source port without recomputing CRC
+    EXPECT_FALSE(SctpPacket::parse(bytes).crc_ok);
+}
+
+TEST(Sctp, TooShortThrows) {
+    const Bytes junk{1, 2, 3};
+    EXPECT_THROW(SctpPacket::parse(junk), ParseError);
+}
+
+TEST(Sctp, BadChunkLengthThrows) {
+    SctpPacket p;
+    SctpChunk c;
+    c.type = SctpChunkType::Data;
+    p.chunks.push_back(c);
+    auto bytes = p.serialize();
+    bytes[14] = 0xff; // chunk length high byte
+    bytes[15] = 0xff;
+    EXPECT_THROW(SctpPacket::parse(bytes), ParseError);
+}
+
+TEST(Dccp, RequestRoundTrip) {
+    DccpPacket p;
+    p.src_port = 3000;
+    p.dst_port = 4000;
+    p.type = DccpType::Request;
+    p.seq = 0x0000a1b2c3d4ULL;
+    p.service_code = 0x12345678;
+    const auto bytes = p.serialize(kSrc, kDst);
+    EXPECT_EQ(bytes.size(), 20u);
+    const auto g = DccpPacket::parse(bytes, kSrc, kDst);
+    EXPECT_EQ(g.type, DccpType::Request);
+    EXPECT_EQ(g.seq, 0x0000a1b2c3d4ULL);
+    EXPECT_EQ(g.service_code, 0x12345678u);
+    EXPECT_FALSE(g.ack_seq.has_value());
+    EXPECT_TRUE(g.checksum_ok);
+}
+
+TEST(Dccp, ResponseCarriesAck) {
+    DccpPacket p;
+    p.src_port = 4000;
+    p.dst_port = 3000;
+    p.type = DccpType::Response;
+    p.seq = 500;
+    p.ack_seq = 123;
+    p.service_code = 1;
+    const auto g = DccpPacket::parse(p.serialize(kSrc, kDst), kSrc, kDst);
+    ASSERT_TRUE(g.ack_seq.has_value());
+    EXPECT_EQ(*g.ack_seq, 123u);
+    EXPECT_EQ(g.service_code, 1u);
+}
+
+TEST(Dccp, DataCarriesPayload) {
+    DccpPacket p;
+    p.type = DccpType::Data;
+    p.seq = 1;
+    p.payload = {'d', 'a', 't', 'a'};
+    const auto g = DccpPacket::parse(p.serialize(kSrc, kDst), kSrc, kDst);
+    EXPECT_EQ(g.payload, p.payload);
+}
+
+TEST(Dccp, ChecksumCoversPseudoHeader) {
+    // The paper's key DCCP observation: rewriting the IP source address
+    // invalidates the DCCP checksum unless the NAT fixes it.
+    DccpPacket p;
+    p.type = DccpType::Request;
+    p.seq = 9;
+    const auto bytes = p.serialize(kSrc, kDst);
+    const auto good = DccpPacket::parse(bytes, kSrc, kDst);
+    EXPECT_TRUE(good.checksum_ok);
+    const auto bad = DccpPacket::parse(bytes, Ipv4Addr(10, 9, 9, 9), kDst);
+    EXPECT_FALSE(bad.checksum_ok);
+}
+
+TEST(Dccp, ResetCodeRoundTrip) {
+    DccpPacket p;
+    p.type = DccpType::Reset;
+    p.seq = 2;
+    p.ack_seq = 1;
+    p.reset_code = 3;
+    const auto g = DccpPacket::parse(p.serialize(kSrc, kDst), kSrc, kDst);
+    EXPECT_EQ(g.reset_code, 3);
+}
+
+TEST(Dccp, MissingAckOnAckTypeViolatesContract) {
+    DccpPacket p;
+    p.type = DccpType::Ack;
+    EXPECT_THROW(p.serialize(kSrc, kDst), gatekit::ContractViolation);
+}

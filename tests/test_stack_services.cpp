@@ -1,0 +1,247 @@
+// SCTP/DCCP endpoints, DHCP, and DNS services over the host stack.
+#include <gtest/gtest.h>
+
+#include "stack/dccp_endpoint.hpp"
+#include "stack/dhcp_service.hpp"
+#include "stack/dns_service.hpp"
+#include "stack/sctp_endpoint.hpp"
+#include "testutil.hpp"
+
+using namespace gatekit;
+using testutil::LossyNet2;
+using testutil::Net2;
+
+TEST(Sctp, AssociationAndData) {
+    Net2 net;
+    auto& server = net.b.sctp_open(net::Ipv4Addr(10, 0, 0, 2), 7);
+    server.listen();
+    net::Bytes got;
+    server.on_data = [&](std::span<const std::uint8_t> d) {
+        got.assign(d.begin(), d.end());
+    };
+    auto& client = net.a.sctp_open(net::Ipv4Addr(10, 0, 0, 1), 0);
+    client.on_established = [&] { client.send_data({'s', 'c', 't', 'p'}); };
+    client.connect({net::Ipv4Addr(10, 0, 0, 2), 7});
+    net.loop.run();
+    EXPECT_TRUE(client.established());
+    EXPECT_EQ(got, (net::Bytes{'s', 'c', 't', 'p'}));
+}
+
+TEST(Sctp, ConnectTimesOutThroughBlackHole) {
+    LossyNet2 net;
+    net.filter.set_predicate(
+        [](bool, std::uint64_t, const sim::Frame&) { return true; });
+    auto& client = net.a.sctp_open(net::Ipv4Addr(10, 0, 0, 1), 0);
+    std::string error;
+    client.on_error = [&](const std::string& e) { error = e; };
+    client.connect({net::Ipv4Addr(10, 0, 0, 2), 7});
+    net.loop.run();
+    EXPECT_EQ(error, "SCTP association timed out");
+    EXPECT_FALSE(client.established());
+}
+
+TEST(Dccp, HandshakeAndData) {
+    Net2 net;
+    auto& server = net.b.dccp_open(net::Ipv4Addr(10, 0, 0, 2), 9);
+    server.listen();
+    net::Bytes got;
+    server.on_data = [&](std::span<const std::uint8_t> d) {
+        got.assign(d.begin(), d.end());
+    };
+    auto& client = net.a.dccp_open(net::Ipv4Addr(10, 0, 0, 1), 0);
+    client.on_established = [&] { client.send_data({'d', 'c'}); };
+    client.connect({net::Ipv4Addr(10, 0, 0, 2), 9});
+    net.loop.run();
+    EXPECT_TRUE(client.established());
+    EXPECT_EQ(got, (net::Bytes{'d', 'c'}));
+}
+
+TEST(Dccp, ConnectTimesOutThroughBlackHole) {
+    LossyNet2 net;
+    net.filter.set_predicate(
+        [](bool, std::uint64_t, const sim::Frame&) { return true; });
+    auto& client = net.a.dccp_open(net::Ipv4Addr(10, 0, 0, 1), 0);
+    std::string error;
+    client.on_error = [&](const std::string& e) { error = e; };
+    client.connect({net::Ipv4Addr(10, 0, 0, 2), 9});
+    net.loop.run();
+    EXPECT_EQ(error, "DCCP connection timed out");
+}
+
+namespace {
+
+/// Unconfigured client + configured server for DHCP tests.
+struct DhcpNet {
+    sim::EventLoop loop;
+    sim::Link link{loop, 100'000'000, std::chrono::microseconds(1)};
+    stack::Host server{loop, "server", net::MacAddr::from_index(1)};
+    stack::Host client{loop, "client", net::MacAddr::from_index(2)};
+    stack::Iface& si;
+    stack::Iface& ci;
+
+    DhcpNet() : si(server.add_iface()), ci(client.add_iface()) {
+        server.nic().connect(link, sim::Link::Side::A);
+        client.nic().connect(link, sim::Link::Side::B);
+        si.configure(net::Ipv4Addr(10, 0, 1, 1), 24);
+        server.add_route(net::Ipv4Addr(10, 0, 1, 0), 24, si);
+    }
+};
+
+} // namespace
+
+TEST(Dhcp, FullExchangeConfiguresInterface) {
+    DhcpNet net;
+    stack::DhcpServerConfig cfg;
+    cfg.pool_base = net::Ipv4Addr(10, 0, 1, 100);
+    cfg.router = net::Ipv4Addr(10, 0, 1, 1);
+    cfg.dns_server = net::Ipv4Addr(10, 0, 1, 53);
+    stack::DhcpServer server(net.server, net.si, cfg);
+
+    stack::DhcpClient client(net.client, net.ci);
+    std::optional<stack::DhcpLease> lease;
+    client.start([&](const stack::DhcpLease& l) { lease = l; });
+    net.loop.run();
+
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->addr, net::Ipv4Addr(10, 0, 1, 100));
+    EXPECT_EQ(lease->prefix_len, 24);
+    EXPECT_EQ(lease->router, net::Ipv4Addr(10, 0, 1, 1));
+    EXPECT_EQ(lease->dns_server, net::Ipv4Addr(10, 0, 1, 53));
+    EXPECT_TRUE(net.ci.configured());
+    EXPECT_EQ(net.ci.addr(), net::Ipv4Addr(10, 0, 1, 100));
+    EXPECT_EQ(server.lease_count(), 1u);
+}
+
+TEST(Dhcp, SameMacGetsSameLease) {
+    DhcpNet net;
+    stack::DhcpServerConfig cfg;
+    cfg.pool_base = net::Ipv4Addr(10, 0, 1, 100);
+    cfg.router = net::Ipv4Addr(10, 0, 1, 1);
+    cfg.dns_server = net::Ipv4Addr(10, 0, 1, 1);
+    stack::DhcpServer server(net.server, net.si, cfg);
+
+    net::Ipv4Addr first, second;
+    {
+        stack::DhcpClient c1(net.client, net.ci);
+        c1.start([&](const stack::DhcpLease& l) { first = l.addr; });
+        net.loop.run();
+    }
+    net.ci.deconfigure();
+    {
+        stack::DhcpClient c2(net.client, net.ci);
+        c2.start([&](const stack::DhcpLease& l) { second = l.addr; });
+        net.loop.run();
+    }
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(server.lease_count(), 1u);
+}
+
+TEST(Dhcp, ClientFailsWithoutServer) {
+    DhcpNet net;
+    stack::DhcpClient client(net.client, net.ci);
+    bool failed = false;
+    client.start([](const stack::DhcpLease&) { FAIL() << "no server"; },
+                 [&] { failed = true; });
+    net.loop.run();
+    EXPECT_TRUE(failed);
+    EXPECT_FALSE(net.ci.configured());
+}
+
+TEST(Dns, UdpQueryResolves) {
+    Net2 net;
+    stack::DnsServer server(net.b, net::Ipv4Addr::any());
+    server.add_record("server.hiit.fi", net::Ipv4Addr(10, 0, 0, 2));
+    stack::DnsClient client(net.a);
+    std::optional<stack::DnsClient::Result> result;
+    client.query_udp({net::Ipv4Addr(10, 0, 0, 2), 53}, "server.hiit.fi",
+                     [&](const stack::DnsClient::Result& r) { result = r; });
+    net.loop.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->ok);
+    EXPECT_EQ(result->addr, net::Ipv4Addr(10, 0, 0, 2));
+    EXPECT_EQ(server.udp_queries(), 1u);
+}
+
+TEST(Dns, UdpNxdomain) {
+    Net2 net;
+    stack::DnsServer server(net.b, net::Ipv4Addr::any());
+    stack::DnsClient client(net.a);
+    std::optional<stack::DnsClient::Result> result;
+    client.query_udp({net::Ipv4Addr(10, 0, 0, 2), 53}, "nope.example",
+                     [&](const stack::DnsClient::Result& r) { result = r; });
+    net.loop.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->ok);
+    EXPECT_EQ(result->error, "rcode 3");
+}
+
+TEST(Dns, UdpTimesOutThroughBlackHole) {
+    LossyNet2 net;
+    net.filter.set_predicate(
+        [](bool, std::uint64_t, const sim::Frame&) { return true; });
+    stack::DnsClient client(net.a);
+    std::optional<stack::DnsClient::Result> result;
+    client.query_udp({net::Ipv4Addr(10, 0, 0, 2), 53}, "x.fi",
+                     [&](const stack::DnsClient::Result& r) { result = r; });
+    net.loop.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->ok);
+    EXPECT_EQ(result->error, "timeout");
+}
+
+TEST(Dns, TcpQueryResolves) {
+    Net2 net;
+    stack::DnsServer server(net.b, net::Ipv4Addr::any());
+    server.add_record("www.example.com", net::Ipv4Addr(93, 184, 216, 34));
+    stack::DnsClient client(net.a);
+    std::optional<stack::DnsClient::Result> result;
+    client.query_tcp({net::Ipv4Addr(10, 0, 0, 2), 53},
+                     net::Ipv4Addr(10, 0, 0, 1), "www.example.com",
+                     [&](const stack::DnsClient::Result& r) { result = r; });
+    net.loop.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->ok);
+    EXPECT_EQ(result->addr, net::Ipv4Addr(93, 184, 216, 34));
+    EXPECT_EQ(server.tcp_queries(), 1u);
+    EXPECT_EQ(server.udp_queries(), 0u);
+}
+
+TEST(Dns, TcpRefusedWhenServerUdpOnly) {
+    Net2 net;
+    stack::DnsServer server(net.b, net::Ipv4Addr::any(), /*with_tcp=*/false);
+    stack::DnsClient client(net.a);
+    std::optional<stack::DnsClient::Result> result;
+    client.query_tcp({net::Ipv4Addr(10, 0, 0, 2), 53},
+                     net::Ipv4Addr(10, 0, 0, 1), "x.fi",
+                     [&](const stack::DnsClient::Result& r) { result = r; });
+    net.loop.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->ok);
+    EXPECT_EQ(result->error, "connection refused");
+}
+
+TEST(DnsTcpFramer, SplitAcrossSegments) {
+    stack::DnsTcpFramer framer;
+    const net::Bytes msg{1, 2, 3, 4, 5};
+    const auto framed = stack::DnsTcpFramer::frame(msg);
+    framer.feed({framed.data(), 3});
+    net::Bytes out;
+    EXPECT_FALSE(framer.next(out));
+    framer.feed({framed.data() + 3, framed.size() - 3});
+    ASSERT_TRUE(framer.next(out));
+    EXPECT_EQ(out, msg);
+    EXPECT_FALSE(framer.next(out));
+}
+
+TEST(DnsTcpFramer, TwoMessagesInOneSegment) {
+    stack::DnsTcpFramer framer;
+    auto both = stack::DnsTcpFramer::frame({1});
+    const auto second = stack::DnsTcpFramer::frame({2, 2});
+    both.insert(both.end(), second.begin(), second.end());
+    framer.feed(both);
+    net::Bytes out;
+    ASSERT_TRUE(framer.next(out));
+    EXPECT_EQ(out, (net::Bytes{1}));
+    ASSERT_TRUE(framer.next(out));
+    EXPECT_EQ(out, (net::Bytes{2, 2}));
+}

@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace gks = gatekit::stats;
+
+TEST(Stats, MedianOdd) {
+    const double xs[] = {5, 1, 3};
+    EXPECT_DOUBLE_EQ(gks::median(xs), 3.0);
+}
+
+TEST(Stats, MedianEvenAveragesMiddlePair) {
+    const double xs[] = {4, 1, 3, 2};
+    EXPECT_DOUBLE_EQ(gks::median(xs), 2.5);
+}
+
+TEST(Stats, MedianSingleton) {
+    const double xs[] = {42.0};
+    EXPECT_DOUBLE_EQ(gks::median(xs), 42.0);
+}
+
+TEST(Stats, Mean) {
+    const double xs[] = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(gks::mean(xs), 2.5);
+}
+
+TEST(Stats, QuartilesR7) {
+    // numpy.percentile([1,2,3,4], [25, 75]) == [1.75, 3.25]
+    const double xs[] = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(gks::quartile_lo(xs), 1.75);
+    EXPECT_DOUBLE_EQ(gks::quartile_hi(xs), 3.25);
+}
+
+TEST(Stats, PercentileEndpoints) {
+    const double xs[] = {10, 20, 30};
+    EXPECT_DOUBLE_EQ(gks::percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(gks::percentile(xs, 100), 30.0);
+    EXPECT_DOUBLE_EQ(gks::percentile(xs, 50), 20.0);
+}
+
+TEST(Stats, SummarizeAllFields) {
+    const double xs[] = {2, 4, 6, 8, 10};
+    const auto s = gks::summarize(xs);
+    EXPECT_EQ(s.n, 5u);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+    EXPECT_DOUBLE_EQ(s.median, 6.0);
+    EXPECT_DOUBLE_EQ(s.mean, 6.0);
+    EXPECT_DOUBLE_EQ(s.q1, 4.0);
+    EXPECT_DOUBLE_EQ(s.q3, 8.0);
+}
+
+TEST(Stats, EmptySampleViolatesContract) {
+    EXPECT_THROW(gks::median({}), gatekit::ContractViolation);
+    EXPECT_THROW(gks::mean({}), gatekit::ContractViolation);
+    EXPECT_THROW(gks::summarize({}), gatekit::ContractViolation);
+}
+
+TEST(Stats, UnsortedInputHandled) {
+    const double xs[] = {9, 1, 8, 2, 7, 3};
+    EXPECT_DOUBLE_EQ(gks::median(xs), 5.0);
+}

@@ -1,0 +1,201 @@
+// TCP behaviors added for TCP-2/3 fidelity: window scaling, out-of-order
+// reassembly with single-segment fast retransmit, silly-window avoidance,
+// and NewReno recovery without spurious-retransmit storms.
+#include <gtest/gtest.h>
+
+#include "net/ethernet.hpp"
+#include "stack/tcp_socket.hpp"
+#include "testutil.hpp"
+
+using namespace gatekit;
+using testutil::LossyNet2;
+using testutil::Net2;
+using stack::TcpSocket;
+
+TEST(TcpAdvanced, WindowScalingLetsFlightExceed64k) {
+    // 100 Mb/s with 20 ms propagation: BDP = 250 KB. Without window
+    // scaling throughput would cap at 64 KB / 40 ms RTT = 13 Mb/s.
+    sim::EventLoop loop;
+    sim::Link link(loop, 100'000'000, std::chrono::milliseconds(20));
+    stack::Host a(loop, "a", net::MacAddr::from_index(1));
+    stack::Host b(loop, "b", net::MacAddr::from_index(2));
+    auto& ia = a.add_iface();
+    auto& ib = b.add_iface();
+    a.nic().connect(link, sim::Link::Side::A);
+    b.nic().connect(link, sim::Link::Side::B);
+    ia.configure(net::Ipv4Addr(10, 0, 0, 1), 24);
+    ib.configure(net::Ipv4Addr(10, 0, 0, 2), 24);
+    a.add_route(net::Ipv4Addr(10, 0, 0, 0), 24, ia);
+    b.add_route(net::Ipv4Addr(10, 0, 0, 0), 24, ib);
+
+    auto& lst = b.tcp_listen(80);
+    std::uint64_t received = 0;
+    sim::TimePoint first{}, last{};
+    lst.set_accept_handler([&](TcpSocket& conn) {
+        conn.on_data = [&](std::span<const std::uint8_t> d) {
+            if (received == 0) first = loop.now();
+            received += d.size();
+            last = loop.now();
+        };
+    });
+    constexpr std::size_t kSize = 20 * 1000 * 1000;
+    auto& conn = a.tcp_connect(net::Ipv4Addr(10, 0, 0, 1), 0,
+                               {net::Ipv4Addr(10, 0, 0, 2), 80});
+    conn.on_established = [&] { conn.send(net::Bytes(kSize, 1)); };
+    loop.run_for(std::chrono::seconds(60));
+    ASSERT_EQ(received, kSize);
+    const double mbps = received * 8 / sim::to_sec(last - first) / 1e6;
+    EXPECT_GT(mbps, 40.0) << "window scaling not effective";
+}
+
+TEST(TcpAdvanced, SingleLossCostsSingleRetransmit) {
+    // With receiver-side reassembly + fast retransmit, one lost segment
+    // costs exactly one retransmission and no RTO stall.
+    LossyNet2 net;
+    net.filter.set_predicate(
+        [](bool a_to_b, std::uint64_t idx, const sim::Frame&) {
+            return a_to_b && idx == 40;
+        });
+    constexpr std::size_t kSize = 400 * 1000;
+    auto& lst = net.b.tcp_listen(80);
+    std::uint64_t received = 0;
+    sim::TimePoint done_at{};
+    lst.set_accept_handler([&](TcpSocket& conn) {
+        conn.on_data = [&](std::span<const std::uint8_t> d) {
+            received += d.size();
+            if (received == kSize) done_at = net.loop.now();
+        };
+    });
+    auto& conn = net.a.tcp_connect(net::Ipv4Addr(10, 0, 0, 1), 0,
+                                   {net::Ipv4Addr(10, 0, 0, 2), 80});
+    conn.on_established = [&] { conn.send(net::Bytes(kSize, 1)); };
+    net.loop.run_for(std::chrono::seconds(10));
+    EXPECT_EQ(received, kSize);
+    EXPECT_EQ(conn.retransmissions(), 1u);
+    // No RTO stall: 400 KB at ~95 Mb/s finishes in well under a second.
+    EXPECT_LT(sim::to_sec(done_at), 1.0);
+}
+
+TEST(TcpAdvanced, BurstLossRecoversWithoutRetransmitStorm) {
+    // Drop ten scattered frames: NewReno fills one hole per partial ACK
+    // and the post-recovery cooldown prevents dup-ACK re-entry loops.
+    LossyNet2 net;
+    net.filter.set_predicate(
+        [](bool a_to_b, std::uint64_t idx, const sim::Frame&) {
+            return a_to_b && idx >= 50 && idx < 60;
+        });
+    constexpr std::size_t kSize = 600 * 1000;
+    auto& lst = net.b.tcp_listen(80);
+    std::uint64_t received = 0;
+    lst.set_accept_handler([&](TcpSocket& conn) {
+        conn.on_data = [&](std::span<const std::uint8_t> d) {
+            received += d.size();
+        };
+    });
+    auto& conn = net.a.tcp_connect(net::Ipv4Addr(10, 0, 0, 1), 0,
+                                   {net::Ipv4Addr(10, 0, 0, 2), 80});
+    conn.on_established = [&] { conn.send(net::Bytes(kSize, 1)); };
+    net.loop.run_for(std::chrono::seconds(30));
+    EXPECT_EQ(received, kSize);
+    // Ten losses need ~ten retransmissions; a storm would need hundreds.
+    EXPECT_GE(conn.retransmissions(), 10u);
+    EXPECT_LE(conn.retransmissions(), 30u);
+}
+
+TEST(TcpAdvanced, NoSillyWindowSegments) {
+    // Observe every data segment on the wire: in steady state the sender
+    // must not emit sub-MSS segments except the final one, even though
+    // congestion-avoidance opens the window a few bytes per ACK.
+    Net2 net;
+    std::vector<std::size_t> data_sizes;
+    net.link.set_tap([&](sim::Link::Side from, sim::TimePoint,
+                         std::span<const std::uint8_t> frame) {
+        if (from != sim::Link::Side::A) return;
+        try {
+            const auto eth = net::EthernetFrame::parse(frame);
+            if (eth.ethertype != net::kEtherTypeIpv4) return;
+            const auto ip = net::Ipv4Packet::parse(eth.payload);
+            if (ip.h.protocol != net::proto::kTcp) return;
+            const auto seg =
+                net::TcpSegment::parse(ip.payload, ip.h.src, ip.h.dst);
+            if (!seg.payload.empty()) data_sizes.push_back(seg.payload.size());
+        } catch (const net::ParseError&) {
+        }
+    });
+
+    auto& lst = net.b.tcp_listen(80);
+    lst.set_accept_handler([](TcpSocket& conn) {
+        conn.on_data = [](std::span<const std::uint8_t>) {};
+    });
+    auto& conn = net.a.tcp_connect(net::Ipv4Addr(10, 0, 0, 1), 0,
+                                   {net::Ipv4Addr(10, 0, 0, 2), 80});
+    conn.on_established = [&] { conn.send(net::Bytes(800 * 1000, 1)); };
+    net.loop.run_for(std::chrono::seconds(10));
+
+    ASSERT_GT(data_sizes.size(), 100u);
+    int tiny = 0;
+    for (std::size_t i = 0; i + 1 < data_sizes.size(); ++i)
+        if (data_sizes[i] < stack::TcpSocket::kDefaultMss) ++tiny;
+    EXPECT_LE(tiny, 2) << "sender sprays sub-MSS segments";
+}
+
+TEST(TcpAdvanced, ReorderedDeliveryStillInOrderToApp) {
+    // Drop one frame; the receiver buffers everything behind the hole and
+    // the application still sees a strictly in-order byte stream.
+    LossyNet2 net;
+    net.filter.set_predicate(
+        [](bool a_to_b, std::uint64_t idx, const sim::Frame&) {
+            return a_to_b && idx == 25;
+        });
+    auto& lst = net.b.tcp_listen(80);
+    bool in_order = true;
+    std::uint8_t expect = 0;
+    std::uint64_t received = 0;
+    lst.set_accept_handler([&](TcpSocket& conn) {
+        conn.on_data = [&](std::span<const std::uint8_t> d) {
+            for (auto byte : d) {
+                if (byte != expect) in_order = false;
+                expect = static_cast<std::uint8_t>(expect + 1);
+            }
+            received += d.size();
+        };
+    });
+    constexpr std::size_t kSize = 300 * 1000;
+    auto& conn = net.a.tcp_connect(net::Ipv4Addr(10, 0, 0, 1), 0,
+                                   {net::Ipv4Addr(10, 0, 0, 2), 80});
+    conn.on_established = [&] {
+        net::Bytes data(kSize);
+        for (std::size_t i = 0; i < kSize; ++i)
+            data[i] = static_cast<std::uint8_t>(i);
+        conn.send(std::move(data));
+    };
+    net.loop.run_for(std::chrono::seconds(10));
+    EXPECT_EQ(received, kSize);
+    EXPECT_TRUE(in_order);
+}
+
+TEST(TcpAdvanced, ProgressCallbackPacesSender) {
+    Net2 net;
+    auto& lst = net.b.tcp_listen(80);
+    lst.set_accept_handler([](TcpSocket& conn) {
+        conn.on_data = [](std::span<const std::uint8_t>) {};
+    });
+    auto& conn = net.a.tcp_connect(net::Ipv4Addr(10, 0, 0, 1), 0,
+                                   {net::Ipv4Addr(10, 0, 0, 2), 80});
+    std::size_t written = 0;
+    constexpr std::size_t kTotal = 500 * 1000;
+    auto top_up = [&] {
+        while (written < kTotal && conn.bytes_pending_send() < 8192) {
+            conn.send(net::Bytes(2048, 7));
+            written += 2048;
+        }
+    };
+    conn.on_established = [&] {
+        conn.on_progress = top_up;
+        top_up();
+        // The paced sender never buffers more than ~8 KB of unsent data.
+        EXPECT_LE(conn.bytes_pending_send(), 8192u + 2048u);
+    };
+    net.loop.run_for(std::chrono::seconds(10));
+    EXPECT_GE(written, kTotal);
+}
