@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_udp_timeouts.dir/fig02_udp_timeouts.cpp.o"
+  "CMakeFiles/fig02_udp_timeouts.dir/fig02_udp_timeouts.cpp.o.d"
+  "fig02_udp_timeouts"
+  "fig02_udp_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_udp_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_udp1.dir/fig03_udp1.cpp.o"
+  "CMakeFiles/fig03_udp1.dir/fig03_udp1.cpp.o.d"
+  "fig03_udp1"
+  "fig03_udp1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_udp1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_udp3.dir/fig05_udp3.cpp.o"
+  "CMakeFiles/fig05_udp3.dir/fig05_udp3.cpp.o.d"
+  "fig05_udp3"
+  "fig05_udp3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_udp3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_udp5.dir/fig06_udp5.cpp.o"
+  "CMakeFiles/fig06_udp5.dir/fig06_udp5.cpp.o.d"
+  "fig06_udp5"
+  "fig06_udp5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_udp5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tcp1.dir/fig07_tcp1.cpp.o"
+  "CMakeFiles/fig07_tcp1.dir/fig07_tcp1.cpp.o.d"
+  "fig07_tcp1"
+  "fig07_tcp1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tcp1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

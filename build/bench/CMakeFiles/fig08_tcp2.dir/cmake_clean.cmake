@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_tcp2.dir/fig08_tcp2.cpp.o"
+  "CMakeFiles/fig08_tcp2.dir/fig08_tcp2.cpp.o.d"
+  "fig08_tcp2"
+  "fig08_tcp2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tcp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

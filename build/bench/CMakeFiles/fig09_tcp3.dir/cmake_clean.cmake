@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tcp3.dir/fig09_tcp3.cpp.o"
+  "CMakeFiles/fig09_tcp3.dir/fig09_tcp3.cpp.o.d"
+  "fig09_tcp3"
+  "fig09_tcp3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tcp3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tcp4.dir/fig10_tcp4.cpp.o"
+  "CMakeFiles/fig10_tcp4.dir/fig10_tcp4.cpp.o.d"
+  "fig10_tcp4"
+  "fig10_tcp4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tcp4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework.dir/futurework.cpp.o"
+  "CMakeFiles/futurework.dir/futurework.cpp.o.d"
+  "futurework"
+  "futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holepunch_matrix.dir/holepunch_matrix.cpp.o"
+  "CMakeFiles/holepunch_matrix.dir/holepunch_matrix.cpp.o.d"
+  "holepunch_matrix"
+  "holepunch_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holepunch_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

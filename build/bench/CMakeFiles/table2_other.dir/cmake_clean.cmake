@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_other.dir/table2_other.cpp.o"
+  "CMakeFiles/table2_other.dir/table2_other.cpp.o.d"
+  "table2_other"
+  "table2_other.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_other.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

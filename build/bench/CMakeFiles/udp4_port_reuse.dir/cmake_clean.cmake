@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp4_port_reuse.dir/udp4_port_reuse.cpp.o"
+  "CMakeFiles/udp4_port_reuse.dir/udp4_port_reuse.cpp.o.d"
+  "udp4_port_reuse"
+  "udp4_port_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp4_port_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for udp4_port_reuse.
+# This may be replaced when dependencies are built.

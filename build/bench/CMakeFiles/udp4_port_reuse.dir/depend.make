@@ -1,0 +1,2 @@
+# Empty dependencies file for udp4_port_reuse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hole_punch.dir/hole_punch.cpp.o"
+  "CMakeFiles/hole_punch.dir/hole_punch.cpp.o.d"
+  "hole_punch"
+  "hole_punch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hole_punch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hole_punch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hole_punch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keepalive_planner.dir/keepalive_planner.cpp.o"
+  "CMakeFiles/keepalive_planner.dir/keepalive_planner.cpp.o.d"
+  "keepalive_planner"
+  "keepalive_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keepalive_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

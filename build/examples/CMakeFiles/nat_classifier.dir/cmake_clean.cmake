@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_classifier.dir/nat_classifier.cpp.o"
+  "CMakeFiles/nat_classifier.dir/nat_classifier.cpp.o.d"
+  "nat_classifier"
+  "nat_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/profiles.cpp" "src/CMakeFiles/gatekit.dir/devices/profiles.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/devices/profiles.cpp.o.d"
+  "/root/repo/src/gateway/binding_table.cpp" "src/CMakeFiles/gatekit.dir/gateway/binding_table.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/gateway/binding_table.cpp.o.d"
+  "/root/repo/src/gateway/dns_proxy.cpp" "src/CMakeFiles/gatekit.dir/gateway/dns_proxy.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/gateway/dns_proxy.cpp.o.d"
+  "/root/repo/src/gateway/fwd_path.cpp" "src/CMakeFiles/gatekit.dir/gateway/fwd_path.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/gateway/fwd_path.cpp.o.d"
+  "/root/repo/src/gateway/home_gateway.cpp" "src/CMakeFiles/gatekit.dir/gateway/home_gateway.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/gateway/home_gateway.cpp.o.d"
+  "/root/repo/src/gateway/nat_engine.cpp" "src/CMakeFiles/gatekit.dir/gateway/nat_engine.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/gateway/nat_engine.cpp.o.d"
+  "/root/repo/src/gateway/profile.cpp" "src/CMakeFiles/gatekit.dir/gateway/profile.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/gateway/profile.cpp.o.d"
+  "/root/repo/src/harness/binding_search.cpp" "src/CMakeFiles/gatekit.dir/harness/binding_search.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/binding_search.cpp.o.d"
+  "/root/repo/src/harness/dns_probe.cpp" "src/CMakeFiles/gatekit.dir/harness/dns_probe.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/dns_probe.cpp.o.d"
+  "/root/repo/src/harness/futurework_probes.cpp" "src/CMakeFiles/gatekit.dir/harness/futurework_probes.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/futurework_probes.cpp.o.d"
+  "/root/repo/src/harness/holepunch.cpp" "src/CMakeFiles/gatekit.dir/harness/holepunch.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/holepunch.cpp.o.d"
+  "/root/repo/src/harness/icmp_probe.cpp" "src/CMakeFiles/gatekit.dir/harness/icmp_probe.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/icmp_probe.cpp.o.d"
+  "/root/repo/src/harness/tcp_probes.cpp" "src/CMakeFiles/gatekit.dir/harness/tcp_probes.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/tcp_probes.cpp.o.d"
+  "/root/repo/src/harness/testbed.cpp" "src/CMakeFiles/gatekit.dir/harness/testbed.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/testbed.cpp.o.d"
+  "/root/repo/src/harness/testrund.cpp" "src/CMakeFiles/gatekit.dir/harness/testrund.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/testrund.cpp.o.d"
+  "/root/repo/src/harness/transport_probe.cpp" "src/CMakeFiles/gatekit.dir/harness/transport_probe.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/transport_probe.cpp.o.d"
+  "/root/repo/src/harness/udp_probes.cpp" "src/CMakeFiles/gatekit.dir/harness/udp_probes.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/harness/udp_probes.cpp.o.d"
+  "/root/repo/src/l2/vlan_switch.cpp" "src/CMakeFiles/gatekit.dir/l2/vlan_switch.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/l2/vlan_switch.cpp.o.d"
+  "/root/repo/src/net/addr.cpp" "src/CMakeFiles/gatekit.dir/net/addr.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/addr.cpp.o.d"
+  "/root/repo/src/net/arp.cpp" "src/CMakeFiles/gatekit.dir/net/arp.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/arp.cpp.o.d"
+  "/root/repo/src/net/buffer.cpp" "src/CMakeFiles/gatekit.dir/net/buffer.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/buffer.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/gatekit.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/dccp.cpp" "src/CMakeFiles/gatekit.dir/net/dccp.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/dccp.cpp.o.d"
+  "/root/repo/src/net/dhcp.cpp" "src/CMakeFiles/gatekit.dir/net/dhcp.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/dhcp.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/CMakeFiles/gatekit.dir/net/dns.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/dns.cpp.o.d"
+  "/root/repo/src/net/ethernet.cpp" "src/CMakeFiles/gatekit.dir/net/ethernet.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/ethernet.cpp.o.d"
+  "/root/repo/src/net/icmp.cpp" "src/CMakeFiles/gatekit.dir/net/icmp.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/icmp.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/gatekit.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/sctp.cpp" "src/CMakeFiles/gatekit.dir/net/sctp.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/sctp.cpp.o.d"
+  "/root/repo/src/net/tcp_header.cpp" "src/CMakeFiles/gatekit.dir/net/tcp_header.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/tcp_header.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/CMakeFiles/gatekit.dir/net/udp.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/net/udp.cpp.o.d"
+  "/root/repo/src/pcap/capture_tap.cpp" "src/CMakeFiles/gatekit.dir/pcap/capture_tap.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/pcap/capture_tap.cpp.o.d"
+  "/root/repo/src/pcap/pcap.cpp" "src/CMakeFiles/gatekit.dir/pcap/pcap.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/pcap/pcap.cpp.o.d"
+  "/root/repo/src/report/ascii_plot.cpp" "src/CMakeFiles/gatekit.dir/report/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/report/ascii_plot.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/gatekit.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/gatekit.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/report/table.cpp.o.d"
+  "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/gatekit.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/gatekit.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/sim/link.cpp.o.d"
+  "/root/repo/src/stack/dccp_endpoint.cpp" "src/CMakeFiles/gatekit.dir/stack/dccp_endpoint.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/dccp_endpoint.cpp.o.d"
+  "/root/repo/src/stack/dhcp_service.cpp" "src/CMakeFiles/gatekit.dir/stack/dhcp_service.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/dhcp_service.cpp.o.d"
+  "/root/repo/src/stack/dns_service.cpp" "src/CMakeFiles/gatekit.dir/stack/dns_service.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/dns_service.cpp.o.d"
+  "/root/repo/src/stack/host.cpp" "src/CMakeFiles/gatekit.dir/stack/host.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/host.cpp.o.d"
+  "/root/repo/src/stack/netif.cpp" "src/CMakeFiles/gatekit.dir/stack/netif.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/netif.cpp.o.d"
+  "/root/repo/src/stack/sctp_endpoint.cpp" "src/CMakeFiles/gatekit.dir/stack/sctp_endpoint.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/sctp_endpoint.cpp.o.d"
+  "/root/repo/src/stack/tcp_socket.cpp" "src/CMakeFiles/gatekit.dir/stack/tcp_socket.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/tcp_socket.cpp.o.d"
+  "/root/repo/src/stack/udp_socket.cpp" "src/CMakeFiles/gatekit.dir/stack/udp_socket.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/udp_socket.cpp.o.d"
+  "/root/repo/src/stun/stun.cpp" "src/CMakeFiles/gatekit.dir/stun/stun.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stun/stun.cpp.o.d"
+  "/root/repo/src/stun/stun_service.cpp" "src/CMakeFiles/gatekit.dir/stun/stun_service.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stun/stun_service.cpp.o.d"
+  "/root/repo/src/stun/turn.cpp" "src/CMakeFiles/gatekit.dir/stun/turn.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stun/turn.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/gatekit.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

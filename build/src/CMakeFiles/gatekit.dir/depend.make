@@ -1,0 +1,2 @@
+# Empty dependencies file for gatekit.
+# This may be replaced when dependencies are built.

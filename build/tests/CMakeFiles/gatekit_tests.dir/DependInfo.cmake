@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addr.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_addr.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_addr.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_calibration_spotcheck.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_calibration_spotcheck.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_calibration_spotcheck.cpp.o.d"
+  "/root/repo/tests/test_checksum.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_checksum.cpp.o.d"
+  "/root/repo/tests/test_dns_dhcp.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_dns_dhcp.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_dns_dhcp.cpp.o.d"
+  "/root/repo/tests/test_dnssec_readiness.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_dnssec_readiness.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_dnssec_readiness.cpp.o.d"
+  "/root/repo/tests/test_ethernet_arp.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_ethernet_arp.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_ethernet_arp.cpp.o.d"
+  "/root/repo/tests/test_event_loop.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_event_loop.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_event_loop.cpp.o.d"
+  "/root/repo/tests/test_gateway.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_gateway.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_gateway.cpp.o.d"
+  "/root/repo/tests/test_gateway_units.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_gateway_units.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_gateway_units.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_host_udp_icmp.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_host_udp_icmp.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_host_udp_icmp.cpp.o.d"
+  "/root/repo/tests/test_ipv4.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_ipv4.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_netif_switch.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_netif_switch.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_netif_switch.cpp.o.d"
+  "/root/repo/tests/test_pcap.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_pcap.cpp.o.d"
+  "/root/repo/tests/test_profiles.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_profiles.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_profiles.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_sctp_dccp.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_sctp_dccp.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_sctp_dccp.cpp.o.d"
+  "/root/repo/tests/test_stack_services.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_stack_services.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_stack_services.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stun_futurework.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_stun_futurework.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_stun_futurework.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_tcp.cpp.o.d"
+  "/root/repo/tests/test_tcp_advanced.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_tcp_advanced.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_tcp_advanced.cpp.o.d"
+  "/root/repo/tests/test_transport_headers.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_transport_headers.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_transport_headers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gatekit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
