@@ -4,11 +4,14 @@
 // push tens of millions of packets through these functions).
 #include <benchmark/benchmark.h>
 
+#include "gateway/fwd_path.hpp"
 #include "gateway/nat_engine.hpp"
 #include "net/checksum.hpp"
 #include "net/tcp_header.hpp"
 #include "net/udp.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/link.hpp"
+#include "sim/timer_wheel.hpp"
 
 using namespace gatekit;
 
@@ -73,6 +76,127 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_EventLoopCancel(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::EventLoop loop;
+        std::vector<sim::EventId> ids;
+        ids.reserve(256);
+        for (int i = 0; i < 256; ++i)
+            ids.push_back(loop.after(std::chrono::microseconds(i), [] {}));
+        for (int i = 0; i < 256; i += 2) loop.cancel(ids[i]);
+        loop.run();
+    }
+}
+BENCHMARK(BM_EventLoopCancel);
+
+/// Timer-wheel schedule + harvest: 4096 timers spread over 4 s of virtual
+/// time, collected in 1 ms steps — the shape of a busy NAT's expiry load.
+void BM_TimerWheel(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::TimerWheel wheel;
+        std::size_t fired = 0;
+        for (std::uint64_t i = 0; i < 4096; ++i)
+            wheel.schedule(i, sim::TimePoint{static_cast<std::int64_t>(
+                                  (i % 4096) * 1'000'000 + 1)});
+        for (std::int64_t ms = 1; ms <= 4096; ++ms)
+            fired += wheel.collect_due(sim::TimePoint{ms * 1'000'000}).size();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_TimerWheel);
+
+/// Flow keys for churn benchmarks: distinct internal endpoints so every
+/// create allocates a fresh binding (and, for preserve-port devices, a
+/// fresh external port).
+gateway::FlowKey churn_key(std::uint32_t i) {
+    return gateway::FlowKey{
+        net::proto::kUdp,
+        {net::Ipv4Addr(10, 1, static_cast<std::uint8_t>(i >> 8),
+                       static_cast<std::uint8_t>(i)),
+         static_cast<std::uint16_t>(1024 + (i % 60000))},
+        {net::Ipv4Addr(10, 0, 1, 1), 7}};
+}
+
+/// Steady-state binding churn: ~4096 live bindings, one expiring and one
+/// created per simulated millisecond. Guards the cost of expiry
+/// bookkeeping inside find_or_create_outbound.
+void BM_BindingChurn(benchmark::State& state) {
+    sim::EventLoop loop;
+    gateway::DeviceProfile profile;
+    profile.tag = "bench";
+    profile.max_tcp_bindings = 1 << 20;
+    profile.udp.initial = std::chrono::milliseconds(4096);
+    gateway::BindingTable table(loop, profile, net::proto::kUdp);
+    std::uint32_t n = 0;
+    for (; n < 4096; ++n) {
+        loop.run_for(std::chrono::milliseconds(1));
+        benchmark::DoNotOptimize(table.find_or_create_outbound(churn_key(n)));
+    }
+    for (auto _ : state) {
+        loop.run_for(std::chrono::milliseconds(1));
+        benchmark::DoNotOptimize(table.find_or_create_outbound(churn_key(n)));
+        ++n;
+    }
+}
+BENCHMARK(BM_BindingChurn);
+
+/// Repeated lookups of one hot flow while 4096 idle bindings sit in the
+/// table: the per-packet fast path of a busy gateway.
+void BM_BindingLookupHit(benchmark::State& state) {
+    sim::EventLoop loop;
+    gateway::DeviceProfile profile;
+    profile.tag = "bench";
+    profile.max_tcp_bindings = 1 << 20;
+    profile.udp.initial = std::chrono::hours(1);
+    gateway::BindingTable table(loop, profile, net::proto::kUdp);
+    for (std::uint32_t i = 0; i < 4096; ++i)
+        benchmark::DoNotOptimize(table.find_or_create_outbound(churn_key(i)));
+    const auto hot = churn_key(17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.find_or_create_outbound(hot));
+}
+BENCHMARK(BM_BindingLookupHit);
+
+/// End-to-end forwarding pipeline: NAT translation -> forwarding-path
+/// service model -> link serialization -> frame sink, one packet per
+/// iteration, driving the event loop to completion each time.
+void BM_ForwardPipelineUdp(benchmark::State& state) {
+    sim::EventLoop loop;
+    gateway::DeviceProfile profile;
+    profile.tag = "bench";
+    gateway::NatEngine nat(loop, profile);
+    nat.set_addresses(net::Ipv4Addr(192, 168, 1, 1), 24,
+                      net::Ipv4Addr(10, 0, 1, 10));
+    gateway::FwdPath fwd(loop, profile.fwd);
+    sim::Link link(loop, 100'000'000, std::chrono::microseconds(10));
+    struct Sink : sim::FrameSink {
+        std::uint64_t bytes = 0;
+        void frame_in(sim::Frame f) override { bytes += f.size(); }
+    } sink;
+    link.attach(sim::Link::Side::B, sink);
+
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kUdp;
+    pkt.h.src = net::Ipv4Addr(192, 168, 1, 100);
+    pkt.h.dst = net::Ipv4Addr(10, 0, 1, 1);
+    net::UdpDatagram d;
+    d.src_port = 40000;
+    d.dst_port = 7;
+    d.payload.assign(1400, 0x5a);
+    pkt.payload = d.serialize(pkt.h.src, pkt.h.dst);
+
+    for (auto _ : state) {
+        auto out = nat.outbound(pkt);
+        fwd.submit(gateway::Direction::Up, out->size(),
+                   [&link, bytes = std::move(*out)]() mutable {
+                       link.send(sim::Link::Side::A, std::move(bytes));
+                   });
+        loop.run();
+    }
+    benchmark::DoNotOptimize(sink.bytes);
+}
+BENCHMARK(BM_ForwardPipelineUdp);
 
 void BM_NatOutboundUdp(benchmark::State& state) {
     sim::EventLoop loop;

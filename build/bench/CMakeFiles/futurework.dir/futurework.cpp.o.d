@@ -228,16 +228,19 @@ bench/CMakeFiles/futurework.dir/futurework.cpp.o: \
  /root/repo/src/sim/event_loop.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/stack/dns_service.hpp /root/repo/src/gateway/fwd_path.hpp \
  /root/repo/src/gateway/nat_engine.hpp \
- /root/repo/src/gateway/binding_table.hpp /root/repo/src/net/icmp.hpp \
- /root/repo/src/net/ipv4.hpp /root/repo/src/stack/dhcp_service.hpp \
- /root/repo/src/net/dhcp.hpp /root/repo/src/stack/host.hpp \
- /root/repo/src/net/tcp_header.hpp /root/repo/src/stack/netif.hpp \
- /root/repo/src/net/arp.hpp /root/repo/src/net/ethernet.hpp \
- /root/repo/src/sim/link.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/l2/vlan_switch.hpp /root/repo/src/pcap/capture_tap.hpp \
- /root/repo/src/pcap/pcap.hpp \
+ /root/repo/src/gateway/binding_table.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/timer_wheel.hpp \
+ /root/repo/src/net/icmp.hpp /root/repo/src/net/ipv4.hpp \
+ /root/repo/src/stack/dhcp_service.hpp /root/repo/src/net/dhcp.hpp \
+ /root/repo/src/stack/host.hpp /root/repo/src/net/tcp_header.hpp \
+ /root/repo/src/stack/netif.hpp /root/repo/src/net/arp.hpp \
+ /root/repo/src/net/ethernet.hpp /root/repo/src/sim/link.hpp \
+ /root/repo/src/util/assert.hpp /root/repo/src/l2/vlan_switch.hpp \
+ /root/repo/src/pcap/capture_tap.hpp /root/repo/src/pcap/pcap.hpp \
  /root/repo/src/harness/futurework_probes.hpp \
  /root/repo/src/stun/stun_service.hpp /root/repo/src/stun/stun.hpp \
  /root/repo/src/harness/icmp_probe.hpp \

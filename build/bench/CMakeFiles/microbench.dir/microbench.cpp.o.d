@@ -183,16 +183,19 @@ bench/CMakeFiles/microbench.dir/microbench.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/gateway/nat_engine.hpp /usr/include/c++/12/optional \
+ /root/repo/src/gateway/fwd_path.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/gateway/binding_table.hpp \
- /root/repo/src/gateway/profile.hpp /usr/include/c++/12/array \
- /root/repo/src/sim/time.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/gateway/profile.hpp /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -208,15 +211,14 @@ bench/CMakeFiles/microbench.dir/microbench.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/addr.hpp \
- /root/repo/src/sim/event_loop.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/icmp.hpp /root/repo/src/net/buffer.hpp \
- /usr/include/c++/12/span /root/repo/src/net/ipv4.hpp \
- /root/repo/src/net/checksum.hpp /root/repo/src/net/tcp_header.hpp \
- /root/repo/src/net/udp.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/event_loop.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/gateway/nat_engine.hpp /usr/include/c++/12/optional \
+ /root/repo/src/gateway/binding_table.hpp /root/repo/src/net/addr.hpp \
+ /root/repo/src/sim/timer_wheel.hpp /root/repo/src/net/icmp.hpp \
+ /root/repo/src/net/buffer.hpp /usr/include/c++/12/span \
+ /root/repo/src/net/ipv4.hpp /root/repo/src/net/checksum.hpp \
+ /root/repo/src/net/tcp_header.hpp /root/repo/src/net/udp.hpp \
+ /root/repo/src/sim/link.hpp /root/repo/src/util/assert.hpp

@@ -46,6 +46,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/report/table.cpp" "src/CMakeFiles/gatekit.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/report/table.cpp.o.d"
   "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/gatekit.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/sim/event_loop.cpp.o.d"
   "/root/repo/src/sim/link.cpp" "src/CMakeFiles/gatekit.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/timer_wheel.cpp" "src/CMakeFiles/gatekit.dir/sim/timer_wheel.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/sim/timer_wheel.cpp.o.d"
   "/root/repo/src/stack/dccp_endpoint.cpp" "src/CMakeFiles/gatekit.dir/stack/dccp_endpoint.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/dccp_endpoint.cpp.o.d"
   "/root/repo/src/stack/dhcp_service.cpp" "src/CMakeFiles/gatekit.dir/stack/dhcp_service.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/dhcp_service.cpp.o.d"
   "/root/repo/src/stack/dns_service.cpp" "src/CMakeFiles/gatekit.dir/stack/dns_service.cpp.o" "gcc" "src/CMakeFiles/gatekit.dir/stack/dns_service.cpp.o.d"

@@ -223,6 +223,8 @@ src/CMakeFiles/gatekit.dir/gateway/dns_proxy.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/stack/dns_service.hpp /root/repo/src/stack/host.hpp \
  /root/repo/src/net/icmp.hpp /root/repo/src/net/tcp_header.hpp \
  /root/repo/src/net/ipv4.hpp /root/repo/src/stack/netif.hpp \

@@ -119,4 +119,5 @@ src/CMakeFiles/gatekit.dir/net/checksum.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/bit \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -184,4 +184,5 @@ src/CMakeFiles/gatekit.dir/pcap/capture_tap.cpp.o: \
  /root/repo/src/sim/event_loop.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/assert.hpp
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/assert.hpp

@@ -151,7 +151,8 @@ src/CMakeFiles/gatekit.dir/stack/tcp_socket.cpp.o: \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/net/tcp_header.hpp /usr/include/c++/12/optional \
  /root/repo/src/sim/event_loop.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/time.h \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_addr.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_addr.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_addr.cpp.o.d"
+  "/root/repo/tests/test_binding_table_equiv.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_binding_table_equiv.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_binding_table_equiv.cpp.o.d"
   "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_buffer.cpp.o.d"
   "/root/repo/tests/test_calibration_spotcheck.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_calibration_spotcheck.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_calibration_spotcheck.cpp.o.d"
   "/root/repo/tests/test_checksum.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_checksum.cpp.o.d"
@@ -33,6 +34,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_stun_futurework.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_stun_futurework.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_stun_futurework.cpp.o.d"
   "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_tcp.cpp.o.d"
   "/root/repo/tests/test_tcp_advanced.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_tcp_advanced.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_tcp_advanced.cpp.o.d"
+  "/root/repo/tests/test_timer_wheel.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_timer_wheel.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_timer_wheel.cpp.o.d"
   "/root/repo/tests/test_transport_headers.cpp" "tests/CMakeFiles/gatekit_tests.dir/test_transport_headers.cpp.o" "gcc" "tests/CMakeFiles/gatekit_tests.dir/test_transport_headers.cpp.o.d"
   )
 

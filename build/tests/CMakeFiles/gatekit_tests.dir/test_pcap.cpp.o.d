@@ -300,4 +300,5 @@ tests/CMakeFiles/gatekit_tests.dir/test_pcap.cpp.o: \
  /root/repo/src/sim/link.hpp /root/repo/src/sim/event_loop.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/assert.hpp
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/assert.hpp

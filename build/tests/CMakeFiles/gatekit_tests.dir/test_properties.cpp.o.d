@@ -321,17 +321,18 @@ tests/CMakeFiles/gatekit_tests.dir/test_properties.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/gateway/nat_engine.hpp \
- /root/repo/src/gateway/binding_table.hpp \
+ /root/repo/src/gateway/binding_table.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/gateway/profile.hpp /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/net/addr.hpp \
  /root/repo/src/sim/event_loop.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/icmp.hpp /root/repo/src/net/buffer.hpp \
- /usr/include/c++/12/span /root/repo/src/net/ipv4.hpp \
- /root/repo/src/harness/testrund.hpp /root/repo/src/harness/dns_probe.hpp \
- /root/repo/src/harness/testbed.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/sim/timer_wheel.hpp /root/repo/src/net/icmp.hpp \
+ /root/repo/src/net/buffer.hpp /usr/include/c++/12/span \
+ /root/repo/src/net/ipv4.hpp /root/repo/src/harness/testrund.hpp \
+ /root/repo/src/harness/dns_probe.hpp /root/repo/src/harness/testbed.hpp \
  /root/repo/src/gateway/home_gateway.hpp \
  /root/repo/src/gateway/dns_proxy.hpp /root/repo/src/net/dns.hpp \
  /root/repo/src/stack/dns_service.hpp /root/repo/src/gateway/fwd_path.hpp \

@@ -298,7 +298,8 @@ tests/CMakeFiles/gatekit_tests.dir/test_stack_services.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/sim/event_loop.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/stack/dhcp_service.hpp \
  /root/repo/src/net/dhcp.hpp /root/repo/src/stack/dns_service.hpp \

@@ -299,10 +299,12 @@ tests/CMakeFiles/gatekit_tests.dir/test_tcp.cpp.o: \
  /root/repo/src/net/buffer.hpp /usr/include/c++/12/span \
  /root/repo/src/net/tcp_header.hpp /root/repo/src/sim/event_loop.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/tests/testutil.hpp /root/repo/src/l2/vlan_switch.hpp \
- /root/repo/src/net/ethernet.hpp /root/repo/src/sim/link.hpp \
- /root/repo/src/util/assert.hpp /root/repo/src/stack/host.hpp \
- /root/repo/src/net/icmp.hpp /root/repo/src/stack/netif.hpp \
- /root/repo/src/net/arp.hpp /root/repo/src/stack/udp_socket.hpp
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/tests/testutil.hpp \
+ /root/repo/src/l2/vlan_switch.hpp /root/repo/src/net/ethernet.hpp \
+ /root/repo/src/sim/link.hpp /root/repo/src/util/assert.hpp \
+ /root/repo/src/stack/host.hpp /root/repo/src/net/icmp.hpp \
+ /root/repo/src/stack/netif.hpp /root/repo/src/net/arp.hpp \
+ /root/repo/src/stack/udp_socket.hpp

@@ -299,7 +299,8 @@ tests/CMakeFiles/gatekit_tests.dir/test_tcp_advanced.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/ipv4.hpp /root/repo/src/net/tcp_header.hpp \
  /root/repo/src/sim/event_loop.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/tests/testutil.hpp \
  /root/repo/src/l2/vlan_switch.hpp /root/repo/src/sim/link.hpp \

@@ -1,5 +1,8 @@
 #include "gateway/binding_table.hpp"
 
+#include <algorithm>
+
+#include "net/ipv4.hpp"
 #include "util/assert.hpp"
 
 namespace gatekit::gateway {
@@ -9,6 +12,12 @@ BindingTable::BindingTable(sim::EventLoop& loop,
     : loop_(loop), profile_(profile), proto_(proto),
       next_pool_port_(profile.pool_begin) {}
 
+std::size_t BindingTable::capacity_limit() const {
+    if (proto_ == net::proto::kUdp && profile_.max_udp_bindings >= 0)
+        return static_cast<std::size_t>(profile_.max_udp_bindings);
+    return static_cast<std::size_t>(profile_.max_tcp_bindings);
+}
+
 sim::TimePoint BindingTable::quantize(sim::TimePoint t) const {
     const auto g = profile_.udp.granularity;
     if (g <= sim::Duration::zero()) return t;
@@ -17,48 +26,89 @@ sim::TimePoint BindingTable::quantize(sim::TimePoint t) const {
 }
 
 bool BindingTable::expired(const Binding& b) const {
+    return loop_.now() >= effective_deadline(b);
+}
+
+sim::TimePoint BindingTable::effective_deadline(const Binding& b) const {
     // Coarse timers only affect confirmed bindings: the paper's UDP-1
     // results are tight for every device, while UDP-2 shows wide
     // quartiles on the coarse-timer models (we/al/je/ng5).
-    const auto deadline = b.confirmed ? quantize(b.expires_at) : b.expires_at;
-    return loop_.now() >= deadline;
+    return b.confirmed ? quantize(b.expires_at) : b.expires_at;
+}
+
+void BindingTable::schedule_expiry(Binding& b, sim::TimePoint at) {
+    b.wheel_deadline = at;
+    b.wheel_gen = next_gen_++;
+    std::uint64_t idx;
+    if (!pending_free_.empty()) {
+        idx = pending_free_.back();
+        pending_free_.pop_back();
+        pending_[idx] = PendingExpiry{b.key, b.wheel_gen};
+    } else {
+        idx = pending_.size();
+        pending_.push_back(PendingExpiry{b.key, b.wheel_gen});
+    }
+    wheel_.schedule(idx, at);
+}
+
+void BindingTable::add_to_graveyard(const FlowKey& key, std::uint16_t port,
+                                    sim::TimePoint until) {
+    graveyard_[key] = {port, until};
+    grave_queue_.push_back(GraveEntry{key, until});
 }
 
 void BindingTable::erase_external(std::uint16_t port, const FlowKey& key) {
-    auto [lo, hi] = by_external_.equal_range(port);
-    for (auto it = lo; it != hi; ++it) {
-        if (it->second == key) {
-            by_external_.erase(it);
-            return;
-        }
-    }
+    auto pit = by_external_.find(port);
+    if (pit == by_external_.end()) return;
+    auto& keys = pit->second;
+    auto it = std::find(keys.begin(), keys.end(), key);
+    if (it == keys.end()) return;
+    keys.erase(it); // preserves claim order of the remaining flows
+    if (keys.empty()) by_external_.erase(pit);
+}
+
+bool BindingTable::external_in_use(std::uint16_t port) const {
+    return by_external_.find(port) != by_external_.end();
 }
 
 void BindingTable::sweep() {
     const auto now = loop_.now();
-    for (auto it = by_flow_.begin(); it != by_flow_.end();) {
-        if (expired(it->second)) {
-            graveyard_[it->first] = {it->second.external_port,
-                                     now + profile_.port_quarantine};
-            erase_external(it->second.external_port, it->first);
-            it = by_flow_.erase(it);
+    // Harvest wheel entries whose scheduled deadline has passed. An entry
+    // is a conservative lower bound on its binding's effective deadline
+    // (refreshes only move it by rescheduling when earlier), so a binding
+    // that pops unexpired is simply re-parked at its real deadline.
+    for (std::uint64_t idx : wheel_.collect_due(now)) {
+        const PendingExpiry rec = pending_[idx];
+        pending_free_.push_back(idx);
+        auto it = by_flow_.find(rec.key);
+        if (it == by_flow_.end()) continue; // binding removed meanwhile
+        Binding& b = it->second;
+        if (b.wheel_gen != rec.gen) continue; // superseded entry
+        const auto deadline = effective_deadline(b);
+        if (now >= deadline) {
+            add_to_graveyard(rec.key, b.external_port,
+                             now + profile_.port_quarantine);
+            erase_external(b.external_port, rec.key);
+            by_flow_.erase(it);
         } else {
-            ++it;
+            schedule_expiry(b, deadline);
         }
     }
-    for (auto it = graveyard_.begin(); it != graveyard_.end();) {
-        if (now >= it->second.second)
-            it = graveyard_.erase(it);
-        else
-            ++it;
+    while (!grave_queue_.empty() && now >= grave_queue_.front().end) {
+        const GraveEntry& front = grave_queue_.front();
+        auto it = graveyard_.find(front.key);
+        if (it != graveyard_.end() && it->second.second == front.end)
+            graveyard_.erase(it);
+        grave_queue_.pop_front();
     }
 }
 
 bool BindingTable::port_taken_by_other(std::uint16_t port,
                                        const net::Endpoint& internal) const {
-    auto [lo, hi] = by_external_.equal_range(port);
-    for (auto it = lo; it != hi; ++it)
-        if (it->second.internal != internal) return true;
+    auto pit = by_external_.find(port);
+    if (pit == by_external_.end()) return false;
+    for (const FlowKey& key : pit->second)
+        if (key.internal != internal) return true;
     return false;
 }
 
@@ -84,7 +134,7 @@ std::uint16_t BindingTable::allocate_port(const FlowKey& key) {
         next_pool_port_ = candidate >= profile_.pool_end
                               ? profile_.pool_begin
                               : static_cast<std::uint16_t>(candidate + 1);
-        if (by_external_.count(candidate) == 0) return candidate;
+        if (!external_in_use(candidate)) return candidate;
     }
     return 0; // pool exhausted
 }
@@ -104,23 +154,27 @@ Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
     b.expires_at = loop_.now() + profile_.udp.initial;
     auto [ins, ok] = by_flow_.emplace(key, b);
     GK_ASSERT(ok);
-    by_external_.emplace(port, key);
+    by_external_[port].push_back(key);
+    schedule_expiry(ins->second, effective_deadline(ins->second));
     return &ins->second;
 }
 
 Binding* BindingTable::find_inbound(std::uint16_t external_port,
                                     const net::Endpoint& remote) {
-    auto [lo, hi] = by_external_.equal_range(external_port);
-    for (auto pit = lo; pit != hi; ++pit) {
-        auto it = by_flow_.find(pit->second);
+    auto pit = by_external_.find(external_port);
+    if (pit == by_external_.end()) return nullptr;
+    auto& keys = pit->second;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto it = by_flow_.find(keys[i]);
         if (it == by_flow_.end()) continue;
         Binding& b = it->second;
         // Endpoint-dependent filtering: the inbound peer must match.
         if (b.key.remote != remote) continue;
         if (expired(b)) {
-            graveyard_[b.key] = {b.external_port,
-                                 loop_.now() + profile_.port_quarantine};
-            by_external_.erase(pit);
+            add_to_graveyard(b.key, b.external_port,
+                             loop_.now() + profile_.port_quarantine);
+            keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(i));
+            if (keys.empty()) by_external_.erase(pit);
             by_flow_.erase(it);
             return nullptr;
         }
@@ -130,9 +184,10 @@ Binding* BindingTable::find_inbound(std::uint16_t external_port,
 }
 
 Binding* BindingTable::find_by_external(std::uint16_t external_port) {
-    auto [lo, hi] = by_external_.equal_range(external_port);
-    for (auto pit = lo; pit != hi; ++pit) {
-        auto it = by_flow_.find(pit->second);
+    auto pit = by_external_.find(external_port);
+    if (pit == by_external_.end()) return nullptr;
+    for (const FlowKey& key : pit->second) {
+        auto it = by_flow_.find(key);
         if (it != by_flow_.end() && !expired(it->second))
             return &it->second;
     }
@@ -140,7 +195,15 @@ Binding* BindingTable::find_by_external(std::uint16_t external_port) {
 }
 
 void BindingTable::refresh(Binding& b, sim::Duration timeout) {
-    b.expires_at = loop_.now() + timeout;
+    set_expiry(b, loop_.now() + timeout);
+}
+
+void BindingTable::set_expiry(Binding& b, sim::TimePoint at) {
+    b.expires_at = at;
+    const auto deadline = effective_deadline(b);
+    // Later deadlines ride the existing wheel entry (it re-parks itself on
+    // pop); earlier ones need a fresh entry or sweep() would miss them.
+    if (deadline < b.wheel_deadline) schedule_expiry(b, deadline);
 }
 
 void BindingTable::remove(const FlowKey& key) {
@@ -148,6 +211,7 @@ void BindingTable::remove(const FlowKey& key) {
     if (it == by_flow_.end()) return;
     erase_external(it->second.external_port, key);
     by_flow_.erase(it);
+    // The wheel entry goes stale and is discarded when it pops.
 }
 
 std::size_t BindingTable::size() {

@@ -1,15 +1,26 @@
 // NAT binding table: the translation state whose lifecycle the paper's
 // UDP-1..5, TCP-1 and TCP-4 tests measure from the outside.
+//
+// Hot-path layout: hashed flow and port indexes give O(1) lookups, and a
+// hierarchical timer wheel retires expired bindings in O(1) amortized —
+// sweep() visits only entries whose deadline bucket has passed instead of
+// scanning the whole table. Observable behavior (port assignment order,
+// quarantine stamps, expiry times) is identical to the original ordered-
+// map implementation: sweeps still happen at the same call sites, and a
+// retired binding's quarantine window still starts at sweep time.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "gateway/profile.hpp"
 #include "net/addr.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace gatekit::gateway {
 
@@ -23,6 +34,24 @@ struct FlowKey {
         default;
 };
 
+/// 64-bit mix of the full 5-tuple for the hashed indexes.
+struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+        std::uint64_t a = (std::uint64_t{k.internal.addr.value()} << 32) |
+                          k.remote.addr.value();
+        std::uint64_t b = (std::uint64_t{k.proto} << 32) |
+                          (std::uint64_t{k.internal.port} << 16) |
+                          k.remote.port;
+        std::uint64_t x = (a * 0x9e3779b97f4a7c15ULL) ^ b;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+};
+
 struct Binding {
     FlowKey key;
     std::uint16_t external_port = 0;
@@ -34,6 +63,10 @@ struct Binding {
     bool fin_out = false;
     std::uint64_t packets_out = 0;
     std::uint64_t packets_in = 0;
+    // Timer-wheel bookkeeping, managed by BindingTable: when the active
+    // wheel entry fires and the generation stamp identifying it.
+    sim::TimePoint wheel_deadline{};
+    std::uint64_t wheel_gen = 0;
 };
 
 /// One table instance per transport protocol (UDP and TCP each get one).
@@ -59,13 +92,17 @@ public:
     /// `timeout` is the policy-chosen duration for this event.
     void refresh(Binding& b, sim::Duration timeout);
 
+    /// Set an absolute expiry deadline (TCP transitory / FIN-linger
+    /// shortcuts). Keeps the timer wheel in sync when the deadline moves
+    /// earlier; all expiry writes must go through here or refresh().
+    void set_expiry(Binding& b, sim::TimePoint at);
+
     /// Remove immediately (TCP RST, FIN linger expiry).
     void remove(const FlowKey& key);
 
     std::size_t size();
-    std::size_t capacity_limit() const {
-        return static_cast<std::size_t>(profile_.max_tcp_bindings);
-    }
+    /// Per-protocol concurrent-binding cap from the device profile.
+    std::size_t capacity_limit() const;
 
     /// Expiry check honoring the device's timer granularity.
     bool expired(const Binding& b) const;
@@ -77,20 +114,51 @@ private:
     bool port_taken_by_other(std::uint16_t port,
                              const net::Endpoint& internal) const;
     sim::TimePoint quantize(sim::TimePoint t) const;
+    /// Deadline at which the binding becomes observable as expired.
+    sim::TimePoint effective_deadline(const Binding& b) const;
+    /// Park (or re-park) the binding's expiry in the timer wheel.
+    void schedule_expiry(Binding& b, sim::TimePoint at);
+    void erase_external(std::uint16_t port, const FlowKey& key);
+    bool external_in_use(std::uint16_t port) const;
+    void add_to_graveyard(const FlowKey& key, std::uint16_t port,
+                          sim::TimePoint until);
 
     sim::EventLoop& loop_;
     const DeviceProfile& profile_;
     std::uint8_t proto_;
-    void erase_external(std::uint16_t port, const FlowKey& key);
 
-    std::map<FlowKey, Binding> by_flow_;
-    /// External port -> flows sharing it. A port-preserving NAT maps every
-    /// flow from one internal endpoint to the same external port
-    /// (endpoint-independent mapping, RFC 4787) and demuxes inbound
-    /// traffic by remote endpoint.
-    std::multimap<std::uint16_t, FlowKey> by_external_;
+    std::unordered_map<FlowKey, Binding, FlowKeyHash> by_flow_;
+    /// External port -> flows sharing it, in claim order. A port-
+    /// preserving NAT maps every flow from one internal endpoint to the
+    /// same external port (endpoint-independent mapping, RFC 4787) and
+    /// demuxes inbound traffic by remote endpoint.
+    std::unordered_map<std::uint16_t, std::vector<FlowKey>> by_external_;
     /// Recently expired flows: flow -> (old external port, quarantine end).
-    std::map<FlowKey, std::pair<std::uint16_t, sim::TimePoint>> graveyard_;
+    std::unordered_map<FlowKey, std::pair<std::uint16_t, sim::TimePoint>,
+                       FlowKeyHash>
+        graveyard_;
+    /// Quarantine expiry order. The quarantine duration is a per-device
+    /// constant and the clock is monotonic, so insertion order is expiry
+    /// order; stale entries (flow re-quarantined later) are skipped by
+    /// matching the recorded end time.
+    struct GraveEntry {
+        FlowKey key;
+        sim::TimePoint end;
+    };
+    std::deque<GraveEntry> grave_queue_;
+
+    /// Expiry wheel. Entries reference pending_ slots; a slot is stale
+    /// when its generation no longer matches the binding (refreshed to an
+    /// earlier deadline, removed, or the flow re-created).
+    sim::TimerWheel wheel_;
+    struct PendingExpiry {
+        FlowKey key;
+        std::uint64_t gen = 0;
+    };
+    std::vector<PendingExpiry> pending_;
+    std::vector<std::uint64_t> pending_free_;
+    std::uint64_t next_gen_ = 1;
+
     std::uint16_t next_pool_port_;
 };
 

@@ -39,8 +39,8 @@ HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
             const auto dst = out.h.dst;
             const std::size_t len = bytes.size();
             fwd_.submit(Direction::Down, len,
-                        [this, bytes = std::move(bytes), dst] {
-                            emit_lan(bytes, dst);
+                        [this, bytes = std::move(bytes), dst]() mutable {
+                            emit_lan(std::move(bytes), dst);
                         });
         }
     });
@@ -55,11 +55,11 @@ HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
         if (&in == &lan_if_ && pkt.h.dst == nat_.wan_addr()) {
             auto out = nat_.hairpin(pkt);
             if (!out) return false;
-            const auto dst = net::Ipv4Packet::parse(*out).h.dst;
+            const auto dst = net::ipv4_dst(*out);
             const std::size_t len = out->size();
             fwd_.submit(Direction::Down, len,
-                        [this, bytes = std::move(*out), dst] {
-                            emit_lan(bytes, dst);
+                        [this, bytes = std::move(*out), dst]() mutable {
+                            emit_lan(std::move(bytes), dst);
                         });
             return true;
         }
@@ -102,12 +102,12 @@ void HomeGateway::on_lan_ip(stack::Iface&, const net::Ipv4Packet& pkt) {
     if (!nat_.configured()) return;
     auto out = nat_.outbound(pkt);
     if (!out) return;
-    const auto dst = net::Ipv4Packet::parse(*out).h.dst;
+    const auto dst = net::ipv4_dst(*out);
     // Read the size before the lambda capture moves the buffer out.
     const std::size_t len = out->size();
     fwd_.submit(Direction::Up, len,
-                [this, bytes = std::move(*out), dst] {
-                    emit_wan(bytes, dst);
+                [this, bytes = std::move(*out), dst]() mutable {
+                    emit_wan(std::move(bytes), dst);
                 });
 }
 
@@ -116,11 +116,11 @@ bool HomeGateway::on_wan_local(const net::Ipv4Packet& pkt) {
     auto out = nat_.inbound(pkt, handled);
     if (!handled) return false; // gateway-local traffic (DHCP, DNS, ping)
     if (out) {
-        const auto dst = net::Ipv4Packet::parse(*out).h.dst;
+        const auto dst = net::ipv4_dst(*out);
         const std::size_t len = out->size();
         fwd_.submit(Direction::Down, len,
-                    [this, bytes = std::move(*out), dst] {
-                        emit_lan(bytes, dst);
+                    [this, bytes = std::move(*out), dst]() mutable {
+                        emit_lan(std::move(bytes), dst);
                     });
     }
     return true;

@@ -101,7 +101,7 @@ std::optional<net::Bytes> NatEngine::outbound_tcp(const net::Ipv4Packet& pkt) {
         return std::nullopt;
     }
     if (seg.flags.syn && !seg.flags.ack)
-        b->expires_at = loop_.now() + profile_.tcp_transitory_timeout;
+        tcp_.set_expiry(*b, loop_.now() + profile_.tcp_transitory_timeout);
     ++b->packets_out;
     if (b->packets_in > 0 && !seg.flags.syn) b->established = true;
     refresh_tcp(*b);
@@ -115,7 +115,7 @@ std::optional<net::Bytes> NatEngine::outbound_tcp(const net::Ipv4Packet& pkt) {
     if (seg.flags.rst) {
         tcp_.remove(key);
     } else if (b->fin_in && b->fin_out) {
-        b->expires_at = loop_.now() + profile_.tcp_fin_linger;
+        tcp_.set_expiry(*b, loop_.now() + profile_.tcp_fin_linger);
     }
     return bytes;
 }
@@ -269,7 +269,7 @@ std::optional<net::Bytes> NatEngine::inbound_tcp(const net::Ipv4Packet& pkt,
     if (seg.flags.rst) {
         tcp_.remove(b->key);
     } else if (b->fin_in && b->fin_out) {
-        b->expires_at = loop_.now() + profile_.tcp_fin_linger;
+        tcp_.set_expiry(*b, loop_.now() + profile_.tcp_fin_linger);
     }
     return bytes;
 }

@@ -139,8 +139,13 @@ struct DeviceProfile {
     sim::Duration tcp_transitory_timeout{std::chrono::minutes(4)};
     /// Linger after observing both FINs before dropping the binding.
     sim::Duration tcp_fin_linger{std::chrono::seconds(10)};
-    /// Maximum concurrent TCP bindings (TCP-4); also bounds UDP bindings.
+    /// Maximum concurrent TCP bindings (TCP-4).
     int max_tcp_bindings = 1024;
+    /// Maximum concurrent UDP bindings. Negative = follow
+    /// max_tcp_bindings, which matches every calibrated device (the paper
+    /// only measured the TCP cap, so the UDP pool defaults to the same
+    /// budget).
+    int max_udp_bindings = -1;
 
     // --- port allocation (UDP-4) ----------------------------------------
     PortAllocation port_allocation = PortAllocation::PreserveSourcePort;

@@ -81,6 +81,13 @@ Ipv4Packet Ipv4Packet::parse(std::span<const std::uint8_t> data) {
     return parse_impl(data, /*truncated_ok=*/false);
 }
 
+Ipv4Addr ipv4_dst(std::span<const std::uint8_t> data) {
+    if (data.size() < 20) throw ParseError("short IPv4 datagram");
+    return Ipv4Addr{(std::uint32_t{data[16]} << 24) |
+                    (std::uint32_t{data[17]} << 16) |
+                    (std::uint32_t{data[18]} << 8) | data[19]};
+}
+
 Ipv4Packet Ipv4Packet::parse_prefix(std::span<const std::uint8_t> data) {
     return parse_impl(data, /*truncated_ok=*/true);
 }

@@ -75,4 +75,9 @@ struct Ipv4Packet {
     void record_route(Ipv4Addr router);
 };
 
+/// Read the destination address straight out of a serialized datagram —
+/// the routing fast path only needs these four bytes, not a full parse.
+/// Throws ParseError when the buffer is shorter than an IPv4 header.
+Ipv4Addr ipv4_dst(std::span<const std::uint8_t> data);
+
 } // namespace gatekit::net

@@ -1,7 +1,5 @@
 #include "sim/event_loop.hpp"
 
-#include <algorithm>
-
 #include "util/assert.hpp"
 
 namespace gatekit::sim {
@@ -21,22 +19,16 @@ EventId EventLoop::after(Duration d, Handler fn) {
 
 void EventLoop::cancel(EventId id) {
     if (!id) return;
-    cancelled_.push_back(id.value());
+    cancelled_.insert(id.value());
 }
 
 bool EventLoop::is_cancelled(std::uint64_t seq) const {
-    return std::find(cancelled_.begin(), cancelled_.end(), seq) !=
-           cancelled_.end();
+    return cancelled_.contains(seq);
 }
 
 void EventLoop::fire(Event& ev) {
     now_ = ev.when;
-    if (is_cancelled(ev.seq)) {
-        cancelled_.erase(
-            std::remove(cancelled_.begin(), cancelled_.end(), ev.seq),
-            cancelled_.end());
-        return;
-    }
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) != 0) return;
     ++processed_;
     ev.fn();
 }

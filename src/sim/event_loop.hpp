@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -81,7 +82,7 @@ private:
     bool is_cancelled(std::uint64_t seq) const;
 
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
-    std::vector<std::uint64_t> cancelled_; // sorted lazily on lookup
+    std::unordered_set<std::uint64_t> cancelled_;
     TimePoint now_{0};
     std::uint64_t next_seq_ = 1;
     std::uint64_t processed_ = 0;

@@ -16,6 +16,18 @@ void Link::attach(Side side, FrameSink& sink) {
     dir(side == Side::A ? Side::B : Side::A).receiver = &sink;
 }
 
+std::size_t Link::tx_backlog_bytes(Side side) const {
+    const auto& d = dir(side);
+    if (d.busy_until <= loop_.now()) return 0;
+    // Exact integer form of busy_ns * rate / 8e9; the product can exceed
+    // 64 bits for long backlogs at gigabit rates.
+    const auto busy_ns =
+        static_cast<std::uint64_t>((d.busy_until - loop_.now()).count());
+    const auto bytes = static_cast<unsigned __int128>(busy_ns) * rate_ /
+                       (8u * 1'000'000'000ULL);
+    return static_cast<std::size_t>(bytes);
+}
+
 Duration Link::tx_time(std::size_t bytes) const {
     // Whole-frame serialization delay at the configured bit rate.
     const auto bits = static_cast<std::uint64_t>(bytes) * 8u;
@@ -28,10 +40,13 @@ void Link::send(Side from, Frame frame) {
     // Finite transmit backlog: drop when more than tx_queue_bytes_ of
     // serialization time is already committed ahead of this frame.
     if (d.busy_until > loop_.now()) {
-        const auto backlog_bits =
-            static_cast<double>((d.busy_until - loop_.now()).count()) *
-            static_cast<double>(rate_) / 1e9;
-        if (backlog_bits / 8.0 > static_cast<double>(tx_queue_bytes_)) {
+        // busy_ns * rate / 8e9 > tx_queue_bytes, cross-multiplied so the
+        // comparison is exact integer arithmetic.
+        const auto busy_ns =
+            static_cast<std::uint64_t>((d.busy_until - loop_.now()).count());
+        if (static_cast<unsigned __int128>(busy_ns) * rate_ >
+            static_cast<unsigned __int128>(tx_queue_bytes_) *
+                (8u * 1'000'000'000ULL)) {
             ++d.tx_drops;
             return;
         }

@@ -61,14 +61,7 @@ public:
     /// Frames dropped at the transmit queue per side.
     std::uint64_t tx_drops(Side side) const { return dir(side).tx_drops; }
     /// Bytes currently committed ahead in the transmit queue.
-    std::size_t tx_backlog_bytes(Side side) const {
-        const auto& d = dir(side);
-        if (d.busy_until <= loop_.now()) return 0;
-        const double bits =
-            static_cast<double>((d.busy_until - loop_.now()).count()) *
-            static_cast<double>(rate_) / 1e9;
-        return static_cast<std::size_t>(bits / 8.0);
-    }
+    std::size_t tx_backlog_bytes(Side side) const;
     void set_tx_queue_bytes(std::size_t bytes) { tx_queue_bytes_ = bytes; }
 
 private:

@@ -1,0 +1,357 @@
+// Property test pinning the hashed/timer-wheel BindingTable to a
+// reference model that is the original ordered-map implementation,
+// verbatim. Randomized op sequences (create, refresh, confirm, inbound
+// and external lookups, remove, clock jumps) must produce identical
+// observable behavior — port assignments, quarantine effects, expiry
+// times — across port-allocation policies, timer granularities and
+// capacity limits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "gateway/binding_table.hpp"
+#include "net/ipv4.hpp"
+#include "sim/event_loop.hpp"
+#include "util/rng.hpp"
+
+using namespace gatekit;
+using gateway::Binding;
+using gateway::FlowKey;
+
+namespace {
+
+/// The pre-timer-wheel BindingTable, kept as the behavioral oracle.
+class RefBindingTable {
+public:
+    RefBindingTable(sim::EventLoop& loop,
+                    const gateway::DeviceProfile& profile, std::uint8_t proto)
+        : loop_(loop), profile_(profile), proto_(proto),
+          next_pool_port_(profile.pool_begin) {}
+
+    Binding* find_or_create_outbound(const FlowKey& key) {
+        sweep();
+        auto it = by_flow_.find(key);
+        if (it != by_flow_.end()) return &it->second;
+
+        if (by_flow_.size() >= capacity_limit()) return nullptr;
+        const std::uint16_t port = allocate_port(key);
+        if (port == 0) return nullptr;
+
+        Binding b;
+        b.key = key;
+        b.external_port = port;
+        b.expires_at = loop_.now() + profile_.udp.initial;
+        auto [ins, ok] = by_flow_.emplace(key, b);
+        EXPECT_TRUE(ok);
+        by_external_.emplace(port, key);
+        return &ins->second;
+    }
+
+    Binding* find_inbound(std::uint16_t external_port,
+                          const net::Endpoint& remote) {
+        auto [lo, hi] = by_external_.equal_range(external_port);
+        for (auto pit = lo; pit != hi; ++pit) {
+            auto it = by_flow_.find(pit->second);
+            if (it == by_flow_.end()) continue;
+            Binding& b = it->second;
+            if (b.key.remote != remote) continue;
+            if (expired(b)) {
+                graveyard_[b.key] = {b.external_port,
+                                     loop_.now() + profile_.port_quarantine};
+                by_external_.erase(pit);
+                by_flow_.erase(it);
+                return nullptr;
+            }
+            return &b;
+        }
+        return nullptr;
+    }
+
+    Binding* find_by_external(std::uint16_t external_port) {
+        auto [lo, hi] = by_external_.equal_range(external_port);
+        for (auto pit = lo; pit != hi; ++pit) {
+            auto it = by_flow_.find(pit->second);
+            if (it != by_flow_.end() && !expired(it->second))
+                return &it->second;
+        }
+        return nullptr;
+    }
+
+    void refresh(Binding& b, sim::Duration timeout) {
+        b.expires_at = loop_.now() + timeout;
+    }
+
+    void set_expiry(Binding& b, sim::TimePoint at) { b.expires_at = at; }
+
+    void remove(const FlowKey& key) {
+        auto it = by_flow_.find(key);
+        if (it == by_flow_.end()) return;
+        erase_external(it->second.external_port, key);
+        by_flow_.erase(it);
+    }
+
+    std::size_t size() {
+        sweep();
+        return by_flow_.size();
+    }
+
+    bool expired(const Binding& b) const {
+        const auto deadline =
+            b.confirmed ? quantize(b.expires_at) : b.expires_at;
+        return loop_.now() >= deadline;
+    }
+
+private:
+    std::size_t capacity_limit() const {
+        if (proto_ == net::proto::kUdp && profile_.max_udp_bindings >= 0)
+            return static_cast<std::size_t>(profile_.max_udp_bindings);
+        return static_cast<std::size_t>(profile_.max_tcp_bindings);
+    }
+
+    sim::TimePoint quantize(sim::TimePoint t) const {
+        const auto g = profile_.udp.granularity;
+        if (g <= sim::Duration::zero()) return t;
+        const auto ticks = (t.count() + g.count() - 1) / g.count();
+        return sim::TimePoint{ticks * g.count()};
+    }
+
+    void erase_external(std::uint16_t port, const FlowKey& key) {
+        auto [lo, hi] = by_external_.equal_range(port);
+        for (auto it = lo; it != hi; ++it) {
+            if (it->second == key) {
+                by_external_.erase(it);
+                return;
+            }
+        }
+    }
+
+    void sweep() {
+        const auto now = loop_.now();
+        for (auto it = by_flow_.begin(); it != by_flow_.end();) {
+            if (expired(it->second)) {
+                graveyard_[it->first] = {it->second.external_port,
+                                         now + profile_.port_quarantine};
+                erase_external(it->second.external_port, it->first);
+                it = by_flow_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = graveyard_.begin(); it != graveyard_.end();) {
+            if (now >= it->second.second)
+                it = graveyard_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    bool port_taken_by_other(std::uint16_t port,
+                             const net::Endpoint& internal) const {
+        auto [lo, hi] = by_external_.equal_range(port);
+        for (auto it = lo; it != hi; ++it)
+            if (it->second.internal != internal) return true;
+        return false;
+    }
+
+    std::uint16_t allocate_port(const FlowKey& key) {
+        if (profile_.port_allocation ==
+            gateway::PortAllocation::PreserveSourcePort) {
+            bool quarantined = false;
+            auto it = graveyard_.find(key);
+            if (it != graveyard_.end() && loop_.now() < it->second.second &&
+                it->second.first == key.internal.port)
+                quarantined = true;
+            if (!quarantined &&
+                !port_taken_by_other(key.internal.port, key.internal))
+                return key.internal.port;
+        }
+        const auto pool_size = static_cast<std::uint32_t>(
+            profile_.pool_end - profile_.pool_begin + 1);
+        for (std::uint32_t i = 0; i < pool_size; ++i) {
+            std::uint16_t candidate = next_pool_port_;
+            next_pool_port_ = candidate >= profile_.pool_end
+                                  ? profile_.pool_begin
+                                  : static_cast<std::uint16_t>(candidate + 1);
+            if (by_external_.count(candidate) == 0) return candidate;
+        }
+        return 0;
+    }
+
+    sim::EventLoop& loop_;
+    const gateway::DeviceProfile& profile_;
+    std::uint8_t proto_;
+    std::map<FlowKey, Binding> by_flow_;
+    std::multimap<std::uint16_t, FlowKey> by_external_;
+    std::map<FlowKey, std::pair<std::uint16_t, sim::TimePoint>> graveyard_;
+    std::uint16_t next_pool_port_;
+};
+
+FlowKey make_key(std::uint32_t host, std::uint16_t port,
+                 std::uint32_t remote) {
+    return FlowKey{net::proto::kUdp,
+                   {net::Ipv4Addr(192, 168, 1,
+                                  static_cast<std::uint8_t>(10 + host)),
+                    port},
+                   {net::Ipv4Addr(10, 0, 1,
+                                  static_cast<std::uint8_t>(1 + remote)),
+                    static_cast<std::uint16_t>(7000 + remote)}};
+}
+
+/// Drive both tables through the same randomized op sequence and require
+/// identical observable results at every step.
+void run_equivalence(const gateway::DeviceProfile& profile,
+                     std::uint64_t seed, int ops) {
+    sim::EventLoop loop; // shared clock: run_for only advances time
+    gateway::BindingTable dut(loop, profile, net::proto::kUdp);
+    RefBindingTable ref(loop, profile, net::proto::kUdp);
+    Rng rng(seed);
+
+    // Small endpoint universe so flows collide on ports, re-create into
+    // quarantine windows, and share external ports across remotes.
+    const auto key_at = [&](std::uint32_t i) {
+        return make_key(i % 4, static_cast<std::uint16_t>(40000 + (i % 6)),
+                        i % 3);
+    };
+
+    for (int op = 0; op < ops; ++op) {
+        switch (rng.uniform(0, 5)) {
+        case 0: { // clock jump, from sub-millisecond to multi-second
+            const auto ns = std::chrono::nanoseconds(
+                std::uint64_t{rng.uniform(1, 1'000'000)} *
+                (rng.uniform(0, 1) ? 1 : 5000));
+            loop.run_for(ns);
+            break;
+        }
+        case 1: { // outbound create/hit, sometimes refresh or re-deadline
+            const auto key = key_at(rng.uniform(0, 23));
+            Binding* a = dut.find_or_create_outbound(key);
+            Binding* b = ref.find_or_create_outbound(key);
+            ASSERT_EQ(a == nullptr, b == nullptr) << "op " << op;
+            if (a == nullptr) break;
+            ASSERT_EQ(a->external_port, b->external_port) << "op " << op;
+            ASSERT_EQ(a->expires_at.count(), b->expires_at.count())
+                << "op " << op;
+            ASSERT_EQ(a->confirmed, b->confirmed) << "op " << op;
+            const auto roll = rng.uniform(0, 3);
+            if (roll == 1) {
+                const auto t = std::chrono::milliseconds(rng.uniform(1, 4000));
+                dut.refresh(*a, t);
+                ref.refresh(*b, t);
+            } else if (roll == 2) { // deadline pulled earlier (FIN linger)
+                const auto at =
+                    loop.now() + std::chrono::milliseconds(rng.uniform(1, 50));
+                dut.set_expiry(*a, at);
+                ref.set_expiry(*b, at);
+            }
+            break;
+        }
+        case 2: { // inbound lookup; a hit confirms the binding
+            const auto key = key_at(rng.uniform(0, 23));
+            const std::uint16_t port =
+                rng.uniform(0, 1) ? key.internal.port
+                                  : static_cast<std::uint16_t>(
+                                        profile.pool_begin + rng.uniform(0, 7));
+            Binding* a = dut.find_inbound(port, key.remote);
+            Binding* b = ref.find_inbound(port, key.remote);
+            ASSERT_EQ(a == nullptr, b == nullptr) << "op " << op;
+            if (a != nullptr) {
+                ASSERT_EQ(a->external_port, b->external_port) << "op " << op;
+                a->confirmed = b->confirmed = true;
+                const auto t = profile.udp.inbound_refresh;
+                dut.refresh(*a, t);
+                ref.refresh(*b, t);
+            }
+            break;
+        }
+        case 3: { // hairpin-style lookup by external port alone
+            const auto key = key_at(rng.uniform(0, 23));
+            Binding* a = dut.find_by_external(key.internal.port);
+            Binding* b = ref.find_by_external(key.internal.port);
+            ASSERT_EQ(a == nullptr, b == nullptr) << "op " << op;
+            if (a != nullptr) {
+                ASSERT_EQ(a->external_port, b->external_port) << "op " << op;
+                ASSERT_EQ(a->key == b->key, true) << "op " << op;
+            }
+            break;
+        }
+        case 4: { // explicit removal (TCP RST path)
+            const auto key = key_at(rng.uniform(0, 23));
+            dut.remove(key);
+            ref.remove(key);
+            break;
+        }
+        case 5:
+            ASSERT_EQ(dut.size(), ref.size()) << "op " << op;
+            break;
+        }
+    }
+    ASSERT_EQ(dut.size(), ref.size());
+}
+
+gateway::DeviceProfile base_profile() {
+    gateway::DeviceProfile p;
+    p.tag = "equiv";
+    p.udp.initial = std::chrono::milliseconds(900);
+    p.udp.inbound_refresh = std::chrono::milliseconds(2500);
+    return p;
+}
+
+TEST(BindingTableEquiv, PreservePortNoQuarantine) {
+    run_equivalence(base_profile(), 1, 6000);
+}
+
+TEST(BindingTableEquiv, PreservePortWithQuarantine) {
+    auto p = base_profile();
+    p.port_quarantine = std::chrono::milliseconds(700);
+    run_equivalence(p, 2, 6000);
+}
+
+TEST(BindingTableEquiv, SequentialSmallPool) {
+    auto p = base_profile();
+    p.port_allocation = gateway::PortAllocation::Sequential;
+    p.pool_begin = 20000;
+    p.pool_end = 20007; // forces pool wrap + exhaustion
+    p.port_quarantine = std::chrono::milliseconds(300);
+    run_equivalence(p, 3, 6000);
+}
+
+TEST(BindingTableEquiv, CoarseTimerGranularity) {
+    auto p = base_profile();
+    p.udp.granularity = std::chrono::milliseconds(1300);
+    run_equivalence(p, 4, 6000);
+}
+
+TEST(BindingTableEquiv, TightCapacityLimit) {
+    auto p = base_profile();
+    p.max_tcp_bindings = 5;
+    run_equivalence(p, 5, 6000);
+}
+
+TEST(BindingTableEquiv, SeparateUdpCapacity) {
+    auto p = base_profile();
+    p.max_tcp_bindings = 1024;
+    p.max_udp_bindings = 3; // UDP tables get their own cap
+    run_equivalence(p, 6, 6000);
+}
+
+TEST(BindingTableEquiv, QuarantineAndCoarseTimersTogether) {
+    auto p = base_profile();
+    p.port_quarantine = std::chrono::milliseconds(450);
+    p.udp.granularity = std::chrono::milliseconds(800);
+    run_equivalence(p, 7, 6000);
+}
+
+TEST(BindingTable, UdpCapacityDefaultsToTcpCap) {
+    sim::EventLoop loop;
+    auto p = base_profile();
+    p.max_tcp_bindings = 2;
+    gateway::BindingTable udp(loop, p, net::proto::kUdp);
+    EXPECT_EQ(udp.capacity_limit(), 2u);
+    p.max_udp_bindings = 7;
+    EXPECT_EQ(udp.capacity_limit(), 7u);
+    gateway::BindingTable tcp(loop, p, net::proto::kTcp);
+    EXPECT_EQ(tcp.capacity_limit(), 2u); // TCP ignores the UDP knob
+}
+
+} // namespace
