@@ -214,6 +214,15 @@ void BindingTable::remove(const FlowKey& key) {
     // The wheel entry goes stale and is discarded when it pops.
 }
 
+void BindingTable::clear() {
+    by_flow_.clear();
+    by_external_.clear();
+    graveyard_.clear();
+    grave_queue_.clear();
+    // Wheel entries all reference now-absent flows; each is recycled into
+    // pending_free_ as its bucket pops, so no explicit wheel reset needed.
+}
+
 std::size_t BindingTable::size() {
     sweep();
     return by_flow_.size();

@@ -100,6 +100,11 @@ public:
     /// Remove immediately (TCP RST, FIN linger expiry).
     void remove(const FlowKey& key);
 
+    /// Drop every binding and all quarantine history at once — what a
+    /// power-cycled gateway does to its translation state. Parked wheel
+    /// entries go stale and are discarded when their buckets pop.
+    void clear();
+
     std::size_t size();
     /// Per-protocol concurrent-binding cap from the device profile.
     std::size_t capacity_limit() const;

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "gateway/profile.hpp"
 #include "net/dns.hpp"
@@ -37,12 +38,29 @@ public:
     std::uint64_t udp_forwarded() const { return udp_forwarded_; }
     std::uint64_t tcp_accepted() const { return tcp_accepted_; }
 
+    /// Outstanding UDP queries awaiting an upstream response.
+    std::size_t pending_queries() const { return pending_.size(); }
+    /// Outstanding per-query upstream sockets/connections (TCP paths).
+    std::size_t inflight_queries() const {
+        return udp_inflight_.size() + tcp_inflight_.size();
+    }
+
 private:
+    /// How long per-query upstream state may wait for an answer before
+    /// the orphaned socket is reclaimed. Generous against slow resolvers;
+    /// the point is that unanswered queries cannot accumulate forever.
+    static constexpr sim::Duration kQueryTtl{std::chrono::seconds(10)};
+
     void on_lan_query(net::Endpoint client,
                       std::span<const std::uint8_t> payload);
     void on_upstream_response(std::span<const std::uint8_t> payload);
     void on_tcp_conn(stack::TcpSocket& conn);
     void forward_tcp_query(stack::TcpSocket& client_conn, net::Bytes query);
+    void prune_pending();
+    /// Drop all in-flight upstream state tied to a closed client conn.
+    void cancel_inflight_for(stack::TcpSocket* client);
+    void close_udp_inflight(std::size_t idx, bool close_sock);
+    void close_tcp_inflight(std::size_t idx, bool abort_upstream);
 
     stack::Host& host_;
     const DeviceProfile& profile_;
@@ -51,9 +69,39 @@ private:
     stack::UdpSocket* lan_sock_ = nullptr;
     stack::UdpSocket* upstream_sock_ = nullptr;
     stack::TcpListener* tcp_listener_ = nullptr;
-    std::map<std::uint16_t, net::Endpoint> pending_; ///< query id -> client
+
+    /// Outstanding UDP queries, keyed by (transaction id, client) so two
+    /// LAN clients with colliding ids cannot clobber each other; an
+    /// upstream response is matched to the oldest entry with its id. The
+    /// value is the forwarding time, used to prune queries whose
+    /// response never came.
+    struct PendingKey {
+        std::uint16_t id = 0;
+        net::Endpoint client;
+        friend constexpr auto operator<=>(const PendingKey&,
+                                          const PendingKey&) = default;
+    };
+    std::map<PendingKey, sim::TimePoint> pending_;
+
     std::map<stack::TcpSocket*, std::shared_ptr<stack::DnsTcpFramer>>
         tcp_framers_;
+
+    /// ProxyViaUdp: one upstream UDP socket per TCP-received query.
+    struct UdpInflight {
+        stack::UdpSocket* sock = nullptr;
+        stack::TcpSocket* client = nullptr;
+        sim::EventId expiry;
+    };
+    std::vector<UdpInflight> udp_inflight_;
+
+    /// ProxyTcp: one upstream TCP connection per query.
+    struct TcpInflight {
+        stack::TcpSocket* up = nullptr;
+        stack::TcpSocket* client = nullptr;
+        sim::EventId expiry;
+    };
+    std::vector<TcpInflight> tcp_inflight_;
+
     std::uint64_t udp_forwarded_ = 0;
     std::uint64_t tcp_accepted_ = 0;
 };

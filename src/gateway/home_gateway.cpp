@@ -23,6 +23,7 @@ HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
     host_.set_forward_hook([this](stack::Iface& in,
                                   const net::Ipv4Packet& pkt,
                                   std::span<const std::uint8_t>) {
+        if (stalled()) return; // faulted device forwards nothing
         if (&in == &lan_if_) on_lan_ip(in, pkt);
         // WAN-side packets for non-local destinations: only the plain
         // router fallback forwards into the LAN subnet.
@@ -47,6 +48,9 @@ HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
     host_.set_local_intercept([this](stack::Iface& in,
                                      const net::Ipv4Packet& pkt,
                                      std::span<const std::uint8_t>) {
+        // During a fault stall the device is dead to the wire: swallow
+        // everything (NAT'd and gateway-local alike) until it recovers.
+        if (stalled()) return true;
         if (!nat_.configured()) return false;
         if (&in == &wan_if_) return on_wan_local(pkt);
         // LAN-side packets addressed to the WAN address: hairpin
@@ -96,6 +100,13 @@ void HomeGateway::start(std::function<void(net::Ipv4Addr)> on_ready) {
         dns_proxy_.start({lease.dns_server, net::kDnsPort}, lease.addr);
         if (on_ready_) on_ready_(lease.addr);
     });
+}
+
+void HomeGateway::inject_fault(const GatewayFault& fault) {
+    ++faults_injected_;
+    if (fault.flush_nat) nat_.flush();
+    if (fault.stall > sim::Duration::zero())
+        stalled_until_ = std::max(stalled_until_, loop_.now() + fault.stall);
 }
 
 void HomeGateway::on_lan_ip(stack::Iface&, const net::Ipv4Packet& pkt) {

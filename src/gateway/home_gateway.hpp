@@ -17,6 +17,18 @@
 
 namespace gatekit::gateway {
 
+/// A scripted device fault. `flush_nat` models the state loss of a power
+/// cycle (every binding, ICMP query id, and IP-only mapping forgotten);
+/// `stall` models the outage window during which the datapath silently
+/// drops traffic in both directions. The gateway's own stack (DHCP
+/// leases, DNS proxy sockets) survives — the paper's devices kept their
+/// WAN lease across short reboots, and losing it would turn every fault
+/// into a full re-provisioning cycle.
+struct GatewayFault {
+    bool flush_nat = true;
+    sim::Duration stall{0};
+};
+
 class HomeGateway {
 public:
     struct Config {
@@ -46,6 +58,12 @@ public:
     net::Ipv4Addr wan_addr() const { return nat_.wan_addr(); }
     const DeviceProfile& profile() const { return config_.profile; }
 
+    /// Inject a scripted fault right now. Repeated stalls extend the
+    /// outage window rather than shortening it.
+    void inject_fault(const GatewayFault& fault);
+    bool stalled() const { return loop_.now() < stalled_until_; }
+    std::uint64_t faults_injected() const { return faults_injected_; }
+
     stack::Host& host() { return host_; }
     NatEngine& nat() { return nat_; }
     FwdPath& fwd() { return fwd_; }
@@ -70,6 +88,8 @@ private:
     std::unique_ptr<stack::DhcpClient> wan_dhcp_;
     std::unique_ptr<stack::DhcpServer> lan_dhcp_;
     std::function<void(net::Ipv4Addr)> on_ready_;
+    sim::TimePoint stalled_until_{0};
+    std::uint64_t faults_injected_ = 0;
 };
 
 } // namespace gatekit::gateway

@@ -120,6 +120,13 @@ std::optional<net::Bytes> NatEngine::outbound_tcp(const net::Ipv4Packet& pkt) {
     return bytes;
 }
 
+void NatEngine::flush() {
+    udp_.clear();
+    tcp_.clear();
+    icmp_queries_.clear();
+    ip_only_.clear();
+}
+
 void NatEngine::refresh_tcp(Binding& b) {
     tcp_.refresh(b, b.established ? profile_.tcp_established_timeout
                                   : profile_.tcp_transitory_timeout);
@@ -257,7 +264,10 @@ std::optional<net::Bytes> NatEngine::inbound_tcp(const net::Ipv4Packet& pkt,
     if (b == nullptr) return std::nullopt;
     handled = true;
     ++b->packets_in;
-    if (b->packets_out > 1) b->established = true;
+    // Mirror of the outbound rule at outbound_tcp(): only non-SYN traffic
+    // past the handshake promotes. A retransmitted SYN followed by the
+    // SYN-ACK must not jump to the established timeout.
+    if (b->packets_out > 1 && !seg.flags.syn) b->established = true;
     refresh_tcp(*b);
     if (seg.flags.fin) b->fin_in = true;
 

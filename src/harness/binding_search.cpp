@@ -12,6 +12,7 @@ BindingTimeoutSearch::BindingTimeoutSearch(sim::EventLoop& loop,
     GK_EXPECTS(params_.first_guess > sim::Duration::zero());
     GK_EXPECTS(params_.resolution > sim::Duration::zero());
     GK_EXPECTS(params_.hi_limit >= params_.first_guess);
+    GK_EXPECTS(params_.retry.max_attempts >= 1);
 }
 
 void BindingTimeoutSearch::start() { next_trial(); }
@@ -25,13 +26,59 @@ void BindingTimeoutSearch::next_trial() {
         // observed expired — the timeout, to within the resolution.
         if (shortest_expired_ - longest_alive_ <= params_.resolution ||
             shortest_expired_ <= longest_alive_) {
-            finished_(SearchResult{shortest_expired_, false, trials_});
+            finish(shortest_expired_, false, false);
             return;
         }
         gap = longest_alive_ + (shortest_expired_ - longest_alive_) / 2;
     }
     ++trials_;
-    trial_(gap, [this, gap](bool alive) { on_trial(gap, alive); });
+    attempt_ = 1;
+    launch_attempt(gap);
+}
+
+void BindingTimeoutSearch::launch_attempt(sim::Duration gap) {
+    const std::uint64_t gen = ++gen_;
+    std::weak_ptr<char> live = liveness_;
+    if (params_.retry.enabled()) {
+        // The deadline covers the trial's idle gap, a gap-proportional
+        // cooldown, and trial_timeout of slack for probe/grace overheads.
+        watchdog_ = loop_.after(gap * 2 + params_.retry.trial_timeout,
+                                [this, gap, gen, live] {
+                                    if (live.expired()) return;
+                                    on_watchdog(gap, gen);
+                                });
+    }
+    trial_(gap, [this, gap, gen, live](bool alive) {
+        if (live.expired()) return; // search destroyed; verdict is moot
+        if (gen != gen_) return; // watchdog already gave up on this attempt
+        if (params_.retry.enabled()) loop_.cancel(watchdog_);
+        on_trial(gap, alive);
+    });
+}
+
+void BindingTimeoutSearch::on_watchdog(sim::Duration gap, std::uint64_t gen) {
+    if (gen != gen_) return; // the trial answered; stale watchdog
+    ++gen_;                  // invalidate the outstanding trial callback
+    if (attempt_ < params_.retry.max_attempts) {
+        ++retries_;
+        ++attempt_;
+        const auto delay = params_.retry.backoff * (1 << (attempt_ - 2));
+        loop_.after(delay,
+                    [this, gap, live = std::weak_ptr<char>(liveness_)] {
+                        if (live.expired()) return;
+                        launch_attempt(gap);
+                    });
+        return;
+    }
+    ++giveups_;
+    // Nothing answers anymore; report the best estimate so far rather
+    // than hanging the campaign.
+    if (have_expired_)
+        finish(shortest_expired_, false, true);
+    else
+        finish(longest_alive_ > sim::Duration::zero() ? longest_alive_
+                                                      : params_.hi_limit,
+               longest_alive_ == sim::Duration::zero(), true);
 }
 
 void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
@@ -40,7 +87,7 @@ void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
         if (!have_expired_) {
             if (gap >= params_.hi_limit) {
                 // The binding outlives the measurement cutoff.
-                finished_(SearchResult{params_.hi_limit, true, trials_});
+                finish(params_.hi_limit, true, false);
                 return;
             }
             next_guess_ = std::min(gap * 2, params_.hi_limit);
@@ -52,7 +99,17 @@ void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
     }
     // Schedule the next trial as a fresh event, keeping stack depth flat
     // across the potentially many iterations.
-    loop_.after(sim::Duration::zero(), [this] { next_trial(); });
+    loop_.after(sim::Duration::zero(),
+                [this, live = std::weak_ptr<char>(liveness_)] {
+                    if (live.expired()) return;
+                    next_trial();
+                });
+}
+
+void BindingTimeoutSearch::finish(sim::Duration timeout, bool exceeded,
+                                  bool gave_up) {
+    finished_(SearchResult{timeout, exceeded, trials_, retries_, giveups_,
+                           gave_up});
 }
 
 } // namespace gatekit::harness

@@ -6,15 +6,36 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "sim/event_loop.hpp"
 
 namespace gatekit::harness {
 
+/// Robustness policy for trials whose reply may never arrive (lossy
+/// links, rebooting devices). Default-off: with trial_timeout zero the
+/// search behaves exactly as the original — no watchdog event is ever
+/// scheduled and a silent trial hangs the search, as on a real testbed
+/// run without supervision.
+struct TrialRetryPolicy {
+    /// Watchdog slack beyond the trial's own idle phase; a trial is
+    /// declared lost at gap*2 + trial_timeout after launch (the factor
+    /// of two covers the harness's gap-proportional cooldown). Zero
+    /// disables the watchdog entirely.
+    sim::Duration trial_timeout{0};
+    /// Total attempts per trial, including the first (>= 1).
+    int max_attempts = 3;
+    /// Delay before re-running a lost trial; doubles per retry.
+    sim::Duration backoff{std::chrono::seconds(2)};
+
+    bool enabled() const { return trial_timeout > sim::Duration::zero(); }
+};
+
 struct SearchParams {
     sim::Duration first_guess{std::chrono::seconds(16)};
     sim::Duration hi_limit{std::chrono::hours(1)};
     sim::Duration resolution{std::chrono::seconds(1)};
+    TrialRetryPolicy retry;
 };
 
 struct SearchResult {
@@ -23,6 +44,13 @@ struct SearchResult {
     sim::Duration timeout{};
     bool exceeded_limit = false;
     int trials = 0;
+    /// Trial re-runs forced by the watchdog (lost replies).
+    int retries = 0;
+    /// Trials abandoned after max_attempts; nonzero implies gave_up.
+    int giveups = 0;
+    /// The search aborted on an unanswerable trial; `timeout` is the best
+    /// estimate from the trials that did complete.
+    bool gave_up = false;
 };
 
 /// Async driver. `trial(gap, done)` must create a fresh binding, wait
@@ -41,7 +69,10 @@ public:
 
 private:
     void next_trial();
+    void launch_attempt(sim::Duration gap);
+    void on_watchdog(sim::Duration gap, std::uint64_t gen);
     void on_trial(sim::Duration gap, bool alive);
+    void finish(sim::Duration timeout, bool exceeded, bool gave_up);
 
     sim::EventLoop& loop_;
     SearchParams params_;
@@ -52,6 +83,20 @@ private:
     bool have_expired_ = false;
     sim::Duration next_guess_;
     int trials_ = 0;
+    int retries_ = 0;
+    int giveups_ = 0;
+    // Attempt bookkeeping. The generation stamp pairs each outstanding
+    // trial callback with its watchdog so a reply that limps in after the
+    // watchdog declared the attempt lost is ignored instead of double-
+    // advancing the search.
+    std::uint64_t gen_ = 0;
+    int attempt_ = 0;
+    sim::EventId watchdog_{};
+    // Liveness token: trial drivers may deliver a verdict long after the
+    // owner destroyed this search (e.g. a probe chain that outlived the
+    // watchdog and the whole repetition). Every deferred callback holds
+    // a weak copy and bails once the token is gone.
+    std::shared_ptr<char> liveness_ = std::make_shared<char>(0);
 };
 
 } // namespace gatekit::harness

@@ -12,10 +12,10 @@ namespace {
 
 class DnsMeasurement : public std::enable_shared_from_this<DnsMeasurement> {
 public:
-    DnsMeasurement(Testbed& tb, int slot,
+    DnsMeasurement(Testbed& tb, int slot, DnsProbeConfig config,
                    std::function<void(DnsProbeResult)> done)
-        : tb_(tb), slot_(tb.slot(slot)), done_(std::move(done)),
-          client_(tb.client()) {}
+        : tb_(tb), slot_(tb.slot(slot)), config_(config),
+          done_(std::move(done)), client_(tb.client()) {}
 
     void start() {
         auto self = shared_from_this();
@@ -24,7 +24,8 @@ public:
                           [self](const stack::DnsClient::Result& r) {
                               self->result_.udp_ok = r.ok;
                               self->run_tcp();
-                          });
+                          },
+                          config_.udp_retries);
     }
 
 private:
@@ -68,12 +69,24 @@ private:
                     self->result_.big_udp_ok = true;
                 }
             });
+        big_udp_attempt(0);
+    }
+
+    void big_udp_attempt(int attempt) {
+        auto self = shared_from_this();
         auto query = net::DnsMessage::make_query(0x6b1d, Testbed::kBigName,
                                                  net::kDnsTypeTxt);
         query.edns_udp_size = 4096;
-        sock.send_to({slot_.gw->lan_addr(), net::kDnsPort},
-                     query.serialize());
-        tb_.loop().after(std::chrono::seconds(2), [self] {
+        big_sock_->send_to({slot_.gw->lan_addr(), net::kDnsPort},
+                           query.serialize());
+        tb_.loop().after(config_.big_wait, [self, attempt] {
+            // A TC response is an answer too — only silence is retried.
+            if (!self->result_.big_udp_ok && !self->result_.truncated_seen &&
+                attempt < self->config_.big_retries) {
+                ++self->result_.big_udp_retries;
+                self->big_udp_attempt(attempt + 1);
+                return;
+            }
             self->tb_.client().udp_close(*self->big_sock_);
             if (self->result_.big_udp_ok) {
                 self->result_.dnssec_ready = true;
@@ -90,12 +103,24 @@ private:
         auto self = shared_from_this();
         auto& conn = tb_.client().tcp_connect(
             slot_.client_addr, 0, {slot_.gw->lan_addr(), net::kDnsPort});
+        tcp_conn_ = &conn;
         auto framer = std::make_shared<stack::DnsTcpFramer>();
         auto finished = std::make_shared<bool>(false);
         auto finish = [self, finished](bool ok) {
             if (*finished) return;
             *finished = true;
             self->result_.dnssec_ready = ok;
+            // Tear the probe connection down one event later (a verdict
+            // can arrive from inside the socket's own callback) so its
+            // handlers stop owning this measurement.
+            self->tb_.loop().after(sim::Duration::zero(), [self] {
+                if (self->tcp_conn_ == nullptr) return;
+                self->tcp_conn_->on_established = nullptr;
+                self->tcp_conn_->on_data = nullptr;
+                self->tcp_conn_->on_error = nullptr;
+                self->tcp_conn_->abort();
+                self->tcp_conn_ = nullptr;
+            });
             self->done_(self->result_);
         };
         conn.on_established = [&conn] {
@@ -116,16 +141,21 @@ private:
                 return;
             }
         };
-        conn.on_error = [finish](const std::string&) { finish(false); };
+        conn.on_error = [self, finish](const std::string&) {
+            self->tcp_conn_ = nullptr; // the stack reaps errored sockets
+            finish(false);
+        };
         tb_.loop().after(std::chrono::seconds(5),
                          [finish] { finish(false); });
     }
 
     Testbed& tb_;
     Testbed::DeviceSlot& slot_;
+    DnsProbeConfig config_;
     std::function<void(DnsProbeResult)> done_;
     stack::DnsClient client_;
     stack::UdpSocket* big_sock_ = nullptr;
+    stack::TcpSocket* tcp_conn_ = nullptr;
     DnsProbeResult result_;
 };
 
@@ -133,7 +163,13 @@ private:
 
 void measure_dns(Testbed& tb, int slot,
                  std::function<void(DnsProbeResult)> done) {
-    auto m = std::make_shared<DnsMeasurement>(tb, slot, std::move(done));
+    measure_dns(tb, slot, DnsProbeConfig{}, std::move(done));
+}
+
+void measure_dns(Testbed& tb, int slot, const DnsProbeConfig& config,
+                 std::function<void(DnsProbeResult)> done) {
+    auto m = std::make_shared<DnsMeasurement>(tb, slot, config,
+                                              std::move(done));
     m->start();
 }
 

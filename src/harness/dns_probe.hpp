@@ -18,9 +18,22 @@ struct DnsProbeResult {
     bool big_udp_ok = false;   ///< a ~1.1 KB EDNS0 UDP answer came through
     bool truncated_seen = false; ///< got a TC response instead (EDNS lost)
     bool dnssec_ready = false; ///< big UDP answer, or TC + TCP retry works
+    /// EDNS0 queries re-sent because no answer (not even TC) arrived.
+    int big_udp_retries = 0;
+};
+
+/// Robustness knobs. udp_retries matches DnsClient's own default; raise
+/// it on lossy links. big_retries re-sends the EDNS0 query, which has no
+/// stack-level retransmission of its own (default-off).
+struct DnsProbeConfig {
+    int udp_retries = 2;
+    int big_retries = 0;
+    sim::Duration big_wait{std::chrono::seconds(2)};
 };
 
 void measure_dns(Testbed& tb, int slot,
+                 std::function<void(DnsProbeResult)> done);
+void measure_dns(Testbed& tb, int slot, const DnsProbeConfig& config,
                  std::function<void(DnsProbeResult)> done);
 
 } // namespace gatekit::harness

@@ -54,10 +54,10 @@ WireError wire_error(IcmpKind kind) {
 
 class IcmpMeasurement : public std::enable_shared_from_this<IcmpMeasurement> {
 public:
-    IcmpMeasurement(Testbed& tb, int slot,
+    IcmpMeasurement(Testbed& tb, int slot, IcmpProbeConfig config,
                     std::function<void(IcmpProbeResult)> done)
-        : tb_(tb), slot_(tb.slot(slot)), done_(std::move(done)),
-          loop_(tb.loop()) {}
+        : tb_(tb), slot_(tb.slot(slot)), config_(config),
+          done_(std::move(done)), loop_(tb.loop()) {}
 
     void start() {
         // Sink socket so client UDP flows do not draw Port-Unreachable.
@@ -147,13 +147,26 @@ private:
     }
 
     void run_udp_case(IcmpKind kind) {
-        auto self = shared_from_this();
         expected_client_port_ = static_cast<std::uint16_t>(
             45000 + case_index_);
         client_udp_ = &tb_.client().udp_open(slot_.client_addr,
                                              expected_client_port_);
+        udp_flow_attempt(kind, 0);
+    }
+
+    void udp_flow_attempt(IcmpKind kind, int attempt) {
+        auto self = shared_from_this();
         client_udp_->send_to({slot_.server_addr, kUdpPort}, {'f', 'l'});
-        loop_.after(std::chrono::milliseconds(100), [self, kind] {
+        const auto wait = attempt == 0 ? sim::Duration(
+                                             std::chrono::milliseconds(100))
+                                       : config_.retry_wait;
+        loop_.after(wait, [self, kind, attempt] {
+            if (self->captured_.empty() &&
+                attempt < self->config_.flow_retries) {
+                ++self->result_.flow_retries;
+                self->udp_flow_attempt(kind, attempt + 1);
+                return;
+            }
             if (!self->captured_.empty()) self->inject_error(kind);
             self->record_and_advance(
                 &self->result_.udp[static_cast<std::size_t>(kind)]);
@@ -170,11 +183,31 @@ private:
                                               expected_client_port_,
                                               {slot_.server_addr, kTcpPort});
         client_tcp_ = &conn;
-        conn.on_error = [](const std::string&) {};
+        // An injected error can RST the flow; the stack then reaps the
+        // socket, so drop our pointer before the deferred teardown runs.
+        conn.on_error = [self](const std::string&) {
+            self->client_tcp_ = nullptr;
+        };
         conn.on_established = [self, &conn] {
             conn.send({'d', 'a', 't', 'a'}); // captured at the server
         };
-        loop_.after(std::chrono::milliseconds(200), [self, kind] {
+        tcp_flow_wait(kind, 0);
+    }
+
+    /// TCP retransmits the handshake and the data segment on its own;
+    /// a retry here just extends the capture window to let it.
+    void tcp_flow_wait(IcmpKind kind, int attempt) {
+        auto self = shared_from_this();
+        const auto wait = attempt == 0 ? sim::Duration(
+                                             std::chrono::milliseconds(200))
+                                       : config_.retry_wait;
+        loop_.after(wait, [self, kind, attempt] {
+            if (self->captured_.empty() &&
+                attempt < self->config_.flow_retries) {
+                ++self->result_.flow_retries;
+                self->tcp_flow_wait(kind, attempt + 1);
+                return;
+            }
             if (!self->captured_.empty()) self->inject_error(kind);
             self->record_and_advance(
                 &self->result_.tcp[static_cast<std::size_t>(kind)]);
@@ -193,11 +226,24 @@ private:
     }
 
     void run_query_case() {
-        auto self = shared_from_this();
         expected_client_port_ = 0;
+        query_flow_attempt(0);
+    }
+
+    void query_flow_attempt(int attempt) {
+        auto self = shared_from_this();
         tb_.client().send_icmp(slot_.client_addr, slot_.server_addr,
                                net::IcmpMessage::make_echo(false, 0x7777, 1));
-        loop_.after(std::chrono::milliseconds(100), [self] {
+        const auto wait = attempt == 0 ? sim::Duration(
+                                             std::chrono::milliseconds(100))
+                                       : config_.retry_wait;
+        loop_.after(wait, [self, attempt] {
+            if (self->captured_.empty() &&
+                attempt < self->config_.flow_retries) {
+                ++self->result_.flow_retries;
+                self->query_flow_attempt(attempt + 1);
+                return;
+            }
             if (!self->captured_.empty())
                 self->inject_error(IcmpKind::HostUnreachable);
             self->record_and_advance(nullptr);
@@ -277,6 +323,7 @@ private:
 
     Testbed& tb_;
     Testbed::DeviceSlot& slot_;
+    IcmpProbeConfig config_;
     std::function<void(IcmpProbeResult)> done_;
     sim::EventLoop& loop_;
 
@@ -299,7 +346,13 @@ private:
 
 void measure_icmp(Testbed& tb, int slot,
                   std::function<void(IcmpProbeResult)> done) {
-    auto m = std::make_shared<IcmpMeasurement>(tb, slot, std::move(done));
+    measure_icmp(tb, slot, IcmpProbeConfig{}, std::move(done));
+}
+
+void measure_icmp(Testbed& tb, int slot, const IcmpProbeConfig& config,
+                  std::function<void(IcmpProbeResult)> done) {
+    auto m = std::make_shared<IcmpMeasurement>(tb, slot, config,
+                                               std::move(done));
     m->start();
 }
 

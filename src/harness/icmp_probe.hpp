@@ -27,13 +27,25 @@ struct IcmpProbeResult {
     /// Host-Unreachable related to an ICMP echo flow (Table 2, first
     /// ICMP column).
     bool query_error_forwarded = false;
+    /// Flow packets re-sent / re-awaited because the NAT'd flow was
+    /// never captured at the server (lossy links). Zero on clean runs.
+    int flow_retries = 0;
 
     const IcmpVerdict& verdict(bool is_tcp, gateway::IcmpKind k) const {
         return (is_tcp ? tcp : udp)[static_cast<std::size_t>(k)];
     }
 };
 
+/// Robustness knobs, default-off. Without retries a lost flow packet
+/// silently produces a "nothing forwarded" verdict for that case.
+struct IcmpProbeConfig {
+    int flow_retries = 0; ///< extra attempts to get the flow captured
+    sim::Duration retry_wait{std::chrono::seconds(1)}; ///< per re-attempt
+};
+
 void measure_icmp(Testbed& tb, int slot,
+                  std::function<void(IcmpProbeResult)> done);
+void measure_icmp(Testbed& tb, int slot, const IcmpProbeConfig& config,
                   std::function<void(IcmpProbeResult)> done);
 
 } // namespace gatekit::harness

@@ -32,6 +32,10 @@ public:
 
 private:
     void next_repetition() {
+        // Drop the previous repetition's search: its callbacks hold a
+        // shared_ptr to this measurement (ownership cycle otherwise).
+        // Always deferred here, never inside the search's own stack.
+        search_.reset();
         if (static_cast<int>(result_.samples_sec.size()) >=
             config_.repetitions) {
             tb_.server().tcp_close_listener(*listener_);
@@ -48,6 +52,8 @@ private:
                 if (r.exceeded_limit) self->result_.exceeded_limit = true;
                 self->result_.samples_sec.push_back(
                     sim::to_sec(r.timeout));
+                self->result_.search_retries += r.retries;
+                self->result_.search_giveups += r.giveups;
                 self->loop_.after(sim::Duration::zero(), [self] {
                     self->next_repetition();
                 });
@@ -56,6 +62,11 @@ private:
     }
 
     void run_trial(sim::Duration gap, std::function<void(bool)> cb) {
+        run_attempt(gap, 0, std::move(cb));
+    }
+
+    void run_attempt(sim::Duration gap, int attempt,
+                     std::function<void(bool)> cb) {
         auto self = shared_from_this();
         server_conn_ = nullptr;
         // Fresh connection per trial: a fresh binding, as UDP trials use
@@ -69,14 +80,46 @@ private:
         conn.on_data = [self](std::span<const std::uint8_t>) {
             self->got_data_ = true;
         };
-        conn.on_error = [self, cb](const std::string&) {
+        conn.on_error = [self, gap, attempt, cb](const std::string&) {
+            self->client_conn_ = nullptr;
+            if (attempt < self->config_.connect_retries) {
+                // Connect swallowed by an impaired link or faulted
+                // device: back off and run the whole trial again.
+                ++self->result_.connect_retries;
+                const auto delay = self->config_.connect_backoff
+                                   * (1 << attempt);
+                self->loop_.after(delay, [self, gap, attempt, cb]() mutable {
+                    self->run_attempt(gap, attempt + 1, std::move(cb));
+                });
+                return;
+            }
             // Could not even establish: treat as expired (should not
             // happen on a quiescent testbed).
-            self->client_conn_ = nullptr;
             cb(false);
         };
-        conn.on_established = [self, gap, cb]() mutable {
-            self->loop_.after(gap, [self, cb = std::move(cb)]() mutable {
+        conn.on_established = [self, gap, attempt, cb]() mutable {
+            self->loop_.after(gap, [self, gap, attempt,
+                                    cb = std::move(cb)]() mutable {
+                if (self->server_conn_ == nullptr &&
+                    attempt < self->config_.connect_retries) {
+                    // The client established but the server never
+                    // accepted: the final handshake ACK died on an
+                    // impaired link. Re-run the trial instead of
+                    // reading a false "expired".
+                    ++self->result_.connect_retries;
+                    if (self->client_conn_ != nullptr) {
+                        self->client_conn_->on_error = nullptr;
+                        self->client_conn_->abort();
+                        self->client_conn_ = nullptr;
+                    }
+                    const auto delay = self->config_.connect_backoff
+                                       * (1 << attempt);
+                    self->loop_.after(delay, [self, gap, attempt,
+                                              cb = std::move(cb)]() mutable {
+                        self->run_attempt(gap, attempt + 1, std::move(cb));
+                    });
+                    return;
+                }
                 // Ask the server (management link) to push one byte.
                 if (self->server_conn_ != nullptr)
                     self->server_conn_->send({'k'});
@@ -351,6 +394,11 @@ private:
                     self->listeners_.erase(it);
                 }
                 done(r);
+                // The stored function captures its own shared_ptr; clear
+                // it so the poll state (and this measurement) can be
+                // freed. We run as a copy inside the event, so this only
+                // destroys the stored closure, not the executing one.
+                *poll = nullptr;
                 return;
             }
             self->loop_.after(std::chrono::milliseconds(200), *poll);

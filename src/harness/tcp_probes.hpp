@@ -21,12 +21,23 @@ struct TcpTimeoutConfig {
     sim::Duration grace{std::chrono::seconds(30)};
     SearchParams search{.first_guess = std::chrono::minutes(2),
                         .hi_limit = std::chrono::hours(24),
-                        .resolution = std::chrono::seconds(1)};
+                        .resolution = std::chrono::seconds(1),
+                        .retry = {}};
+    /// Extra whole-trial attempts when the connection cannot even be
+    /// established (lossy links exhausting the stack's own SYN
+    /// retransmissions, stalled gateways). Default-off: a failed connect
+    /// reads as "expired", as before.
+    int connect_retries = 0;
+    sim::Duration connect_backoff{std::chrono::seconds(2)};
 };
 
 struct TcpTimeoutResult {
     std::vector<double> samples_sec;
     bool exceeded_limit = false; ///< binding outlived the 24 h cutoff
+    // Robustness counters, aggregated across repetitions.
+    int connect_retries = 0; ///< trials re-run after failed establishment
+    int search_retries = 0;  ///< whole trials re-run by the watchdog
+    int search_giveups = 0;  ///< searches abandoned (gave_up results)
     stats::Summary summary() const { return stats::summarize(samples_sec); }
 };
 

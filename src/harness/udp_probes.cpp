@@ -36,6 +36,7 @@ public:
 
 private:
     void on_server_rx(net::Endpoint src) {
+        ++server_rx_total_;
         last_peer_ = src;
         have_peer_ = true;
         // UDP-2/3: the binding-creating packet is answered immediately,
@@ -49,6 +50,12 @@ private:
     }
 
     void next_repetition() {
+        // Drop the previous repetition's search. Its trial/finished
+        // callbacks capture a shared_ptr to this measurement, so a
+        // search that lingered in `search_` past the last repetition
+        // would keep the whole object alive forever (ownership cycle).
+        // Always deferred here (never inside the search's own stack).
+        search_.reset();
         if (static_cast<int>(result_.samples_sec.size()) >=
             config_.repetitions) {
             finish();
@@ -101,42 +108,145 @@ private:
     void run_trial(sim::Duration gap, std::function<void(bool)> cb) {
         auto self = shared_from_this();
         loop_.after(cooldown(), [self, gap, cb = std::move(cb)]() mutable {
+            // Bump the epoch: any straggler chain from an abandoned
+            // trial (the search watchdog moved on without it) checks it
+            // at every hop and dies instead of touching this trial's
+            // flow or verdict state.
+            const std::uint64_t epoch = ++self->flow_epoch_;
             self->trial_running_ = true;
             self->client_rx_in_trial_ = 0;
+            self->probe_attempt_ = 0;
             self->server_echo_budget_ =
                 self->pattern_ == UdpPattern::SolitaryOutbound ? 0 : 1;
+            // Retry-hardened runs give every trial a brand-new flow: an
+            // abandoned trial's binding must never see this trial's
+            // creation packet, because a second outbound packet on the
+            // same flow makes it multi-packet — a class some devices
+            // time out on a different schedule than a solitary flow.
+            if (self->config_.retry.enabled()) self->open_fresh_flow();
             // Step 1: create the binding with a single outbound packet.
-            self->client_sock_->send_to(
-                {self->slot_.server_addr, self->config_.server_port},
-                {'s', 'y', 'n'});
-            // Step 2: idle for the candidate gap. For UDP-2/3 the server's
-            // immediate echo (and the client's reply) happen meanwhile.
-            self->loop_.after(gap, [self, gap, cb = std::move(cb)]() mutable {
-                // Step 3: inbound probe over the management link.
-                const int before = self->client_rx_in_trial_;
-                if (self->have_peer_)
-                    self->server_sock_->send_to(self->last_peer_,
-                                                {'p', 'r', 'o', 'b', 'e'});
-                self->loop_.after(self->config_.grace, [self, gap, before,
-                                                        cb = std::move(
-                                                            cb)]() mutable {
-                    const bool alive = self->client_rx_in_trial_ > before;
-                    self->trial_running_ = false;
-                    self->prev_trial_alive_ = alive;
-                    if (!alive) {
-                        if (!self->have_dead_gap_ ||
-                            gap < self->min_dead_gap_)
-                            self->min_dead_gap_ = gap;
-                        self->have_dead_gap_ = true;
-                    }
-                    cb(alive);
-                });
+            self->send_creation(gap, 0, epoch, std::move(cb));
+        });
+    }
+
+    /// Close the current client flow and open one on a fresh source
+    /// port (retry-hardened trials only; the lossless path keeps one
+    /// port per search).
+    void open_fresh_flow() {
+        if (client_sock_ != nullptr) tb_.client().udp_close(*client_sock_);
+        const auto port = static_cast<std::uint16_t>(
+            45000 + (fresh_flows_++ % 20000));
+        client_sock_ = &tb_.client().udp_open(slot_.client_addr, port);
+        client_sock_->set_receive_handler(
+            [self = shared_from_this()](net::Endpoint,
+                                        std::span<const std::uint8_t>,
+                                        const net::Ipv4Packet&) {
+                self->on_client_rx();
             });
+        have_peer_ = false; // the old mapping is dead to this trial
+    }
+
+    /// Step 1 (+ optional confirm/resend loop). A creation packet lost
+    /// before the server would leave `last_peer_` pointing at the
+    /// previous trial's flow, turning every later probe into a false
+    /// "expired"; the confirm check reads the server's receive counter
+    /// over the management link and re-sends until it moves. The gap
+    /// clock is re-anchored at the last send.
+    void send_creation(sim::Duration gap, int attempt, std::uint64_t epoch,
+                       std::function<void(bool)> cb) {
+        if (epoch != flow_epoch_ || client_sock_ == nullptr) {
+            // Stale chain: the search moved on (watchdog) or the whole
+            // measurement finished. The late verdict is ignored by the
+            // search's generation stamp.
+            cb(false);
+            return;
+        }
+        const std::uint64_t rx_before = server_rx_total_;
+        client_sock_->send_to({slot_.server_addr, config_.server_port},
+                              {'s', 'y', 'n'});
+        auto self = shared_from_this();
+        if (attempt < config_.retry.creation_retries) {
+            const auto t_create = loop_.now();
+            loop_.after(config_.retry.creation_wait,
+                        [self, gap, attempt, epoch, rx_before, t_create,
+                         cb = std::move(cb)]() mutable {
+                            if (self->server_rx_total_ == rx_before) {
+                                ++self->result_.creation_retries;
+                                self->send_creation(gap, attempt + 1, epoch,
+                                                    std::move(cb));
+                                return;
+                            }
+                            const auto due = std::max(self->loop_.now(),
+                                                      t_create + gap);
+                            self->loop_.at(due, [self, gap, epoch,
+                                                 cb = std::move(
+                                                     cb)]() mutable {
+                                self->send_probe(gap, epoch, std::move(cb));
+                            });
+                        });
+            return;
+        }
+        // Step 2: idle for the candidate gap. For UDP-2/3 the server's
+        // immediate echo (and the client's reply) happen meanwhile.
+        loop_.after(gap, [self, gap, epoch, cb = std::move(cb)]() mutable {
+            self->send_probe(gap, epoch, std::move(cb));
+        });
+    }
+
+    /// Step 3: inbound probe over the management link. When no reply
+    /// lands within the grace window, the trial is re-run from step 1
+    /// (up to probe_retries times) rather than re-probed in place.
+    void send_probe(sim::Duration gap, std::uint64_t epoch,
+                    std::function<void(bool)> cb) {
+        if (epoch != flow_epoch_ || server_sock_ == nullptr) {
+            // Stale chain (see send_creation); the verdict is moot.
+            cb(false);
+            return;
+        }
+        const int before = client_rx_in_trial_;
+        if (have_peer_)
+            server_sock_->send_to(last_peer_, {'p', 'r', 'o', 'b', 'e'});
+        auto self = shared_from_this();
+        loop_.after(config_.grace, [self, gap, epoch, before,
+                                    cb = std::move(cb)]() mutable {
+            if (epoch != self->flow_epoch_) {
+                cb(false);
+                return;
+            }
+            const bool alive = self->client_rx_in_trial_ > before;
+            if (!alive &&
+                self->probe_attempt_ < self->config_.retry.probe_retries) {
+                ++self->probe_attempt_;
+                ++self->result_.probe_retries;
+                // A probe lost on an impaired link has aged the binding
+                // past the nominal gap; re-probing it now would read
+                // "expired" whenever the true timeout falls inside the
+                // grace window, biasing the search short. Re-run the
+                // trial on a brand-new flow with the same gap instead,
+                // so the retry tests the same age as the original
+                // trial without turning the old flow multi-packet.
+                self->server_echo_budget_ =
+                    self->pattern_ == UdpPattern::SolitaryOutbound ? 0 : 1;
+                self->client_rx_in_trial_ = 0;
+                self->open_fresh_flow();
+                self->send_creation(gap, 0, epoch, std::move(cb));
+                return;
+            }
+            self->trial_running_ = false;
+            self->prev_trial_alive_ = alive;
+            if (!alive) {
+                if (!self->have_dead_gap_ || gap < self->min_dead_gap_)
+                    self->min_dead_gap_ = gap;
+                self->have_dead_gap_ = true;
+            }
+            cb(alive);
         });
     }
 
     void on_search_done(SearchResult r) {
         result_.samples_sec.push_back(sim::to_sec(r.timeout));
+        result_.search_retries += r.retries;
+        result_.search_giveups += r.giveups;
         tb_.client().udp_close(*client_sock_);
         client_sock_ = nullptr;
         loop_.after(sim::Duration::zero(),
@@ -163,8 +273,12 @@ private:
 
     net::Endpoint last_peer_;
     bool have_peer_ = false;
+    std::uint64_t server_rx_total_ = 0;
     int client_rx_in_trial_ = 0;
     int server_echo_budget_ = 0;
+    int probe_attempt_ = 0;
+    std::uint64_t flow_epoch_ = 0; ///< invalidates abandoned trial chains
+    int fresh_flows_ = 0;          ///< ports consumed by open_fresh_flow
     bool trial_running_ = false;
     bool prev_trial_alive_ = false;
     sim::Duration min_dead_gap_{};
@@ -271,6 +385,11 @@ private:
         tb_.client().udp_close(*client_sock_);
         tb_.server().udp_close(*server_sock_);
         done_(std::move(result_));
+        // finish() runs inside the search's own stack, so the search
+        // (whose callbacks own a shared_ptr to this observer) cannot be
+        // destroyed here; break the ownership cycle one event later.
+        loop_.after(sim::Duration::zero(),
+                    [self = shared_from_this()] { self->search_.reset(); });
     }
 
     Testbed& tb_;

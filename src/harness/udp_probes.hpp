@@ -20,17 +20,43 @@ enum class UdpPattern {
     Bidirectional,    ///< UDP-3: client answers every server packet
 };
 
+/// Per-trial robustness against lossy links, default-off. Creation
+/// resends are confirmed against the server's receive counter (the
+/// testbed's management-link view), so a lost binding-creation packet is
+/// detected instead of probing a stale peer; resends re-anchor the gap
+/// clock at the last send, bounding the measurement error to
+/// creation_retries * creation_wait (keep that below the search
+/// resolution). A probe that draws no reply re-runs the trial from the
+/// binding-creation step with the same gap — by the time the loss is
+/// noticed the binding has aged past the nominal gap, so re-probing it
+/// in place would bias the measured timeout short near the boundary.
+struct UdpRetryPolicy {
+    int creation_retries = 0; ///< extra binding-creation sends per trial
+    sim::Duration creation_wait{std::chrono::milliseconds(250)};
+    int probe_retries = 0; ///< extra inbound probes per trial
+    bool enabled() const {
+        return creation_retries > 0 || probe_retries > 0;
+    }
+};
+
 struct UdpProbeConfig {
     int repetitions = 9; ///< paper used 55-100; each is a full search
     std::uint16_t server_port = 34567;
     sim::Duration grace{std::chrono::seconds(3)}; ///< inbound-probe wait
     SearchParams search{.first_guess = std::chrono::seconds(16),
                         .hi_limit = std::chrono::hours(1),
-                        .resolution = std::chrono::seconds(1)};
+                        .resolution = std::chrono::seconds(1),
+                        .retry = {}};
+    UdpRetryPolicy retry;
 };
 
 struct UdpTimeoutResult {
     std::vector<double> samples_sec; ///< one converged value per repetition
+    // Robustness counters, aggregated across repetitions.
+    int creation_retries = 0; ///< binding-creation packets re-sent
+    int probe_retries = 0;    ///< inbound probes re-sent
+    int search_retries = 0;   ///< whole trials re-run by the watchdog
+    int search_giveups = 0;   ///< searches abandoned (gave_up results)
     stats::Summary summary() const { return stats::summarize(samples_sec); }
 };
 

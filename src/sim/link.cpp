@@ -56,8 +56,81 @@ void Link::send(Side from, Frame frame) {
     d.busy_until = done;
     ++d.frames_sent;
     if (tap_) tap_(from, start, frame);
+    if (d.impair && d.impair->cfg.any()) {
+        deliver_impaired(d, done, std::move(frame));
+        return;
+    }
     FrameSink* rx = d.receiver;
     loop_.at(done + prop_, [rx, f = std::move(frame)]() mutable {
+        rx->frame_in(std::move(f));
+    });
+}
+
+void Link::set_impairments(Side from, const LinkImpairments& imp,
+                           std::uint64_t seed) {
+    Direction& d = dir(from);
+    if (!imp.any()) {
+        d.impair.reset();
+        return;
+    }
+    d.impair = std::make_unique<Impairer>(seed);
+    d.impair->cfg = imp;
+}
+
+const LinkImpairments& Link::impairments(Side from) const {
+    static const LinkImpairments kNone;
+    const Direction& d = dir(from);
+    return d.impair ? d.impair->cfg : kNone;
+}
+
+const ImpairmentStats& Link::impairment_stats(Side from) const {
+    static const ImpairmentStats kZero;
+    const Direction& d = dir(from);
+    return d.impair ? d.impair->stats : kZero;
+}
+
+// Impairments apply after serialization: the frame occupied the wire, then
+// the medium lost/garbled/delayed it. Draw order is fixed (loss, corrupt,
+// jitter, reorder, duplicate) so a given seed replays the same fate
+// sequence regardless of which knobs are non-zero.
+void Link::deliver_impaired(Direction& d, TimePoint done, Frame frame) {
+    Impairer& im = *d.impair;
+    const LinkImpairments& cfg = im.cfg;
+    if (cfg.loss > 0.0 && im.rng.uniform01() < cfg.loss) {
+        ++im.stats.dropped;
+        return;
+    }
+    if (cfg.corrupt > 0.0 && im.rng.uniform01() < cfg.corrupt &&
+        !frame.empty()) {
+        ++im.stats.corrupted;
+        if ((im.rng.next_u64() & 1u) != 0) {
+            frame.resize(im.rng.uniform(
+                0, static_cast<std::uint32_t>(frame.size()) - 1));
+        } else {
+            const auto idx = im.rng.uniform(
+                0, static_cast<std::uint32_t>(frame.size()) - 1);
+            frame[idx] ^= static_cast<std::uint8_t>(
+                im.rng.uniform(1, 255));
+        }
+    }
+    Duration extra{0};
+    if (cfg.jitter > Duration::zero()) {
+        const auto span = static_cast<std::uint64_t>(cfg.jitter.count());
+        extra += Duration(static_cast<std::int64_t>(im.rng.next_u64() % span));
+    }
+    if (cfg.reorder > 0.0 && im.rng.uniform01() < cfg.reorder) {
+        ++im.stats.reordered;
+        extra += cfg.reorder_hold;
+    }
+    const bool dup =
+        cfg.duplicate > 0.0 && im.rng.uniform01() < cfg.duplicate;
+    FrameSink* rx = d.receiver;
+    const TimePoint when = done + prop_ + extra;
+    if (dup) {
+        ++im.stats.duplicated;
+        loop_.at(when, [rx, f = frame]() mutable { rx->frame_in(std::move(f)); });
+    }
+    loop_.at(when, [rx, f = std::move(frame)]() mutable {
         rx->frame_in(std::move(f));
     });
 }

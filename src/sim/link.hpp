@@ -5,15 +5,44 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "sim/event_loop.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace gatekit::sim {
 
 using Frame = std::vector<std::uint8_t>;
+
+/// Per-direction wire impairments, all default-off. Probabilities are
+/// per-frame and drawn from a dedicated seeded Rng so impaired runs are
+/// reproducible and independent of any other randomness in the run.
+/// Frames are still serialized (they occupy the wire) before the
+/// impairment applies, matching a lossy medium rather than a lossy queue.
+struct LinkImpairments {
+    double loss = 0.0;      ///< drop the frame after serialization
+    double duplicate = 0.0; ///< deliver a second copy of the frame
+    double reorder = 0.0;   ///< hold the frame back so successors overtake it
+    Duration reorder_hold{std::chrono::milliseconds(2)}; ///< hold-back span
+    Duration jitter{0};     ///< extra delivery delay, uniform in [0, jitter)
+    double corrupt = 0.0;   ///< flip one byte or truncate the frame
+
+    bool any() const {
+        return loss > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+               jitter > Duration::zero() || corrupt > 0.0;
+    }
+};
+
+/// Counters for what the impairment layer actually did to one direction.
+struct ImpairmentStats {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t corrupted = 0;
+};
 
 /// Anything that can receive an Ethernet frame from a link.
 class FrameSink {
@@ -26,7 +55,9 @@ public:
 /// then propagates them with `propagation` delay. Each direction has a
 /// finite transmit queue (the NIC/qdisc backlog): frames offered while
 /// more than `tx_queue_bytes` are already waiting are dropped, exactly as
-/// a host's queue discipline would. Frames never reorder.
+/// a host's queue discipline would. Frames never reorder unless a
+/// per-direction LinkImpairments is installed (see set_impairments); the
+/// default link is a perfect pipe.
 class Link {
 public:
     enum class Side { A, B };
@@ -64,12 +95,30 @@ public:
     std::size_t tx_backlog_bytes(Side side) const;
     void set_tx_queue_bytes(std::size_t bytes) { tx_queue_bytes_ = bytes; }
 
+    /// Install impairments on the direction transmitting from `from`,
+    /// (re)seeding that direction's Rng. Passing a default-constructed
+    /// LinkImpairments restores the perfect pipe.
+    void set_impairments(Side from, const LinkImpairments& imp,
+                         std::uint64_t seed = 0x1badf00dULL);
+    const LinkImpairments& impairments(Side from) const;
+    const ImpairmentStats& impairment_stats(Side from) const;
+
 private:
+    // Heap-allocated so the common (unimpaired) link carries only a null
+    // pointer and the send fast path stays untouched.
+    struct Impairer {
+        LinkImpairments cfg;
+        Rng rng;
+        ImpairmentStats stats;
+        explicit Impairer(std::uint64_t seed) : rng(seed) {}
+    };
+
     struct Direction {
         TimePoint busy_until{0};
         std::uint64_t frames_sent = 0;
         std::uint64_t tx_drops = 0;
         FrameSink* receiver = nullptr; // sink at the *far* end
+        std::unique_ptr<Impairer> impair;
     };
 
     Direction& dir(Side s) { return s == Side::A ? a_to_b_ : b_to_a_; }
@@ -78,6 +127,7 @@ private:
     }
 
     Duration tx_time(std::size_t bytes) const;
+    void deliver_impaired(Direction& d, TimePoint done, Frame frame);
 
     EventLoop& loop_;
     std::uint64_t rate_;

@@ -160,16 +160,23 @@ void DnsClient::query_udp(net::Endpoint server, const std::string& name,
         sim::EventId timer;
         bool done = false;
         int tries_left;
+        // Owns the retransmit closure; the closure reaches itself through
+        // this field instead of capturing its own shared_ptr, so finish()
+        // can break the cycle and let the whole query state be freed.
+        std::shared_ptr<std::function<void()>> resend;
     };
     auto st = std::make_shared<Pending>(
-        Pending{host_, sock, std::move(h), {}, false, retries});
+        Pending{host_, sock, std::move(h), {}, false, retries, nullptr});
 
     auto finish = [st](Result r) {
         if (st->done) return;
         st->done = true;
         if (st->timer) st->host.loop().cancel(st->timer);
         st->host.udp_close(st->sock);
-        st->handler(r);
+        auto handler = std::move(st->handler);
+        st->handler = nullptr;
+        st->resend = nullptr;
+        handler(r);
     };
 
     sock.set_receive_handler([finish, id](net::Endpoint,
@@ -195,20 +202,20 @@ void DnsClient::query_udp(net::Endpoint server, const std::string& name,
 
     const auto query = net::DnsMessage::make_query(id, name).serialize();
     // std::function must be copyable: wrap the recursion in a shared fn.
-    auto send_round = std::make_shared<std::function<void()>>();
-    *send_round = [st, finish, server, query, timeout, send_round] {
+    st->resend = std::make_shared<std::function<void()>>();
+    *st->resend = [st, finish, server, query, timeout] {
         if (st->done) return;
         st->sock.send_to(server, query);
-        st->timer = st->host.loop().after(timeout, [st, finish, send_round] {
+        st->timer = st->host.loop().after(timeout, [st, finish] {
             if (st->done) return;
             if (st->tries_left-- > 0) {
-                (*send_round)();
+                (*st->resend)();
             } else {
                 finish({false, {}, "timeout"});
             }
         });
     };
-    (*send_round)();
+    (*st->resend)();
 }
 
 void DnsClient::query_tcp(net::Endpoint server, net::Ipv4Addr local_addr,

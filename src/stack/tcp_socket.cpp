@@ -140,6 +140,16 @@ void TcpSocket::on_segment(const net::TcpSegment& seg) {
         return;
     }
 
+    if (seg.flags.syn) {
+        // A SYN in a synchronized state is a stale handshake
+        // retransmission: the peer never received our final ACK (it was
+        // lost in flight) and is still resending its SYN|ACK. Re-ACK so
+        // the peer can finish establishing (RFC 793: an unacceptable
+        // segment elicits an ACK) and drop the segment.
+        send_ack();
+        return;
+    }
+
     const auto una_before = snd_una_;
     if (seg.flags.ack) handle_ack(seg);
     if (state_ == State::Closed) return; // handle_ack may complete LAST-ACK

@@ -1,0 +1,609 @@
+// Fault-injection coverage: link impairments (determinism, counters, and
+// the default-off guarantee), BindingTimeoutSearch retry/giveup behavior
+// under lost replies, scripted gateway faults (reboot flush, stall), and
+// the lifecycle regressions the impaired runs flushed out of the DNS
+// proxy and the NAT's TCP state tracking.
+#include <gtest/gtest.h>
+
+#include "gateway/binding_table.hpp"
+#include "gateway/nat_engine.hpp"
+#include "harness/testbed.hpp"
+#include "harness/udp_probes.hpp"
+#include "net/tcp_header.hpp"
+#include "net/udp.hpp"
+#include "stack/dns_service.hpp"
+#include "stack/tcp_socket.hpp"
+#include "stack/udp_socket.hpp"
+#include "util/rng.hpp"
+
+using namespace gatekit;
+using namespace gatekit::harness;
+using gateway::DeviceProfile;
+
+// --- link impairments -------------------------------------------------------
+
+namespace {
+
+struct CollectSink : sim::FrameSink {
+    std::vector<sim::Frame> frames;
+    void frame_in(sim::Frame f) override { frames.push_back(std::move(f)); }
+};
+
+sim::Frame tagged_frame(int i, std::size_t size = 100) {
+    sim::Frame f(size, 0);
+    f[0] = static_cast<std::uint8_t>(i & 0xff);
+    f[1] = static_cast<std::uint8_t>(i >> 8);
+    return f;
+}
+
+int frame_tag(const sim::Frame& f) {
+    return static_cast<int>(f[0]) | (static_cast<int>(f[1]) << 8);
+}
+
+/// Send `n` tagged frames A->B through a link with the given impairments
+/// and return the received tag sequence plus final stats.
+std::vector<int> impaired_run(const sim::LinkImpairments& imp,
+                              std::uint64_t seed, int n,
+                              sim::ImpairmentStats& stats_out) {
+    sim::EventLoop loop;
+    sim::Link link(loop, 100'000'000, std::chrono::microseconds(100));
+    CollectSink sink;
+    link.attach(sim::Link::Side::B, sink);
+    link.set_impairments(sim::Link::Side::A, imp, seed);
+    for (int i = 0; i < n; ++i) link.send(sim::Link::Side::A, tagged_frame(i));
+    loop.run();
+    stats_out = link.impairment_stats(sim::Link::Side::A);
+    std::vector<int> tags;
+    for (const auto& f : sink.frames) tags.push_back(frame_tag(f));
+    return tags;
+}
+
+} // namespace
+
+TEST(LinkImpairments, LossIsSeededAndDeterministic) {
+    sim::LinkImpairments imp;
+    imp.loss = 0.3;
+    sim::ImpairmentStats s1, s2;
+    const auto run1 = impaired_run(imp, 7, 200, s1);
+    const auto run2 = impaired_run(imp, 7, 200, s2);
+    EXPECT_GT(s1.dropped, 0u);
+    EXPECT_LT(run1.size(), 200u);
+    EXPECT_EQ(run1.size() + s1.dropped, 200u);
+    // Same seed, same fate sequence.
+    EXPECT_EQ(run1, run2);
+    EXPECT_EQ(s1.dropped, s2.dropped);
+    // A different seed drops a different set of frames.
+    sim::ImpairmentStats s3;
+    const auto run3 = impaired_run(imp, 8, 200, s3);
+    EXPECT_NE(run1, run3);
+}
+
+TEST(LinkImpairments, ReorderHoldLetsSuccessorsOvertake) {
+    sim::LinkImpairments imp;
+    imp.reorder = 0.5;
+    sim::ImpairmentStats stats;
+    const auto tags = impaired_run(imp, 3, 50, stats);
+    ASSERT_EQ(tags.size(), 50u); // nothing lost, only delayed
+    EXPECT_GT(stats.reordered, 0u);
+    EXPECT_FALSE(std::is_sorted(tags.begin(), tags.end()));
+}
+
+TEST(LinkImpairments, DuplicateDeliversTwice) {
+    sim::LinkImpairments imp;
+    imp.duplicate = 1.0;
+    sim::ImpairmentStats stats;
+    const auto tags = impaired_run(imp, 1, 20, stats);
+    EXPECT_EQ(tags.size(), 40u);
+    EXPECT_EQ(stats.duplicated, 20u);
+}
+
+TEST(LinkImpairments, CorruptAltersEveryFrame) {
+    sim::EventLoop loop;
+    sim::Link link(loop, 100'000'000, std::chrono::microseconds(100));
+    CollectSink sink;
+    link.attach(sim::Link::Side::B, sink);
+    sim::LinkImpairments imp;
+    imp.corrupt = 1.0;
+    link.set_impairments(sim::Link::Side::A, imp, 5);
+    const int n = 30;
+    for (int i = 0; i < n; ++i) link.send(sim::Link::Side::A, tagged_frame(i));
+    loop.run();
+    ASSERT_EQ(sink.frames.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(link.impairment_stats(sim::Link::Side::A).corrupted,
+              static_cast<std::uint64_t>(n));
+    int altered = 0;
+    for (int i = 0; i < n; ++i)
+        if (sink.frames[static_cast<std::size_t>(i)] != tagged_frame(i))
+            ++altered;
+    EXPECT_EQ(altered, n); // truncation or a byte flip, never a clean copy
+}
+
+TEST(LinkImpairments, DefaultConfigRestoresPerfectPipe) {
+    sim::EventLoop loop;
+    sim::Link link(loop, 100'000'000, std::chrono::microseconds(100));
+    CollectSink sink;
+    link.attach(sim::Link::Side::B, sink);
+    sim::LinkImpairments lossy;
+    lossy.loss = 1.0;
+    link.set_impairments(sim::Link::Side::A, lossy);
+    link.send(sim::Link::Side::A, tagged_frame(0));
+    loop.run();
+    EXPECT_TRUE(sink.frames.empty());
+    // Installing the default (all-off) config tears the impairer down.
+    link.set_impairments(sim::Link::Side::A, sim::LinkImpairments{});
+    for (int i = 0; i < 20; ++i) link.send(sim::Link::Side::A, tagged_frame(i));
+    loop.run();
+    ASSERT_EQ(sink.frames.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(frame_tag(sink.frames[static_cast<std::size_t>(i)]), i);
+    EXPECT_EQ(link.impairment_stats(sim::Link::Side::A).dropped, 0u);
+}
+
+// --- BindingTimeoutSearch under lost replies --------------------------------
+
+namespace {
+
+struct OracleOpts {
+    sim::Duration timeout{std::chrono::seconds(90)};
+    SearchParams params;
+    double loss = 0.0;         ///< probability a trial's reply is swallowed
+    std::uint64_t seed = 1;
+    sim::Duration late_first_reply{0}; ///< >0: first call answers this much
+                                       ///< past the watchdog deadline
+};
+
+SearchResult run_oracle(const OracleOpts& o) {
+    sim::EventLoop loop;
+    Rng rng(o.seed);
+    SearchResult out;
+    bool finished = false;
+    int calls = 0;
+    BindingTimeoutSearch search(
+        loop, o.params,
+        [&](sim::Duration gap, std::function<void(bool)> cb) {
+            ++calls;
+            const bool alive = gap < o.timeout;
+            if (calls == 1 && o.late_first_reply > sim::Duration::zero()) {
+                // Past gap*2 + trial_timeout: the watchdog fires first.
+                loop.after(gap * 2 + o.params.retry.trial_timeout +
+                               o.late_first_reply,
+                           [cb = std::move(cb), alive] { cb(alive); });
+                return;
+            }
+            if (o.loss > 0.0 && rng.uniform01() < o.loss) return; // lost
+            loop.after(gap, [cb = std::move(cb), alive] { cb(alive); });
+        },
+        [&](SearchResult r) {
+            out = r;
+            finished = true;
+        });
+    search.start();
+    loop.run();
+    EXPECT_TRUE(finished);
+    return out;
+}
+
+} // namespace
+
+TEST(BindingSearchRetry, GivesUpWhenNothingAnswers) {
+    OracleOpts o;
+    o.loss = 1.0;
+    o.params.retry.trial_timeout = std::chrono::seconds(1);
+    o.params.retry.max_attempts = 3;
+    o.params.retry.backoff = std::chrono::seconds(1);
+    const auto r = run_oracle(o);
+    EXPECT_TRUE(r.gave_up);
+    EXPECT_EQ(r.retries, 2);  // two re-runs of the first trial
+    EXPECT_EQ(r.giveups, 1);
+    EXPECT_EQ(r.trials, 1);
+    // No trial ever completed: the hi_limit fallback is reported.
+    EXPECT_TRUE(r.exceeded_limit);
+    EXPECT_EQ(r.timeout, o.params.hi_limit);
+}
+
+TEST(BindingSearchRetry, RecoversTimeoutDespiteLostReplies) {
+    OracleOpts o;
+    o.loss = 0.25;
+    o.seed = 42;
+    o.params.retry.trial_timeout = std::chrono::seconds(5);
+    o.params.retry.max_attempts = 6;
+    o.params.retry.backoff = std::chrono::seconds(1);
+    const auto r = run_oracle(o);
+    EXPECT_FALSE(r.gave_up);
+    EXPECT_GT(r.retries, 0);
+    EXPECT_EQ(r.giveups, 0);
+    EXPECT_NEAR(sim::to_sec(r.timeout), 90.0, 1.0);
+}
+
+TEST(BindingSearchRetry, LateReplyAfterWatchdogIsIgnored) {
+    OracleOpts o;
+    o.params.retry.trial_timeout = std::chrono::seconds(2);
+    o.params.retry.max_attempts = 3;
+    o.params.retry.backoff = std::chrono::seconds(1);
+    o.late_first_reply = std::chrono::seconds(3);
+    const auto r = run_oracle(o);
+    // The stale generation stamp keeps the limping first reply from
+    // advancing the search a second time.
+    EXPECT_FALSE(r.gave_up);
+    EXPECT_GE(r.retries, 1);
+    EXPECT_NEAR(sim::to_sec(r.timeout), 90.0, 1.0);
+    EXPECT_LT(r.trials, 30);
+}
+
+TEST(BindingSearchRetry, DisabledPolicyMatchesBaselineExactly) {
+    OracleOpts plain;
+    const auto base = run_oracle(plain);
+    OracleOpts guarded;
+    guarded.params.retry.trial_timeout = std::chrono::hours(2);
+    guarded.params.retry.max_attempts = 3;
+    const auto r = run_oracle(guarded);
+    // On a lossless run the watchdog machinery must be invisible.
+    EXPECT_EQ(r.timeout, base.timeout);
+    EXPECT_EQ(r.trials, base.trials);
+    EXPECT_EQ(r.retries, 0);
+    EXPECT_EQ(r.giveups, 0);
+}
+
+// --- scripted gateway faults ------------------------------------------------
+
+namespace {
+
+DeviceProfile fault_profile() {
+    DeviceProfile p;
+    p.tag = "fault";
+    p.udp.initial = std::chrono::seconds(30);
+    p.udp.inbound_refresh = std::chrono::seconds(60);
+    p.udp.outbound_refresh = std::chrono::seconds(60);
+    p.icmp_tcp = gateway::IcmpTranslationSet::all();
+    p.icmp_udp = gateway::IcmpTranslationSet::all();
+    p.dns_tcp = gateway::DnsTcpMode::ProxyTcp;
+    return p;
+}
+
+struct FaultBed {
+    sim::EventLoop loop;
+    Testbed tb{loop};
+    int idx;
+
+    explicit FaultBed(DeviceProfile p = fault_profile())
+        : idx(tb.add_device(std::move(p))) {
+        tb.start_and_wait();
+    }
+    Testbed::DeviceSlot& slot() { return tb.slot(idx); }
+
+    /// Drop every frame in both WAN directions (gateway is Side::A).
+    void blackout_wan() {
+        sim::LinkImpairments imp;
+        imp.loss = 1.0;
+        slot().wan_link->set_impairments(sim::Link::Side::A, imp);
+        slot().wan_link->set_impairments(sim::Link::Side::B, imp);
+    }
+};
+
+} // namespace
+
+TEST(GatewayFaults, RebootFlushesNatState) {
+    FaultBed bed;
+    auto& slot = bed.slot();
+
+    net::Endpoint client_ext;
+    int server_got = 0;
+    auto& server_sock = bed.tb.server().udp_open(net::Ipv4Addr::any(), 7000);
+    server_sock.set_receive_handler(
+        [&](net::Endpoint src, std::span<const std::uint8_t>,
+            const net::Ipv4Packet&) {
+            client_ext = src;
+            ++server_got;
+        });
+    int client_got = 0;
+    auto& client_sock = bed.tb.client().udp_open(slot.client_addr, 40000);
+    client_sock.set_receive_handler(
+        [&](net::Endpoint, std::span<const std::uint8_t>,
+            const net::Ipv4Packet&) { ++client_got; });
+
+    client_sock.send_to({slot.server_addr, 7000}, {1});
+    bed.loop.run();
+    ASSERT_EQ(server_got, 1);
+    server_sock.send_to(client_ext, {2});
+    bed.loop.run();
+    ASSERT_EQ(client_got, 1);
+    ASSERT_EQ(slot.gw->nat().udp_table().size(), 1u);
+
+    slot.gw->inject_fault({}); // default: reboot, no outage window
+    EXPECT_EQ(slot.gw->faults_injected(), 1u);
+    EXPECT_FALSE(slot.gw->stalled());
+    EXPECT_EQ(slot.gw->nat().udp_table().size(), 0u);
+
+    // The old external mapping is gone: inbound traffic dies at the NAT.
+    server_sock.send_to(client_ext, {3});
+    bed.loop.run();
+    EXPECT_EQ(client_got, 1);
+
+    // Outbound traffic re-creates a binding; the device recovered.
+    client_sock.send_to({slot.server_addr, 7000}, {4});
+    bed.loop.run();
+    EXPECT_EQ(server_got, 2);
+    EXPECT_EQ(slot.gw->nat().udp_table().size(), 1u);
+}
+
+TEST(GatewayFaults, StallDropsTrafficThenRecovers) {
+    FaultBed bed;
+    auto& slot = bed.slot();
+
+    int server_got = 0;
+    auto& server_sock = bed.tb.server().udp_open(net::Ipv4Addr::any(), 7000);
+    server_sock.set_receive_handler(
+        [&](net::Endpoint, std::span<const std::uint8_t>,
+            const net::Ipv4Packet&) { ++server_got; });
+    auto& client_sock = bed.tb.client().udp_open(slot.client_addr, 41000);
+    client_sock.send_to({slot.server_addr, 7000}, {1});
+    bed.loop.run();
+    ASSERT_EQ(server_got, 1);
+
+    gateway::GatewayFault fault;
+    fault.flush_nat = false;
+    fault.stall = std::chrono::seconds(2);
+    slot.gw->inject_fault(fault);
+    EXPECT_TRUE(slot.gw->stalled());
+    EXPECT_EQ(slot.gw->nat().udp_table().size(), 1u); // survived
+
+    client_sock.send_to({slot.server_addr, 7000}, {2});
+    bed.loop.run_for(std::chrono::seconds(1));
+    EXPECT_EQ(server_got, 1); // swallowed by the outage
+
+    bed.loop.run_for(std::chrono::seconds(2));
+    EXPECT_FALSE(slot.gw->stalled());
+    client_sock.send_to({slot.server_addr, 7000}, {3});
+    bed.loop.run();
+    EXPECT_EQ(server_got, 2);
+}
+
+// --- end-to-end: UDP-1 measurement across an impaired WAN -------------------
+
+TEST(FaultInjectionE2E, Udp1ConvergesOverLossyReorderingWan) {
+    auto p = fault_profile();
+    p.udp.initial = std::chrono::seconds(35);
+    p.udp.inbound_refresh = std::chrono::seconds(35);
+    p.udp.outbound_refresh = std::chrono::seconds(35);
+    FaultBed bed(p);
+    auto& slot = bed.slot();
+
+    sim::LinkImpairments imp;
+    imp.loss = 0.02;
+    imp.reorder = 0.1;
+    slot.wan_link->set_impairments(sim::Link::Side::A, imp, 11);
+    slot.wan_link->set_impairments(sim::Link::Side::B, imp, 12);
+
+    UdpProbeConfig cfg;
+    cfg.repetitions = 2;
+    cfg.search.hi_limit = std::chrono::seconds(300);
+    cfg.search.retry.trial_timeout = std::chrono::seconds(400);
+    cfg.search.retry.max_attempts = 3;
+    cfg.retry.creation_retries = 2;
+    cfg.retry.probe_retries = 2;
+
+    std::optional<UdpTimeoutResult> result;
+    measure_udp_timeout(bed.tb, bed.idx, UdpPattern::SolitaryOutbound, cfg,
+                        [&](UdpTimeoutResult r) { result = std::move(r); });
+    bed.loop.run();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_EQ(result->samples_sec.size(), 2u);
+    EXPECT_EQ(result->search_giveups, 0);
+    for (double s : result->samples_sec) EXPECT_NEAR(s, 35.0, 1.0);
+}
+
+// --- DNS proxy lifecycle regressions ----------------------------------------
+
+TEST(DnsProxyRegression, OversizeDropConsumesPendingEntry) {
+    auto p = fault_profile();
+    p.dns_proxy_max_udp = 512; // drops the ~1100 byte TXT answer
+    FaultBed bed(p);
+    auto& slot = bed.slot();
+
+    int client_got = 0;
+    auto& sock = bed.tb.client().udp_open(slot.client_addr, 50000);
+    sock.set_receive_handler([&](net::Endpoint,
+                                 std::span<const std::uint8_t>,
+                                 const net::Ipv4Packet&) { ++client_got; });
+    auto query = net::DnsMessage::make_query(0x6b1d, Testbed::kBigName,
+                                             net::kDnsTypeTxt);
+    query.edns_udp_size = 4096;
+    sock.send_to({slot.gw->lan_addr(), net::kDnsPort}, query.serialize());
+    bed.loop.run();
+    EXPECT_EQ(client_got, 0); // silently dropped, as the broken devices do
+    // The regression: the dropped response must still consume the slot.
+    EXPECT_EQ(slot.gw->dns_proxy().pending_queries(), 0u);
+}
+
+TEST(DnsProxyRegression, CollidingIdsServeBothClients) {
+    FaultBed bed;
+    auto& slot = bed.slot();
+
+    int got1 = 0, got2 = 0;
+    auto& s1 = bed.tb.client().udp_open(slot.client_addr, 50001);
+    auto& s2 = bed.tb.client().udp_open(slot.client_addr, 50002);
+    s1.set_receive_handler([&](net::Endpoint, std::span<const std::uint8_t>,
+                               const net::Ipv4Packet&) { ++got1; });
+    s2.set_receive_handler([&](net::Endpoint, std::span<const std::uint8_t>,
+                               const net::Ipv4Packet&) { ++got2; });
+    const auto query =
+        net::DnsMessage::make_query(0x1234, Testbed::kTestName);
+    s1.send_to({slot.gw->lan_addr(), net::kDnsPort}, query.serialize());
+    s2.send_to({slot.gw->lan_addr(), net::kDnsPort}, query.serialize());
+    bed.loop.run();
+    // Keying pending queries by (id, client) keeps the colliding
+    // transactions apart; each client gets exactly one answer.
+    EXPECT_EQ(got1, 1);
+    EXPECT_EQ(got2, 1);
+    EXPECT_EQ(slot.gw->dns_proxy().pending_queries(), 0u);
+}
+
+namespace {
+
+/// Open a TCP/53 connection to the gateway and push one framed query.
+stack::TcpSocket& send_tcp_query(FaultBed& bed, std::uint16_t id) {
+    auto& slot = bed.slot();
+    auto& conn = bed.tb.client().tcp_connect(
+        slot.client_addr, 0, {slot.gw->lan_addr(), net::kDnsPort});
+    conn.on_established = [&conn, id] {
+        const auto q = net::DnsMessage::make_query(id, Testbed::kTestName);
+        conn.send(stack::DnsTcpFramer::frame(q.serialize()));
+    };
+    conn.on_data = [](std::span<const std::uint8_t>) {};
+    conn.on_error = [](const std::string&) {};
+    return conn;
+}
+
+} // namespace
+
+TEST(DnsProxyRegression, ProxyViaUdpClientAbortCancelsInflight) {
+    auto p = fault_profile();
+    p.dns_tcp = gateway::DnsTcpMode::ProxyViaUdp;
+    FaultBed bed(p);
+    bed.blackout_wan(); // upstream never answers
+
+    auto& conn = send_tcp_query(bed, 0x2001);
+    bed.loop.run_for(std::chrono::milliseconds(500));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 1u);
+
+    conn.abort(); // client vanishes mid-query
+    bed.loop.run_for(std::chrono::seconds(1));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 0u);
+}
+
+TEST(DnsProxyRegression, ProxyViaUdpOrphanExpires) {
+    auto p = fault_profile();
+    p.dns_tcp = gateway::DnsTcpMode::ProxyViaUdp;
+    FaultBed bed(p);
+    bed.blackout_wan();
+
+    send_tcp_query(bed, 0x2002);
+    bed.loop.run_for(std::chrono::milliseconds(500));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 1u);
+    // The client keeps its connection open; the per-query upstream socket
+    // must still be reclaimed once the answer is clearly never coming.
+    bed.loop.run_for(std::chrono::seconds(15));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 0u);
+}
+
+TEST(DnsProxyRegression, ProxyTcpClientAbortCancelsInflight) {
+    FaultBed bed; // fault_profile defaults to ProxyTcp
+    bed.blackout_wan();
+
+    auto& conn = send_tcp_query(bed, 0x2003);
+    bed.loop.run_for(std::chrono::milliseconds(500));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 1u);
+
+    conn.abort();
+    bed.loop.run_for(std::chrono::seconds(1));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 0u);
+}
+
+TEST(DnsProxyRegression, ProxyTcpOrphanCleansUp) {
+    FaultBed bed;
+    bed.blackout_wan();
+
+    send_tcp_query(bed, 0x2004);
+    bed.loop.run_for(std::chrono::milliseconds(500));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 1u);
+    // Either the upstream connect times out (on_error) or the query TTL
+    // fires; both must leave no tracked state behind.
+    bed.loop.run_for(std::chrono::minutes(3));
+    EXPECT_EQ(bed.slot().gw->dns_proxy().inflight_queries(), 0u);
+}
+
+// --- NAT TCP state-tracking regression --------------------------------------
+
+namespace {
+
+const net::Ipv4Addr kLan(192, 168, 1, 1);
+const net::Ipv4Addr kClient(192, 168, 1, 100);
+const net::Ipv4Addr kWan(10, 0, 1, 10);
+const net::Ipv4Addr kServer(10, 0, 1, 1);
+
+DeviceProfile unit_profile() {
+    DeviceProfile p;
+    p.tag = "unit";
+    p.udp.initial = std::chrono::seconds(30);
+    return p;
+}
+
+net::Ipv4Packet tcp_packet(net::Ipv4Addr src, net::Ipv4Addr dst,
+                           std::uint16_t sport, std::uint16_t dport,
+                           bool syn, bool ack) {
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kTcp;
+    pkt.h.src = src;
+    pkt.h.dst = dst;
+    net::TcpSegment seg;
+    seg.src_port = sport;
+    seg.dst_port = dport;
+    seg.flags.syn = syn;
+    seg.flags.ack = ack;
+    pkt.payload = seg.serialize(src, dst);
+    return pkt;
+}
+
+} // namespace
+
+TEST(NatEngineRegression, SynRetransmitDoesNotEstablishOnSynAck) {
+    sim::EventLoop loop;
+    auto profile = unit_profile();
+    gateway::NatEngine nat(loop, profile);
+    nat.set_addresses(kLan, 24, kWan);
+
+    // Original SYN plus one retransmission (lossy WAN ate the SYN-ACK).
+    const auto syn = tcp_packet(kClient, kServer, 41000, 80, true, false);
+    ASSERT_TRUE(nat.outbound(syn).has_value());
+    ASSERT_TRUE(nat.outbound(syn).has_value());
+
+    // The server's SYN-ACK alone is not a completed handshake: two
+    // outbound packets have been seen, but both carried SYN.
+    const auto synack = tcp_packet(kServer, kWan, 80, 41000, true, true);
+    bool handled = false;
+    ASSERT_TRUE(nat.inbound(synack, handled).has_value());
+    EXPECT_TRUE(handled);
+    auto* b = nat.tcp_table().find_inbound(41000, {kServer, 80});
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->established);
+
+    // The client's final ACK completes it.
+    const auto ackpkt = tcp_packet(kClient, kServer, 41000, 80, false, true);
+    ASSERT_TRUE(nat.outbound(ackpkt).has_value());
+    EXPECT_TRUE(b->established);
+}
+
+TEST(NatEngineRegression, FlushForgetsEveryTable) {
+    sim::EventLoop loop;
+    auto profile = unit_profile();
+    gateway::NatEngine nat(loop, profile);
+    nat.set_addresses(kLan, 24, kWan);
+
+    net::Ipv4Packet udp;
+    udp.h.protocol = net::proto::kUdp;
+    udp.h.src = kClient;
+    udp.h.dst = kServer;
+    net::UdpDatagram d;
+    d.src_port = 40000;
+    d.dst_port = 7000;
+    d.payload = {1};
+    udp.payload = d.serialize(udp.h.src, udp.h.dst);
+    ASSERT_TRUE(nat.outbound(udp).has_value());
+    ASSERT_TRUE(
+        nat.outbound(tcp_packet(kClient, kServer, 41000, 80, true, false))
+            .has_value());
+    ASSERT_EQ(nat.udp_table().size(), 1u);
+    ASSERT_EQ(nat.tcp_table().size(), 1u);
+
+    nat.flush();
+    EXPECT_EQ(nat.udp_table().size(), 0u);
+    EXPECT_EQ(nat.tcp_table().size(), 0u);
+    EXPECT_EQ(nat.udp_table().find_inbound(40000, {kServer, 7000}), nullptr);
+
+    // The tables keep working after a flush, and the popped timer-wheel
+    // entries of the cleared bindings fire harmlessly.
+    ASSERT_TRUE(nat.outbound(udp).has_value());
+    EXPECT_EQ(nat.udp_table().size(), 1u);
+    loop.run_until(loop.now() + std::chrono::minutes(2));
+    EXPECT_EQ(nat.udp_table().size(), 0u); // expired normally
+}
