@@ -8,16 +8,25 @@
 //                   paper used 100 MB — the throughput estimate is
 //                   rate-limited, not size-limited, so this only trades
 //                   run time)
-//   GATEKIT_DEVICES limit to the first N devices (debugging aid)
+//   GATEKIT_DEVICES limit to the first N devices (debugging aid);
+//                   anything but an integer in [1, device count] aborts
 //   GATEKIT_CSV     when set, also write gatekit_<name>.csv
+//   GATEKIT_METRICS metrics snapshot path, written when the campaign
+//                   finishes (a .csv suffix selects CSV, else JSON)
+//   GATEKIT_TRACE   stream trace events to this path as JSONL; flight-
+//                   recorder dumps land beside it at <path>.flight.<n>.jsonl
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "devices/profiles.hpp"
 #include "harness/testrund.hpp"
+#include "obs/obs.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
@@ -38,24 +47,120 @@ inline bool env_flag(const char* name) {
     return std::getenv(name) != nullptr;
 }
 
+/// GATEKIT_DEVICES: first-N device limit, or 0 when unset (all devices).
+/// A typo here used to silently run the full 34-device campaign (atoi
+/// returns 0 on garbage), so the parse is strict: the whole string must
+/// be an integer in [1, max] or the bench exits with a clear error.
+inline int env_device_limit(int max) {
+    const char* v = std::getenv("GATEKIT_DEVICES");
+    if (v == nullptr) return 0;
+    errno = 0;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0' || n < 1 || n > max) {
+        std::cerr << "[gatekit] invalid GATEKIT_DEVICES='" << v
+                  << "': expected an integer in [1, " << max << "]\n";
+        std::exit(2);
+    }
+    return static_cast<int>(n);
+}
+
+/// Optional observability sidecar, driven entirely by environment. With
+/// neither variable set nothing is allocated and every instrumentation
+/// pointer in the stack stays null, so the campaign's virtual-time
+/// behavior (and its rendered figures) is byte-identical either way —
+/// metrics and traces only *record*, they never schedule or draw RNG.
+class ObsSession {
+public:
+    explicit ObsSession(sim::EventLoop& loop) {
+        const char* metrics = std::getenv("GATEKIT_METRICS");
+        const char* trace = std::getenv("GATEKIT_TRACE");
+        if (metrics != nullptr) metrics_path_ = metrics;
+        if (metrics == nullptr && trace == nullptr) return;
+        obs_ = std::make_unique<obs::Observability>(loop);
+        if (trace != nullptr) {
+            sink_ = std::make_unique<obs::JsonlSink>(std::string(trace));
+            if (!sink_->ok()) {
+                std::cerr << "[gatekit] cannot open GATEKIT_TRACE path '"
+                          << trace << "'\n";
+                std::exit(2);
+            }
+            recorder_ = std::make_unique<obs::FlightRecorder>();
+            recorder_->set_dump_path(std::string(trace) + ".flight");
+            obs_->tracer().add_sink(recorder_.get());
+            obs_->tracer().add_sink(sink_.get());
+        }
+    }
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+    ~ObsSession() { finish(); }
+
+    bool enabled() const { return obs_ != nullptr; }
+    obs::Observability* get() { return obs_.get(); }
+
+    /// Bind the whole testbed. The session must outlive the testbed
+    /// (declare it first), since components keep raw counter pointers.
+    void attach(harness::Testbed& tb) {
+        if (obs_ != nullptr) tb.attach_observability(obs_.get());
+    }
+
+    /// Write the metrics snapshot (idempotent; also runs at destruction).
+    void finish() {
+        if (finished_) return;
+        finished_ = true;
+        if (obs_ == nullptr || metrics_path_.empty()) return;
+        bool ok = false;
+        const auto n = metrics_path_.size();
+        if (n >= 4 && metrics_path_.compare(n - 4, 4, ".csv") == 0) {
+            std::ofstream out(metrics_path_,
+                              std::ios::binary | std::ios::trunc);
+            out << obs_->metrics().to_csv();
+            ok = out.good();
+        } else {
+            ok = obs_->metrics().save_json(metrics_path_);
+        }
+        if (ok)
+            std::cerr << "[gatekit] wrote metrics snapshot ("
+                      << obs_->metrics().size() << " series) to "
+                      << metrics_path_ << "\n";
+        else
+            std::cerr << "[gatekit] FAILED to write metrics snapshot to "
+                      << metrics_path_ << "\n";
+    }
+
+private:
+    std::string metrics_path_;
+    std::unique_ptr<obs::Observability> obs_;
+    std::unique_ptr<obs::JsonlSink> sink_;
+    std::unique_ptr<obs::FlightRecorder> recorder_;
+    bool finished_ = false;
+};
+
 /// Build the Figure-1 testbed with every profiled device and run the
 /// campaign; returns per-device results in Table 1 order.
 inline std::vector<harness::DeviceResults>
 run_campaign(sim::EventLoop& loop, const harness::CampaignConfig& config) {
+    ObsSession obs(loop); // declared before tb: components keep pointers
     harness::Testbed tb(loop);
-    int limit = env_int("GATEKIT_DEVICES", 0);
+    const auto& profiles = devices::all_profiles();
+    const int limit =
+        env_device_limit(static_cast<int>(profiles.size()));
     int added = 0;
-    for (const auto& profile : devices::all_profiles()) {
+    for (const auto& profile : profiles) {
         if (limit > 0 && added >= limit) break;
         tb.add_device(profile);
         ++added;
     }
+    obs.attach(tb);
     std::cerr << "[gatekit] bringing up testbed with " << added
               << " devices...\n";
     tb.start_and_wait();
     std::cerr << "[gatekit] running measurement campaign...\n";
     harness::Testrund rund(tb);
-    return rund.run_blocking(config);
+    auto results = rund.run_blocking(config);
+    obs.finish();
+    return results;
 }
 
 /// Default campaign knobs shared by the benches.

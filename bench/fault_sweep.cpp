@@ -60,14 +60,17 @@ double median_of(const harness::TcpTimeoutResult& r) {
 
 int main() {
     sim::EventLoop loop;
+    ObsSession obs(loop); // declared before tb: components keep pointers
     harness::Testbed tb(loop);
-    const int limit = env_int("GATEKIT_DEVICES", 0);
+    const auto& profiles = devices::all_profiles();
+    const int limit = env_device_limit(static_cast<int>(profiles.size()));
     int added = 0;
-    for (const auto& profile : devices::all_profiles()) {
+    for (const auto& profile : profiles) {
         if (limit > 0 && added >= limit) break;
         tb.add_device(profile);
         ++added;
     }
+    obs.attach(tb);
     std::cerr << "[fault_sweep] bringing up testbed with " << added
               << " devices...\n";
     tb.start_and_wait();
@@ -199,5 +202,6 @@ int main() {
     std::cout << "\nfault_sweep overall: " << (all_ok ? "PASS" : "FAIL")
               << "\n";
     maybe_csv("fault_sweep", csv);
+    obs.finish();
     return all_ok ? 0 : 1;
 }

@@ -1,0 +1,76 @@
+// metrics_check: end-to-end validation of the GATEKIT_METRICS sidecar.
+// Runs a figure bench (argv[1], normally fig03_udp1) on a two-device
+// testbed with the metrics env switch set, then checks the snapshot it
+// wrote: structurally valid JSON, the gatekit.metrics.v1 schema, and the
+// series a UDP-1 campaign cannot help but produce. Wired into ctest as
+// `metrics_smoke`.
+//
+// Exit code 0 = sidecar present and valid; nonzero = not (with a reason
+// on stderr).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+bool contains(const std::string& hay, const std::string& needle) {
+    return hay.find(needle) != std::string::npos;
+}
+
+int fail(const std::string& why) {
+    std::cerr << "metrics_check: FAIL: " << why << "\n";
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::cerr << "usage: metrics_check <figure-bench-binary>\n";
+        return 2;
+    }
+    const std::string sidecar = "metrics_check_sidecar.json";
+    std::remove(sidecar.c_str());
+    ::setenv("GATEKIT_METRICS", sidecar.c_str(), 1);
+    ::setenv("GATEKIT_DEVICES", "2", 1);
+    ::setenv("GATEKIT_REPS", "1", 1);
+    ::unsetenv("GATEKIT_CSV");
+    ::unsetenv("GATEKIT_TRACE");
+
+    const std::string cmd =
+        std::string(argv[1]) + " > metrics_check_run.log 2>&1";
+    std::cerr << "metrics_check: running " << argv[1]
+              << " (2 devices, 1 rep)...\n";
+    if (std::system(cmd.c_str()) != 0)
+        return fail("bench exited nonzero (see metrics_check_run.log)");
+
+    std::ifstream in(sidecar, std::ios::binary);
+    if (!in) return fail("bench did not write " + sidecar);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::string error;
+    if (!gatekit::obs::validate_metrics_json(text, &error))
+        return fail("sidecar failed schema validation: " + error);
+
+    // A two-device UDP-1 campaign must have created NAT bindings,
+    // forwarded packets, and run probe trials on both devices.
+    for (const char* series : {"\"nat.binding.created\"", "\"fwd.forwarded\"",
+                               "\"probe.trials\"", "\"nat.binding.occupancy\"",
+                               "\"fwd.packet.bytes\""})
+        if (!contains(text, series))
+            return fail(std::string("expected series missing: ") + series);
+    for (const char* label : {"\"device\"", "\"probe\":\"udp1\""})
+        if (!contains(text, label))
+            return fail(std::string("expected label missing: ") + label);
+
+    std::cerr << "metrics_check: PASS (" << text.size()
+              << " bytes, schema gatekit.metrics.v1)\n";
+    return 0;
+}

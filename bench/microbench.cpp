@@ -9,6 +9,8 @@
 #include "net/checksum.hpp"
 #include "net/tcp_header.hpp"
 #include "net/udp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/link.hpp"
 #include "sim/timer_wheel.hpp"
@@ -198,6 +200,55 @@ void BM_ForwardPipelineUdp(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardPipelineUdp);
 
+/// The same pipeline with a metrics registry and tracer bound: bounds the
+/// *enabled* cost of observability on the per-packet path. (The disabled
+/// cost is covered by BM_ForwardPipelineUdp itself, whose committed
+/// baseline predates the instrumentation — the null-pointer branches must
+/// keep it within the regression gate.)
+void BM_ForwardPipelineUdpObserved(benchmark::State& state) {
+    sim::EventLoop loop;
+    obs::MetricsRegistry reg;
+    obs::Tracer tracer(loop);
+    obs::FlightRecorder recorder;
+    tracer.add_sink(&recorder);
+    gateway::DeviceProfile profile;
+    profile.tag = "bench";
+    gateway::NatEngine nat(loop, profile);
+    nat.bind_observability(reg, "bench#1");
+    nat.set_addresses(net::Ipv4Addr(192, 168, 1, 1), 24,
+                      net::Ipv4Addr(10, 0, 1, 10));
+    gateway::FwdPath fwd(loop, profile.fwd);
+    fwd.bind_observability(reg, "bench#1");
+    sim::Link link(loop, 100'000'000, std::chrono::microseconds(10));
+    link.bind_observability(&reg, &tracer, "bench#1.wan");
+    struct Sink : sim::FrameSink {
+        std::uint64_t bytes = 0;
+        void frame_in(sim::Frame f) override { bytes += f.size(); }
+    } sink;
+    link.attach(sim::Link::Side::B, sink);
+
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kUdp;
+    pkt.h.src = net::Ipv4Addr(192, 168, 1, 100);
+    pkt.h.dst = net::Ipv4Addr(10, 0, 1, 1);
+    net::UdpDatagram d;
+    d.src_port = 40000;
+    d.dst_port = 7;
+    d.payload.assign(1400, 0x5a);
+    pkt.payload = d.serialize(pkt.h.src, pkt.h.dst);
+
+    for (auto _ : state) {
+        auto out = nat.outbound(pkt);
+        fwd.submit(gateway::Direction::Up, out->size(),
+                   [&link, bytes = std::move(*out)]() mutable {
+                       link.send(sim::Link::Side::A, std::move(bytes));
+                   });
+        loop.run();
+    }
+    benchmark::DoNotOptimize(sink.bytes);
+}
+BENCHMARK(BM_ForwardPipelineUdpObserved);
+
 void BM_NatOutboundUdp(benchmark::State& state) {
     sim::EventLoop loop;
     gateway::DeviceProfile profile;
@@ -217,6 +268,46 @@ void BM_NatOutboundUdp(benchmark::State& state) {
     for (auto _ : state) benchmark::DoNotOptimize(nat.outbound(pkt));
 }
 BENCHMARK(BM_NatOutboundUdp);
+
+/// Live counter increment through the null-safe helper.
+void BM_MetricsCounterInc(benchmark::State& state) {
+    obs::MetricsRegistry reg;
+    obs::Counter* c = reg.counter("bench.counter", {{"device", "bench#1"}});
+    for (auto _ : state) {
+        obs::inc(c);
+        benchmark::DoNotOptimize(c->value);
+    }
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+/// The disabled path: every instrumented component pays exactly this (one
+/// untaken branch on a null pointer) per would-be sample.
+void BM_MetricsDisabledInc(benchmark::State& state) {
+    obs::Counter* c = nullptr;
+    benchmark::DoNotOptimize(c);
+    for (auto _ : state) {
+        obs::inc(c);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_MetricsDisabledInc);
+
+/// Trace event construction + emit into a ring-buffer flight recorder,
+/// the sink every traced run carries.
+void BM_TraceEmit(benchmark::State& state) {
+    sim::EventLoop loop;
+    obs::Tracer tracer(loop);
+    obs::FlightRecorder recorder;
+    tracer.add_sink(&recorder);
+    for (auto _ : state) {
+        auto ev = tracer.event("bench#1", "link", "impair.lost");
+        ev.with("direction", "a2b");
+        ev.with("bytes", std::int64_t{1500});
+        tracer.emit(ev);
+    }
+    benchmark::DoNotOptimize(recorder.size());
+}
+BENCHMARK(BM_TraceEmit);
 
 } // namespace
 

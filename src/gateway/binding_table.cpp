@@ -12,6 +12,18 @@ BindingTable::BindingTable(sim::EventLoop& loop,
     : loop_(loop), profile_(profile), proto_(proto),
       next_pool_port_(profile.pool_begin) {}
 
+void BindingTable::bind_observability(obs::MetricsRegistry& reg,
+                                      const std::string& device) {
+    const std::string proto = proto_ == net::proto::kUdp ? "udp" : "tcp";
+    obs::Labels labels{{"device", device}, {"proto", proto}};
+    m_created_ = reg.counter("nat.binding.created", labels);
+    m_expired_ = reg.counter("nat.binding.expired", labels);
+    m_refused_ = reg.counter("nat.binding.refused", labels);
+    m_port_collisions_ = reg.counter("nat.port.collisions", labels);
+    m_occupancy_ = reg.gauge("nat.binding.occupancy", labels);
+    m_cascades_ = reg.gauge("nat.wheel.cascades", labels);
+}
+
 std::size_t BindingTable::capacity_limit() const {
     if (proto_ == net::proto::kUdp && profile_.max_udp_bindings >= 0)
         return static_cast<std::size_t>(profile_.max_udp_bindings);
@@ -90,10 +102,13 @@ void BindingTable::sweep() {
                              now + profile_.port_quarantine);
             erase_external(b.external_port, rec.key);
             by_flow_.erase(it);
+            obs::inc(m_expired_);
         } else {
             schedule_expiry(b, deadline);
         }
     }
+    obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
+    obs::set(m_cascades_, static_cast<double>(wheel_.cascades()));
     while (!grave_queue_.empty() && now >= grave_queue_.front().end) {
         const GraveEntry& front = grave_queue_.front();
         auto it = graveyard_.find(front.key);
@@ -125,6 +140,9 @@ std::uint16_t BindingTable::allocate_port(const FlowKey& key) {
         if (!quarantined &&
             !port_taken_by_other(key.internal.port, key.internal))
             return key.internal.port;
+        // Preservation blocked (quarantine or another endpoint owns the
+        // port) counts as one collision; the pool scan adds the rest.
+        obs::inc(m_port_collisions_);
     }
     // Sequential scan of the pool for a completely free port.
     const auto pool_size =
@@ -135,6 +153,7 @@ std::uint16_t BindingTable::allocate_port(const FlowKey& key) {
                               ? profile_.pool_begin
                               : static_cast<std::uint16_t>(candidate + 1);
         if (!external_in_use(candidate)) return candidate;
+        obs::inc(m_port_collisions_);
     }
     return 0; // pool exhausted
 }
@@ -144,9 +163,15 @@ Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
     auto it = by_flow_.find(key);
     if (it != by_flow_.end()) return &it->second;
 
-    if (by_flow_.size() >= capacity_limit()) return nullptr;
+    if (by_flow_.size() >= capacity_limit()) {
+        obs::inc(m_refused_);
+        return nullptr;
+    }
     const std::uint16_t port = allocate_port(key);
-    if (port == 0) return nullptr;
+    if (port == 0) {
+        obs::inc(m_refused_);
+        return nullptr;
+    }
 
     Binding b;
     b.key = key;
@@ -156,6 +181,8 @@ Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
     GK_ASSERT(ok);
     by_external_[port].push_back(key);
     schedule_expiry(ins->second, effective_deadline(ins->second));
+    obs::inc(m_created_);
+    obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
     return &ins->second;
 }
 
@@ -176,6 +203,8 @@ Binding* BindingTable::find_inbound(std::uint16_t external_port,
             keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(i));
             if (keys.empty()) by_external_.erase(pit);
             by_flow_.erase(it);
+            obs::inc(m_expired_);
+            obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
             return nullptr;
         }
         return &b;
@@ -219,6 +248,7 @@ void BindingTable::clear() {
     by_external_.clear();
     graveyard_.clear();
     grave_queue_.clear();
+    obs::set(m_occupancy_, 0.0);
     // Wheel entries all reference now-absent flows; each is recycled into
     // pending_free_ as its bucket pops, so no explicit wheel reset needed.
 }

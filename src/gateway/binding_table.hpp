@@ -19,6 +19,7 @@
 
 #include "gateway/profile.hpp"
 #include "net/addr.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/timer_wheel.hpp"
 
@@ -112,6 +113,12 @@ public:
     /// Expiry check honoring the device's timer granularity.
     bool expired(const Binding& b) const;
 
+    /// Register this table's instruments (create/expire/refuse counters,
+    /// occupancy + wheel-cascade gauges) under `device`. Without a bind
+    /// every instrumentation site stays a branch-on-null no-op.
+    void bind_observability(obs::MetricsRegistry& reg,
+                            const std::string& device);
+
 private:
     void sweep();
     std::uint16_t allocate_port(const FlowKey& key);
@@ -165,6 +172,14 @@ private:
     std::uint64_t next_gen_ = 1;
 
     std::uint16_t next_pool_port_;
+
+    // Instrumentation; all nullptr until bind_observability.
+    obs::Counter* m_created_ = nullptr;
+    obs::Counter* m_expired_ = nullptr;
+    obs::Counter* m_refused_ = nullptr;
+    obs::Counter* m_port_collisions_ = nullptr;
+    obs::Gauge* m_occupancy_ = nullptr;
+    obs::Gauge* m_cascades_ = nullptr;
 };
 
 } // namespace gatekit::gateway

@@ -41,6 +41,15 @@ void DnsProxy::start(net::Endpoint upstream, net::Ipv4Addr wan_addr) {
     }
 }
 
+void DnsProxy::bind_observability(obs::MetricsRegistry& reg,
+                                  const std::string& device) {
+    obs::Labels labels{{"device", device}};
+    m_udp_queries_ = reg.counter("dns.udp.queries", labels);
+    m_tcp_accepted_ = reg.counter("dns.tcp.accepted", labels);
+    m_oversize_drops_ = reg.counter("dns.oversize.drops", labels);
+    m_pending_depth_ = reg.gauge("dns.pending.depth", labels);
+}
+
 void DnsProxy::on_lan_query(net::Endpoint client,
                             std::span<const std::uint8_t> payload) {
     net::DnsMessage query;
@@ -53,6 +62,8 @@ void DnsProxy::on_lan_query(net::Endpoint client,
     prune_pending();
     pending_[PendingKey{query.id, client}] = host_.loop().now();
     ++udp_forwarded_;
+    obs::inc(m_udp_queries_);
+    obs::set(m_pending_depth_, static_cast<double>(pending_.size()));
     if (profile_.dns_proxy_strips_edns && query.edns_udp_size) {
         // Re-serialize without the OPT record (the studies' observed
         // breakage: the proxy "cleans" queries it does not understand).
@@ -81,9 +92,14 @@ void DnsProxy::on_upstream_response(std::span<const std::uint8_t> payload) {
     // slot and misdirect a later unrelated response with the same id.
     const auto client = it->first.client;
     pending_.erase(it);
+    obs::set(m_pending_depth_, static_cast<double>(pending_.size()));
     if (profile_.dns_proxy_max_udp != 0 &&
-        payload.size() > profile_.dns_proxy_max_udp)
-        return; // silently dropped, as the broken devices do
+        payload.size() > profile_.dns_proxy_max_udp) {
+        // Silently dropped on the wire, as the broken devices do — but
+        // the registry still sees it.
+        obs::inc(m_oversize_drops_);
+        return;
+    }
     lan_sock_->send_to(client, net::Bytes(payload.begin(), payload.end()));
 }
 
@@ -101,6 +117,7 @@ void DnsProxy::prune_pending() {
 
 void DnsProxy::on_tcp_conn(stack::TcpSocket& conn) {
     ++tcp_accepted_;
+    obs::inc(m_tcp_accepted_);
     if (profile_.dns_tcp == DnsTcpMode::AcceptOnly) {
         // Accepts the connection, reads, answers nothing. (Real devices
         // in this class leave dig hanging until its timeout.)

@@ -10,6 +10,7 @@
 
 #include "gateway/profile.hpp"
 #include "net/dns.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "stack/dns_service.hpp"
 
@@ -40,6 +41,11 @@ public:
 
     /// Outstanding UDP queries awaiting an upstream response.
     std::size_t pending_queries() const { return pending_.size(); }
+
+    /// Register query/drop counters and the pending-depth gauge under
+    /// `device`.
+    void bind_observability(obs::MetricsRegistry& reg,
+                            const std::string& device);
     /// Outstanding per-query upstream sockets/connections (TCP paths).
     std::size_t inflight_queries() const {
         return udp_inflight_.size() + tcp_inflight_.size();
@@ -104,6 +110,12 @@ private:
 
     std::uint64_t udp_forwarded_ = 0;
     std::uint64_t tcp_accepted_ = 0;
+
+    // Instrumentation; nullptr until bind_observability.
+    obs::Counter* m_udp_queries_ = nullptr;
+    obs::Counter* m_tcp_accepted_ = nullptr;
+    obs::Counter* m_oversize_drops_ = nullptr;
+    obs::Gauge* m_pending_depth_ = nullptr;
 };
 
 } // namespace gatekit::gateway

@@ -12,6 +12,25 @@ FwdPath::FwdPath(sim::EventLoop& loop, const ForwardingModel& model)
     up_.line_mbps = model.up_mbps;
 }
 
+void FwdPath::bind_observability(obs::MetricsRegistry& reg,
+                                 const std::string& device) {
+    // Ethernet-ish size buckets: small control traffic, typical datagram
+    // sizes, and full-MTU frames land in distinct buckets.
+    const std::vector<double> bounds{64, 128, 256, 512, 1024, 1500};
+    for (Direction dir : {Direction::Down, Direction::Up}) {
+        const std::string d = dir == Direction::Down ? "down" : "up";
+        obs::Labels labels{{"device", device}, {"direction", d}};
+        Queue& queue = q(dir);
+        queue.m_forwarded = reg.counter("fwd.forwarded", labels);
+        queue.m_dropped = reg.counter(
+            "fwd.dropped", {{"device", device},
+                            {"direction", d},
+                            {"reason", "buffer_full"}});
+        queue.m_bytes = reg.gauge("fwd.queue.bytes", labels);
+        queue.m_pkt_bytes = reg.histogram("fwd.packet.bytes", bounds, labels);
+    }
+}
+
 sim::Duration FwdPath::service_time(std::size_t bytes, double mbps) {
     GK_EXPECTS(mbps > 0.0);
     const double seconds = static_cast<double>(bytes) * 8.0 / (mbps * 1e6);
@@ -22,10 +41,13 @@ bool FwdPath::submit(Direction dir, std::size_t bytes, DeliverFn deliver) {
     Queue& queue = q(dir);
     if (queue.bytes + bytes > queue.limit) {
         ++queue.drops;
+        obs::inc(queue.m_dropped);
         return false;
     }
     queue.jobs.push_back(Job{bytes, std::move(deliver)});
     queue.bytes += bytes;
+    obs::set(queue.m_bytes, static_cast<double>(queue.bytes));
+    obs::observe(queue.m_pkt_bytes, static_cast<double>(bytes));
     schedule();
     return true;
 }
@@ -75,6 +97,8 @@ void FwdPath::start_service(Direction dir) {
     const auto line_time = service_time(job.bytes, queue.line_mbps);
     queue.line_free_at = loop_.now() + line_time;
     ++queue.forwarded;
+    obs::inc(queue.m_forwarded);
+    obs::set(queue.m_bytes, static_cast<double>(queue.bytes));
 
     loop_.after(cpu_time, [this, deliver = std::move(job.deliver)]() mutable {
         cpu_busy_ = false;

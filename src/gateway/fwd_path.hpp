@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "gateway/profile.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 
 namespace gatekit::gateway {
@@ -30,6 +31,11 @@ public:
     std::uint64_t forwarded(Direction dir) const { return q(dir).forwarded; }
     std::size_t queued_bytes(Direction dir) const { return q(dir).bytes; }
 
+    /// Register per-direction forwarded/dropped counters, queue-depth
+    /// gauges and a packet-size histogram under `device`.
+    void bind_observability(obs::MetricsRegistry& reg,
+                            const std::string& device);
+
 private:
     struct Job {
         std::size_t bytes;
@@ -43,6 +49,11 @@ private:
         sim::TimePoint line_free_at{};
         std::uint64_t drops = 0;
         std::uint64_t forwarded = 0;
+        // Instrumentation; nullptr until bind_observability.
+        obs::Counter* m_forwarded = nullptr;
+        obs::Counter* m_dropped = nullptr;
+        obs::Gauge* m_bytes = nullptr;
+        obs::Histogram* m_pkt_bytes = nullptr;
     };
 
     Queue& q(Direction dir) { return dir == Direction::Down ? down_ : up_; }

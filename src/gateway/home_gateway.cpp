@@ -102,11 +102,35 @@ void HomeGateway::start(std::function<void(net::Ipv4Addr)> on_ready) {
     });
 }
 
+void HomeGateway::bind_observability(obs::MetricsRegistry* reg,
+                                     obs::Tracer* tracer,
+                                     const std::string& device) {
+    tracer_ = tracer;
+    obs_device_ = device;
+    if (reg != nullptr) {
+        nat_.bind_observability(*reg, device);
+        fwd_.bind_observability(*reg, device);
+        dns_proxy_.bind_observability(*reg, device);
+        m_faults_ = reg->counter("gateway.faults", {{"device", device}});
+    }
+    host_.bind_observability(reg, tracer);
+}
+
 void HomeGateway::inject_fault(const GatewayFault& fault) {
     ++faults_injected_;
+    obs::inc(m_faults_);
+    if (obs::trace_on(tracer_)) {
+        auto ev = tracer_->event(obs_device_, "gateway", "fault");
+        ev.with("flush_nat", static_cast<std::int64_t>(fault.flush_nat));
+        ev.with("stall_ns", static_cast<std::int64_t>(fault.stall.count()));
+        tracer_->emit(ev);
+    }
     if (fault.flush_nat) nat_.flush();
     if (fault.stall > sim::Duration::zero())
         stalled_until_ = std::max(stalled_until_, loop_.now() + fault.stall);
+    // Dump the flight recorder after applying the fault so the window
+    // shows what led up to it.
+    if (obs::trace_on(tracer_)) tracer_->trigger(obs_device_, "gateway.fault");
 }
 
 void HomeGateway::on_lan_ip(stack::Iface&, const net::Ipv4Packet& pkt) {

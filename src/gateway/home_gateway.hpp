@@ -64,6 +64,13 @@ public:
     bool stalled() const { return loop_.now() < stalled_until_; }
     std::uint64_t faults_injected() const { return faults_injected_; }
 
+    /// Wire the whole device into an observability session under `device`
+    /// (typically the profile's model name + slot index): NAT engine and
+    /// binding tables, forwarding path, DNS proxy, and the gateway's own
+    /// host stack. Fault injection becomes a flight-recorder trigger.
+    void bind_observability(obs::MetricsRegistry* reg, obs::Tracer* tracer,
+                            const std::string& device);
+
     stack::Host& host() { return host_; }
     NatEngine& nat() { return nat_; }
     FwdPath& fwd() { return fwd_; }
@@ -90,6 +97,11 @@ private:
     std::function<void(net::Ipv4Addr)> on_ready_;
     sim::TimePoint stalled_until_{0};
     std::uint64_t faults_injected_ = 0;
+
+    // Instrumentation; nullptr/empty until bind_observability.
+    obs::Counter* m_faults_ = nullptr;
+    obs::Tracer* tracer_ = nullptr;
+    std::string obs_device_;
 };
 
 } // namespace gatekit::gateway

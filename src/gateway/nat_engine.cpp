@@ -39,10 +39,35 @@ sim::Duration NatEngine::udp_timeout_for(const Binding& b,
                                          bool inbound_packet,
                                          std::uint16_t service_port) const {
     auto it = profile_.udp.per_service.find(service_port);
-    if (it != profile_.udp.per_service.end()) return it->second;
-    if (inbound_packet) return profile_.udp.inbound_refresh;
-    return b.confirmed ? profile_.udp.outbound_refresh
-                       : profile_.udp.initial;
+    if (it != profile_.udp.per_service.end()) {
+        obs::inc(m_to_per_service_);
+        return it->second;
+    }
+    if (inbound_packet) {
+        obs::inc(m_to_inbound_);
+        return profile_.udp.inbound_refresh;
+    }
+    if (b.confirmed) {
+        obs::inc(m_to_outbound_);
+        return profile_.udp.outbound_refresh;
+    }
+    obs::inc(m_to_initial_);
+    return profile_.udp.initial;
+}
+
+void NatEngine::bind_observability(obs::MetricsRegistry& reg,
+                                   const std::string& device) {
+    udp_.bind_observability(reg, device);
+    tcp_.bind_observability(reg, device);
+    obs::Labels labels{{"device", device}};
+    m_drop_capacity_ = reg.counter("nat.drop.capacity", labels);
+    m_drop_policy_ = reg.counter("nat.drop.policy", labels);
+    m_icmp_translated_ = reg.counter("nat.icmp.translated", labels);
+    m_icmp_dropped_ = reg.counter("nat.icmp.dropped", labels);
+    m_to_per_service_ = reg.counter("nat.timeout.per_service", labels);
+    m_to_inbound_ = reg.counter("nat.timeout.inbound_refresh", labels);
+    m_to_outbound_ = reg.counter("nat.timeout.outbound_refresh", labels);
+    m_to_initial_ = reg.counter("nat.timeout.initial", labels);
 }
 
 std::optional<net::Bytes> NatEngine::outbound(const net::Ipv4Packet& pkt) {
@@ -73,6 +98,7 @@ std::optional<net::Bytes> NatEngine::outbound_udp(const net::Ipv4Packet& pkt) {
     Binding* b = udp_.find_or_create_outbound(key);
     if (b == nullptr) {
         ++stats_.dropped_capacity;
+        obs::inc(m_drop_capacity_);
         return std::nullopt;
     }
     ++b->packets_out;
@@ -98,6 +124,7 @@ std::optional<net::Bytes> NatEngine::outbound_tcp(const net::Ipv4Packet& pkt) {
     Binding* b = tcp_.find_or_create_outbound(key);
     if (b == nullptr) {
         ++stats_.dropped_capacity;
+        obs::inc(m_drop_capacity_);
         return std::nullopt;
     }
     if (seg.flags.syn && !seg.flags.ack)
@@ -159,6 +186,7 @@ std::optional<net::Bytes> NatEngine::outbound_unknown(
     switch (profile_.unknown_proto) {
     case UnknownProtocolPolicy::Drop:
         ++stats_.dropped_policy;
+        obs::inc(m_drop_policy_);
         return std::nullopt;
     case UnknownProtocolPolicy::Untranslated: {
         // Behave as a plain router: forward verbatim (TTL per profile).
@@ -430,6 +458,7 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
         handled = true;
         if (!profile_.icmp_query_errors_translated) {
             ++stats_.icmp_dropped;
+            obs::inc(m_icmp_dropped_);
             return std::nullopt;
         }
         if (embedded.payload.size() < 8) return std::nullopt;
@@ -438,6 +467,7 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
         for (const auto& [key, qb] : icmp_queries_) {
             if (key.id == id && key.remote == embedded.h.dst) {
                 ++stats_.icmp_translated;
+                obs::inc(m_icmp_translated_);
                 net::Bytes quoted = msg.payload;
                 // Rewrite the embedded source address back.
                 const std::uint32_t v = key.internal.value();
@@ -474,15 +504,18 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
     const auto& set = is_tcp ? profile_.icmp_tcp : profile_.icmp_udp;
     if (!set.translates(*kind)) {
         ++stats_.icmp_dropped;
+        obs::inc(m_icmp_dropped_);
         return std::nullopt;
     }
 
     if (is_tcp && profile_.tcp_icmp_becomes_rst) {
         ++stats_.icmp_translated;
+        obs::inc(m_icmp_translated_);
         return synthesize_rst_from_icmp(embedded, *b);
     }
 
     ++stats_.icmp_translated;
+    obs::inc(m_icmp_translated_);
     net::IcmpMessage fwd = msg;
     fwd.payload =
         translate_embedded(msg.payload, *b, embedded.h.protocol);
@@ -504,6 +537,7 @@ std::optional<net::Bytes> NatEngine::inbound_unknown(
     handled = true;
     if (!profile_.unknown_proto_inbound_allowed) {
         ++stats_.dropped_policy;
+        obs::inc(m_drop_policy_);
         return std::nullopt;
     }
     it->second.expires_at = loop_.now() + profile_.unknown_proto_timeout;

@@ -17,6 +17,18 @@ BindingTimeoutSearch::BindingTimeoutSearch(sim::EventLoop& loop,
 
 void BindingTimeoutSearch::start() { next_trial(); }
 
+void BindingTimeoutSearch::trace(const char* name, sim::Duration gap,
+                                 std::int64_t extra_num,
+                                 const char* extra_key) {
+    if (!obs::trace_on(params_.tracer)) return;
+    auto ev = params_.tracer->event(params_.trace_device, "probe", name);
+    ev.with("gap_ns", gap.count());
+    ev.with("trial", trials_);
+    ev.with("attempt", attempt_);
+    if (extra_key != nullptr) ev.with(extra_key, extra_num);
+    params_.tracer->emit(ev);
+}
+
 void BindingTimeoutSearch::next_trial() {
     sim::Duration gap;
     if (!have_expired_) {
@@ -37,6 +49,7 @@ void BindingTimeoutSearch::next_trial() {
 }
 
 void BindingTimeoutSearch::launch_attempt(sim::Duration gap) {
+    trace("trial.launch", gap);
     const std::uint64_t gen = ++gen_;
     std::weak_ptr<char> live = liveness_;
     if (params_.retry.enabled()) {
@@ -62,6 +75,9 @@ void BindingTimeoutSearch::on_watchdog(sim::Duration gap, std::uint64_t gen) {
     if (attempt_ < params_.retry.max_attempts) {
         ++retries_;
         ++attempt_;
+        trace("trial.watchdog_retry", gap, retries_, "retries");
+        if (obs::trace_on(params_.tracer))
+            params_.tracer->trigger(params_.trace_device, "probe.retry");
         const auto delay = params_.retry.backoff * (1 << (attempt_ - 2));
         loop_.after(delay,
                     [this, gap, live = std::weak_ptr<char>(liveness_)] {
@@ -71,6 +87,9 @@ void BindingTimeoutSearch::on_watchdog(sim::Duration gap, std::uint64_t gen) {
         return;
     }
     ++giveups_;
+    trace("trial.giveup", gap, giveups_, "giveups");
+    if (obs::trace_on(params_.tracer))
+        params_.tracer->trigger(params_.trace_device, "probe.giveup");
     // Nothing answers anymore; report the best estimate so far rather
     // than hanging the campaign.
     if (have_expired_)
@@ -82,6 +101,7 @@ void BindingTimeoutSearch::on_watchdog(sim::Duration gap, std::uint64_t gen) {
 }
 
 void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
+    trace("trial.verdict", gap, alive ? 1 : 0, "alive");
     if (alive) {
         longest_alive_ = std::max(longest_alive_, gap);
         if (!have_expired_) {
@@ -108,6 +128,7 @@ void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
 
 void BindingTimeoutSearch::finish(sim::Duration timeout, bool exceeded,
                                   bool gave_up) {
+    trace("search.done", timeout, gave_up ? 1 : 0, "gave_up");
     finished_(SearchResult{timeout, exceeded, trials_, retries_, giveups_,
                            gave_up});
 }

@@ -7,7 +7,10 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
 namespace gatekit::harness {
@@ -36,6 +39,11 @@ struct SearchParams {
     sim::Duration hi_limit{std::chrono::hours(1)};
     sim::Duration resolution{std::chrono::seconds(1)};
     TrialRetryPolicy retry;
+    /// Optional tracing: trial launches/verdicts and watchdog decisions
+    /// are emitted under `trace_device` (category "probe"). A watchdog
+    /// retry or giveup also fires a trigger, dumping the flight recorder.
+    obs::Tracer* tracer = nullptr;
+    std::string trace_device;
 };
 
 struct SearchResult {
@@ -69,6 +77,8 @@ public:
 
 private:
     void next_trial();
+    void trace(const char* name, sim::Duration gap,
+               std::int64_t extra_num = 0, const char* extra_key = nullptr);
     void launch_attempt(sim::Duration gap);
     void on_watchdog(sim::Duration gap, std::uint64_t gen);
     void on_trial(sim::Duration gap, bool alive);

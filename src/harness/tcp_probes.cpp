@@ -18,7 +18,19 @@ public:
     TcpTimeoutMeasurement(Testbed& tb, int slot, TcpTimeoutConfig config,
                           std::function<void(TcpTimeoutResult)> done)
         : tb_(tb), slot_(tb.slot(slot)), config_(config),
-          done_(std::move(done)), loop_(tb.loop()) {}
+          done_(std::move(done)), loop_(tb.loop()) {
+        if (obs::Observability* o = tb_.observability()) {
+            const std::string device = Testbed::device_label(slot_);
+            obs::Labels labels{{"device", device}, {"probe", "tcp1"}};
+            m_trials_ = o->metrics().counter("probe.trials", labels);
+            m_retries_ = o->metrics().counter("probe.retries", labels);
+            m_giveups_ = o->metrics().counter("probe.giveups", labels);
+            if (config_.search.tracer == nullptr) {
+                config_.search.tracer = &o->tracer();
+                config_.search.trace_device = device;
+            }
+        }
+    }
 
     void start() {
         listener_ = &tb_.server().tcp_listen(config_.server_port);
@@ -54,6 +66,12 @@ private:
                     sim::to_sec(r.timeout));
                 self->result_.search_retries += r.retries;
                 self->result_.search_giveups += r.giveups;
+                obs::add(self->m_trials_,
+                         static_cast<std::uint64_t>(r.trials));
+                obs::add(self->m_retries_,
+                         static_cast<std::uint64_t>(r.retries));
+                obs::add(self->m_giveups_,
+                         static_cast<std::uint64_t>(r.giveups));
                 self->loop_.after(sim::Duration::zero(), [self] {
                     self->next_repetition();
                 });
@@ -86,6 +104,7 @@ private:
                 // Connect swallowed by an impaired link or faulted
                 // device: back off and run the whole trial again.
                 ++self->result_.connect_retries;
+                obs::inc(self->m_retries_);
                 const auto delay = self->config_.connect_backoff
                                    * (1 << attempt);
                 self->loop_.after(delay, [self, gap, attempt, cb]() mutable {
@@ -107,6 +126,7 @@ private:
                     // impaired link. Re-run the trial instead of
                     // reading a false "expired".
                     ++self->result_.connect_retries;
+                    obs::inc(self->m_retries_);
                     if (self->client_conn_ != nullptr) {
                         self->client_conn_->on_error = nullptr;
                         self->client_conn_->abort();
@@ -160,6 +180,9 @@ private:
     std::unique_ptr<BindingTimeoutSearch> search_;
     TcpTimeoutResult result_;
     bool got_data_ = false;
+    obs::Counter* m_trials_ = nullptr;
+    obs::Counter* m_retries_ = nullptr;
+    obs::Counter* m_giveups_ = nullptr;
 };
 
 // --- TCP-2 / TCP-3 -----------------------------------------------------------

@@ -22,7 +22,9 @@ struct TcpTimeoutConfig {
     SearchParams search{.first_guess = std::chrono::minutes(2),
                         .hi_limit = std::chrono::hours(24),
                         .resolution = std::chrono::seconds(1),
-                        .retry = {}};
+                        .retry = {},
+                        .tracer = nullptr,
+                        .trace_device = {}};
     /// Extra whole-trial attempts when the connection cannot even be
     /// established (lossy links exhausting the stack's own SYN
     /// retransmissions, stalled gateways). Default-off: a failed connect

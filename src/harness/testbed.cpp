@@ -91,7 +91,40 @@ int Testbed::add_device(gateway::DeviceProfile profile) {
 
     slots_.push_back(std::move(slot));
     dns_->add_record(kTestName, slots_.back()->server_addr);
+    if (obs_ != nullptr) bind_slot_observability(*slots_.back());
     return n - 1;
+}
+
+std::string Testbed::device_label(const DeviceSlot& slot) {
+    const std::string& tag = slot.gw->profile().tag;
+    return (tag.empty() ? std::string("dev") : tag) + "#" +
+           std::to_string(slot.index);
+}
+
+void Testbed::attach_observability(obs::Observability* obs) {
+    obs_ = obs;
+    obs::MetricsRegistry* reg = obs ? &obs->metrics() : nullptr;
+    obs::Tracer* tracer = obs ? &obs->tracer() : nullptr;
+    client_.bind_observability(reg, tracer);
+    server_.bind_observability(reg, tracer);
+    if (obs_ != nullptr)
+        for (auto& slot : slots_) bind_slot_observability(*slot);
+}
+
+void Testbed::bind_slot_observability(DeviceSlot& slot) {
+    const std::string device = device_label(slot);
+    slot.gw->bind_observability(&obs_->metrics(), &obs_->tracer(), device);
+    // The WAN link's trace events cross-reference the slot's capture: the
+    // tap records at wire time before any impairment draw, so at the
+    // moment an impairment event fires, the affected frame is the last
+    // record. The tap outlives the link (both live in the slot).
+    const pcap::CaptureTap* tap = &slot.wan_tap;
+    slot.wan_link->bind_observability(
+        &obs_->metrics(), &obs_->tracer(), device + ".wan", [tap] {
+            return static_cast<std::int64_t>(tap->records().size()) - 1;
+        });
+    slot.lan_link->bind_observability(&obs_->metrics(), &obs_->tracer(),
+                                      device + ".lan");
 }
 
 void Testbed::start(std::function<void()> on_ready) {

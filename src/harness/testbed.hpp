@@ -13,6 +13,7 @@
 
 #include "gateway/home_gateway.hpp"
 #include "l2/vlan_switch.hpp"
+#include "obs/obs.hpp"
 #include "pcap/capture_tap.hpp"
 #include "stack/dhcp_service.hpp"
 #include "stack/dns_service.hpp"
@@ -67,6 +68,16 @@ public:
     std::size_t device_count() const { return slots_.size(); }
     DeviceSlot& slot(int i) { return *slots_.at(static_cast<std::size_t>(i)); }
 
+    /// Attach an observability session (owned by the caller, must outlive
+    /// the testbed): binds every device slot created so far and any added
+    /// later — gateways, test hosts, and the per-slot links, whose trace
+    /// events cross-reference the slot's WAN capture frame indices.
+    void attach_observability(obs::Observability* obs);
+    obs::Observability* observability() { return obs_; }
+
+    /// Metrics/trace label for a slot: "<profile tag>#<n>".
+    static std::string device_label(const DeviceSlot& slot);
+
     /// The DNS name the global server resolves (paper: hiit.fi zone).
     static constexpr const char* kTestName = "server.hiit.fi";
     /// A name with a DNSSEC-sized (~1100 byte) TXT answer.
@@ -75,6 +86,7 @@ public:
 
 private:
     void maybe_ready();
+    void bind_slot_observability(DeviceSlot& slot);
 
     sim::EventLoop& loop_;
     l2::VlanSwitch lan_switch_;
@@ -87,6 +99,7 @@ private:
     std::vector<std::unique_ptr<DeviceSlot>> slots_;
     std::function<void()> on_ready_;
     bool started_ = false;
+    obs::Observability* obs_ = nullptr;
 };
 
 } // namespace gatekit::harness

@@ -20,7 +20,23 @@ public:
                    UdpProbeConfig config,
                    std::function<void(UdpTimeoutResult)> done)
         : tb_(tb), slot_(tb.slot(slot)), pattern_(pattern),
-          config_(config), done_(std::move(done)), loop_(tb.loop()) {}
+          config_(config), done_(std::move(done)), loop_(tb.loop()) {
+        if (obs::Observability* o = tb_.observability()) {
+            const std::string device = Testbed::device_label(slot_);
+            const char* probe =
+                pattern_ == UdpPattern::SolitaryOutbound  ? "udp1"
+                : pattern_ == UdpPattern::InboundRefresh ? "udp2"
+                                                         : "udp3";
+            obs::Labels labels{{"device", device}, {"probe", probe}};
+            m_trials_ = o->metrics().counter("probe.trials", labels);
+            m_retries_ = o->metrics().counter("probe.retries", labels);
+            m_giveups_ = o->metrics().counter("probe.giveups", labels);
+            if (config_.search.tracer == nullptr) {
+                config_.search.tracer = &o->tracer();
+                config_.search.trace_device = device;
+            }
+        }
+    }
 
     void start() {
         server_sock_ =
@@ -172,6 +188,7 @@ private:
                          cb = std::move(cb)]() mutable {
                             if (self->server_rx_total_ == rx_before) {
                                 ++self->result_.creation_retries;
+                                obs::inc(self->m_retries_);
                                 self->send_creation(gap, attempt + 1, epoch,
                                                     std::move(cb));
                                 return;
@@ -218,6 +235,7 @@ private:
                 self->probe_attempt_ < self->config_.retry.probe_retries) {
                 ++self->probe_attempt_;
                 ++self->result_.probe_retries;
+                obs::inc(self->m_retries_);
                 // A probe lost on an impaired link has aged the binding
                 // past the nominal gap; re-probing it now would read
                 // "expired" whenever the true timeout falls inside the
@@ -247,6 +265,9 @@ private:
         result_.samples_sec.push_back(sim::to_sec(r.timeout));
         result_.search_retries += r.retries;
         result_.search_giveups += r.giveups;
+        obs::add(m_trials_, static_cast<std::uint64_t>(r.trials));
+        obs::add(m_retries_, static_cast<std::uint64_t>(r.retries));
+        obs::add(m_giveups_, static_cast<std::uint64_t>(r.giveups));
         tb_.client().udp_close(*client_sock_);
         client_sock_ = nullptr;
         loop_.after(sim::Duration::zero(),
@@ -279,6 +300,12 @@ private:
     int probe_attempt_ = 0;
     std::uint64_t flow_epoch_ = 0; ///< invalidates abandoned trial chains
     int fresh_flows_ = 0;          ///< ports consumed by open_fresh_flow
+
+    // Registry promotion of the per-probe robustness counters; nullptr
+    // when the testbed has no observability session attached.
+    obs::Counter* m_trials_ = nullptr;
+    obs::Counter* m_retries_ = nullptr;
+    obs::Counter* m_giveups_ = nullptr;
     bool trial_running_ = false;
     bool prev_trial_alive_ = false;
     sim::Duration min_dead_gap_{};
@@ -293,7 +320,19 @@ public:
     PortReuseMeasurement(Testbed& tb, int slot, UdpProbeConfig config,
                          std::function<void(PortReuseResult)> done)
         : tb_(tb), slot_(tb.slot(slot)), config_(config),
-          done_(std::move(done)), loop_(tb.loop()) {}
+          done_(std::move(done)), loop_(tb.loop()) {
+        if (obs::Observability* o = tb_.observability()) {
+            const std::string device = Testbed::device_label(slot_);
+            obs::Labels labels{{"device", device}, {"probe", "udp4"}};
+            m_trials_ = o->metrics().counter("probe.trials", labels);
+            m_retries_ = o->metrics().counter("probe.retries", labels);
+            m_giveups_ = o->metrics().counter("probe.giveups", labels);
+            if (config_.search.tracer == nullptr) {
+                config_.search.tracer = &o->tracer();
+                config_.search.trace_device = device;
+            }
+        }
+    }
 
     static constexpr std::uint16_t kClientPort = 41999;
 
@@ -322,7 +361,15 @@ public:
                                         std::function<void(bool)> cb) {
                 self->run_trial(gap, std::move(cb));
             },
-            [self = shared_from_this()](SearchResult) { self->finish(); });
+            [self = shared_from_this()](SearchResult r) {
+                obs::add(self->m_trials_,
+                         static_cast<std::uint64_t>(r.trials));
+                obs::add(self->m_retries_,
+                         static_cast<std::uint64_t>(r.retries));
+                obs::add(self->m_giveups_,
+                         static_cast<std::uint64_t>(r.giveups));
+                self->finish();
+            });
         search_->start();
     }
 
@@ -410,6 +457,9 @@ private:
     bool prev_trial_was_dead_ = false;
     sim::Duration min_dead_gap_{};
     bool have_dead_gap_ = false;
+    obs::Counter* m_trials_ = nullptr;
+    obs::Counter* m_retries_ = nullptr;
+    obs::Counter* m_giveups_ = nullptr;
 };
 
 } // namespace

@@ -46,7 +46,9 @@ struct UdpProbeConfig {
     SearchParams search{.first_guess = std::chrono::seconds(16),
                         .hi_limit = std::chrono::hours(1),
                         .resolution = std::chrono::seconds(1),
-                        .retry = {}};
+                        .retry = {},
+                        .tracer = nullptr,
+                        .trace_device = {}};
     UdpRetryPolicy retry;
 };
 

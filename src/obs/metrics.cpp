@@ -1,0 +1,201 @@
+#include "obs/metrics.hpp"
+
+#include "report/csv.hpp"
+#include "report/json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace gatekit::obs {
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               Labels labels, Kind kind,
+                                               std::vector<double> bounds) {
+    Key key{std::string(name), labels};
+    if (auto it = index_.find(key); it != index_.end()) return *it->second;
+    auto e = std::make_unique<Entry>();
+    e->name = std::string(name);
+    e->labels = std::move(labels);
+    e->kind = kind;
+    switch (kind) {
+    case Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+        e->histogram = std::make_unique<Histogram>(std::move(bounds));
+        break;
+    }
+    Entry* raw = e.get();
+    entries_.push_back(std::move(e));
+    index_.emplace(std::move(key), raw);
+    return *raw;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name, Labels labels) {
+    return entry(name, std::move(labels), Kind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, Labels labels) {
+    return entry(name, std::move(labels), Kind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+    return entry(name, std::move(labels), Kind::kHistogram, std::move(bounds))
+        .histogram.get();
+}
+
+const MetricsRegistry::Entry*
+MetricsRegistry::find(std::string_view name, const Labels& labels,
+                      Kind kind) const {
+    auto it = index_.find(Key{std::string(name), labels});
+    if (it == index_.end() || it->second->kind != kind) return nullptr;
+    return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name,
+                                             const Labels& labels) const {
+    const Entry* e = find(name, labels, Kind::kCounter);
+    return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name,
+                                         const Labels& labels) const {
+    const Entry* e = find(name, labels, Kind::kGauge);
+    return e ? e->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name,
+                                                 const Labels& labels) const {
+    const Entry* e = find(name, labels, Kind::kHistogram);
+    return e ? e->histogram.get() : nullptr;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                             const Labels& labels) const {
+    const Counter* c = find_counter(name, labels);
+    return c ? c->value : 0;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+    std::uint64_t total = 0;
+    for (const auto& e : entries_)
+        if (e->kind == Kind::kCounter && e->name == name)
+            total += e->counter->value;
+    return total;
+}
+
+std::string MetricsRegistry::to_json() const {
+    std::ostringstream out;
+    report::JsonWriter w(out);
+    w.begin_object();
+    w.key("schema").value("gatekit.metrics.v1");
+    w.key("metrics").begin_array();
+    for (const auto& e : entries_) {
+        w.begin_object();
+        w.key("name").value(e->name);
+        w.key("labels").begin_object();
+        for (const auto& [k, v] : e->labels) w.key(k).value(v);
+        w.end_object();
+        switch (e->kind) {
+        case Kind::kCounter:
+            w.key("kind").value("counter");
+            w.key("value").value(e->counter->value);
+            break;
+        case Kind::kGauge:
+            w.key("kind").value("gauge");
+            w.key("value").value(e->gauge->value);
+            break;
+        case Kind::kHistogram: {
+            const Histogram& h = *e->histogram;
+            w.key("kind").value("histogram");
+            w.key("count").value(h.total);
+            w.key("sum").value(h.sum);
+            w.key("buckets").begin_array();
+            for (std::size_t i = 0; i < h.counts.size(); ++i) {
+                w.begin_object();
+                if (i < h.bounds.size())
+                    w.key("le").value(h.bounds[i]);
+                else
+                    w.key("le").value("inf");
+                w.key("count").value(h.counts[i]);
+                w.end_object();
+            }
+            w.end_array();
+            break;
+        }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return out.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+    report::CsvWriter csv({"name", "kind", "labels", "value", "sum", "count"});
+    for (const auto& e : entries_) {
+        std::string labels;
+        for (const auto& [k, v] : e->labels) {
+            if (!labels.empty()) labels += ';';
+            labels += k + "=" + v;
+        }
+        switch (e->kind) {
+        case Kind::kCounter:
+            csv.add_row({e->name, "counter", labels,
+                         std::to_string(e->counter->value), "", ""});
+            break;
+        case Kind::kGauge:
+            csv.add_row({e->name, "gauge", labels,
+                         report::json_double(e->gauge->value), "", ""});
+            break;
+        case Kind::kHistogram:
+            csv.add_row({e->name, "histogram", labels, "",
+                         report::json_double(e->histogram->sum),
+                         std::to_string(e->histogram->total)});
+            break;
+        }
+    }
+    return csv.to_string();
+}
+
+bool MetricsRegistry::save_json(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << to_json() << '\n';
+    return static_cast<bool>(out);
+}
+
+bool validate_metrics_json(std::string_view text, std::string* error) {
+    if (!report::json_valid(text, error)) return false;
+    auto fail = [&](const char* what) {
+        if (error) *error = what;
+        return false;
+    };
+    if (text.find("\"schema\":\"gatekit.metrics.v1\"") == std::string_view::npos)
+        return fail("missing or wrong schema tag");
+    if (text.find("\"metrics\":[") == std::string_view::npos)
+        return fail("missing metrics array");
+    // Every metric entry must carry a recognized kind and a name. The
+    // emitter is ours, so field order is fixed; this is a smoke-level
+    // schema check, not a general parser.
+    std::size_t kinds = 0, pos = 0;
+    while ((pos = text.find("\"kind\":\"", pos)) != std::string_view::npos) {
+        pos += 8;
+        std::string_view rest = text.substr(pos);
+        if (rest.rfind("counter\"", 0) != 0 && rest.rfind("gauge\"", 0) != 0 &&
+            rest.rfind("histogram\"", 0) != 0)
+            return fail("unknown metric kind");
+        ++kinds;
+    }
+    std::size_t names = 0;
+    pos = 0;
+    while ((pos = text.find("\"name\":\"", pos)) != std::string_view::npos) {
+        pos += 8;
+        ++names;
+    }
+    if (names != kinds) return fail("metric entries missing name or kind");
+    return true;
+}
+
+} // namespace gatekit::obs

@@ -1,0 +1,129 @@
+// Metrics registry for the testbed: counters, gauges, and fixed-bucket
+// histograms registered by name + label pairs, snapshot-able to JSON and
+// CSV. Lock-free by construction — everything runs on the single-threaded
+// event loop, so instruments are plain structs with no atomics.
+//
+// Instrumented components hold raw pointers to instruments, defaulting to
+// nullptr. The free helpers below (`inc`, `add`, `set`, `observe`) branch
+// on null, so with no registry attached the cost of an instrumentation
+// site is one predictable untaken branch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gatekit::obs {
+
+struct Counter {
+    std::uint64_t value = 0;
+};
+
+struct Gauge {
+    double value = 0.0;
+};
+
+/// Fixed upper-bound buckets; counts has bounds.size() + 1 entries, the
+/// last being the overflow (+inf) bucket.
+struct Histogram {
+    explicit Histogram(std::vector<double> upper_bounds)
+        : bounds(std::move(upper_bounds)), counts(bounds.size() + 1, 0) {}
+
+    void observe(double v) {
+        std::size_t i = 0;
+        while (i < bounds.size() && v > bounds[i]) ++i;
+        ++counts[i];
+        ++total;
+        sum += v;
+    }
+
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+};
+
+// Null-safe instrumentation helpers: the disabled path is branch-on-null.
+inline void inc(Counter* c) {
+    if (c) ++c->value;
+}
+inline void add(Counter* c, std::uint64_t n) {
+    if (c) c->value += n;
+}
+inline void set(Gauge* g, double v) {
+    if (g) g->value = v;
+}
+inline void observe(Histogram* h, double v) {
+    if (h) h->observe(v);
+}
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Registry of named instruments. Registration dedups on (name, labels):
+/// asking twice for the same instrument returns the same pointer.
+/// Pointers are stable for the registry's lifetime (deque storage).
+class MetricsRegistry {
+public:
+    Counter* counter(std::string_view name, Labels labels = {});
+    Gauge* gauge(std::string_view name, Labels labels = {});
+    Histogram* histogram(std::string_view name, std::vector<double> bounds,
+                         Labels labels = {});
+
+    /// Lookup without creating; nullptr when absent. Used by tests.
+    const Counter* find_counter(std::string_view name,
+                                const Labels& labels = {}) const;
+    const Gauge* find_gauge(std::string_view name,
+                            const Labels& labels = {}) const;
+    const Histogram* find_histogram(std::string_view name,
+                                    const Labels& labels = {}) const;
+
+    /// Counter value by name+labels, 0 when the counter was never
+    /// registered — convenient for test assertions.
+    std::uint64_t counter_value(std::string_view name,
+                                const Labels& labels = {}) const;
+
+    /// Sum of all counters whose name matches, across label sets.
+    std::uint64_t counter_total(std::string_view name) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /// Snapshot as one JSON document (schema "gatekit.metrics.v1").
+    std::string to_json() const;
+    /// Snapshot as CSV rows: name,kind,labels,value,sum,buckets.
+    std::string to_csv() const;
+    /// Write to_json() to `path`; false on I/O failure.
+    bool save_json(const std::string& path) const;
+
+private:
+    enum class Kind { kCounter, kGauge, kHistogram };
+
+    struct Entry {
+        std::string name;
+        Labels labels;
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    using Key = std::pair<std::string, Labels>;
+
+    Entry& entry(std::string_view name, Labels labels, Kind kind,
+                 std::vector<double> bounds = {});
+    const Entry* find(std::string_view name, const Labels& labels,
+                      Kind kind) const;
+
+    std::vector<std::unique_ptr<Entry>> entries_; ///< registration order
+    std::map<Key, Entry*> index_;
+};
+
+/// Structural + schema check for a metrics sidecar produced by to_json():
+/// valid JSON, correct schema tag, every metric carries name/kind and the
+/// kind-appropriate value fields. Used by the metrics_smoke ctest.
+bool validate_metrics_json(std::string_view text, std::string* error = nullptr);
+
+} // namespace gatekit::obs

@@ -1,0 +1,28 @@
+// Umbrella for the observability layer: one Observability object bundles
+// the metrics registry and the tracer so components can be wired with a
+// single bind call. Ownership lives with whoever runs the campaign (the
+// bench harness or a test); components only ever hold non-owning pointers
+// and default to fully-disabled (nullptr) instrumentation.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::obs {
+
+class Observability {
+public:
+    explicit Observability(sim::EventLoop& loop) : tracer_(loop) {}
+
+    MetricsRegistry& metrics() { return metrics_; }
+    const MetricsRegistry& metrics() const { return metrics_; }
+    Tracer& tracer() { return tracer_; }
+    const Tracer& tracer() const { return tracer_; }
+
+private:
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+};
+
+} // namespace gatekit::obs

@@ -1,0 +1,322 @@
+#include "report/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gatekit::report {
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string json_double(double v) {
+    if (!std::isfinite(v)) return "0";
+    std::array<char, 32> buf{};
+    auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+    if (ec != std::errc{}) return "0";
+    std::string out(buf.data(), ptr);
+    // Bare integers are valid JSON numbers, but keep them recognizably
+    // floating-point so downstream readers don't flip types run-to-run.
+    if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+    return out;
+}
+
+void JsonWriter::pre_value() {
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!has_item_.empty()) {
+        if (has_item_.back()) out_ << ',';
+        has_item_.back() = true;
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    pre_value();
+    out_ << '{';
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    has_item_.pop_back();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    pre_value();
+    out_ << '[';
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    has_item_.pop_back();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    if (!has_item_.empty()) {
+        if (has_item_.back()) out_ << ',';
+        has_item_.back() = true;
+    }
+    out_ << '"' << json_escape(k) << "\":";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+    pre_value();
+    out_ << '"' << json_escape(s) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    pre_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    pre_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    pre_value();
+    out_ << json_double(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    pre_value();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+namespace {
+
+// Recursive-descent structural check. `pos` always points at the next
+// unconsumed byte.
+class Validator {
+public:
+    Validator(std::string_view text, std::string* error)
+        : text_(text), error_(error) {}
+
+    bool run() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing data");
+        return true;
+    }
+
+private:
+    bool fail(const char* what) {
+        if (error_) {
+            *error_ = what;
+            *error_ += " at byte ";
+            *error_ += std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool string() {
+        // Caller saw the opening quote.
+        ++pos_;
+        while (!eof()) {
+            unsigned char c = static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (eof()) return fail("unterminated escape");
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 5;
+                    continue;
+                }
+                if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                    e != 'f' && e != 'n' && e != 'r' && e != 't')
+                    return fail("bad escape");
+                ++pos_;
+                continue;
+            }
+            if (c < 0x20) return fail("control char in string");
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool number() {
+        if (peek() == '-') ++pos_;
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("bad number");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad fraction");
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad exponent");
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return true;
+    }
+
+    bool object() {
+        ++pos_; // '{'
+        if (++depth_ > kMaxDepth) return fail("nesting too deep");
+        skip_ws();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (eof() || peek() != '"') return fail("expected object key");
+            if (!string()) return false;
+            skip_ws();
+            if (eof() || peek() != ':') return fail("expected ':'");
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (eof()) return fail("unterminated object");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array() {
+        ++pos_; // '['
+        if (++depth_ > kMaxDepth) return fail("nesting too deep");
+        skip_ws();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (eof()) return fail("unterminated array");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool value() {
+        if (eof()) return fail("expected value");
+        switch (peek()) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    std::string_view text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+    return Validator(text, error).run();
+}
+
+} // namespace gatekit::report

@@ -1,0 +1,57 @@
+// Minimal JSON output support for the report sidecars (metrics snapshots,
+// trace JSONL lines). A streaming writer with automatic comma placement —
+// no DOM, no allocation beyond the output stream — plus a structural
+// validator used by the metrics_smoke schema check.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gatekit::report {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// added). Control characters become \u00XX.
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal for a double. Non-finite values (which
+/// JSON cannot represent) are clamped to null-like "0".
+std::string json_double(double v);
+
+/// Streaming JSON writer: explicit begin/end calls, commas inserted
+/// automatically. The caller is responsible for well-formed nesting
+/// (every begin_* matched by the corresponding end_*, key() before each
+/// object member value).
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+    JsonWriter& key(std::string_view k);
+    JsonWriter& value(std::string_view s);
+    JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(double v);
+    JsonWriter& value(bool v);
+
+private:
+    void pre_value();
+
+    std::ostream& out_;
+    std::vector<bool> has_item_; ///< per nesting level: wrote an item yet?
+    bool after_key_ = false;
+};
+
+/// Structural validation: true when `text` is exactly one well-formed
+/// JSON value (plus surrounding whitespace). On failure `error` (when
+/// non-null) receives a short description with a byte offset. This is a
+/// validator, not a parser — nothing is materialized.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+} // namespace gatekit::report

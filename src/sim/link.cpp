@@ -10,6 +10,37 @@ Link::Link(EventLoop& loop, std::uint64_t bits_per_sec, Duration propagation)
     GK_EXPECTS(propagation >= Duration::zero());
 }
 
+void Link::bind_observability(obs::MetricsRegistry* reg, obs::Tracer* tracer,
+                              const std::string& device,
+                              FrameIndexFn frame_index) {
+    tracer_ = tracer;
+    trace_device_ = device;
+    frame_index_ = std::move(frame_index);
+    a_to_b_.label = "a2b";
+    b_to_a_.label = "b2a";
+    if (reg == nullptr) return;
+    for (Direction* d : {&a_to_b_, &b_to_a_}) {
+        obs::Labels labels{{"device", device}, {"direction", d->label}};
+        d->m_lost = reg->counter("link.impair.lost", labels);
+        d->m_dup = reg->counter("link.impair.duplicated", labels);
+        d->m_reordered = reg->counter("link.impair.reordered", labels);
+        d->m_corrupted = reg->counter("link.impair.corrupted", labels);
+        d->m_tx_drops = reg->counter("link.tx.drops", labels);
+    }
+}
+
+void Link::trace_impair(const Direction& d, const char* what,
+                        std::size_t bytes) const {
+    if (!obs::trace_on(tracer_)) return;
+    auto ev = tracer_->event(trace_device_, "link", what);
+    ev.with("direction", d.label);
+    ev.with("bytes", static_cast<std::int64_t>(bytes));
+    // The capture tap (when attached) has already recorded this frame:
+    // send() taps at wire time before the impairment draw runs.
+    if (frame_index_) ev.frame = frame_index_();
+    tracer_->emit(ev);
+}
+
 void Link::attach(Side side, FrameSink& sink) {
     // The receiver for frames arriving at `side` terminates the direction
     // flowing *toward* that side.
@@ -48,6 +79,8 @@ void Link::send(Side from, Frame frame) {
             static_cast<unsigned __int128>(tx_queue_bytes_) *
                 (8u * 1'000'000'000ULL)) {
             ++d.tx_drops;
+            obs::inc(d.m_tx_drops);
+            trace_impair(d, "tx.drop", frame.size());
             return;
         }
     }
@@ -98,11 +131,15 @@ void Link::deliver_impaired(Direction& d, TimePoint done, Frame frame) {
     const LinkImpairments& cfg = im.cfg;
     if (cfg.loss > 0.0 && im.rng.uniform01() < cfg.loss) {
         ++im.stats.dropped;
+        obs::inc(d.m_lost);
+        trace_impair(d, "impair.lost", frame.size());
         return;
     }
     if (cfg.corrupt > 0.0 && im.rng.uniform01() < cfg.corrupt &&
         !frame.empty()) {
         ++im.stats.corrupted;
+        obs::inc(d.m_corrupted);
+        trace_impair(d, "impair.corrupted", frame.size());
         if ((im.rng.next_u64() & 1u) != 0) {
             frame.resize(im.rng.uniform(
                 0, static_cast<std::uint32_t>(frame.size()) - 1));
@@ -120,6 +157,8 @@ void Link::deliver_impaired(Direction& d, TimePoint done, Frame frame) {
     }
     if (cfg.reorder > 0.0 && im.rng.uniform01() < cfg.reorder) {
         ++im.stats.reordered;
+        obs::inc(d.m_reordered);
+        trace_impair(d, "impair.reordered", frame.size());
         extra += cfg.reorder_hold;
     }
     const bool dup =
@@ -128,6 +167,8 @@ void Link::deliver_impaired(Direction& d, TimePoint done, Frame frame) {
     const TimePoint when = done + prop_ + extra;
     if (dup) {
         ++im.stats.duplicated;
+        obs::inc(d.m_dup);
+        trace_impair(d, "impair.duplicated", frame.size());
         loop_.at(when, [rx, f = frame]() mutable { rx->frame_in(std::move(f)); });
     }
     loop_.at(when, [rx, f = std::move(frame)]() mutable {

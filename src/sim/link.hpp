@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -103,6 +105,19 @@ public:
     const LinkImpairments& impairments(Side from) const;
     const ImpairmentStats& impairment_stats(Side from) const;
 
+    /// Index of the most recent frame the attached capture recorded, or
+    /// -1. Supplied by whoever owns the pcap tap (the harness) so trace
+    /// lines can cross-reference capture frames without the sim layer
+    /// depending on pcap.
+    using FrameIndexFn = std::function<std::int64_t()>;
+
+    /// Register per-direction impairment/tx-drop counters under `device`
+    /// and start emitting trace events for every impairment decision.
+    /// Either pointer may be null to enable only metrics or only tracing.
+    void bind_observability(obs::MetricsRegistry* reg, obs::Tracer* tracer,
+                            const std::string& device,
+                            FrameIndexFn frame_index = {});
+
 private:
     // Heap-allocated so the common (unimpaired) link carries only a null
     // pointer and the send fast path stays untouched.
@@ -119,6 +134,13 @@ private:
         std::uint64_t tx_drops = 0;
         FrameSink* receiver = nullptr; // sink at the *far* end
         std::unique_ptr<Impairer> impair;
+        // Instrumentation; nullptr until bind_observability.
+        obs::Counter* m_lost = nullptr;
+        obs::Counter* m_dup = nullptr;
+        obs::Counter* m_reordered = nullptr;
+        obs::Counter* m_corrupted = nullptr;
+        obs::Counter* m_tx_drops = nullptr;
+        const char* label = "?"; ///< direction tag for trace events
     };
 
     Direction& dir(Side s) { return s == Side::A ? a_to_b_ : b_to_a_; }
@@ -128,6 +150,8 @@ private:
 
     Duration tx_time(std::size_t bytes) const;
     void deliver_impaired(Direction& d, TimePoint done, Frame frame);
+    void trace_impair(const Direction& d, const char* what,
+                      std::size_t bytes) const;
 
     EventLoop& loop_;
     std::uint64_t rate_;
@@ -136,6 +160,11 @@ private:
     Direction a_to_b_;
     Direction b_to_a_;
     Tap tap_;
+
+    // Tracing; null/empty until bind_observability.
+    obs::Tracer* tracer_ = nullptr;
+    std::string trace_device_;
+    FrameIndexFn frame_index_;
 };
 
 /// Convenience endpoint handle binding a Link to one of its sides, so nodes

@@ -23,6 +23,7 @@ void TimerWheel::place(const Item& item) {
 }
 
 void TimerWheel::cascade(std::vector<Item>& bucket, std::int64_t now_ns) {
+    ++cascades_;
     // place() may re-bucket an item into the very slot being drained
     // (tick indices alias mod 64), so drain via a scratch copy.
     scratch_.clear();

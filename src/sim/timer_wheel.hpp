@@ -35,6 +35,11 @@ public:
     /// Items currently parked in the wheel.
     std::size_t scheduled() const { return size_; }
 
+    /// Cumulative bucket-drain (cascade) operations since construction.
+    /// Cheap enough to count unconditionally; the observability layer
+    /// snapshots this into `nat.wheel.cascades`.
+    std::uint64_t cascades() const { return cascades_; }
+
 private:
     struct Item {
         std::uint64_t id;
@@ -64,6 +69,7 @@ private:
     std::vector<std::uint64_t> due_;
     std::uint64_t cur_tick_ = 0;
     std::size_t size_ = 0;
+    std::uint64_t cascades_ = 0;
 };
 
 } // namespace gatekit::sim

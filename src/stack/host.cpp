@@ -88,6 +88,14 @@ bool Host::is_local_addr(net::Ipv4Addr addr) const {
     return false;
 }
 
+void Host::bind_observability(obs::MetricsRegistry* reg, obs::Tracer* tracer) {
+    tracer_ = tracer;
+    if (reg == nullptr) return;
+    obs::Labels labels{{"device", name_}};
+    m_tcp_retransmits_ = reg->counter("tcp.retransmits", labels);
+    m_tcp_stale_syn_ = reg->counter("tcp.stale_syn_reacks", labels);
+}
+
 std::uint16_t Host::alloc_ephemeral_port() {
     // Skip ports below the ephemeral range and wrap; collisions across
     // protocols are harmless (separate demux spaces).

@@ -14,6 +14,8 @@
 #include "net/icmp.hpp"
 #include "net/tcp_header.hpp"
 #include "net/ipv4.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stack/netif.hpp"
 
 namespace gatekit::stack {
@@ -134,6 +136,13 @@ public:
 
     std::uint16_t alloc_ephemeral_port();
 
+    /// Register host-level transport counters (TCP retransmits, stale-SYN
+    /// re-ACKs) labeled with this host's name, and hand the host's TCP
+    /// sockets a tracer for retransmit events. Either argument may be
+    /// null/omitted; instrumentation stays branch-on-null until bound.
+    void bind_observability(obs::MetricsRegistry* reg,
+                            obs::Tracer* tracer = nullptr);
+
     /// True when `addr` is one of this host's interface addresses.
     bool is_local_addr(net::Ipv4Addr addr) const;
 
@@ -183,6 +192,12 @@ private:
     bool icmp_enabled_ = true;
     std::uint16_t next_ephemeral_ = 33000;
     std::uint16_t ip_id_ = 1;
+
+    // Instrumentation shared by this host's TCP sockets; nullptr until
+    // bind_observability.
+    obs::Counter* m_tcp_retransmits_ = nullptr;
+    obs::Counter* m_tcp_stale_syn_ = nullptr;
+    obs::Tracer* tracer_ = nullptr;
 };
 
 } // namespace gatekit::stack

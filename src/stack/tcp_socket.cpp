@@ -146,6 +146,14 @@ void TcpSocket::on_segment(const net::TcpSegment& seg) {
         // lost in flight) and is still resending its SYN|ACK. Re-ACK so
         // the peer can finish establishing (RFC 793: an unacceptable
         // segment elicits an ACK) and drop the segment.
+        obs::inc(host_.m_tcp_stale_syn_);
+        if (obs::trace_on(host_.tracer_)) {
+            auto ev = host_.tracer_->event(host_.name(), "tcp",
+                                           "stale_syn_reack");
+            ev.with("local_port", static_cast<std::int64_t>(local_.port));
+            ev.with("remote_port", static_cast<std::int64_t>(remote_.port));
+            host_.tracer_->emit(ev);
+        }
         send_ack();
         return;
     }
@@ -443,8 +451,16 @@ void TcpSocket::go_back_n() {
     if (fin_sent_ && fin_seq_ >= snd_nxt_) fin_sent_ = false; // resend FIN
 }
 
-void TcpSocket::retransmit_head(const char*) {
+void TcpSocket::retransmit_head(const char* why) {
     ++retransmits_;
+    obs::inc(host_.m_tcp_retransmits_);
+    if (obs::trace_on(host_.tracer_)) {
+        auto ev = host_.tracer_->event(host_.name(), "tcp", "retransmit");
+        ev.with("why", why);
+        ev.with("local_port", static_cast<std::int64_t>(local_.port));
+        ev.with("remote_port", static_cast<std::int64_t>(remote_.port));
+        host_.tracer_->emit(ev);
+    }
     timed_seq_ = 0; // Karn: never time retransmitted segments
     const std::uint64_t data_end = send_buf_base_ + send_buf_.size();
     if (state_ == State::SynSent) {

@@ -11,6 +11,7 @@
 #include "harness/udp_probes.hpp"
 #include "net/tcp_header.hpp"
 #include "net/udp.hpp"
+#include "obs/obs.hpp"
 #include "stack/dns_service.hpp"
 #include "stack/tcp_socket.hpp"
 #include "stack/udp_socket.hpp"
@@ -390,6 +391,76 @@ TEST(FaultInjectionE2E, Udp1ConvergesOverLossyReorderingWan) {
     ASSERT_EQ(result->samples_sec.size(), 2u);
     EXPECT_EQ(result->search_giveups, 0);
     for (double s : result->samples_sec) EXPECT_NEAR(s, 35.0, 1.0);
+}
+
+namespace {
+
+/// Run a hardened UDP-1 measurement with the metrics registry attached;
+/// returns the registry's aggregated probe counters.
+struct ProbeCounts {
+    std::uint64_t trials;
+    std::uint64_t retries;
+    std::uint64_t giveups;
+};
+
+ProbeCounts run_observed_udp1(bool lossy) {
+    sim::EventLoop loop;
+    obs::Observability obs(loop);
+    Testbed tb(loop);
+    auto p = fault_profile();
+    p.udp.initial = std::chrono::seconds(35);
+    p.udp.inbound_refresh = std::chrono::seconds(35);
+    p.udp.outbound_refresh = std::chrono::seconds(35);
+    const int idx = tb.add_device(std::move(p));
+    tb.attach_observability(&obs);
+    tb.start_and_wait();
+
+    UdpProbeConfig cfg;
+    cfg.repetitions = 2;
+    cfg.search.hi_limit = std::chrono::seconds(300);
+    if (lossy) {
+        sim::LinkImpairments imp;
+        imp.loss = 0.05;
+        imp.reorder = 0.1;
+        tb.slot(idx).wan_link->set_impairments(sim::Link::Side::A, imp, 11);
+        tb.slot(idx).wan_link->set_impairments(sim::Link::Side::B, imp, 12);
+        // Retry hardening on: lost packets force creation/probe resends.
+        cfg.search.retry.trial_timeout = std::chrono::seconds(400);
+        cfg.search.retry.max_attempts = 3;
+        cfg.retry.creation_retries = 2;
+        cfg.retry.probe_retries = 2;
+    }
+
+    std::optional<UdpTimeoutResult> result;
+    measure_udp_timeout(tb, idx, UdpPattern::SolitaryOutbound, cfg,
+                        [&](UdpTimeoutResult r) { result = std::move(r); });
+    loop.run();
+    EXPECT_TRUE(result.has_value());
+    auto& reg = obs.metrics();
+    return ProbeCounts{reg.counter_total("probe.trials"),
+                       reg.counter_total("probe.retries"),
+                       reg.counter_total("probe.giveups")};
+}
+
+} // namespace
+
+// The promoted registry counters must reflect the harness's robustness
+// machinery: a lossy WAN with hardening on forces creation/probe resends
+// (nonzero `probe.retries`), while a lossless default-config run must
+// never touch them — the non-retry path has no business incrementing
+// the counter. (With hardening enabled, even a lossless run re-runs
+// genuinely-expired trials to confirm them, so "lossless + hardened"
+// is deliberately not asserted as zero.)
+TEST(FaultInjectionE2E, RegistryProbeRetriesLossyVsLossless) {
+    const auto lossless = run_observed_udp1(false);
+    EXPECT_GT(lossless.trials, 0u);
+    EXPECT_EQ(lossless.retries, 0u);
+    EXPECT_EQ(lossless.giveups, 0u);
+
+    const auto lossy = run_observed_udp1(true);
+    EXPECT_GT(lossy.trials, 0u);
+    EXPECT_GT(lossy.retries, 0u);
+    EXPECT_EQ(lossy.giveups, 0u);
 }
 
 // --- DNS proxy lifecycle regressions ----------------------------------------

@@ -1,0 +1,288 @@
+// Observability layer: registry semantics, JSON/CSV snapshots, the
+// streaming JSON writer + validator, trace events, the flight recorder's
+// ring/dump behavior, and an end-to-end campaign with metrics and tracing
+// attached (which must also leave the measured physics untouched).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "harness/testrund.hpp"
+#include "obs/obs.hpp"
+#include "report/json.hpp"
+
+using namespace gatekit;
+using namespace gatekit::obs;
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(Metrics, RegistrationDedupsOnNameAndLabels) {
+    MetricsRegistry reg;
+    Counter* a = reg.counter("x", {{"device", "d1"}});
+    Counter* b = reg.counter("x", {{"device", "d1"}});
+    Counter* c = reg.counter("x", {{"device", "d2"}});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, NullSafeHelpersAreNoOpsWhenDisabled) {
+    inc(static_cast<Counter*>(nullptr));
+    add(static_cast<Counter*>(nullptr), 7);
+    set(static_cast<Gauge*>(nullptr), 1.0);
+    observe(static_cast<Histogram*>(nullptr), 1.0);
+
+    MetricsRegistry reg;
+    Counter* c = reg.counter("c");
+    inc(c);
+    add(c, 4);
+    EXPECT_EQ(c->value, 5u);
+    EXPECT_EQ(reg.counter_value("c"), 5u);
+    EXPECT_EQ(reg.counter_value("absent"), 0u);
+}
+
+TEST(Metrics, CounterTotalSumsAcrossLabelSets) {
+    MetricsRegistry reg;
+    reg.counter("hits", {{"device", "d1"}})->value = 3;
+    reg.counter("hits", {{"device", "d2"}})->value = 4;
+    reg.counter("other")->value = 100;
+    EXPECT_EQ(reg.counter_total("hits"), 7u);
+    EXPECT_EQ(reg.counter_total("nope"), 0u);
+}
+
+TEST(Metrics, HistogramBucketsIncludeOverflow) {
+    MetricsRegistry reg;
+    Histogram* h = reg.histogram("size", {10.0, 100.0});
+    for (double v : {5.0, 10.0, 50.0, 1000.0}) h->observe(v);
+    ASSERT_EQ(h->counts.size(), 3u);
+    EXPECT_EQ(h->counts[0], 2u); // <= 10
+    EXPECT_EQ(h->counts[1], 1u); // <= 100
+    EXPECT_EQ(h->counts[2], 1u); // +inf
+    EXPECT_EQ(h->total, 4u);
+    EXPECT_DOUBLE_EQ(h->sum, 1065.0);
+}
+
+TEST(Metrics, JsonSnapshotValidatesAgainstSchema) {
+    MetricsRegistry reg;
+    reg.counter("nat.binding.created", {{"device", "we#1"}})->value = 12;
+    reg.gauge("nat.binding.occupancy", {{"device", "we#1"}})->value = 3.5;
+    reg.histogram("fwd.packet.bytes", {64.0, 1500.0})->observe(1400.0);
+    const std::string json = reg.to_json();
+
+    std::string error;
+    EXPECT_TRUE(report::json_valid(json, &error)) << error;
+    EXPECT_TRUE(validate_metrics_json(json, &error)) << error;
+    EXPECT_NE(json.find("\"gatekit.metrics.v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"nat.binding.created\""), std::string::npos);
+    EXPECT_NE(json.find("\"device\":\"we#1\""), std::string::npos);
+}
+
+TEST(Metrics, JsonEscapesAwkwardLabelValues) {
+    MetricsRegistry reg;
+    reg.counter("c", {{"model", "say \"hi\"\\\n"}});
+    const std::string json = reg.to_json();
+    std::string error;
+    EXPECT_TRUE(report::json_valid(json, &error)) << error;
+}
+
+TEST(Metrics, CsvSnapshotHasHeaderAndRows) {
+    MetricsRegistry reg;
+    reg.counter("hits", {{"device", "d1"}, {"proto", "udp"}})->value = 9;
+    const std::string csv = reg.to_csv();
+    EXPECT_NE(csv.find("name"), std::string::npos);
+    EXPECT_NE(csv.find("hits"), std::string::npos);
+    EXPECT_NE(csv.find("device=d1;proto=udp"), std::string::npos);
+}
+
+TEST(Metrics, ValidatorRejectsGarbage) {
+    EXPECT_FALSE(validate_metrics_json("not json"));
+    EXPECT_FALSE(validate_metrics_json("{}"));
+    std::string error;
+    EXPECT_FALSE(validate_metrics_json(
+        "{\"schema\":\"gatekit.metrics.v1\",\"metrics\":[", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+// --- report::JsonWriter / json_valid ---------------------------------------
+
+TEST(Json, WriterPlacesCommasAutomatically) {
+    std::ostringstream out;
+    report::JsonWriter w(out);
+    w.begin_object();
+    w.key("a").value(std::int64_t{1});
+    w.key("b").begin_array();
+    w.value("x").value(true).value(2.5);
+    w.end_array();
+    w.key("c").begin_object().end_object();
+    w.end_object();
+    EXPECT_EQ(out.str(), "{\"a\":1,\"b\":[\"x\",true,2.5],\"c\":{}}");
+    std::string error;
+    EXPECT_TRUE(report::json_valid(out.str(), &error)) << error;
+}
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+    for (const char* good :
+         {"{}", "[]", "0", "-1.5e3", "\"a\\u00ff\\n\"", "true", "null",
+          " { \"k\" : [ 1 , { } , null ] } "})
+        EXPECT_TRUE(report::json_valid(good)) << good;
+    for (const char* bad :
+         {"", "{", "[1,]", "{\"k\":}", "01", "\"\\x\"", "{} extra",
+          "'single'", "{\"k\" 1}", "\"unterminated"})
+        EXPECT_FALSE(report::json_valid(bad)) << bad;
+}
+
+TEST(Json, DoubleFormattingRoundTripsAndStaysJson) {
+    EXPECT_EQ(report::json_double(2.0), "2.0");
+    EXPECT_EQ(report::json_double(0.5), "0.5");
+    // Non-finite values cannot appear in JSON; clamped.
+    EXPECT_TRUE(report::json_valid(
+        report::json_double(std::numeric_limits<double>::infinity())));
+}
+
+// --- Tracing ---------------------------------------------------------------
+
+TEST(Trace, EventLinesAreValidJson) {
+    sim::EventLoop loop;
+    Tracer tracer(loop);
+    loop.after(std::chrono::seconds(3), [] {});
+    loop.run();
+    auto ev = tracer.event("we#1", "link", "impair.lost");
+    ev.with("direction", "a2b").with("bytes", std::int64_t{1500});
+    ev.frame = 42;
+    const std::string line = ev.to_jsonl();
+    std::string error;
+    EXPECT_TRUE(report::json_valid(line, &error)) << error;
+    EXPECT_NE(line.find("\"t_ns\":3000000000"), std::string::npos);
+    EXPECT_NE(line.find("\"frame\":42"), std::string::npos);
+    EXPECT_NE(line.find("\"direction\":\"a2b\""), std::string::npos);
+}
+
+TEST(Trace, TracerWithoutSinksIsDisabled) {
+    sim::EventLoop loop;
+    Tracer tracer(loop);
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_FALSE(trace_on(&tracer));
+    EXPECT_FALSE(trace_on(nullptr));
+    FlightRecorder rec;
+    tracer.add_sink(&rec);
+    EXPECT_TRUE(trace_on(&tracer));
+}
+
+TEST(Trace, FlightRecorderKeepsLastNOldestFirst) {
+    sim::EventLoop loop;
+    Tracer tracer(loop);
+    FlightRecorder rec(4);
+    tracer.add_sink(&rec);
+    for (int i = 0; i < 10; ++i) {
+        auto ev = tracer.event("d", "t", "e");
+        ev.with("i", std::int64_t{i});
+        tracer.emit(ev);
+    }
+    EXPECT_EQ(rec.size(), 4u);
+    const auto window = rec.snapshot();
+    ASSERT_EQ(window.size(), 4u);
+    EXPECT_EQ(window.front().fields.at(0).num, 6);
+    EXPECT_EQ(window.back().fields.at(0).num, 9);
+}
+
+TEST(Trace, FlightRecorderDumpIsJsonlWithHeader) {
+    sim::EventLoop loop;
+    Tracer tracer(loop);
+    FlightRecorder rec(8);
+    tracer.add_sink(&rec);
+    tracer.emit(tracer.event("d", "probe", "trial.launch"));
+    tracer.emit(tracer.event("d", "probe", "trial.verdict"));
+    std::ostringstream out;
+    EXPECT_EQ(rec.dump(out, "probe.retry"), 2u);
+    std::istringstream lines(out.str());
+    std::string line;
+    int n = 0;
+    while (std::getline(lines, line)) {
+        std::string error;
+        EXPECT_TRUE(report::json_valid(line, &error)) << error;
+        ++n;
+    }
+    EXPECT_EQ(n, 3); // header + two events
+    EXPECT_NE(out.str().find("probe.retry"), std::string::npos);
+}
+
+TEST(Trace, TriggerEmitsEventAndFiresSinks) {
+    sim::EventLoop loop;
+    Tracer tracer(loop);
+    FlightRecorder rec(8);
+    std::ostringstream stream;
+    JsonlSink jsonl(stream);
+    tracer.add_sink(&rec);
+    tracer.add_sink(&jsonl);
+    tracer.trigger("we#1", "gateway.fault");
+    // The trigger itself is recorded as an event...
+    ASSERT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec.snapshot().front().name, "trigger");
+    // ...and the streaming sink gets a trigger marker line.
+    EXPECT_NE(stream.str().find("gateway.fault"), std::string::npos);
+}
+
+// --- End-to-end: a campaign with observability attached --------------------
+
+namespace {
+
+gateway::DeviceProfile obs_profile() {
+    gateway::DeviceProfile p;
+    p.tag = "obsd";
+    p.udp.initial = std::chrono::seconds(35);
+    return p;
+}
+
+} // namespace
+
+TEST(ObsEndToEnd, CampaignPopulatesRegistryWithoutChangingResults) {
+    // Baseline: no observability.
+    double bare_median = 0.0;
+    {
+        sim::EventLoop loop;
+        harness::Testbed tb(loop);
+        tb.add_device(obs_profile());
+        harness::Testrund rund(tb);
+        harness::CampaignConfig cfg;
+        cfg.udp1 = true;
+        cfg.udp.repetitions = 2;
+        bare_median = rund.run_blocking(cfg).at(0).udp1.summary().median;
+    }
+
+    sim::EventLoop loop;
+    Observability obs(loop);
+    FlightRecorder rec(256);
+    obs.tracer().add_sink(&rec);
+    harness::Testbed tb(loop);
+    tb.add_device(obs_profile());
+    tb.attach_observability(&obs);
+    harness::Testrund rund(tb);
+    harness::CampaignConfig cfg;
+    cfg.udp1 = true;
+    cfg.udp.repetitions = 2;
+    const auto r = rund.run_blocking(cfg).at(0);
+
+    // Observation must not perturb the physics: identical virtual-time
+    // behavior, hence the identical converged timeout.
+    EXPECT_DOUBLE_EQ(r.udp1.summary().median, bare_median);
+
+    auto& reg = obs.metrics();
+    EXPECT_GT(reg.counter_value("nat.binding.created",
+                                {{"device", "obsd#1"}, {"proto", "udp"}}),
+              0u);
+    EXPECT_GT(reg.counter_total("fwd.forwarded"), 0u);
+    EXPECT_GT(reg.counter_value("probe.trials",
+                                {{"device", "obsd#1"}, {"probe", "udp1"}}),
+              0u);
+    // Lossless run: the probes never needed the watchdog.
+    EXPECT_EQ(reg.counter_total("probe.retries"), 0u);
+    EXPECT_EQ(reg.counter_total("probe.giveups"), 0u);
+    // The search's trial lifecycle was traced into the recorder.
+    bool saw_probe_event = false;
+    for (const auto& ev : rec.snapshot())
+        if (ev.category == "probe") saw_probe_event = true;
+    EXPECT_TRUE(saw_probe_event);
+
+    std::string error;
+    EXPECT_TRUE(validate_metrics_json(reg.to_json(), &error)) << error;
+}

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "net/buffer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pcap/capture_tap.hpp"
 #include "pcap/pcap.hpp"
 
@@ -98,4 +100,52 @@ TEST(CaptureTap, DirectionalFilter) {
     loop.run();
     ASSERT_EQ(tap.records().size(), 1u);
     EXPECT_EQ(tap.records()[0].frame, (std::vector<std::uint8_t>{1}));
+}
+
+// Trace events from an impaired link must cross-reference the capture:
+// the tap records every frame at wire time, before the impairment draw,
+// so an impairment event's `frame` is the index of the affected frame in
+// the tap's record list.
+TEST(CaptureTap, TraceEventsCrossReferenceFrameIndices) {
+    sim::EventLoop loop;
+    sim::Link link(loop, 100'000'000, sim::Duration::zero());
+    struct Sink : sim::FrameSink {
+        int delivered = 0;
+        void frame_in(sim::Frame) override { ++delivered; }
+    } sink;
+    link.attach(sim::Link::Side::B, sink);
+    link.attach(sim::Link::Side::A, sink);
+
+    CaptureTap tap;
+    tap.attach(link);
+    obs::MetricsRegistry reg;
+    obs::Tracer tracer(loop);
+    obs::FlightRecorder rec(64);
+    tracer.add_sink(&rec);
+    link.bind_observability(&reg, &tracer, "dev#1.wan", [&tap] {
+        return static_cast<std::int64_t>(tap.records().size()) - 1;
+    });
+
+    sim::LinkImpairments imp;
+    imp.loss = 1.0; // every A->B frame is dropped, deterministically
+    link.set_impairments(sim::Link::Side::A, imp, 42);
+
+    for (std::uint8_t i = 0; i < 3; ++i) {
+        link.send(sim::Link::Side::A, sim::Frame{i});
+        loop.run();
+    }
+    ASSERT_EQ(tap.records().size(), 3u);
+    EXPECT_EQ(sink.delivered, 0);
+
+    std::vector<std::int64_t> frames;
+    for (const auto& ev : rec.snapshot())
+        if (ev.name == "impair.lost") frames.push_back(ev.frame);
+    EXPECT_EQ(frames, (std::vector<std::int64_t>{0, 1, 2}));
+    EXPECT_EQ(reg.counter_value("link.impair.lost", {{"device", "dev#1.wan"},
+                                                     {"direction", "a2b"}}),
+              3u);
+    // The opposite direction never saw an impairment.
+    EXPECT_EQ(reg.counter_value("link.impair.lost", {{"device", "dev#1.wan"},
+                                                     {"direction", "b2a"}}),
+              0u);
 }
