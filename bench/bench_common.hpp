@@ -15,6 +15,10 @@
 //                   finishes (a .csv suffix selects CSV, else JSON)
 //   GATEKIT_TRACE   stream trace events to this path as JSONL; flight-
 //                   recorder dumps land beside it at <path>.flight.<n>.jsonl
+//   GATEKIT_JOURNAL write-ahead campaign journal path (JSONL, schema
+//                   gatekit.journal.v1), one record per completed unit
+//   GATEKIT_RESUME  when set, replay GATEKIT_JOURNAL and continue the
+//                   campaign from the first missing unit
 #pragma once
 
 #include <cerrno>
@@ -77,6 +81,18 @@ public:
         const char* trace = std::getenv("GATEKIT_TRACE");
         if (metrics != nullptr) metrics_path_ = metrics;
         if (metrics == nullptr && trace == nullptr) return;
+        if (metrics != nullptr) {
+            // Fail fast: an unwritable snapshot path should abort the
+            // run before hours of campaign, not after (the snapshot
+            // itself is rewritten at finish()).
+            std::ofstream probe(metrics_path_,
+                                std::ios::binary | std::ios::trunc);
+            if (!probe.good()) {
+                std::cerr << "[gatekit] cannot open GATEKIT_METRICS path '"
+                          << metrics_path_ << "'\n";
+                std::exit(2);
+            }
+        }
         obs_ = std::make_unique<obs::Observability>(loop);
         if (trace != nullptr) {
             sink_ = std::make_unique<obs::JsonlSink>(std::string(trace));
@@ -157,8 +173,13 @@ run_campaign(sim::EventLoop& loop, const harness::CampaignConfig& config) {
               << " devices...\n";
     tb.start_and_wait();
     std::cerr << "[gatekit] running measurement campaign...\n";
+    harness::CampaignConfig cfg = config;
+    if (const char* journal = std::getenv("GATEKIT_JOURNAL")) {
+        cfg.supervisor.journal_path = journal;
+        cfg.supervisor.resume = env_flag("GATEKIT_RESUME");
+    }
     harness::Testrund rund(tb);
-    auto results = rund.run_blocking(config);
+    auto results = rund.run_blocking(cfg);
     obs.finish();
     return results;
 }

@@ -1,0 +1,183 @@
+// journal_check: end-to-end validation of the campaign write-ahead
+// journal (schema gatekit.journal.v1) and its crash/resume determinism
+// guarantee. On a three-device roster (one sequential-allocation device,
+// one coarse-granularity device) it:
+//
+//   1. runs a baseline campaign with no supervisor, then the same
+//      campaign journaled, and checks the per-device results are
+//      byte-identical (journaling must not perturb the measurement);
+//   2. validates the journal against the schema;
+//   3. simulates a crash after EVERY unit boundary: truncates the
+//      journal to its first k records, resumes, and checks both the
+//      merged per-device results and the regrown journal are
+//      byte-identical to the uninterrupted run;
+//   4. checks the failure modes: a corrupted record fails validation,
+//      and a journal from a different campaign (fingerprint mismatch)
+//      refuses to resume.
+//
+// Exit code 0 = all of the above hold; 1 = not. Wired into ctest as
+// `journal_smoke`.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "devices/profiles.hpp"
+#include "harness/results_io.hpp"
+#include "harness/testbed.hpp"
+#include "harness/testrund.hpp"
+#include "report/journal.hpp"
+
+using namespace gatekit;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+    if (!ok) {
+        ++failures;
+        std::cerr << "journal_check: FAIL: " << what << "\n";
+    }
+}
+
+std::vector<gateway::DeviceProfile> roster() {
+    // al: 40 s binding-granularity quantization; ap: sequential port
+    // allocation with the largest cap; be1: plain preserve-port device.
+    std::vector<gateway::DeviceProfile> out;
+    for (const auto& p : devices::all_profiles())
+        if (p.tag == "al" || p.tag == "ap" || p.tag == "be1")
+            out.push_back(p);
+    return out;
+}
+
+harness::CampaignConfig campaign() {
+    // The quick single-shot probes: every result type that isn't a
+    // multi-minute timeout search, so the boundary sweep in step 3 stays
+    // cheap while still exercising most payload codecs.
+    harness::CampaignConfig cfg;
+    cfg.udp4 = cfg.icmp = cfg.transports = cfg.dns = true;
+    cfg.quirks = cfg.stun = cfg.binding_rate = true;
+    cfg.binding_rate_count = 50;
+    return cfg;
+}
+
+std::vector<harness::DeviceResults>
+run_once(const harness::CampaignConfig& cfg) {
+    sim::EventLoop loop;
+    harness::Testbed tb(loop);
+    for (const auto& p : roster()) tb.add_device(p);
+    tb.start_and_wait();
+    harness::Testrund rund(tb);
+    return rund.run_blocking(cfg);
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty()) out.push_back(line);
+    return out;
+}
+
+std::string results_json(const std::vector<harness::DeviceResults>& rs) {
+    std::string out;
+    for (const auto& r : rs) out += harness::device_results_json(r) + "\n";
+    return out;
+}
+
+} // namespace
+
+int main() {
+    const std::string path = "gatekit_journal_check.jsonl";
+    std::remove(path.c_str());
+
+    // 1. Baseline vs journaled: identical results.
+    std::cerr << "journal_check: baseline campaign...\n";
+    const auto baseline = run_once(campaign());
+    const std::string baseline_json = results_json(baseline);
+
+    std::cerr << "journal_check: journaled campaign...\n";
+    auto jcfg = campaign();
+    jcfg.supervisor.journal_path = path;
+    const auto journaled = run_once(jcfg);
+    check(results_json(journaled) == baseline_json,
+          "journaling perturbed the campaign results");
+
+    // 2. Schema validation.
+    const std::string journal_text = slurp(path);
+    std::string error;
+    check(report::validate_journal(journal_text, &error),
+          "journal failed validation: " + error);
+
+    // 3. Crash at every unit boundary, resume, compare bytes.
+    const auto lines = lines_of(journal_text);
+    check(lines.size() > 1, "journal is unexpectedly empty");
+    auto rcfg = jcfg;
+    rcfg.supervisor.resume = true;
+    int boundaries = 0;
+    for (std::size_t k = 1; k <= lines.size(); ++k) {
+        std::string prefix;
+        for (std::size_t i = 0; i < k; ++i) prefix += lines[i] + "\n";
+        spit(path, prefix);
+        const auto resumed = run_once(rcfg);
+        if (results_json(resumed) != baseline_json) {
+            // Leave both sides on disk for diffing.
+            spit("gatekit_journal_check.expected.json", baseline_json);
+            spit("gatekit_journal_check.actual.json", results_json(resumed));
+            check(false, "resume after record " + std::to_string(k - 1) +
+                             " diverged from the uninterrupted run");
+            break;
+        }
+        if (slurp(path) != journal_text) {
+            check(false, "regrown journal after record " +
+                             std::to_string(k - 1) + " is not byte-identical");
+            break;
+        }
+        ++boundaries;
+    }
+    std::cerr << "journal_check: " << boundaries
+              << " kill/resume boundaries replayed byte-identically\n";
+
+    // 4a. Corruption is caught.
+    auto bad = lines;
+    bad[bad.size() / 2] = "{\"schema\":\"bogus\"}";
+    std::string bad_text;
+    for (const auto& l : bad) bad_text += l + "\n";
+    check(!report::validate_journal(bad_text, &error),
+          "corrupted journal passed validation");
+
+    // 4b. A journal from a different campaign refuses to resume.
+    spit(path, journal_text);
+    auto other = rcfg;
+    other.binding_rate_count = 51; // changes the fingerprint
+    bool threw = false;
+    try {
+        run_once(other);
+    } catch (const std::exception& e) {
+        threw = true;
+        std::cerr << "journal_check: fingerprint mismatch rejected: "
+                  << e.what() << "\n";
+    }
+    check(threw, "fingerprint mismatch was not rejected");
+
+    std::remove(path.c_str());
+    std::cout << "journal_check: " << (failures == 0 ? "PASS" : "FAIL")
+              << "\n";
+    return failures == 0 ? 0 : 1;
+}

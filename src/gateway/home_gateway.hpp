@@ -72,6 +72,11 @@ public:
                             const std::string& device);
 
     stack::Host& host() { return host_; }
+    /// The gateway's interfaces. Exposed so the campaign supervisor can
+    /// restore their ARP caches on journal resume (entries never expire,
+    /// so warm state is part of replayed history).
+    stack::Iface& lan_if() { return lan_if_; }
+    stack::Iface& wan_if() { return wan_if_; }
     NatEngine& nat() { return nat_; }
     FwdPath& fwd() { return fwd_; }
     DnsProxy& dns_proxy() { return dns_proxy_; }

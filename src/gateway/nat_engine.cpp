@@ -9,7 +9,26 @@ namespace gatekit::gateway {
 
 namespace {
 constexpr sim::Duration kIcmpQueryTimeout = std::chrono::seconds(60);
+// Side-table capacity caps. Unlike the UDP/TCP binding tables (bounded
+// per profile), the ICMP-query and IP-only maps used to grow without
+// limit under a flood of distinct query ids or remote addresses. Real
+// devices bound this state; the caps are far above anything the paper's
+// measurements create, so only hostile workloads ever reach them.
+constexpr std::size_t kMaxIcmpQueries = 1024;
+constexpr std::size_t kMaxIpOnly = 1024;
+
+/// Drop every expired entry; both side tables prune this way when the
+/// cap is reached (the hot paths never pay the scan).
+template <typename Map>
+void prune_expired(Map& m, sim::TimePoint now) {
+    for (auto it = m.begin(); it != m.end();) {
+        if (now >= it->second.expires_at)
+            it = m.erase(it);
+        else
+            ++it;
+    }
 }
+} // namespace
 
 NatEngine::NatEngine(sim::EventLoop& loop, const DeviceProfile& profile)
     : loop_(loop), profile_(profile), udp_(loop, profile, net::proto::kUdp),
@@ -169,6 +188,15 @@ std::optional<net::Bytes> NatEngine::outbound_icmp(
     }
     if (msg.type == net::IcmpType::Echo) {
         const IcmpQueryKey key{pkt.h.src, msg.echo_id(), pkt.h.dst};
+        if (!icmp_queries_.contains(key) &&
+            icmp_queries_.size() >= kMaxIcmpQueries) {
+            prune_expired(icmp_queries_, loop_.now());
+            if (icmp_queries_.size() >= kMaxIcmpQueries) {
+                ++stats_.dropped_capacity;
+                obs::inc(m_drop_capacity_);
+                return std::nullopt;
+            }
+        }
         icmp_queries_[key] =
             IcmpQueryBinding{key, loop_.now() + kIcmpQueryTimeout};
         auto out = translated_header(pkt, wan_addr_, pkt.h.dst);
@@ -196,7 +224,16 @@ std::optional<net::Bytes> NatEngine::outbound_unknown(
         return out.serialize();
     }
     case UnknownProtocolPolicy::TranslateIpOnly: {
-        ip_only_[IpOnlyKey{pkt.h.protocol, pkt.h.dst}] = IpOnlyBinding{
+        const IpOnlyKey key{pkt.h.protocol, pkt.h.dst};
+        if (!ip_only_.contains(key) && ip_only_.size() >= kMaxIpOnly) {
+            prune_expired(ip_only_, loop_.now());
+            if (ip_only_.size() >= kMaxIpOnly) {
+                ++stats_.dropped_capacity;
+                obs::inc(m_drop_capacity_);
+                return std::nullopt;
+            }
+        }
+        ip_only_[key] = IpOnlyBinding{
             pkt.h.src, loop_.now() + profile_.unknown_proto_timeout};
         // Rewrite only the source address and the IP header checksum,
         // leaving the transport payload bytes untouched: SCTP's CRC

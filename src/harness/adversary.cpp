@@ -1,0 +1,228 @@
+#include "harness/adversary.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "gateway/home_gateway.hpp"
+#include "gateway/nat_engine.hpp"
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp_header.hpp"
+#include "net/udp.hpp"
+
+namespace gatekit::harness {
+
+namespace {
+
+// Protocol number no gateway in the study understands; always takes the
+// unknown-protocol path regardless of SCTP/DCCP support.
+constexpr std::uint8_t kUnknownProto = 99;
+
+// Side tables (ICMP query ids, IP-only mappings) are hard-capped in the
+// NAT engine; the audit asserts occupancy never exceeds this.
+constexpr std::size_t kSideTableCap = 1024;
+
+net::Ipv4Packet udp_packet(net::Ipv4Addr src, std::uint16_t sport,
+                           net::Ipv4Addr dst, std::uint16_t dport) {
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kUdp;
+    pkt.h.src = src;
+    pkt.h.dst = dst;
+    net::UdpDatagram d;
+    d.src_port = sport;
+    d.dst_port = dport;
+    d.payload = {0xad, 0x5e};
+    pkt.payload = d.serialize(pkt.h.src, pkt.h.dst);
+    return pkt;
+}
+
+net::Ipv4Packet tcp_syn(net::Ipv4Addr src, std::uint16_t sport,
+                        net::Ipv4Addr dst, std::uint16_t dport) {
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kTcp;
+    pkt.h.src = src;
+    pkt.h.dst = dst;
+    net::TcpSegment seg;
+    seg.src_port = sport;
+    seg.dst_port = dport;
+    seg.flags.syn = true;
+    pkt.payload = seg.serialize(pkt.h.src, pkt.h.dst);
+    return pkt;
+}
+
+net::Ipv4Packet icmp_echo(net::Ipv4Addr src, net::Ipv4Addr dst,
+                          std::uint16_t id) {
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kIcmp;
+    pkt.h.src = src;
+    pkt.h.dst = dst;
+    pkt.payload = net::IcmpMessage::make_echo(false, id, 1).serialize();
+    return pkt;
+}
+
+std::uint16_t external_udp_port(const net::Bytes& wire) {
+    const auto pkt = net::Ipv4Packet::parse(wire);
+    const auto d = net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    return d.src_port;
+}
+
+} // namespace
+
+AdversaryResult run_adversary(Testbed& tb, int slot,
+                              const AdversaryConfig& cfg) {
+    auto& s = tb.slot(slot);
+    auto& gw = *s.gw;
+    auto& nat = gw.nat();
+    auto& loop = tb.loop();
+
+    AdversaryResult r;
+    r.device = Testbed::device_label(s);
+    r.udp_cap = nat.udp_table().capacity_limit();
+    r.tcp_cap = nat.tcp_table().capacity_limit();
+
+    const auto check = [&r](bool ok, std::string what) {
+        if (!ok) r.failures.push_back(std::move(what));
+    };
+
+    // Attacker hosts live on the gateway's LAN subnet next to the real
+    // client; flows are distinguished by port so sharing an address with
+    // the victim is harmless.
+    const std::uint32_t lan_net = s.client_addr.value() & 0xffffff00u;
+    const auto attacker = [lan_net](int k) {
+        return net::Ipv4Addr{lan_net | (2u + static_cast<std::uint32_t>(k) % 200u)};
+    };
+    // Pace the floods: a short virtual-time gap every burst keeps total
+    // flood time in the tens of milliseconds, far below the shortest
+    // calibrated UDP timeout (30 s), so the victim binding cannot expire
+    // legitimately during the attack.
+    int burst = 0;
+    const auto pace = [&] {
+        if (++burst % 64 == 0) loop.run_for(std::chrono::microseconds(500));
+    };
+
+    // --- Phase 1: victim flow, then a UDP binding-exhaustion flood. ---
+    const std::uint16_t kVictimPort = 45000;
+    const auto victim_out =
+        nat.outbound(udp_packet(s.client_addr, kVictimPort, s.server_addr, 7000));
+    check(victim_out.has_value(), "victim flow refused before flood");
+    std::uint16_t victim_ext = 0;
+    if (victim_out) victim_ext = external_udp_port(*victim_out);
+
+    for (int k = 0; k < cfg.udp_flood; ++k) {
+        const auto out = nat.outbound(udp_packet(
+            attacker(k), static_cast<std::uint16_t>(1024 + k), s.server_addr, 53));
+        out ? ++r.udp_accepted : ++r.udp_refused;
+        r.udp_peak = std::max(r.udp_peak, nat.udp_table().size());
+        pace();
+    }
+    check(r.udp_peak <= r.udp_cap, "UDP table exceeded capacity under flood");
+    check(r.udp_refused > 0, "flood above capacity was never refused");
+    check(r.udp_accepted + r.udp_refused ==
+              static_cast<std::uint64_t>(cfg.udp_flood),
+          "UDP flood accounting mismatch");
+
+    // The victim's established binding must survive: inbound traffic to
+    // its external port still translates while the table is saturated.
+    if (victim_out) {
+        net::Ipv4Packet reply =
+            udp_packet(s.server_addr, 7000, nat.wan_addr(), victim_ext);
+        bool handled = false;
+        const auto in = nat.inbound(reply, handled);
+        r.victim_survived_flood = handled && in.has_value();
+        if (in) {
+            const auto pkt = net::Ipv4Packet::parse(*in);
+            const auto d =
+                net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+            r.victim_survived_flood = r.victim_survived_flood &&
+                                      pkt.h.dst == s.client_addr &&
+                                      d.dst_port == kVictimPort;
+        }
+    }
+    check(r.victim_survived_flood, "established victim flow lost under flood");
+
+    // --- Phase 2: reboot mid-measurement (flush + stall). ---
+    gw.inject_fault(gateway::GatewayFault{true, cfg.reboot_stall});
+    r.reboot_flushed = nat.udp_table().size() == 0 &&
+                       nat.tcp_table().size() == 0 &&
+                       nat.icmp_query_count() == 0 && nat.ip_only_count() == 0;
+    check(r.reboot_flushed, "reboot did not flush translation state");
+    if (cfg.reboot_stall > sim::Duration::zero())
+        check(gw.stalled(), "reboot stall did not engage");
+    // The victim's binding is gone — inbound to its old external port
+    // must now fall through unhandled instead of reaching the LAN.
+    if (victim_out) {
+        net::Ipv4Packet reply =
+            udp_packet(s.server_addr, 7000, nat.wan_addr(), victim_ext);
+        bool handled = true;
+        const auto in = nat.inbound(reply, handled);
+        check(!in.has_value(), "stale binding survived reboot");
+    }
+    loop.run_for(cfg.reboot_stall + cfg.reboot_stall);
+    const auto post_reboot = nat.outbound(
+        udp_packet(s.client_addr, kVictimPort + 1, s.server_addr, 7000));
+    r.recovered_after_reboot = post_reboot.has_value();
+    check(r.recovered_after_reboot, "NAT did not recover after reboot");
+
+    // --- Phase 3: port-collision storm. Distinct internal hosts all use
+    // the same source port; accepted flows must map to distinct external
+    // ports (no aliasing) whatever the allocation policy. ---
+    std::set<std::uint16_t> ext_ports;
+    for (int h = 0; h < cfg.collision_hosts; ++h) {
+        const auto out =
+            nat.outbound(udp_packet(attacker(h), 7777, s.server_addr, 9000));
+        if (out) {
+            ++r.collision_accepted;
+            ext_ports.insert(external_udp_port(*out));
+        }
+        pace();
+    }
+    r.collision_unique = static_cast<int>(ext_ports.size());
+    check(r.collision_accepted > 0, "collision storm: nothing accepted");
+    check(r.collision_unique == r.collision_accepted,
+          "collision storm: external ports aliased");
+    check(nat.udp_table().size() <= r.udp_cap,
+          "UDP table exceeded capacity in collision storm");
+
+    // --- Phase 4: TCP SYN flood against the transitory-binding cap. ---
+    for (int k = 0; k < cfg.tcp_flood; ++k) {
+        const auto out = nat.outbound(tcp_syn(
+            attacker(k), static_cast<std::uint16_t>(1024 + k), s.server_addr, 80));
+        out ? ++r.tcp_accepted : ++r.tcp_refused;
+        r.tcp_peak = std::max(r.tcp_peak, nat.tcp_table().size());
+        pace();
+    }
+    check(r.tcp_peak <= r.tcp_cap, "TCP table exceeded capacity under flood");
+    check(r.tcp_refused > 0, "SYN flood above capacity was never refused");
+
+    // --- Phase 5: side-table floods. Distinct echo ids and distinct
+    // unknown-protocol remotes; both tables are hard-capped at 1024 and
+    // must refuse (not grow) beyond it. ---
+    for (int k = 0; k < cfg.icmp_flood; ++k) {
+        nat.outbound(icmp_echo(s.client_addr, s.server_addr,
+                               static_cast<std::uint16_t>(k)));
+        r.icmp_peak = std::max(r.icmp_peak, nat.icmp_query_count());
+        pace();
+    }
+    check(r.icmp_peak <= kSideTableCap,
+          "ICMP query table exceeded its hard cap");
+
+    for (int k = 0; k < cfg.ip_only_flood; ++k) {
+        net::Ipv4Packet pkt;
+        pkt.h.protocol = kUnknownProto;
+        pkt.h.src = s.client_addr;
+        pkt.h.dst = net::Ipv4Addr{0x0b000001u + static_cast<std::uint32_t>(k)};
+        pkt.payload = {0x00, 0x01, 0x02, 0x03};
+        nat.outbound(pkt);
+        r.ip_only_peak = std::max(r.ip_only_peak, nat.ip_only_count());
+        pace();
+    }
+    check(r.ip_only_peak <= kSideTableCap,
+          "IP-only table exceeded its hard cap");
+
+    // Leave the slot clean for whatever runs next.
+    nat.flush();
+    loop.run_for(std::chrono::milliseconds(1));
+    return r;
+}
+
+} // namespace gatekit::harness

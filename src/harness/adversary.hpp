@@ -1,0 +1,68 @@
+// Hostile-workload battery for the binding-exhaustion audits: drives a
+// device's NAT engine directly with synthetic floods (ReDAN-style UDP and
+// TCP SYN binding exhaustion, port-collision storms, ICMP query-id and
+// unknown-protocol side-table floods) plus a reboot mid-measurement, and
+// checks that the device degrades gracefully: caps enforced, no state
+// table grows without bound, and the pre-established victim flow keeps
+// translating per the device's profile policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/testbed.hpp"
+
+namespace gatekit::harness {
+
+struct AdversaryConfig {
+    /// Distinct UDP flows in the exhaustion flood. The default exceeds the
+    /// largest calibrated binding cap (2000) so every device hits its
+    /// refusal path.
+    int udp_flood = 2100;
+    /// Distinct TCP SYNs in the transitory-binding flood.
+    int tcp_flood = 2100;
+    /// Internal hosts sharing one source port in the collision storm.
+    int collision_hosts = 64;
+    /// Distinct ICMP echo ids (side table hard-caps at 1024).
+    int icmp_flood = 1500;
+    /// Distinct unknown-protocol remotes (side table hard-caps at 1024).
+    int ip_only_flood = 1500;
+    /// Stall component of the mid-measurement reboot fault.
+    sim::Duration reboot_stall{std::chrono::milliseconds(50)};
+};
+
+struct AdversaryResult {
+    std::string device;
+    std::size_t udp_cap = 0;
+    std::size_t tcp_cap = 0;
+    std::size_t udp_peak = 0;
+    std::size_t tcp_peak = 0;
+    std::size_t icmp_peak = 0;
+    std::size_t ip_only_peak = 0;
+    std::uint64_t udp_accepted = 0;
+    std::uint64_t udp_refused = 0;
+    std::uint64_t tcp_accepted = 0;
+    std::uint64_t tcp_refused = 0;
+    int collision_accepted = 0;
+    int collision_unique = 0; ///< distinct external ports among accepted
+    bool victim_survived_flood = false;
+    bool reboot_flushed = false;
+    bool recovered_after_reboot = false;
+    /// Human-readable invariant violations; empty means the device
+    /// degraded gracefully under every scenario.
+    std::vector<std::string> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/// Run the full battery against testbed slot `slot`. Synchronous: talks
+/// to the gateway's NAT engine directly (bypassing the links, so flood
+/// pacing is decoupled from link rates) and advances the testbed's
+/// virtual clock between bursts. The testbed must be started and the
+/// slot ready. Leaves the device's translation state flushed.
+AdversaryResult run_adversary(Testbed& tb, int slot,
+                              const AdversaryConfig& cfg = {});
+
+} // namespace gatekit::harness

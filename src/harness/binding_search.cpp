@@ -30,6 +30,10 @@ void BindingTimeoutSearch::trace(const char* name, sim::Duration gap,
 }
 
 void BindingTimeoutSearch::next_trial() {
+    if (cancel_requested()) {
+        finish_cancelled();
+        return;
+    }
     sim::Duration gap;
     if (!have_expired_) {
         gap = std::min(next_guess_, params_.hi_limit);
@@ -72,6 +76,10 @@ void BindingTimeoutSearch::launch_attempt(sim::Duration gap) {
 void BindingTimeoutSearch::on_watchdog(sim::Duration gap, std::uint64_t gen) {
     if (gen != gen_) return; // the trial answered; stale watchdog
     ++gen_;                  // invalidate the outstanding trial callback
+    if (cancel_requested()) {
+        finish_cancelled();
+        return;
+    }
     if (attempt_ < params_.retry.max_attempts) {
         ++retries_;
         ++attempt_;
@@ -101,6 +109,12 @@ void BindingTimeoutSearch::on_watchdog(sim::Duration gap, std::uint64_t gen) {
 }
 
 void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
+    if (cancel_requested()) {
+        // A cancelled trial driver short-circuits its verdict; drop it
+        // rather than folding a synthetic "expired" into the estimate.
+        finish_cancelled();
+        return;
+    }
     trace("trial.verdict", gap, alive ? 1 : 0, "alive");
     if (alive) {
         longest_alive_ = std::max(longest_alive_, gap);
@@ -126,11 +140,21 @@ void BindingTimeoutSearch::on_trial(sim::Duration gap, bool alive) {
                 });
 }
 
+void BindingTimeoutSearch::finish_cancelled() {
+    trace("search.cancelled", shortest_expired_);
+    if (have_expired_)
+        finish(shortest_expired_, false, true, true);
+    else
+        finish(longest_alive_ > sim::Duration::zero() ? longest_alive_
+                                                      : params_.hi_limit,
+               false, true, true);
+}
+
 void BindingTimeoutSearch::finish(sim::Duration timeout, bool exceeded,
-                                  bool gave_up) {
+                                  bool gave_up, bool cancelled) {
     trace("search.done", timeout, gave_up ? 1 : 0, "gave_up");
     finished_(SearchResult{timeout, exceeded, trials_, retries_, giveups_,
-                           gave_up});
+                           gave_up, cancelled});
 }
 
 } // namespace gatekit::harness

@@ -44,6 +44,10 @@ struct SearchParams {
     /// retry or giveup also fires a trigger, dumping the flight recorder.
     obs::Tracer* tracer = nullptr;
     std::string trace_device;
+    /// Cooperative cancellation (campaign supervisor hard deadline): when
+    /// the pointee flips true the search stops at the next trial boundary
+    /// and reports its best estimate with `cancelled` set. Null = never.
+    std::shared_ptr<const bool> cancel;
 };
 
 struct SearchResult {
@@ -59,6 +63,9 @@ struct SearchResult {
     /// The search aborted on an unanswerable trial; `timeout` is the best
     /// estimate from the trials that did complete.
     bool gave_up = false;
+    /// The search was cancelled via SearchParams::cancel (supervisor hard
+    /// deadline); implies the estimate is partial. gave_up is also set.
+    bool cancelled = false;
 };
 
 /// Async driver. `trial(gap, done)` must create a fresh binding, wait
@@ -82,7 +89,13 @@ private:
     void launch_attempt(sim::Duration gap);
     void on_watchdog(sim::Duration gap, std::uint64_t gen);
     void on_trial(sim::Duration gap, bool alive);
-    void finish(sim::Duration timeout, bool exceeded, bool gave_up);
+    bool cancel_requested() const {
+        return params_.cancel != nullptr && *params_.cancel;
+    }
+    /// Finish immediately with the best estimate collected so far.
+    void finish_cancelled();
+    void finish(sim::Duration timeout, bool exceeded, bool gave_up,
+                bool cancelled = false);
 
     sim::EventLoop& loop_;
     SearchParams params_;

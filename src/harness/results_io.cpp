@@ -1,0 +1,511 @@
+#include "harness/results_io.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+namespace gatekit::harness {
+
+using report::JsonValue;
+using report::JsonWriter;
+
+namespace {
+
+std::int64_t i64(int v) { return static_cast<std::int64_t>(v); }
+
+// --- per-struct writers ----------------------------------------------------
+
+void write_udp_timeout(JsonWriter& jw, const UdpTimeoutResult& r) {
+    jw.begin_object();
+    jw.key("samples_sec").begin_array();
+    for (double s : r.samples_sec) jw.value(s);
+    jw.end_array();
+    jw.key("creation_retries").value(i64(r.creation_retries));
+    jw.key("probe_retries").value(i64(r.probe_retries));
+    jw.key("search_retries").value(i64(r.search_retries));
+    jw.key("search_giveups").value(i64(r.search_giveups));
+    jw.end_object();
+}
+
+void read_udp_timeout(const JsonValue& v, UdpTimeoutResult& r) {
+    if (const JsonValue* s = v.find("samples_sec")) {
+        r.samples_sec.clear();
+        for (const auto& x : s->array) r.samples_sec.push_back(x.as_double());
+    }
+    if (const JsonValue* x = v.find("creation_retries"))
+        r.creation_retries = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("probe_retries"))
+        r.probe_retries = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("search_retries"))
+        r.search_retries = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("search_giveups"))
+        r.search_giveups = static_cast<int>(x->as_int());
+}
+
+void write_port_reuse(JsonWriter& jw, const PortReuseResult& r) {
+    jw.begin_object();
+    jw.key("preserves_source_port").value(r.preserves_source_port);
+    jw.key("reuses_expired_binding").value(r.reuses_expired_binding);
+    jw.key("observed_ports").begin_array();
+    for (std::uint16_t p : r.observed_ports)
+        jw.value(static_cast<std::int64_t>(p));
+    jw.end_array();
+    jw.end_object();
+}
+
+void read_port_reuse(const JsonValue& v, PortReuseResult& r) {
+    if (const JsonValue* x = v.find("preserves_source_port"))
+        r.preserves_source_port = x->as_bool();
+    if (const JsonValue* x = v.find("reuses_expired_binding"))
+        r.reuses_expired_binding = x->as_bool();
+    if (const JsonValue* s = v.find("observed_ports")) {
+        r.observed_ports.clear();
+        for (const auto& x : s->array)
+            r.observed_ports.push_back(static_cast<std::uint16_t>(x.as_int()));
+    }
+}
+
+void write_tcp_timeout(JsonWriter& jw, const TcpTimeoutResult& r) {
+    jw.begin_object();
+    jw.key("samples_sec").begin_array();
+    for (double s : r.samples_sec) jw.value(s);
+    jw.end_array();
+    jw.key("exceeded_limit").value(r.exceeded_limit);
+    jw.key("connect_retries").value(i64(r.connect_retries));
+    jw.key("search_retries").value(i64(r.search_retries));
+    jw.key("search_giveups").value(i64(r.search_giveups));
+    jw.end_object();
+}
+
+void read_tcp_timeout(const JsonValue& v, TcpTimeoutResult& r) {
+    if (const JsonValue* s = v.find("samples_sec")) {
+        r.samples_sec.clear();
+        for (const auto& x : s->array) r.samples_sec.push_back(x.as_double());
+    }
+    if (const JsonValue* x = v.find("exceeded_limit"))
+        r.exceeded_limit = x->as_bool();
+    if (const JsonValue* x = v.find("connect_retries"))
+        r.connect_retries = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("search_retries"))
+        r.search_retries = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("search_giveups"))
+        r.search_giveups = static_cast<int>(x->as_int());
+}
+
+void write_transfer(JsonWriter& jw, const TransferResult& r) {
+    jw.begin_object();
+    jw.key("mbps").value(r.mbps);
+    jw.key("delay_ms").value(r.delay_ms);
+    jw.key("bytes").value(static_cast<std::uint64_t>(r.bytes));
+    jw.key("duration_sec").value(r.duration_sec);
+    jw.key("completed").value(r.completed);
+    jw.end_object();
+}
+
+void read_transfer(const JsonValue& v, TransferResult& r) {
+    if (const JsonValue* x = v.find("mbps")) r.mbps = x->as_double();
+    if (const JsonValue* x = v.find("delay_ms")) r.delay_ms = x->as_double();
+    if (const JsonValue* x = v.find("bytes"))
+        r.bytes = static_cast<std::uint64_t>(x->as_int());
+    if (const JsonValue* x = v.find("duration_sec"))
+        r.duration_sec = x->as_double();
+    if (const JsonValue* x = v.find("completed")) r.completed = x->as_bool();
+}
+
+void write_throughput(JsonWriter& jw, const ThroughputResult& r) {
+    jw.begin_object();
+    jw.key("upload");
+    write_transfer(jw, r.upload);
+    jw.key("download");
+    write_transfer(jw, r.download);
+    jw.key("upload_bidir");
+    write_transfer(jw, r.upload_bidir);
+    jw.key("download_bidir");
+    write_transfer(jw, r.download_bidir);
+    jw.end_object();
+}
+
+void read_throughput(const JsonValue& v, ThroughputResult& r) {
+    if (const JsonValue* x = v.find("upload")) read_transfer(*x, r.upload);
+    if (const JsonValue* x = v.find("download")) read_transfer(*x, r.download);
+    if (const JsonValue* x = v.find("upload_bidir"))
+        read_transfer(*x, r.upload_bidir);
+    if (const JsonValue* x = v.find("download_bidir"))
+        read_transfer(*x, r.download_bidir);
+}
+
+void write_max_bindings(JsonWriter& jw, const MaxBindingsResult& r) {
+    jw.begin_object();
+    jw.key("max_bindings").value(i64(r.max_bindings));
+    jw.key("hit_probe_limit").value(r.hit_probe_limit);
+    jw.end_object();
+}
+
+void read_max_bindings(const JsonValue& v, MaxBindingsResult& r) {
+    if (const JsonValue* x = v.find("max_bindings"))
+        r.max_bindings = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("hit_probe_limit"))
+        r.hit_probe_limit = x->as_bool();
+}
+
+void write_icmp_verdicts(JsonWriter& jw,
+                         const std::array<IcmpVerdict,
+                                          gateway::kIcmpKindCount>& vs) {
+    jw.begin_array();
+    for (const auto& v : vs) {
+        jw.begin_object();
+        jw.key("forwarded").value(v.forwarded);
+        jw.key("rst_instead").value(v.rst_instead);
+        jw.key("embedded_transport_ok").value(v.embedded_transport_ok);
+        jw.key("embedded_ip_checksum_ok").value(v.embedded_ip_checksum_ok);
+        jw.end_object();
+    }
+    jw.end_array();
+}
+
+void read_icmp_verdicts(const JsonValue& v,
+                        std::array<IcmpVerdict,
+                                   gateway::kIcmpKindCount>& vs) {
+    for (std::size_t i = 0; i < vs.size() && i < v.array.size(); ++i) {
+        const JsonValue& e = v.array[i];
+        if (const JsonValue* x = e.find("forwarded"))
+            vs[i].forwarded = x->as_bool();
+        if (const JsonValue* x = e.find("rst_instead"))
+            vs[i].rst_instead = x->as_bool();
+        if (const JsonValue* x = e.find("embedded_transport_ok"))
+            vs[i].embedded_transport_ok = x->as_bool();
+        if (const JsonValue* x = e.find("embedded_ip_checksum_ok"))
+            vs[i].embedded_ip_checksum_ok = x->as_bool();
+    }
+}
+
+void write_icmp(JsonWriter& jw, const IcmpProbeResult& r) {
+    jw.begin_object();
+    jw.key("udp");
+    write_icmp_verdicts(jw, r.udp);
+    jw.key("tcp");
+    write_icmp_verdicts(jw, r.tcp);
+    jw.key("query_error_forwarded").value(r.query_error_forwarded);
+    jw.key("flow_retries").value(i64(r.flow_retries));
+    jw.end_object();
+}
+
+void read_icmp(const JsonValue& v, IcmpProbeResult& r) {
+    if (const JsonValue* x = v.find("udp")) read_icmp_verdicts(*x, r.udp);
+    if (const JsonValue* x = v.find("tcp")) read_icmp_verdicts(*x, r.tcp);
+    if (const JsonValue* x = v.find("query_error_forwarded"))
+        r.query_error_forwarded = x->as_bool();
+    if (const JsonValue* x = v.find("flow_retries"))
+        r.flow_retries = static_cast<int>(x->as_int());
+}
+
+void write_transports(JsonWriter& jw, const TransportSupportResult& r) {
+    jw.begin_object();
+    jw.key("sctp_connects").value(r.sctp_connects);
+    jw.key("sctp_data_ok").value(r.sctp_data_ok);
+    jw.key("dccp_connects").value(r.dccp_connects);
+    jw.key("sctp_action").value(i64(static_cast<int>(r.sctp_action)));
+    jw.key("dccp_action").value(i64(static_cast<int>(r.dccp_action)));
+    jw.end_object();
+}
+
+void read_transports(const JsonValue& v, TransportSupportResult& r) {
+    if (const JsonValue* x = v.find("sctp_connects"))
+        r.sctp_connects = x->as_bool();
+    if (const JsonValue* x = v.find("sctp_data_ok"))
+        r.sctp_data_ok = x->as_bool();
+    if (const JsonValue* x = v.find("dccp_connects"))
+        r.dccp_connects = x->as_bool();
+    if (const JsonValue* x = v.find("sctp_action"))
+        r.sctp_action = static_cast<NatAction>(x->as_int());
+    if (const JsonValue* x = v.find("dccp_action"))
+        r.dccp_action = static_cast<NatAction>(x->as_int());
+}
+
+void write_dns(JsonWriter& jw, const DnsProbeResult& r) {
+    jw.begin_object();
+    jw.key("udp_ok").value(r.udp_ok);
+    jw.key("tcp_connects").value(r.tcp_connects);
+    jw.key("tcp_answers").value(r.tcp_answers);
+    jw.key("tcp_upstream_udp").value(r.tcp_upstream_udp);
+    jw.key("big_udp_ok").value(r.big_udp_ok);
+    jw.key("truncated_seen").value(r.truncated_seen);
+    jw.key("dnssec_ready").value(r.dnssec_ready);
+    jw.key("big_udp_retries").value(i64(r.big_udp_retries));
+    jw.end_object();
+}
+
+void read_dns(const JsonValue& v, DnsProbeResult& r) {
+    if (const JsonValue* x = v.find("udp_ok")) r.udp_ok = x->as_bool();
+    if (const JsonValue* x = v.find("tcp_connects"))
+        r.tcp_connects = x->as_bool();
+    if (const JsonValue* x = v.find("tcp_answers"))
+        r.tcp_answers = x->as_bool();
+    if (const JsonValue* x = v.find("tcp_upstream_udp"))
+        r.tcp_upstream_udp = x->as_bool();
+    if (const JsonValue* x = v.find("big_udp_ok"))
+        r.big_udp_ok = x->as_bool();
+    if (const JsonValue* x = v.find("truncated_seen"))
+        r.truncated_seen = x->as_bool();
+    if (const JsonValue* x = v.find("dnssec_ready"))
+        r.dnssec_ready = x->as_bool();
+    if (const JsonValue* x = v.find("big_udp_retries"))
+        r.big_udp_retries = static_cast<int>(x->as_int());
+}
+
+void write_quirks(JsonWriter& jw, const QuirksResult& r) {
+    jw.begin_object();
+    jw.key("decrements_ttl").value(r.decrements_ttl);
+    jw.key("honors_record_route").value(r.honors_record_route);
+    jw.key("hairpins_udp").value(r.hairpins_udp);
+    jw.end_object();
+}
+
+void read_quirks(const JsonValue& v, QuirksResult& r) {
+    if (const JsonValue* x = v.find("decrements_ttl"))
+        r.decrements_ttl = x->as_bool();
+    if (const JsonValue* x = v.find("honors_record_route"))
+        r.honors_record_route = x->as_bool();
+    if (const JsonValue* x = v.find("hairpins_udp"))
+        r.hairpins_udp = x->as_bool();
+}
+
+void write_stun(JsonWriter& jw, const StunProbeResult& r) {
+    jw.begin_object();
+    jw.key("success").value(r.success);
+    jw.key("reflexive_correct").value(r.reflexive_correct);
+    jw.key("port_preserved").value(r.port_preserved);
+    jw.key("mapping").value(i64(static_cast<int>(r.mapping)));
+    jw.end_object();
+}
+
+void read_stun(const JsonValue& v, StunProbeResult& r) {
+    if (const JsonValue* x = v.find("success")) r.success = x->as_bool();
+    if (const JsonValue* x = v.find("reflexive_correct"))
+        r.reflexive_correct = x->as_bool();
+    if (const JsonValue* x = v.find("port_preserved"))
+        r.port_preserved = x->as_bool();
+    if (const JsonValue* x = v.find("mapping"))
+        r.mapping = static_cast<stun::Mapping>(x->as_int());
+}
+
+void write_binding_rate(JsonWriter& jw, const BindingRateResult& r) {
+    jw.begin_object();
+    jw.key("attempted").value(i64(r.attempted));
+    jw.key("established").value(i64(r.established));
+    jw.key("bindings_per_sec").value(r.bindings_per_sec);
+    jw.end_object();
+}
+
+void read_binding_rate(const JsonValue& v, BindingRateResult& r) {
+    if (const JsonValue* x = v.find("attempted"))
+        r.attempted = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("established"))
+        r.established = static_cast<int>(x->as_int());
+    if (const JsonValue* x = v.find("bindings_per_sec"))
+        r.bindings_per_sec = x->as_double();
+}
+
+constexpr std::string_view kUdp5Prefix = "udp5:";
+
+bool write_unit(JsonWriter& jw, const DeviceResults& r,
+                const std::string& unit) {
+    if (unit == "udp1") return write_udp_timeout(jw, r.udp1), true;
+    if (unit == "udp2") return write_udp_timeout(jw, r.udp2), true;
+    if (unit == "udp3") return write_udp_timeout(jw, r.udp3), true;
+    if (unit == "udp4") return write_port_reuse(jw, r.udp4), true;
+    if (unit.rfind(kUdp5Prefix, 0) == 0) {
+        const std::string svc = unit.substr(kUdp5Prefix.size());
+        auto it = r.udp5.find(svc);
+        static const UdpTimeoutResult kEmpty{};
+        write_udp_timeout(jw, it != r.udp5.end() ? it->second : kEmpty);
+        return true;
+    }
+    if (unit == "tcp1") return write_tcp_timeout(jw, r.tcp1), true;
+    if (unit == "tcp2") return write_throughput(jw, r.tcp2), true;
+    if (unit == "tcp4") return write_max_bindings(jw, r.tcp4), true;
+    if (unit == "icmp") return write_icmp(jw, r.icmp), true;
+    if (unit == "transports") return write_transports(jw, r.transports), true;
+    if (unit == "dns") return write_dns(jw, r.dns), true;
+    if (unit == "quirks") return write_quirks(jw, r.quirks), true;
+    if (unit == "stun") return write_stun(jw, r.stun), true;
+    if (unit == "binding_rate")
+        return write_binding_rate(jw, r.binding_rate), true;
+    return false;
+}
+
+} // namespace
+
+std::vector<std::string> unit_plan(const CampaignConfig& config) {
+    std::vector<std::string> plan;
+    if (config.udp1) plan.push_back("udp1");
+    if (config.udp2) plan.push_back("udp2");
+    if (config.udp3) plan.push_back("udp3");
+    if (config.udp4) plan.push_back("udp4");
+    if (config.udp5)
+        for (const auto& [name, port] : config.udp5_services)
+            plan.push_back(std::string(kUdp5Prefix) + name);
+    if (config.tcp1) plan.push_back("tcp1");
+    if (config.tcp2) plan.push_back("tcp2");
+    if (config.tcp4) plan.push_back("tcp4");
+    if (config.icmp) plan.push_back("icmp");
+    if (config.transports) plan.push_back("transports");
+    if (config.dns) plan.push_back("dns");
+    if (config.quirks) plan.push_back("quirks");
+    if (config.stun) plan.push_back("stun");
+    if (config.binding_rate) plan.push_back("binding_rate");
+    return plan;
+}
+
+std::string unit_payload_json(const DeviceResults& r,
+                              const std::string& unit) {
+    std::ostringstream out;
+    JsonWriter jw(out);
+    if (!write_unit(jw, r, unit)) return "null";
+    return out.str();
+}
+
+bool apply_unit_payload(DeviceResults& r, const std::string& unit,
+                        const report::JsonValue& payload) {
+    if (unit == "udp1") return read_udp_timeout(payload, r.udp1), true;
+    if (unit == "udp2") return read_udp_timeout(payload, r.udp2), true;
+    if (unit == "udp3") return read_udp_timeout(payload, r.udp3), true;
+    if (unit == "udp4") return read_port_reuse(payload, r.udp4), true;
+    if (unit.rfind(kUdp5Prefix, 0) == 0) {
+        const std::string svc = unit.substr(kUdp5Prefix.size());
+        read_udp_timeout(payload, r.udp5[svc]);
+        return true;
+    }
+    if (unit == "tcp1") return read_tcp_timeout(payload, r.tcp1), true;
+    if (unit == "tcp2") return read_throughput(payload, r.tcp2), true;
+    if (unit == "tcp4") return read_max_bindings(payload, r.tcp4), true;
+    if (unit == "icmp") return read_icmp(payload, r.icmp), true;
+    if (unit == "transports")
+        return read_transports(payload, r.transports), true;
+    if (unit == "dns") return read_dns(payload, r.dns), true;
+    if (unit == "quirks") return read_quirks(payload, r.quirks), true;
+    if (unit == "stun") return read_stun(payload, r.stun), true;
+    if (unit == "binding_rate")
+        return read_binding_rate(payload, r.binding_rate), true;
+    return false;
+}
+
+std::string device_results_json(const DeviceResults& r) {
+    std::ostringstream out;
+    JsonWriter jw(out);
+    jw.begin_object();
+    jw.key("tag").value(std::string_view(r.tag));
+    jw.key("udp1");
+    write_udp_timeout(jw, r.udp1);
+    jw.key("udp2");
+    write_udp_timeout(jw, r.udp2);
+    jw.key("udp3");
+    write_udp_timeout(jw, r.udp3);
+    jw.key("udp4");
+    write_port_reuse(jw, r.udp4);
+    jw.key("udp5").begin_object();
+    for (const auto& [svc, res] : r.udp5) {
+        jw.key(svc);
+        write_udp_timeout(jw, res);
+    }
+    jw.end_object();
+    jw.key("tcp1");
+    write_tcp_timeout(jw, r.tcp1);
+    jw.key("tcp2");
+    write_throughput(jw, r.tcp2);
+    jw.key("tcp4");
+    write_max_bindings(jw, r.tcp4);
+    jw.key("icmp");
+    write_icmp(jw, r.icmp);
+    jw.key("transports");
+    write_transports(jw, r.transports);
+    jw.key("dns");
+    write_dns(jw, r.dns);
+    jw.key("quirks");
+    write_quirks(jw, r.quirks);
+    jw.key("stun");
+    write_stun(jw, r.stun);
+    jw.key("binding_rate");
+    write_binding_rate(jw, r.binding_rate);
+    jw.key("units").begin_array();
+    for (const auto& u : r.units) {
+        jw.begin_object();
+        jw.key("unit").value(std::string_view(u.unit));
+        jw.key("status").value(std::string_view(to_string(u.status)));
+        jw.key("attempts").value(i64(u.attempts));
+        jw.key("reason").value(std::string_view(u.reason));
+        jw.key("t_start_ns").value(u.t_start_ns);
+        jw.key("t_end_ns").value(u.t_end_ns);
+        jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    return out.str();
+}
+
+std::string campaign_fingerprint(const CampaignConfig& config,
+                                 const std::vector<std::string>& devices) {
+    // Canonical text of everything that shapes the measurement stream.
+    // The supervisor's journal knobs are deliberately absent: a journaled
+    // run and its resumed continuation share a fingerprint by design.
+    std::ostringstream s;
+    auto ns = [](sim::Duration d) { return d.count(); };
+    s << "flags:" << config.udp1 << config.udp2 << config.udp3 << config.udp4
+      << config.udp5 << config.tcp1 << config.tcp2 << config.tcp4
+      << config.icmp << config.transports << config.dns << config.quirks
+      << config.stun << config.binding_rate << ';'
+      << "binding_rate_count:" << config.binding_rate_count << ';'
+      << "udp:" << config.udp.repetitions << ',' << config.udp.server_port
+      << ',' << ns(config.udp.grace) << ','
+      << ns(config.udp.search.first_guess) << ','
+      << ns(config.udp.search.hi_limit) << ','
+      << ns(config.udp.search.resolution) << ','
+      << ns(config.udp.search.retry.trial_timeout) << ','
+      << config.udp.search.retry.max_attempts << ','
+      << ns(config.udp.search.retry.backoff) << ','
+      << config.udp.retry.creation_retries << ','
+      << ns(config.udp.retry.creation_wait) << ','
+      << config.udp.retry.probe_retries << ';'
+      << "tcp1:" << config.tcp_timeout.repetitions << ','
+      << config.tcp_timeout.server_port << ','
+      << ns(config.tcp_timeout.grace) << ','
+      << ns(config.tcp_timeout.search.first_guess) << ','
+      << ns(config.tcp_timeout.search.hi_limit) << ','
+      << ns(config.tcp_timeout.search.resolution) << ','
+      << ns(config.tcp_timeout.search.retry.trial_timeout) << ','
+      << config.tcp_timeout.search.retry.max_attempts << ','
+      << ns(config.tcp_timeout.search.retry.backoff) << ','
+      << config.tcp_timeout.connect_retries << ','
+      << ns(config.tcp_timeout.connect_backoff) << ';'
+      << "tcp2:" << config.throughput.bytes << ','
+      << ns(config.throughput.time_limit) << ','
+      << config.throughput.port_base << ';'
+      << "tcp4:" << config.max_bindings.limit << ','
+      << config.max_bindings.server_port << ';'
+      << "sup:" << ns(config.supervisor.soft_deadline) << ','
+      << ns(config.supervisor.hard_deadline) << ','
+      << config.supervisor.max_attempts << ','
+      << ns(config.supervisor.retry_backoff) << ','
+      << ns(config.supervisor.hard_grace) << ','
+      << config.supervisor.quarantine_after << ';'
+      << "udp5:";
+    for (const auto& [name, port] : config.udp5_services)
+        s << name << '=' << port << ',';
+    s << ";devices:";
+    for (const auto& d : devices) s << d << ',';
+
+    const std::string text = s.str();
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a 64
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    static const char* hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+} // namespace gatekit::harness

@@ -1,0 +1,45 @@
+// Serialization glue between the typed harness results and the campaign
+// journal (report/journal.*). One JSON payload per (device, test) unit,
+// written with JsonWriter and decoded from JsonValue; doubles go through
+// json_double's shortest-round-trip formatting, so a payload that is
+// journaled, parsed, and re-serialized is byte-identical — the property
+// the kill/resume determinism tests assert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/testrund.hpp"
+#include "report/json.hpp"
+
+namespace gatekit::harness {
+
+/// Execution-ordered unit names for one device under `config`: "udp1",
+/// "udp2", "udp3", "udp4", one "udp5:<service>" per configured service,
+/// "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns", "quirks",
+/// "stun", "binding_rate". Disabled tests are absent.
+std::vector<std::string> unit_plan(const CampaignConfig& config);
+
+/// Serialize the named unit's slice of `r` as one JSON value.
+/// Unknown unit names serialize as null.
+std::string unit_payload_json(const DeviceResults& r,
+                              const std::string& unit);
+
+/// Decode a journaled payload back into the named unit's slice of `r`.
+/// Returns false for unknown unit names; absent fields keep defaults.
+bool apply_unit_payload(DeviceResults& r, const std::string& unit,
+                        const report::JsonValue& payload);
+
+/// Whole-device serialization: tag, every unit payload, and the
+/// supervisor unit reports. This is the byte-comparison format of the
+/// journal determinism tests — a resumed campaign must reproduce the
+/// uninterrupted run's string exactly.
+std::string device_results_json(const DeviceResults& r);
+
+/// FNV-1a hex fingerprint over the campaign knobs that shape the
+/// measurement stream plus the device roster. A journal only resumes
+/// into a campaign with the same fingerprint.
+std::string campaign_fingerprint(const CampaignConfig& config,
+                                 const std::vector<std::string>& devices);
+
+} // namespace gatekit::harness

@@ -48,8 +48,11 @@ private:
         // shared_ptr to this measurement (ownership cycle otherwise).
         // Always deferred here, never inside the search's own stack.
         search_.reset();
-        if (static_cast<int>(result_.samples_sec.size()) >=
-            config_.repetitions) {
+        const bool cancelled =
+            config_.search.cancel != nullptr && *config_.search.cancel;
+        if (cancelled ||
+            static_cast<int>(result_.samples_sec.size()) >=
+                config_.repetitions) {
             tb_.server().tcp_close_listener(*listener_);
             done_(std::move(result_));
             return;
@@ -408,7 +411,9 @@ private:
         *poll = [self, rx, finished, port, done = std::move(done), deadline,
                  poll] {
             const auto r = rx->result(self->config_.bytes);
-            if (r.completed || self->loop_.now() >= deadline) {
+            const bool cancelled = self->config_.cancel != nullptr &&
+                                   *self->config_.cancel;
+            if (r.completed || cancelled || self->loop_.now() >= deadline) {
                 if (*finished) return;
                 *finished = true;
                 auto it = self->listeners_.find(port);
@@ -462,6 +467,10 @@ public:
 
 private:
     void open_next() {
+        if (config_.cancel != nullptr && *config_.cancel) {
+            finish(false); // supervisor hard deadline: report partial count
+            return;
+        }
         if (established_ >= config_.limit) {
             finish(true);
             return;

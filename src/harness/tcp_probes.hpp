@@ -53,6 +53,9 @@ struct ThroughputConfig {
     std::size_t bytes = 100'000'000; ///< the paper's 100 MB bulk transfer
     sim::Duration time_limit{std::chrono::seconds(300)};
     std::uint16_t port_base = 5001;
+    /// Cooperative cancellation (supervisor hard deadline): in-flight
+    /// transfer legs finish early with partial byte counts. Null = never.
+    std::shared_ptr<const bool> cancel;
 };
 
 /// One direction of one transfer.
@@ -79,6 +82,9 @@ void measure_throughput(Testbed& tb, int slot, const ThroughputConfig& config,
 struct MaxBindingsConfig {
     int limit = 2048; ///< stop probing above this many bindings
     std::uint16_t server_port = 9100;
+    /// Cooperative cancellation (supervisor hard deadline): stop opening
+    /// connections and report the partial count. Null = never.
+    std::shared_ptr<const bool> cancel;
 };
 
 struct MaxBindingsResult {

@@ -1,175 +1,543 @@
 #include "harness/testrund.hpp"
 
 #include <memory>
+#include <stdexcept>
+#include <utility>
 
+#include "harness/results_io.hpp"
+#include "report/journal.hpp"
 #include "util/assert.hpp"
 
 namespace gatekit::harness {
 
-/// Drives the test sequence for one device after another. Each step is a
-/// callback-completion probe; `advance()` moves to the next step/device.
+const char* to_string(UnitStatus s) {
+    switch (s) {
+    case UnitStatus::Ok: return "ok";
+    case UnitStatus::Degraded: return "degraded";
+    case UnitStatus::GaveUp: return "gave_up";
+    case UnitStatus::Quarantined: return "quarantined";
+    }
+    return "ok";
+}
+
+bool unit_status_from_string(std::string_view s, UnitStatus& out) {
+    if (s == "ok") {
+        out = UnitStatus::Ok;
+    } else if (s == "degraded") {
+        out = UnitStatus::Degraded;
+    } else if (s == "gave_up") {
+        out = UnitStatus::GaveUp;
+    } else if (s == "quarantined") {
+        out = UnitStatus::Quarantined;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/// Campaign supervisor: walks the unit plan device by device, launching
+/// one probe attempt at a time. Each attempt carries a fresh cancel token
+/// and a generation stamp; deadline watchdogs flip the token (the probe
+/// quiesces at its next trial boundary) and bump the generation (a late
+/// completion is dropped instead of double-advancing the campaign).
+/// With the default policy no watchdog is ever scheduled and every unit
+/// completes through the same callback chain as the unsupervised runner,
+/// so the event stream is bit-for-bit identical.
 struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
     Runner(Testbed& tb, CampaignConfig config,
            std::function<void(std::vector<DeviceResults>)> done)
-        : tb(tb), config(std::move(config)), done(std::move(done)) {}
+        : tb(tb), config(std::move(config)), done(std::move(done)),
+          plan(unit_plan(this->config)) {}
 
     Testbed& tb;
     CampaignConfig config;
     std::function<void(std::vector<DeviceResults>)> done;
+    std::vector<std::string> plan;
     std::vector<DeviceResults> results;
     int device = 0;
-    std::size_t udp5_index = 0;
+    std::size_t unit_idx = 0;
+
+    // Per-unit supervisor state.
+    std::uint64_t gen = 0; ///< stamps attempts; stale callbacks are dropped
+    int attempts = 1;
+    sim::TimePoint unit_start{};
+    std::shared_ptr<bool> cancel;
+    bool hard_hit = false;
+    bool unit_done = false;
+    sim::EventId soft_ev{}, hard_ev{}, force_ev{};
+
+    // Per-device quarantine state.
+    int device_failures = 0;
+    bool device_quarantined = false;
+
+    report::JournalWriter journal;
+    bool journaling = false;
+
+    // Supervisor instruments, re-registered per device; branch-on-null.
+    obs::Counter* m_retry = nullptr;
+    obs::Counter* m_degraded = nullptr;
+    obs::Counter* m_quarantined = nullptr;
 
     DeviceResults& cur() { return results.back(); }
+    sim::EventLoop& loop() { return tb.loop(); }
+    const std::string& unit() const { return plan[unit_idx]; }
+    std::string label() { return Testbed::device_label(tb.slot(device)); }
+
+    bool supervision_active() const {
+        return config.supervisor.soft_enabled() ||
+               config.supervisor.hard_enabled() || journaling;
+    }
+
+    std::vector<std::string> roster() const {
+        std::vector<std::string> tags;
+        for (std::size_t i = 0; i < tb.device_count(); ++i)
+            tags.push_back(
+                tb.slot(static_cast<int>(i)).gw->profile().tag);
+        return tags;
+    }
 
     void start() {
+        const auto& sup = config.supervisor;
+        std::int64_t resume_at_ns = -1;
+        if (!sup.journal_path.empty()) {
+            journaling = true; // before enter_device: gates the counters
+        }
         if (tb.device_count() == 0) {
-            done({});
+            finish_campaign();
             return;
         }
-        begin_device();
+        if (plan.empty()) {
+            // Nothing to measure: enumerate the devices, as before.
+            for (std::size_t i = 0; i < tb.device_count(); ++i) {
+                results.emplace_back();
+                results.back().tag =
+                    tb.slot(static_cast<int>(i)).gw->profile().tag;
+            }
+            finish_campaign();
+            return;
+        }
+        enter_device();
+        if (!sup.journal_path.empty()) {
+            if (sup.resume) {
+                resume_at_ns = load_and_replay();
+                if (!journal.open_append(sup.journal_path))
+                    throw std::runtime_error(
+                        "campaign journal: cannot append to '" +
+                        sup.journal_path + "'");
+            } else {
+                report::JournalHeader header;
+                header.schema = report::kJournalSchema;
+                header.fingerprint = campaign_fingerprint(config, roster());
+                header.devices = roster();
+                if (!journal.open_new(sup.journal_path, header))
+                    throw std::runtime_error(
+                        "campaign journal: cannot create '" +
+                        sup.journal_path + "'");
+            }
+        }
+        if (device >= static_cast<int>(tb.device_count())) {
+            finish_campaign(); // journal already covered every unit
+            return;
+        }
+        if (resume_at_ns >= 0) {
+            // Realign the sim clock with the uninterrupted run: the next
+            // unit must start exactly when it would have, or every
+            // granularity-quantized expiry downstream shifts.
+            const sim::TimePoint t{sim::Duration(resume_at_ns)};
+            if (t > loop().now()) {
+                loop().at(t, [self = shared_from_this()] {
+                    self->start_unit();
+                });
+                return;
+            }
+        }
+        start_unit();
     }
 
-    void begin_device() {
+    /// Replay the journal prefix into `results`, advancing the campaign
+    /// pointer past every completed unit. Returns the sim time (ns) at
+    /// which the first live unit must start, or -1 with nothing replayed.
+    std::int64_t load_and_replay() {
+        const auto& sup = config.supervisor;
+        report::JournalHeader header;
+        std::vector<report::JournalEntry> entries;
+        std::string err;
+        if (!report::JournalReader::load(sup.journal_path, header, entries,
+                                         &err))
+            throw std::runtime_error("campaign journal: " + err);
+        if (header.fingerprint != campaign_fingerprint(config, roster()))
+            throw std::runtime_error(
+                "campaign journal: fingerprint mismatch (campaign config "
+                "or roster changed since the journal was written)");
+        if (header.devices != roster())
+            throw std::runtime_error(
+                "campaign journal: device roster mismatch");
+        if (entries.empty()) return -1;
+
+        for (const auto& e : entries) {
+            if (device >= static_cast<int>(tb.device_count()))
+                throw std::runtime_error(
+                    "campaign journal: more entries than planned units");
+            if (e.device != device || e.unit != unit())
+                throw std::runtime_error(
+                    "campaign journal: entry order diverges from the "
+                    "campaign plan at device " + std::to_string(device) +
+                    " unit '" + unit() + "'");
+            UnitReport rep;
+            rep.unit = e.unit;
+            if (!unit_status_from_string(e.status, rep.status))
+                throw std::runtime_error(
+                    "campaign journal: unknown status '" + e.status + "'");
+            rep.attempts = e.attempts;
+            rep.reason = e.reason;
+            rep.t_start_ns = e.t_start_ns;
+            rep.t_end_ns = e.t_end_ns;
+            if (e.payload.type != report::JsonValue::Type::Null)
+                apply_unit_payload(cur(), e.unit, e.payload);
+            cur().units.push_back(std::move(rep));
+            note_unit_outcome(cur().units.back().status);
+            advance_pointer();
+        }
+        const auto& last = entries.back();
+        // Restore the allocator cursors the probes observe across unit
+        // boundaries. Earlier devices are finished (their cursors are
+        // dead state); only the globals and, mid-device, the current
+        // device's port pools matter.
+        tb.client().set_ephemeral_cursor(
+            static_cast<std::uint16_t>(last.state.client_eph));
+        tb.server().set_ephemeral_cursor(
+            static_cast<std::uint16_t>(last.state.server_eph));
+        if (device < static_cast<int>(tb.device_count()) && unit_idx > 0) {
+            auto& gw = *tb.slot(device).gw;
+            gw.nat().udp_table().set_pool_cursor(
+                static_cast<std::uint16_t>(last.state.udp_pool));
+            gw.nat().tcp_table().set_pool_cursor(
+                static_cast<std::uint16_t>(last.state.tcp_pool));
+        }
+        // Re-warm the ARP state the replayed traffic left behind: every
+        // device's first unit resolves the client<->gateway and
+        // gateway<->server pairs, and entries never expire. Without this
+        // the first live unit pays ARP exchanges the uninterrupted run
+        // already paid, shifting every later timestamp.
+        for (int d = 0; d <= last.device &&
+                        d < static_cast<int>(tb.device_count());
+             ++d) {
+            auto& slot = tb.slot(d);
+            auto& gw = *slot.gw;
+            slot.client_if->arp_cache().insert(gw.lan_addr(),
+                                               gw.lan_if().mac());
+            gw.lan_if().arp_cache().insert(slot.client_addr,
+                                           slot.client_if->mac());
+            gw.wan_if().arp_cache().insert(slot.server_addr,
+                                           slot.server_if->mac());
+            slot.server_if->arp_cache().insert(slot.gw_wan_addr,
+                                               gw.wan_if().mac());
+        }
+        return last.t_end_ns;
+    }
+
+    void enter_device() {
         results.emplace_back();
         cur().tag = tb.slot(device).gw->profile().tag;
-        step_udp1();
+        device_failures = 0;
+        device_quarantined = false;
+        m_retry = m_degraded = m_quarantined = nullptr;
+        if (auto* o = tb.observability(); o && supervision_active()) {
+            auto& reg = o->metrics();
+            m_retry = reg.counter("unit.retry", {{"device", label()}});
+            m_degraded = reg.counter("unit.degraded", {{"device", label()}});
+            m_quarantined =
+                reg.counter("device.quarantined", {{"device", label()}});
+        }
     }
 
-    void next_device() {
-        ++device;
-        if (device >= static_cast<int>(tb.device_count())) {
-            done(std::move(results));
+    /// Move to the next planned unit; false when the campaign is done.
+    bool advance_pointer() {
+        ++unit_idx;
+        if (unit_idx >= plan.size()) {
+            unit_idx = 0;
+            ++device;
+            if (device >= static_cast<int>(tb.device_count())) return false;
+            enter_device();
+        }
+        return true;
+    }
+
+    void next_unit() {
+        if (!advance_pointer()) {
+            finish_campaign();
             return;
         }
-        begin_device();
+        start_unit();
     }
 
-    void step_udp1() {
-        if (!config.udp1) return step_udp2();
-        measure_udp_timeout(tb, device, UdpPattern::SolitaryOutbound,
-                            config.udp, [self = shared_from_this()](
-                                            UdpTimeoutResult r) {
-                                self->cur().udp1 = std::move(r);
-                                self->step_udp2();
-                            });
-    }
-    void step_udp2() {
-        if (!config.udp2) return step_udp3();
-        measure_udp_timeout(tb, device, UdpPattern::InboundRefresh,
-                            config.udp, [self = shared_from_this()](
-                                            UdpTimeoutResult r) {
-                                self->cur().udp2 = std::move(r);
-                                self->step_udp3();
-                            });
-    }
-    void step_udp3() {
-        if (!config.udp3) return step_udp4();
-        measure_udp_timeout(tb, device, UdpPattern::Bidirectional,
-                            config.udp, [self = shared_from_this()](
-                                            UdpTimeoutResult r) {
-                                self->cur().udp3 = std::move(r);
-                                self->step_udp4();
-                            });
-    }
-    void step_udp4() {
-        if (!config.udp4) return step_udp5();
-        measure_port_reuse(tb, device, config.udp,
-                           [self = shared_from_this()](PortReuseResult r) {
-                               self->cur().udp4 = std::move(r);
-                               self->step_udp5();
-                           });
-    }
-    void step_udp5() {
-        if (!config.udp5 || udp5_index >= config.udp5_services.size()) {
-            udp5_index = 0;
-            return step_tcp1();
+    void finish_campaign() { done(std::move(results)); }
+
+    void start_unit() {
+        if (device_quarantined) {
+            // Skipped wholesale; recorded and journaled so a resumed
+            // campaign replays the same verdict.
+            const std::int64_t now_ns = loop().now().count();
+            UnitReport rep{unit(),  UnitStatus::Quarantined,
+                           0,       "device_quarantined",
+                           now_ns,  now_ns};
+            cur().units.push_back(rep);
+            journal_unit(rep, "null");
+            next_unit(); // bounded recursion: at most one plan per device
+            return;
         }
-        const auto& [name, port] = config.udp5_services[udp5_index];
-        auto cfg = config.udp;
-        cfg.server_port = port;
-        measure_udp_timeout(tb, device, UdpPattern::InboundRefresh, cfg,
-                            [self = shared_from_this(),
-                             name = name](UdpTimeoutResult r) {
-                                self->cur().udp5[name] = std::move(r);
-                                ++self->udp5_index;
-                                self->step_udp5();
-                            });
+        unit_start = loop().now();
+        attempts = 1;
+        hard_hit = false;
+        unit_done = false;
+        hard_ev = sim::EventId{};
+        launch_attempt();
     }
-    void step_tcp1() {
-        if (!config.tcp1) return step_tcp2();
-        measure_tcp_timeout(tb, device, config.tcp_timeout,
-                            [self = shared_from_this()](TcpTimeoutResult r) {
-                                self->cur().tcp1 = std::move(r);
-                                self->step_tcp2();
-                            });
+
+    void launch_attempt() {
+        const std::uint64_t g = ++gen;
+        cancel = std::make_shared<bool>(false);
+        const auto& sup = config.supervisor;
+        if (sup.soft_enabled() && attempts < sup.max_attempts) {
+            soft_ev = loop().after(
+                sup.soft_deadline,
+                [this, g, self = shared_from_this()] { on_soft(g); });
+        }
+        if (sup.hard_enabled() && !hard_hit && !hard_ev) {
+            // One hard budget per unit, spanning soft retries.
+            hard_ev = loop().at(
+                unit_start + sup.hard_deadline,
+                [this, self = shared_from_this()] { on_hard(); });
+        }
+        dispatch(g);
     }
-    void step_tcp2() {
-        if (!config.tcp2) return step_tcp4();
-        measure_throughput(tb, device, config.throughput,
-                           [self = shared_from_this()](ThroughputResult r) {
-                               self->cur().tcp2 = r;
-                               self->step_tcp4();
-                           });
+
+    template <typename Apply>
+    void complete(std::uint64_t g, Apply apply) {
+        if (g != gen || unit_done) return; // superseded or force-advanced
+        apply(cur());
+        if (hard_hit)
+            finish_unit(UnitStatus::Degraded, "hard_deadline");
+        else
+            finish_unit(UnitStatus::Ok, "");
     }
-    void step_tcp4() {
-        if (!config.tcp4) return step_icmp();
-        measure_max_bindings(tb, device, config.max_bindings,
-                             [self = shared_from_this()](
-                                 MaxBindingsResult r) {
-                                 self->cur().tcp4 = r;
-                                 self->step_icmp();
-                             });
+
+    void finish_unit(UnitStatus status, std::string reason) {
+        unit_done = true;
+        if (soft_ev) loop().cancel(soft_ev);
+        if (hard_ev) loop().cancel(hard_ev);
+        if (force_ev) loop().cancel(force_ev);
+        soft_ev = hard_ev = force_ev = sim::EventId{};
+        if (status == UnitStatus::Degraded) obs::inc(m_degraded);
+        UnitReport rep{unit(),    status,
+                       attempts,  std::move(reason),
+                       unit_start.count(), loop().now().count()};
+        cur().units.push_back(rep);
+        journal_unit(rep, unit_payload_json(cur(), rep.unit));
+        note_unit_outcome(status);
+        next_unit();
     }
-    void step_icmp() {
-        if (!config.icmp) return step_transports();
-        measure_icmp(tb, device,
-                     [self = shared_from_this()](IcmpProbeResult r) {
-                         self->cur().icmp = r;
-                         self->step_transports();
+
+    /// Shared by live completion and journal replay: quarantine counting
+    /// must evolve identically in both, or a resumed campaign would run
+    /// units the original would have skipped.
+    void note_unit_outcome(UnitStatus status) {
+        if (status == UnitStatus::Ok) {
+            device_failures = 0;
+            return;
+        }
+        ++device_failures;
+        const auto& sup = config.supervisor;
+        if (sup.quarantine_after > 0 &&
+            device_failures >= sup.quarantine_after && !device_quarantined) {
+            device_quarantined = true;
+            obs::inc(m_quarantined);
+            if (auto* o = tb.observability())
+                o->tracer().trigger(label(), "device.quarantined");
+        }
+    }
+
+    void on_soft(std::uint64_t g) {
+        if (g != gen || unit_done) return;
+        soft_ev = sim::EventId{};
+        *cancel = true; // the attempt quiesces at its next trial boundary
+        ++gen;          // and its eventual completion is dropped
+        ++attempts;
+        obs::inc(m_retry);
+        if (auto* o = tb.observability())
+            o->tracer().trigger(label(), "unit.soft_deadline");
+        loop().after(config.supervisor.retry_backoff,
+                     [this, self = shared_from_this()] {
+                         if (unit_done) return; // hard deadline ended it
+                         launch_attempt();
                      });
     }
-    void step_transports() {
-        if (!config.transports) return step_dns();
-        measure_transport_support(
-            tb, device, [self = shared_from_this()](
-                            TransportSupportResult r) {
-                self->cur().transports = r;
-                self->step_dns();
+
+    void on_hard() {
+        if (unit_done) return;
+        hard_ev = sim::EventId{};
+        hard_hit = true;
+        if (cancel) *cancel = true; // salvage partial results if possible
+        if (auto* o = tb.observability())
+            o->tracer().trigger(label(), "unit.hard_deadline");
+        // A unit that cannot even deliver partial results within the
+        // grace window is abandoned — this is what un-wedges a campaign
+        // whose probe no longer schedules any events.
+        force_ev = loop().after(
+            config.supervisor.hard_grace,
+            [this, self = shared_from_this()] {
+                if (unit_done) return;
+                ++gen; // drop any completion that limps in later
+                finish_unit(UnitStatus::GaveUp, "hard_deadline");
             });
     }
-    void step_dns() {
-        if (!config.dns) return step_quirks();
-        measure_dns(tb, device,
-                    [self = shared_from_this()](DnsProbeResult r) {
-                        self->cur().dns = r;
-                        self->step_quirks();
+
+    void journal_unit(const UnitReport& rep, const std::string& payload) {
+        if (!journaling) return;
+        report::JournalEntry e;
+        e.device = device;
+        e.tag = cur().tag;
+        e.unit = rep.unit;
+        e.status = to_string(rep.status);
+        e.attempts = rep.attempts;
+        e.reason = rep.reason;
+        e.t_start_ns = rep.t_start_ns;
+        e.t_end_ns = rep.t_end_ns;
+        e.state.client_eph = tb.client().ephemeral_cursor();
+        e.state.server_eph = tb.server().ephemeral_cursor();
+        auto& gw = *tb.slot(device).gw;
+        e.state.udp_pool = gw.nat().udp_table().pool_cursor();
+        e.state.tcp_pool = gw.nat().tcp_table().pool_cursor();
+        if (!journal.append(e, payload))
+            throw std::runtime_error(
+                "campaign journal: write failed for '" +
+                config.supervisor.journal_path + "'");
+    }
+
+    void dispatch(std::uint64_t g) {
+        auto self = shared_from_this();
+        const std::string& u = unit();
+        if (u == "udp1" || u == "udp2" || u == "udp3") {
+            const UdpPattern pattern =
+                u == "udp1" ? UdpPattern::SolitaryOutbound
+                : u == "udp2" ? UdpPattern::InboundRefresh
+                              : UdpPattern::Bidirectional;
+            auto cfg = config.udp;
+            cfg.search.cancel = cancel;
+            measure_udp_timeout(
+                tb, device, pattern, cfg,
+                [self, g, u](UdpTimeoutResult r) {
+                    self->complete(g, [&](DeviceResults& d) {
+                        (u == "udp1"   ? d.udp1
+                         : u == "udp2" ? d.udp2
+                                       : d.udp3) = std::move(r);
                     });
-    }
-    void step_quirks() {
-        if (!config.quirks) return step_stun();
-        measure_quirks(tb, device,
-                       [self = shared_from_this()](QuirksResult r) {
-                           self->cur().quirks = r;
-                           self->step_stun();
-                       });
-    }
-    void step_stun() {
-        if (!config.stun) return step_binding_rate();
-        measure_stun(tb, device,
-                     [self = shared_from_this()](StunProbeResult r) {
-                         self->cur().stun = r;
-                         self->step_binding_rate();
-                     });
-    }
-    void step_binding_rate() {
-        if (!config.binding_rate) return next_device();
-        measure_binding_rate(
-            tb, device, config.binding_rate_count,
-            [self = shared_from_this()](BindingRateResult r) {
-                self->cur().binding_rate = r;
-                self->next_device();
+                });
+            return;
+        }
+        if (u == "udp4") {
+            auto cfg = config.udp;
+            cfg.search.cancel = cancel;
+            measure_port_reuse(tb, device, cfg,
+                               [self, g](PortReuseResult r) {
+                                   self->complete(g, [&](DeviceResults& d) {
+                                       d.udp4 = std::move(r);
+                                   });
+                               });
+            return;
+        }
+        if (u.rfind("udp5:", 0) == 0) {
+            const std::string svc = u.substr(5);
+            auto cfg = config.udp;
+            cfg.search.cancel = cancel;
+            for (const auto& [name, port] : config.udp5_services)
+                if (name == svc) cfg.server_port = port;
+            measure_udp_timeout(
+                tb, device, UdpPattern::InboundRefresh, cfg,
+                [self, g, svc](UdpTimeoutResult r) {
+                    self->complete(g, [&](DeviceResults& d) {
+                        d.udp5[svc] = std::move(r);
+                    });
+                });
+            return;
+        }
+        if (u == "tcp1") {
+            auto cfg = config.tcp_timeout;
+            cfg.search.cancel = cancel;
+            measure_tcp_timeout(tb, device, cfg,
+                                [self, g](TcpTimeoutResult r) {
+                                    self->complete(g, [&](DeviceResults& d) {
+                                        d.tcp1 = std::move(r);
+                                    });
+                                });
+            return;
+        }
+        if (u == "tcp2") {
+            auto cfg = config.throughput;
+            cfg.cancel = cancel;
+            measure_throughput(tb, device, cfg,
+                               [self, g](ThroughputResult r) {
+                                   self->complete(g, [&](DeviceResults& d) {
+                                       d.tcp2 = r;
+                                   });
+                               });
+            return;
+        }
+        if (u == "tcp4") {
+            auto cfg = config.max_bindings;
+            cfg.cancel = cancel;
+            measure_max_bindings(tb, device, cfg,
+                                 [self, g](MaxBindingsResult r) {
+                                     self->complete(g, [&](DeviceResults& d) {
+                                         d.tcp4 = r;
+                                     });
+                                 });
+            return;
+        }
+        if (u == "icmp") {
+            measure_icmp(tb, device, [self, g](IcmpProbeResult r) {
+                self->complete(g,
+                               [&](DeviceResults& d) { d.icmp = r; });
             });
+            return;
+        }
+        if (u == "transports") {
+            measure_transport_support(
+                tb, device, [self, g](TransportSupportResult r) {
+                    self->complete(
+                        g, [&](DeviceResults& d) { d.transports = r; });
+                });
+            return;
+        }
+        if (u == "dns") {
+            measure_dns(tb, device, [self, g](DnsProbeResult r) {
+                self->complete(g, [&](DeviceResults& d) { d.dns = r; });
+            });
+            return;
+        }
+        if (u == "quirks") {
+            measure_quirks(tb, device, [self, g](QuirksResult r) {
+                self->complete(g,
+                               [&](DeviceResults& d) { d.quirks = r; });
+            });
+            return;
+        }
+        if (u == "stun") {
+            measure_stun(tb, device, [self, g](StunProbeResult r) {
+                self->complete(g, [&](DeviceResults& d) { d.stun = r; });
+            });
+            return;
+        }
+        if (u == "binding_rate") {
+            measure_binding_rate(
+                tb, device, config.binding_rate_count,
+                [self, g](BindingRateResult r) {
+                    self->complete(
+                        g, [&](DeviceResults& d) { d.binding_rate = r; });
+                });
+            return;
+        }
+        GK_ENSURES(false); // unit_plan and dispatch share one vocabulary
     }
 };
 

@@ -5,9 +5,11 @@
 // direct invocation between the client- and server-side probe halves.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/dns_probe.hpp"
@@ -18,6 +20,62 @@
 #include "harness/udp_probes.hpp"
 
 namespace gatekit::harness {
+
+/// Supervisor classification of one completed (device, test) unit.
+enum class UnitStatus {
+    Ok,          ///< completed normally (possibly after a soft retry)
+    Degraded,    ///< hard deadline hit; partial results were salvaged
+    GaveUp,      ///< hard deadline hit and the unit never reported back
+    Quarantined, ///< not run: the device was quarantined earlier
+};
+
+const char* to_string(UnitStatus s);
+bool unit_status_from_string(std::string_view s, UnitStatus& out);
+
+/// Per-unit supervisor record; one per planned unit, in execution order.
+struct UnitReport {
+    std::string unit; ///< "udp1".."binding_rate", "udp5:<service>"
+    UnitStatus status = UnitStatus::Ok;
+    int attempts = 1;
+    std::string reason; ///< machine-readable, "" when ok
+    std::int64_t t_start_ns = 0;
+    std::int64_t t_end_ns = 0;
+};
+
+/// Campaign supervision: per-unit deadline budgets, retry/quarantine
+/// policy, and the write-ahead journal. Everything defaults OFF — with
+/// deadlines at zero and no journal path the supervisor schedules no
+/// events and touches no files, so an unsupervised campaign's event
+/// stream (and every figure built from it) is bit-for-bit unchanged.
+struct SupervisorPolicy {
+    /// Soft per-unit budget: when a unit runs past this the supervisor
+    /// dumps the flight recorder, cancels the attempt cooperatively, and
+    /// re-runs the unit after `retry_backoff` (up to `max_attempts`
+    /// total). Zero disables.
+    sim::Duration soft_deadline{0};
+    /// Hard per-unit budget, measured from the unit's first attempt:
+    /// the unit is cancelled and classified degraded (partial results
+    /// arrived) or gave_up (nothing came back within `hard_grace`).
+    /// Zero disables.
+    sim::Duration hard_deadline{0};
+    int max_attempts = 2;
+    sim::Duration retry_backoff{std::chrono::seconds(5)};
+    /// How long after the hard deadline a cancelled unit may still
+    /// deliver partial results before the supervisor force-advances.
+    sim::Duration hard_grace{std::chrono::seconds(5)};
+    /// Consecutive non-ok units before the device is quarantined and its
+    /// remaining units skipped (the campaign itself continues). <= 0
+    /// disables quarantine.
+    int quarantine_after = 3;
+    /// Write-ahead journal path (schema gatekit.journal.v1); empty = no
+    /// journal. With `resume` set the journal is replayed first and the
+    /// campaign continues from the first missing unit.
+    std::string journal_path;
+    bool resume = false;
+
+    bool soft_enabled() const { return soft_deadline > sim::Duration::zero(); }
+    bool hard_enabled() const { return hard_deadline > sim::Duration::zero(); }
+};
 
 /// Which measurements to run (each maps to a paper test).
 struct CampaignConfig {
@@ -42,15 +100,29 @@ struct CampaignConfig {
     ThroughputConfig throughput;
     MaxBindingsConfig max_bindings;
 
+    SupervisorPolicy supervisor;
+
     /// UDP-5 well-known services (paper Figure 6).
     std::vector<std::pair<std::string, std::uint16_t>> udp5_services{
         {"dns", 53}, {"http", 80}, {"ntp", 123}, {"snmp", 161}, {"tftp", 69}};
 
+    /// The paper's core measurement set (sections 3.2.1-3.2.3): UDP-1..5,
+    /// TCP-1/2/4 (TCP-3 rides on TCP-2), ICMP translation, SCTP/DCCP
+    /// support, and the DNS proxy. The future-work probes (quirks, STUN,
+    /// binding rate) stay off — use everything() to include them.
     static CampaignConfig all() {
         CampaignConfig c;
         c.udp1 = c.udp2 = c.udp3 = c.udp4 = c.udp5 = true;
         c.tcp1 = c.tcp2 = c.tcp4 = true;
         c.icmp = c.transports = c.dns = true;
+        return c;
+    }
+
+    /// Every measurement the harness implements: all() plus the paper's
+    /// section-5 future-work probes.
+    static CampaignConfig everything() {
+        CampaignConfig c = all();
+        c.quirks = c.stun = c.binding_rate = true;
         return c;
     }
 };
@@ -69,6 +141,15 @@ struct DeviceResults {
     QuirksResult quirks;
     StunProbeResult stun;
     BindingRateResult binding_rate;
+    /// Supervisor verdicts, one per planned unit in execution order.
+    /// Every unit is listed with status ok when supervision is off.
+    std::vector<UnitReport> units;
+
+    bool quarantined() const {
+        for (const auto& u : units)
+            if (u.status == UnitStatus::Quarantined) return true;
+        return false;
+    }
 };
 
 /// Run a campaign over every device in the testbed. Tests run

@@ -65,6 +65,10 @@ private:
         }
     }
 
+    bool cancel_requested() const {
+        return config_.search.cancel != nullptr && *config_.search.cancel;
+    }
+
     void next_repetition() {
         // Drop the previous repetition's search. Its trial/finished
         // callbacks capture a shared_ptr to this measurement, so a
@@ -72,8 +76,9 @@ private:
         // would keep the whole object alive forever (ownership cycle).
         // Always deferred here (never inside the search's own stack).
         search_.reset();
-        if (static_cast<int>(result_.samples_sec.size()) >=
-            config_.repetitions) {
+        if (cancel_requested() ||
+            static_cast<int>(result_.samples_sec.size()) >=
+                config_.repetitions) {
             finish();
             return;
         }
@@ -124,6 +129,13 @@ private:
     void run_trial(sim::Duration gap, std::function<void(bool)> cb) {
         auto self = shared_from_this();
         loop_.after(cooldown(), [self, gap, cb = std::move(cb)]() mutable {
+            if (self->cancel_requested()) {
+                // Supervisor hard deadline hit during the cooldown: feed
+                // the search a verdict it will discard instead of paying
+                // for another full-gap trial.
+                cb(false);
+                return;
+            }
             // Bump the epoch: any straggler chain from an abandoned
             // trial (the search watchdog moved on without it) checks it
             // at every hop and dies instead of touching this trial's

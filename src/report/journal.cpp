@@ -1,0 +1,225 @@
+#include "report/journal.hpp"
+
+#include <sstream>
+
+namespace gatekit::report {
+
+namespace {
+
+void write_header_line(std::ostream& out, const JournalHeader& header) {
+    JsonWriter jw(out);
+    jw.begin_object();
+    jw.key("schema").value(std::string_view(kJournalSchema));
+    jw.key("fingerprint").value(std::string_view(header.fingerprint));
+    jw.key("devices").begin_array();
+    for (const auto& tag : header.devices) jw.value(std::string_view(tag));
+    jw.end_array();
+    jw.end_object();
+    out << '\n';
+}
+
+bool known_status(std::string_view s) {
+    return s == "ok" || s == "degraded" || s == "gave_up" ||
+           s == "quarantined";
+}
+
+bool decode_header(const JsonValue& v, JournalHeader& header,
+                   std::string* error) {
+    const JsonValue* schema = v.find("schema");
+    if (schema == nullptr || schema->as_string() != kJournalSchema) {
+        if (error) *error = "missing or wrong schema tag";
+        return false;
+    }
+    header.schema = schema->as_string();
+    if (const JsonValue* fp = v.find("fingerprint"))
+        header.fingerprint = fp->as_string();
+    const JsonValue* devices = v.find("devices");
+    if (devices == nullptr || devices->type != JsonValue::Type::Array) {
+        if (error) *error = "header lacks devices array";
+        return false;
+    }
+    header.devices.clear();
+    for (const auto& d : devices->array)
+        header.devices.push_back(d.as_string());
+    return true;
+}
+
+bool decode_entry(JsonValue v, JournalEntry& entry, std::string* error) {
+    const JsonValue* device = v.find("device");
+    const JsonValue* unit = v.find("unit");
+    const JsonValue* status = v.find("status");
+    if (device == nullptr || unit == nullptr || status == nullptr) {
+        if (error) *error = "entry lacks device/unit/status";
+        return false;
+    }
+    entry.device = static_cast<int>(device->as_int());
+    entry.unit = unit->as_string();
+    entry.status = status->as_string();
+    if (!known_status(entry.status)) {
+        if (error) *error = "unknown status '" + entry.status + "'";
+        return false;
+    }
+    if (const JsonValue* tag = v.find("tag")) entry.tag = tag->as_string();
+    if (const JsonValue* a = v.find("attempts"))
+        entry.attempts = static_cast<int>(a->as_int(1));
+    if (const JsonValue* r = v.find("reason"))
+        entry.reason = r->as_string();
+    if (const JsonValue* t = v.find("t_start_ns"))
+        entry.t_start_ns = t->as_int();
+    if (const JsonValue* t = v.find("t_end_ns"))
+        entry.t_end_ns = t->as_int();
+    if (const JsonValue* st = v.find("state")) {
+        if (const JsonValue* c = st->find("client_eph"))
+            entry.state.client_eph = static_cast<std::uint64_t>(c->as_int());
+        if (const JsonValue* c = st->find("server_eph"))
+            entry.state.server_eph = static_cast<std::uint64_t>(c->as_int());
+        if (const JsonValue* c = st->find("udp_pool"))
+            entry.state.udp_pool = static_cast<std::uint64_t>(c->as_int());
+        if (const JsonValue* c = st->find("tcp_pool"))
+            entry.state.tcp_pool = static_cast<std::uint64_t>(c->as_int());
+    }
+    if (JsonValue* p = const_cast<JsonValue*>(v.find("payload")))
+        entry.payload = std::move(*p);
+    return true;
+}
+
+} // namespace
+
+bool JournalWriter::open_new(const std::string& path,
+                             const JournalHeader& header) {
+    out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!out_.good()) return false;
+    write_header_line(out_, header);
+    out_.flush();
+    return out_.good();
+}
+
+bool JournalWriter::open_append(const std::string& path) {
+    out_.open(path, std::ios::binary | std::ios::app);
+    return out_.good();
+}
+
+bool JournalWriter::append(const JournalEntry& entry,
+                           std::string_view payload_json) {
+    if (!ok()) return false;
+    JsonWriter jw(out_);
+    jw.begin_object();
+    jw.key("device").value(static_cast<std::int64_t>(entry.device));
+    jw.key("tag").value(std::string_view(entry.tag));
+    jw.key("unit").value(std::string_view(entry.unit));
+    jw.key("status").value(std::string_view(entry.status));
+    jw.key("attempts").value(static_cast<std::int64_t>(entry.attempts));
+    jw.key("reason").value(std::string_view(entry.reason));
+    jw.key("t_start_ns").value(entry.t_start_ns);
+    jw.key("t_end_ns").value(entry.t_end_ns);
+    jw.key("state").begin_object();
+    jw.key("client_eph").value(entry.state.client_eph);
+    jw.key("server_eph").value(entry.state.server_eph);
+    jw.key("udp_pool").value(entry.state.udp_pool);
+    jw.key("tcp_pool").value(entry.state.tcp_pool);
+    jw.end_object();
+    jw.key("payload").raw(payload_json);
+    jw.end_object();
+    out_ << '\n';
+    out_.flush(); // write-ahead: durable before the result is merged
+    return out_.good();
+}
+
+bool JournalReader::load(const std::string& path, JournalHeader& header,
+                         std::vector<JournalEntry>& entries,
+                         std::string* error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        if (error) *error = "cannot open journal '" + path + "'";
+        return false;
+    }
+    entries.clear();
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        std::string perr;
+        auto v = json_parse(line, &perr);
+        if (!v) {
+            if (error)
+                *error = "line " + std::to_string(lineno) + ": " + perr;
+            return false;
+        }
+        if (lineno == 1) {
+            if (!decode_header(*v, header, error)) return false;
+            continue;
+        }
+        JournalEntry entry;
+        std::string derr;
+        if (!decode_entry(std::move(*v), entry, &derr)) {
+            if (error)
+                *error = "line " + std::to_string(lineno) + ": " + derr;
+            return false;
+        }
+        entries.push_back(std::move(entry));
+    }
+    if (lineno == 0) {
+        if (error) *error = "empty journal";
+        return false;
+    }
+    return true;
+}
+
+bool validate_journal(std::string_view text, std::string* error) {
+    std::istringstream in{std::string(text)};
+    std::string line;
+    std::size_t lineno = 0;
+    JournalHeader header;
+    int last_device = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        std::string perr;
+        auto v = json_parse(line, &perr);
+        if (!v) {
+            if (error)
+                *error = "line " + std::to_string(lineno) + ": " + perr;
+            return false;
+        }
+        if (lineno == 1) {
+            if (!decode_header(*v, header, error)) return false;
+            continue;
+        }
+        JournalEntry entry;
+        std::string derr;
+        if (!decode_entry(std::move(*v), entry, &derr)) {
+            if (error)
+                *error = "line " + std::to_string(lineno) + ": " + derr;
+            return false;
+        }
+        if (entry.device < 0 ||
+            entry.device >= static_cast<int>(header.devices.size())) {
+            if (error)
+                *error = "line " + std::to_string(lineno) +
+                         ": device index out of roster";
+            return false;
+        }
+        if (header.devices[static_cast<std::size_t>(entry.device)] !=
+            entry.tag) {
+            if (error)
+                *error = "line " + std::to_string(lineno) +
+                         ": tag does not match roster";
+            return false;
+        }
+        if (entry.device < last_device) {
+            if (error)
+                *error = "line " + std::to_string(lineno) +
+                         ": device order regressed";
+            return false;
+        }
+        last_device = entry.device;
+    }
+    if (lineno == 0) {
+        if (error) *error = "empty journal";
+        return false;
+    }
+    return true;
+}
+
+} // namespace gatekit::report

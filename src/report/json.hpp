@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace gatekit::report {
@@ -39,6 +41,9 @@ public:
     JsonWriter& value(std::uint64_t v);
     JsonWriter& value(double v);
     JsonWriter& value(bool v);
+    /// Splice pre-rendered JSON verbatim as one value (comma placement
+    /// still automatic). The caller guarantees `json` is well-formed.
+    JsonWriter& raw(std::string_view json);
 
 private:
     void pre_value();
@@ -53,5 +58,41 @@ private:
 /// non-null) receives a short description with a byte offset. This is a
 /// validator, not a parser — nothing is materialized.
 bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Parsed JSON value (DOM). Object member order is preserved, so a
+/// document written by JsonWriter, parsed, and re-written member-by-
+/// member round-trips byte-identically — the property the campaign
+/// journal's replay path depends on. Numbers remember whether their
+/// source token was integral: `value(int64)` output re-serializes via
+/// the integer path, `value(double)` output via json_double (shortest
+/// round-trip, so parse + re-format is exact).
+class JsonValue {
+public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    bool is_integer = false; ///< source token had no '.', 'e', or 'E'
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const JsonValue* find(std::string_view key) const;
+
+    // Typed accessors with defaults (wrong-type reads yield the default).
+    bool as_bool(bool def = false) const;
+    double as_double(double def = 0.0) const;
+    std::int64_t as_int(std::int64_t def = 0) const;
+    const std::string& as_string() const; ///< empty string when not a String
+};
+
+/// Full parse of exactly one JSON document (plus surrounding whitespace).
+/// Returns nullopt on malformed input, with a byte-offset description in
+/// `error` when non-null.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
 
 } // namespace gatekit::report
