@@ -19,6 +19,11 @@
 //                   gatekit.journal.v1), one record per completed unit
 //   GATEKIT_RESUME  when set, replay GATEKIT_JOURNAL and continue the
 //                   campaign from the first missing unit
+//   GATEKIT_WORKERS worker threads for the device-sharded campaign
+//                   scheduler (default 1). Every output artifact —
+//                   figures, CSV, journal, metrics, trace — is
+//                   byte-identical at any worker count; anything but an
+//                   integer in [1, 256] aborts
 #pragma once
 
 #include <cerrno>
@@ -64,6 +69,24 @@ inline int env_device_limit(int max) {
     if (errno != 0 || end == v || *end != '\0' || n < 1 || n > max) {
         std::cerr << "[gatekit] invalid GATEKIT_DEVICES='" << v
                   << "': expected an integer in [1, " << max << "]\n";
+        std::exit(2);
+    }
+    return static_cast<int>(n);
+}
+
+/// GATEKIT_WORKERS: shard worker-thread count, default 1 (shards run
+/// sequentially on the calling thread). Strict parse, like
+/// GATEKIT_DEVICES: the whole string must be an integer in [1, 256] or
+/// the bench exits with a clear error.
+inline int env_workers() {
+    const char* v = std::getenv("GATEKIT_WORKERS");
+    if (v == nullptr) return 1;
+    errno = 0;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0' || n < 1 || n > 256) {
+        std::cerr << "[gatekit] invalid GATEKIT_WORKERS='" << v
+                  << "': expected an integer in [1, 256]\n";
         std::exit(2);
     }
     return static_cast<int>(n);
@@ -154,34 +177,67 @@ private:
 };
 
 /// Build the Figure-1 testbed with every profiled device and run the
-/// campaign; returns per-device results in Table 1 order.
+/// campaign, device-sharded across GATEKIT_WORKERS threads; returns
+/// per-device results in Table 1 order. Every output artifact (figures,
+/// CSV, journal, metrics snapshot, trace) is byte-identical at any
+/// worker count.
 inline std::vector<harness::DeviceResults>
-run_campaign(sim::EventLoop& loop, const harness::CampaignConfig& config) {
-    ObsSession obs(loop); // declared before tb: components keep pointers
-    harness::Testbed tb(loop);
+run_campaign(const harness::CampaignConfig& config) {
+    harness::ShardScheduler::Options opts;
     const auto& profiles = devices::all_profiles();
     const int limit =
         env_device_limit(static_cast<int>(profiles.size()));
-    int added = 0;
     for (const auto& profile : profiles) {
-        if (limit > 0 && added >= limit) break;
-        tb.add_device(profile);
-        ++added;
+        if (limit > 0 && static_cast<int>(opts.roster.size()) >= limit)
+            break;
+        opts.roster.push_back(profile);
     }
-    obs.attach(tb);
-    std::cerr << "[gatekit] bringing up testbed with " << added
-              << " devices...\n";
-    tb.start_and_wait();
-    std::cerr << "[gatekit] running measurement campaign...\n";
-    harness::CampaignConfig cfg = config;
+    opts.config = config;
+    opts.workers = env_workers();
     if (const char* journal = std::getenv("GATEKIT_JOURNAL")) {
-        cfg.supervisor.journal_path = journal;
-        cfg.supervisor.resume = env_flag("GATEKIT_RESUME");
+        opts.journal_path = journal;
+        opts.resume = env_flag("GATEKIT_RESUME");
     }
-    harness::Testrund rund(tb);
-    auto results = rund.run_blocking(cfg);
-    obs.finish();
-    return results;
+    const char* metrics = std::getenv("GATEKIT_METRICS");
+    if (metrics != nullptr) {
+        // Fail fast: an unwritable snapshot path should abort the run
+        // before hours of campaign, not after (the snapshot itself is
+        // rewritten when the campaign finishes).
+        std::ofstream probe(metrics, std::ios::binary | std::ios::trunc);
+        if (!probe.good()) {
+            std::cerr << "[gatekit] cannot open GATEKIT_METRICS path '"
+                      << metrics << "'\n";
+            std::exit(2);
+        }
+        opts.metrics = true;
+    }
+    if (const char* trace = std::getenv("GATEKIT_TRACE"))
+        opts.trace_path = trace;
+    opts.verbose = true;
+    std::cerr << "[gatekit] running measurement campaign over "
+              << opts.roster.size() << " devices (" << opts.workers
+              << (opts.workers == 1 ? " worker" : " workers") << ")...\n";
+    auto out = harness::ShardScheduler::run(opts);
+    if (metrics != nullptr && out.metrics != nullptr) {
+        const std::string path = metrics;
+        bool ok = false;
+        const auto n = path.size();
+        if (n >= 4 && path.compare(n - 4, 4, ".csv") == 0) {
+            std::ofstream f(path, std::ios::binary | std::ios::trunc);
+            f << out.metrics->to_csv();
+            ok = f.good();
+        } else {
+            ok = out.metrics->save_json(path);
+        }
+        if (ok)
+            std::cerr << "[gatekit] wrote metrics snapshot ("
+                      << out.metrics->size() << " series) to " << path
+                      << "\n";
+        else
+            std::cerr << "[gatekit] FAILED to write metrics snapshot to "
+                      << path << "\n";
+    }
+    return std::move(out.results);
 }
 
 /// Default campaign knobs shared by the benches.

@@ -5,10 +5,9 @@ using namespace gatekit;
 using namespace gatekit::bench;
 
 int main() {
-    sim::EventLoop loop;
     auto cfg = base_config();
     cfg.udp1 = cfg.udp2 = cfg.udp3 = true;
-    const auto results = run_campaign(loop, cfg);
+    const auto results = run_campaign(cfg);
 
     report::PlotSeries s1{"UDP-1", {}}, s2{"UDP-2", {}}, s3{"UDP-3", {}};
     report::CsvWriter csv({"tag", "udp1_sec", "udp2_sec", "udp3_sec"});

@@ -5,10 +5,9 @@ using namespace gatekit;
 using namespace gatekit::bench;
 
 int main() {
-    sim::EventLoop loop;
     auto cfg = base_config();
     cfg.udp1 = true;
-    const auto results = run_campaign(loop, cfg);
+    const auto results = run_campaign(cfg);
 
     report::PlotSeries series{"UDP-1", {}};
     report::CsvWriter csv({"tag", "median_sec", "q1", "q3"});

@@ -6,12 +6,11 @@ using namespace gatekit;
 using namespace gatekit::bench;
 
 int main() {
-    sim::EventLoop loop;
     auto cfg = base_config();
     cfg.udp5 = true;
     // The figure orders devices by their UDP-1 result; measure it too.
     cfg.udp1 = true;
-    const auto results = run_campaign(loop, cfg);
+    const auto results = run_campaign(cfg);
 
     std::vector<report::PlotSeries> series;
     series.push_back({"UDP-1", {}}); // ordering key (not printed by paper)

@@ -6,10 +6,9 @@ using namespace gatekit;
 using namespace gatekit::bench;
 
 int main() {
-    sim::EventLoop loop;
     auto cfg = base_config();
     cfg.tcp2 = true; // TCP-3 is derived from the TCP-2 transfers
-    const auto results = run_campaign(loop, cfg);
+    const auto results = run_campaign(cfg);
 
     report::PlotSeries down{"Download", {}}, up{"Upload", {}},
         down_bi{"Down|bidir", {}}, up_bi{"Up|bidir", {}};

@@ -8,11 +8,10 @@ using namespace gatekit;
 using namespace gatekit::bench;
 
 int main() {
-    sim::EventLoop loop;
     auto cfg = base_config();
     cfg.stun = cfg.quirks = cfg.binding_rate = cfg.dns = true;
     cfg.binding_rate_count = 200;
-    const auto results = run_campaign(loop, cfg);
+    const auto results = run_campaign(cfg);
 
     report::TextTable table({"tag", "STUN", "reflexive ok", "mapping",
                              "port kept", "TTL dec", "RecRoute", "hairpin",

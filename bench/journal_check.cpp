@@ -13,10 +13,17 @@
 //      byte-identical to the uninterrupted run;
 //   4. checks the failure modes: a corrupted record fails validation,
 //      and a journal from a different campaign (fingerprint mismatch)
-//      refuses to resume.
+//      refuses to resume;
+//   5. repeats the whole sweep on an impaired grid (WAN loss, duplicate
+//      and jitter > 0). The impairment fate/jitter decisions consume
+//      per-direction RNG draws; resuming with a fresh RNG instead of
+//      the journaled (seed, draw-count) state diverges at the first
+//      post-resume draw, so this phase failed before the journal
+//      carried `rng` stamps.
 //
 // Exit code 0 = all of the above hold; 1 = not. Wired into ctest as
 // `journal_smoke`.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -64,6 +71,20 @@ harness::CampaignConfig campaign() {
     return cfg;
 }
 
+harness::CampaignConfig impaired_campaign() {
+    // Smaller unit set (the probes that push the most packets through
+    // the impairment layer) so the per-boundary resumes stay cheap even
+    // with retries, plus a lossy/duplicating/jittery WAN. Every knob
+    // here draws from the per-direction impairment RNG.
+    harness::CampaignConfig cfg;
+    cfg.udp4 = cfg.icmp = cfg.dns = cfg.binding_rate = true;
+    cfg.binding_rate_count = 50;
+    cfg.impair.wan.loss = 0.03;
+    cfg.impair.wan.duplicate = 0.02;
+    cfg.impair.wan.jitter = std::chrono::microseconds(200);
+    return cfg;
+}
+
 std::vector<harness::DeviceResults>
 run_once(const harness::CampaignConfig& cfg) {
     sim::EventLoop loop;
@@ -101,33 +122,32 @@ std::string results_json(const std::vector<harness::DeviceResults>& rs) {
     return out;
 }
 
-} // namespace
-
-int main() {
-    const std::string path = "gatekit_journal_check.jsonl";
+/// Steps 1-3 for one campaign config: baseline vs journaled identity,
+/// schema validation, and the kill-at-every-boundary resume sweep.
+/// Returns the uninterrupted journal text (left on disk at `path`).
+std::string run_suite(const std::string& mode,
+                      const harness::CampaignConfig& cfg,
+                      const std::string& path) {
     std::remove(path.c_str());
 
-    // 1. Baseline vs journaled: identical results.
-    std::cerr << "journal_check: baseline campaign...\n";
-    const auto baseline = run_once(campaign());
+    std::cerr << "journal_check[" << mode << "]: baseline campaign...\n";
+    const auto baseline = run_once(cfg);
     const std::string baseline_json = results_json(baseline);
 
-    std::cerr << "journal_check: journaled campaign...\n";
-    auto jcfg = campaign();
+    std::cerr << "journal_check[" << mode << "]: journaled campaign...\n";
+    auto jcfg = cfg;
     jcfg.supervisor.journal_path = path;
     const auto journaled = run_once(jcfg);
     check(results_json(journaled) == baseline_json,
-          "journaling perturbed the campaign results");
+          mode + ": journaling perturbed the campaign results");
 
-    // 2. Schema validation.
     const std::string journal_text = slurp(path);
     std::string error;
     check(report::validate_journal(journal_text, &error),
-          "journal failed validation: " + error);
+          mode + ": journal failed validation: " + error);
 
-    // 3. Crash at every unit boundary, resume, compare bytes.
     const auto lines = lines_of(journal_text);
-    check(lines.size() > 1, "journal is unexpectedly empty");
+    check(lines.size() > 1, mode + ": journal is unexpectedly empty");
     auto rcfg = jcfg;
     rcfg.supervisor.resume = true;
     int boundaries = 0;
@@ -138,33 +158,66 @@ int main() {
         const auto resumed = run_once(rcfg);
         if (results_json(resumed) != baseline_json) {
             // Leave both sides on disk for diffing.
-            spit("gatekit_journal_check.expected.json", baseline_json);
-            spit("gatekit_journal_check.actual.json", results_json(resumed));
-            check(false, "resume after record " + std::to_string(k - 1) +
+            spit(path + ".expected.json", baseline_json);
+            spit(path + ".actual.json", results_json(resumed));
+            check(false, mode + ": resume after record " +
+                             std::to_string(k - 1) +
                              " diverged from the uninterrupted run");
             break;
         }
         if (slurp(path) != journal_text) {
-            check(false, "regrown journal after record " +
-                             std::to_string(k - 1) + " is not byte-identical");
+            check(false, mode + ": regrown journal after record " +
+                             std::to_string(k - 1) +
+                             " is not byte-identical");
             break;
         }
         ++boundaries;
     }
-    std::cerr << "journal_check: " << boundaries
+    std::cerr << "journal_check[" << mode << "]: " << boundaries
               << " kill/resume boundaries replayed byte-identically\n";
+    spit(path, journal_text);
+    return journal_text;
+}
+
+/// True when at least one `"draws":N` in the text has N > 0 — i.e. the
+/// journal records an RNG that actually advanced.
+bool has_nonzero_draws(const std::string& text) {
+    const std::string needle = "\"draws\":";
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+        std::size_t i = pos + needle.size();
+        std::uint64_t v = 0;
+        while (i < text.size() && text[i] >= '0' && text[i] <= '9')
+            v = v * 10 + static_cast<std::uint64_t>(text[i++] - '0');
+        if (v > 0) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int main() {
+    // Phase A: the lossless grid (the original guarantee).
+    const std::string path = "gatekit_journal_check.jsonl";
+    const std::string journal_text = run_suite("lossless", campaign(), path);
+    const auto lines = lines_of(journal_text);
 
     // 4a. Corruption is caught.
-    auto bad = lines;
-    bad[bad.size() / 2] = "{\"schema\":\"bogus\"}";
-    std::string bad_text;
-    for (const auto& l : bad) bad_text += l + "\n";
-    check(!report::validate_journal(bad_text, &error),
-          "corrupted journal passed validation");
+    std::string error;
+    if (lines.size() > 1) {
+        auto bad = lines;
+        bad[bad.size() / 2] = "{\"schema\":\"bogus\"}";
+        std::string bad_text;
+        for (const auto& l : bad) bad_text += l + "\n";
+        check(!report::validate_journal(bad_text, &error),
+              "corrupted journal passed validation");
+    }
 
     // 4b. A journal from a different campaign refuses to resume.
     spit(path, journal_text);
-    auto other = rcfg;
+    auto other = campaign();
+    other.supervisor.journal_path = path;
+    other.supervisor.resume = true;
     other.binding_rate_count = 51; // changes the fingerprint
     bool threw = false;
     try {
@@ -175,8 +228,21 @@ int main() {
                   << e.what() << "\n";
     }
     check(threw, "fingerprint mismatch was not rejected");
-
     std::remove(path.c_str());
+
+    // Phase B: the impaired grid. Same sweep with loss/duplicate/jitter
+    // active on every WAN link — the regression that motivated journaling
+    // impairment-RNG state (seed + draw count) per device direction.
+    const std::string ipath = "gatekit_journal_check_impaired.jsonl";
+    const std::string itext = run_suite("impaired", impaired_campaign(),
+                                        ipath);
+    check(itext.find("\"rng\":[") != std::string::npos,
+          "impaired journal carries no rng state stamps");
+    check(has_nonzero_draws(itext),
+          "impaired journal rng stamps never saw a draw — the sweep "
+          "exercised nothing");
+    std::remove(ipath.c_str());
+
     std::cout << "journal_check: " << (failures == 0 ? "PASS" : "FAIL")
               << "\n";
     return failures == 0 ? 0 : 1;

@@ -16,10 +16,9 @@ std::string mark(bool b) { return b ? "*" : "."; }
 } // namespace
 
 int main() {
-    sim::EventLoop loop;
     auto cfg = base_config();
     cfg.icmp = cfg.transports = cfg.dns = true;
-    const auto results = run_campaign(loop, cfg);
+    const auto results = run_campaign(cfg);
 
     // Column layout mirrors the paper: identification columns, then the
     // ten TCP-related and ten UDP-related ICMP kinds.

@@ -486,8 +486,19 @@ std::string campaign_fingerprint(const CampaignConfig& config,
       << config.supervisor.max_attempts << ','
       << ns(config.supervisor.retry_backoff) << ','
       << ns(config.supervisor.hard_grace) << ','
-      << config.supervisor.quarantine_after << ';'
-      << "udp5:";
+      << config.supervisor.quarantine_after << ';';
+    // Impairments shape every fate draw, so they bind the fingerprint —
+    // but only when installed, keeping lossless campaigns' fingerprints
+    // identical to the pre-impairment format. The ShardSpec is
+    // deliberately absent: a shard's journal segment belongs to the same
+    // campaign as the merged whole.
+    if (config.impair.any()) {
+        const auto& w = config.impair.wan;
+        s << "impair:" << w.loss << ',' << w.duplicate << ',' << w.reorder
+          << ',' << ns(w.reorder_hold) << ',' << ns(w.jitter) << ','
+          << w.corrupt << ',' << config.impair.seed << ';';
+    }
+    s << "udp5:";
     for (const auto& [name, port] : config.udp5_services)
         s << name << '=' << port << ',';
     s << ";devices:";

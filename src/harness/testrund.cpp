@@ -1,7 +1,16 @@
 #include "harness/testrund.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "harness/results_io.hpp"
@@ -9,6 +18,22 @@
 #include "util/assert.hpp"
 
 namespace gatekit::harness {
+
+std::uint64_t impair_seed_for(std::uint64_t campaign_seed, int device,
+                              bool wan_link, int direction) {
+    // splitmix64 finalizer over campaign_seed xor the stream tag. Masked
+    // to 62 bits: the journal stores seeds as JSON integers and int64
+    // round-trips exactly only below 2^63.
+    std::uint64_t x = campaign_seed ^
+                      (static_cast<std::uint64_t>(device) * 4ULL +
+                       (wan_link ? 2ULL : 0ULL) +
+                       static_cast<std::uint64_t>(direction));
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x = x ^ (x >> 31);
+    return x & ((1ULL << 62) - 1);
+}
 
 const char* to_string(UnitStatus s) {
     switch (s) {
@@ -88,6 +113,35 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
                config.supervisor.hard_enabled() || journaling;
     }
 
+    /// Device range this runner measures ([first_dev, last_dev]); the
+    /// whole roster unless a ShardSpec narrows it.
+    int first_dev() const { return std::max(0, config.shard.first_device); }
+    int last_dev() const {
+        const int max = static_cast<int>(tb.device_count()) - 1;
+        const int l = config.shard.last_device;
+        return (l >= 0 && l < max) ? l : max;
+    }
+
+    /// Install the campaign's declarative impairments on every device's
+    /// WAN link, each direction seeded from its own derived stream. Runs
+    /// before any measurement traffic (bring-up is already complete and
+    /// unimpaired), so a device's fate sequence is a pure function of
+    /// (campaign seed, device, direction) — identical whether the
+    /// campaign runs sequentially or sharded at any worker count.
+    void apply_impairments() {
+        if (!config.impair.any()) return;
+        for (std::size_t i = 0; i < tb.device_count(); ++i) {
+            const int d = static_cast<int>(i);
+            auto& link = *tb.slot(d).wan_link;
+            link.set_impairments(
+                sim::Link::Side::A, config.impair.wan,
+                impair_seed_for(config.impair.seed, d, true, 0));
+            link.set_impairments(
+                sim::Link::Side::B, config.impair.wan,
+                impair_seed_for(config.impair.seed, d, true, 1));
+        }
+    }
+
     std::vector<std::string> roster() const {
         std::vector<std::string> tags;
         for (std::size_t i = 0; i < tb.device_count(); ++i)
@@ -102,16 +156,17 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         if (!sup.journal_path.empty()) {
             journaling = true; // before enter_device: gates the counters
         }
-        if (tb.device_count() == 0) {
+        apply_impairments(); // before replay: RNG restore needs them live
+        if (tb.device_count() == 0 || first_dev() > last_dev()) {
             finish_campaign();
             return;
         }
+        device = first_dev();
         if (plan.empty()) {
             // Nothing to measure: enumerate the devices, as before.
-            for (std::size_t i = 0; i < tb.device_count(); ++i) {
+            for (int d = first_dev(); d <= last_dev(); ++d) {
                 results.emplace_back();
-                results.back().tag =
-                    tb.slot(static_cast<int>(i)).gw->profile().tag;
+                results.back().tag = tb.slot(d).gw->profile().tag;
             }
             finish_campaign();
             return;
@@ -129,13 +184,14 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
                 header.schema = report::kJournalSchema;
                 header.fingerprint = campaign_fingerprint(config, roster());
                 header.devices = roster();
+                header.shard = config.shard.index;
                 if (!journal.open_new(sup.journal_path, header))
                     throw std::runtime_error(
                         "campaign journal: cannot create '" +
                         sup.journal_path + "'");
             }
         }
-        if (device >= static_cast<int>(tb.device_count())) {
+        if (device > last_dev()) {
             finish_campaign(); // journal already covered every unit
             return;
         }
@@ -172,10 +228,16 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         if (header.devices != roster())
             throw std::runtime_error(
                 "campaign journal: device roster mismatch");
+        if (header.shard != config.shard.index)
+            throw std::runtime_error(
+                "campaign journal: shard index mismatch (journal written "
+                "by shard " + std::to_string(header.shard) +
+                ", resuming as shard " +
+                std::to_string(config.shard.index) + ")");
         if (entries.empty()) return -1;
 
         for (const auto& e : entries) {
-            if (device >= static_cast<int>(tb.device_count()))
+            if (device > last_dev())
                 throw std::runtime_error(
                     "campaign journal: more entries than planned units");
             if (e.device != device || e.unit != unit())
@@ -207,20 +269,45 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
             static_cast<std::uint16_t>(last.state.client_eph));
         tb.server().set_ephemeral_cursor(
             static_cast<std::uint16_t>(last.state.server_eph));
-        if (device < static_cast<int>(tb.device_count()) && unit_idx > 0) {
+        if (device <= last_dev() && unit_idx > 0) {
             auto& gw = *tb.slot(device).gw;
             gw.nat().udp_table().set_pool_cursor(
                 static_cast<std::uint16_t>(last.state.udp_pool));
             gw.nat().tcp_table().set_pool_cursor(
                 static_cast<std::uint16_t>(last.state.tcp_pool));
         }
+        // Restore the impairment RNG streams exactly where the replayed
+        // traffic left them. The impairers were installed by
+        // apply_impairments() before replay; a stamp for a link with no
+        // impairer means the campaign configs diverged.
+        for (const auto& st : last.state.rng) {
+            if (st.device < 0 ||
+                st.device >= static_cast<int>(tb.device_count()))
+                throw std::runtime_error(
+                    "campaign journal: rng stamp device out of roster");
+            auto& slot = tb.slot(st.device);
+            sim::Link* link = st.link == "wan"   ? slot.wan_link.get()
+                              : st.link == "lan" ? slot.lan_link.get()
+                                                 : nullptr;
+            if (link == nullptr || (st.dir != "a2b" && st.dir != "b2a"))
+                throw std::runtime_error(
+                    "campaign journal: malformed rng stamp (link '" +
+                    st.link + "', dir '" + st.dir + "')");
+            const auto side = st.dir == "a2b" ? sim::Link::Side::A
+                                              : sim::Link::Side::B;
+            if (!link->restore_impair_rng(side, st.seed, st.draws))
+                throw std::runtime_error(
+                    "campaign journal: rng stamp for an uninstalled "
+                    "impairer (campaign impairments changed since the "
+                    "journal was written)");
+        }
         // Re-warm the ARP state the replayed traffic left behind: every
         // device's first unit resolves the client<->gateway and
         // gateway<->server pairs, and entries never expire. Without this
         // the first live unit pays ARP exchanges the uninterrupted run
         // already paid, shifting every later timestamp.
-        for (int d = 0; d <= last.device &&
-                        d < static_cast<int>(tb.device_count());
+        for (int d = first_dev(); d <= last.device &&
+                                  d < static_cast<int>(tb.device_count());
              ++d) {
             auto& slot = tb.slot(d);
             auto& gw = *slot.gw;
@@ -257,7 +344,7 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         if (unit_idx >= plan.size()) {
             unit_idx = 0;
             ++device;
-            if (device >= static_cast<int>(tb.device_count())) return false;
+            if (device > last_dev()) return false;
             enter_device();
         }
         return true;
@@ -405,9 +492,23 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         e.t_end_ns = rep.t_end_ns;
         e.state.client_eph = tb.client().ephemeral_cursor();
         e.state.server_eph = tb.server().ephemeral_cursor();
-        auto& gw = *tb.slot(device).gw;
+        auto& slot = tb.slot(device);
+        auto& gw = *slot.gw;
         e.state.udp_pool = gw.nat().udp_table().pool_cursor();
         e.state.tcp_pool = gw.nat().tcp_table().pool_cursor();
+        // Stamp the current device's impairment RNG streams (the only
+        // impairers whose state the remaining units can observe: earlier
+        // devices are finished, later devices carry no traffic yet).
+        auto stamp = [&](sim::Link& link, const char* lname,
+                         sim::Link::Side side, const char* dname) {
+            std::uint64_t seed = 0, draws = 0;
+            if (link.impair_rng_state(side, seed, draws))
+                e.state.rng.push_back({device, lname, dname, seed, draws});
+        };
+        stamp(*slot.wan_link, "wan", sim::Link::Side::A, "a2b");
+        stamp(*slot.wan_link, "wan", sim::Link::Side::B, "b2a");
+        stamp(*slot.lan_link, "lan", sim::Link::Side::A, "a2b");
+        stamp(*slot.lan_link, "lan", sim::Link::Side::B, "b2a");
         if (!journal.append(e, payload))
             throw std::runtime_error(
                 "campaign journal: write failed for '" +
@@ -558,6 +659,311 @@ Testrund::run_blocking(const CampaignConfig& config) {
     });
     tb_.loop().run();
     GK_ENSURES(finished);
+    return out;
+}
+
+std::string ShardScheduler::segment_path(const std::string& path,
+                                         int shard) {
+    return path + ".shard" + std::to_string(shard);
+}
+
+namespace {
+
+bool file_exists(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    return f.good();
+}
+
+/// Carve device `dev`'s entries out of a merged journal into shard
+/// `shard`'s segment file. Entry lines are copied verbatim — merging is
+/// a byte-level concatenation, so carve + re-merge round-trips exactly —
+/// and only the header is re-rendered with the shard index added.
+void carve_segment(const std::string& merged_path,
+                   const std::string& seg_path, int shard, int dev) {
+    std::ifstream in(merged_path, std::ios::binary);
+    if (!in.good())
+        throw std::runtime_error("shard scheduler: cannot open journal '" +
+                                 merged_path + "'");
+    std::ofstream out;
+    std::string line;
+    std::size_t lineno = 0;
+    bool have_header = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        std::string err;
+        auto v = report::json_parse(line, &err);
+        if (!v)
+            throw std::runtime_error(
+                "shard scheduler: journal '" + merged_path + "' line " +
+                std::to_string(lineno) + ": " + err);
+        if (!have_header) {
+            report::JournalHeader header;
+            if (!report::decode_journal_header(*v, header, &err))
+                throw std::runtime_error("shard scheduler: journal '" +
+                                         merged_path + "': " + err);
+            header.shard = shard;
+            out.open(seg_path, std::ios::binary | std::ios::trunc);
+            if (!out.good())
+                throw std::runtime_error(
+                    "shard scheduler: cannot create segment '" + seg_path +
+                    "'");
+            out << report::journal_header_line(header) << '\n';
+            have_header = true;
+            continue;
+        }
+        const report::JsonValue* d = v->find("device");
+        if (d == nullptr)
+            throw std::runtime_error(
+                "shard scheduler: journal '" + merged_path + "' line " +
+                std::to_string(lineno) + ": entry lacks device");
+        if (static_cast<int>(d->as_int(-1)) == dev) out << line << '\n';
+    }
+    if (!have_header)
+        throw std::runtime_error("shard scheduler: journal '" +
+                                 merged_path + "' is empty");
+    out.flush();
+    if (!out.good())
+        throw std::runtime_error(
+            "shard scheduler: write failed for segment '" + seg_path + "'");
+}
+
+/// Concatenate completed shard segments into the merged journal (one
+/// header with the shard index dropped, then entries in device order)
+/// and remove the segments. The merged text is assembled fully before
+/// the output opens, so a kill mid-merge leaves the segments — the
+/// resumable state — intact.
+void merge_segments(const std::string& path, int n_shards) {
+    std::ostringstream buf;
+    std::string expected_fp;
+    for (int k = 0; k < n_shards; ++k) {
+        const std::string seg = ShardScheduler::segment_path(path, k);
+        std::ifstream in(seg, std::ios::binary);
+        if (!in.good())
+            throw std::runtime_error(
+                "shard scheduler: missing journal segment '" + seg + "'");
+        std::string line;
+        bool saw_header = false;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            if (!saw_header) {
+                saw_header = true;
+                std::string err;
+                auto v = report::json_parse(line, &err);
+                report::JournalHeader header;
+                if (!v ||
+                    !report::decode_journal_header(*v, header, &err))
+                    throw std::runtime_error("shard scheduler: segment '" +
+                                             seg + "': " + err);
+                if (k == 0) {
+                    expected_fp = header.fingerprint;
+                    header.shard = -1;
+                    buf << report::journal_header_line(header) << '\n';
+                } else if (header.fingerprint != expected_fp) {
+                    throw std::runtime_error(
+                        "shard scheduler: segment '" + seg +
+                        "' fingerprint differs from segment 0 (segments "
+                        "from different campaigns?)");
+                }
+                continue;
+            }
+            buf << line << '\n';
+        }
+        if (!saw_header)
+            throw std::runtime_error("shard scheduler: segment '" + seg +
+                                     "' is empty");
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << buf.str();
+    out.flush();
+    if (!out.good())
+        throw std::runtime_error(
+            "shard scheduler: cannot write merged journal '" + path + "'");
+    out.close();
+    for (int k = 0; k < n_shards; ++k)
+        std::remove(ShardScheduler::segment_path(path, k).c_str());
+}
+
+/// Merge per-shard trace segments in device order. From shard k keep
+/// its own device's events plus device-less / host-level lines (test
+/// client/server events, trigger markers — these arise only from the
+/// shard's own campaign traffic); drop other roster devices' events,
+/// which are the full-roster bring-up every shard re-runs.
+void merge_traces(const std::string& path,
+                  const std::vector<std::string>& labels) {
+    const std::set<std::string> roster(labels.begin(), labels.end());
+    std::ostringstream buf;
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+        const std::string seg =
+            ShardScheduler::segment_path(path, static_cast<int>(k));
+        std::ifstream in(seg, std::ios::binary);
+        if (!in.good())
+            throw std::runtime_error(
+                "shard scheduler: missing trace segment '" + seg + "'");
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            auto v = report::json_parse(line);
+            if (!v)
+                throw std::runtime_error(
+                    "shard scheduler: malformed trace line in '" + seg +
+                    "'");
+            const report::JsonValue* d = v->find("device");
+            const std::string dev = d ? d->as_string() : std::string();
+            if (dev.empty() || dev == labels[k] || roster.count(dev) == 0)
+                buf << line << '\n';
+        }
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << buf.str();
+    out.flush();
+    if (!out.good())
+        throw std::runtime_error(
+            "shard scheduler: cannot write merged trace '" + path + "'");
+    out.close();
+    for (std::size_t k = 0; k < labels.size(); ++k)
+        std::remove(
+            ShardScheduler::segment_path(path, static_cast<int>(k))
+                .c_str());
+}
+
+} // namespace
+
+ShardScheduler::Output ShardScheduler::run(const Options& opts) {
+    const int n = static_cast<int>(opts.roster.size());
+    Output out;
+    if (opts.metrics) out.metrics = std::make_unique<obs::MetricsRegistry>();
+    if (n == 0) return out;
+
+    // Resume preparation runs serially before any worker spawns: shard k
+    // resumes from its own segment when present, else carves its device's
+    // entries out of a previously merged journal (written at any worker
+    // count, including a pre-shard sequential journal), else starts
+    // fresh — a killed campaign legitimately leaves later shards with no
+    // segment at all.
+    std::vector<char> seg_resume(static_cast<std::size_t>(n), 0);
+    if (!opts.journal_path.empty() && opts.resume) {
+        for (int k = 0; k < n; ++k) {
+            const std::string seg = segment_path(opts.journal_path, k);
+            if (file_exists(seg)) {
+                seg_resume[static_cast<std::size_t>(k)] = 1;
+            } else if (file_exists(opts.journal_path)) {
+                carve_segment(opts.journal_path, seg, k, k);
+                seg_resume[static_cast<std::size_t>(k)] = 1;
+            }
+        }
+    }
+
+    struct Cell {
+        std::vector<DeviceResults> results;
+        std::unique_ptr<obs::MetricsRegistry> metrics;
+        std::string label;
+        std::exception_ptr error;
+    };
+    std::vector<Cell> cells(static_cast<std::size_t>(n));
+    std::mutex io_mutex;
+
+    auto run_shard = [&](int k) {
+        Cell& cell = cells[static_cast<std::size_t>(k)];
+        sim::EventLoop loop;
+        // obs before the testbed: components keep raw instrument
+        // pointers, so the registry must outlive them.
+        std::unique_ptr<obs::Observability> obs;
+        std::unique_ptr<obs::JsonlSink> sink;
+        std::unique_ptr<obs::FlightRecorder> recorder;
+        if (opts.metrics || !opts.trace_path.empty())
+            obs = std::make_unique<obs::Observability>(loop);
+        if (!opts.trace_path.empty()) {
+            const std::string seg = segment_path(opts.trace_path, k);
+            sink = std::make_unique<obs::JsonlSink>(seg);
+            if (!sink->ok())
+                throw std::runtime_error(
+                    "shard scheduler: cannot open trace segment '" + seg +
+                    "'");
+            recorder = std::make_unique<obs::FlightRecorder>();
+            recorder->set_dump_path(seg + ".flight");
+            obs->tracer().add_sink(recorder.get());
+            obs->tracer().add_sink(sink.get());
+        }
+        Testbed tb(loop);
+        for (const auto& profile : opts.roster) tb.add_device(profile);
+        if (obs) tb.attach_observability(obs.get());
+        tb.start_and_wait();
+        cell.label = Testbed::device_label(tb.slot(k));
+
+        CampaignConfig cfg = opts.config;
+        cfg.shard = ShardSpec{k, k, k};
+        if (!opts.journal_path.empty()) {
+            cfg.supervisor.journal_path =
+                segment_path(opts.journal_path, k);
+            cfg.supervisor.resume =
+                seg_resume[static_cast<std::size_t>(k)] != 0;
+        } else {
+            cfg.supervisor.journal_path.clear();
+            cfg.supervisor.resume = false;
+        }
+        Testrund rund(tb);
+        cell.results = rund.run_blocking(cfg);
+
+        if (opts.metrics) {
+            // Keep the shard's own-device series plus device-less and
+            // host-level ones; other roster devices' series are the
+            // full-roster bring-up this shard re-ran.
+            std::set<std::string> roster_labels;
+            for (int d = 0; d < n; ++d)
+                roster_labels.insert(Testbed::device_label(tb.slot(d)));
+            cell.metrics = std::make_unique<obs::MetricsRegistry>();
+            cell.metrics->merge_from(
+                obs->metrics(),
+                [&](std::string_view, const obs::Labels& labels) {
+                    for (const auto& [lk, lv] : labels)
+                        if (lk == "device" &&
+                            roster_labels.count(lv) != 0)
+                            return lv == cell.label;
+                    return true;
+                });
+        }
+        if (opts.verbose) {
+            const std::lock_guard<std::mutex> lock(io_mutex);
+            std::cerr << "[gatekit] shard " << (k + 1) << "/" << n << " ("
+                      << opts.roster[static_cast<std::size_t>(k)].tag
+                      << ") done\n";
+        }
+    };
+
+    std::atomic<int> next{0};
+    auto worker = [&] {
+        for (int k; (k = next.fetch_add(1)) < n;) {
+            try {
+                run_shard(k);
+            } catch (...) {
+                cells[static_cast<std::size_t>(k)].error =
+                    std::current_exception();
+            }
+        }
+    };
+    const int workers = std::clamp(opts.workers, 1, n);
+    if (workers == 1) {
+        worker(); // no threads: byte-identical output, zero overhead
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+    for (const auto& cell : cells)
+        if (cell.error) std::rethrow_exception(cell.error);
+
+    std::vector<std::string> labels;
+    labels.reserve(cells.size());
+    for (auto& cell : cells) {
+        for (auto& r : cell.results) out.results.push_back(std::move(r));
+        labels.push_back(cell.label);
+        if (out.metrics && cell.metrics)
+            out.metrics->merge_from(*cell.metrics);
+    }
+    if (!opts.journal_path.empty()) merge_segments(opts.journal_path, n);
+    if (!opts.trace_path.empty()) merge_traces(opts.trace_path, labels);
     return out;
 }
 

@@ -8,16 +8,20 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "gateway/profile.hpp"
 #include "harness/dns_probe.hpp"
 #include "harness/futurework_probes.hpp"
 #include "harness/icmp_probe.hpp"
 #include "harness/tcp_probes.hpp"
 #include "harness/transport_probe.hpp"
 #include "harness/udp_probes.hpp"
+#include "obs/metrics.hpp"
+#include "sim/link.hpp"
 
 namespace gatekit::harness {
 
@@ -77,6 +81,46 @@ struct SupervisorPolicy {
     bool hard_enabled() const { return hard_deadline > sim::Duration::zero(); }
 };
 
+/// Per-device impairment RNG stream derivation. Every (device, link,
+/// direction) draws from its own generator seeded as
+///
+///   splitmix64(campaign_seed ^ tag),  tag = device * 4 + wan * 2 + dir
+///
+/// so a device's fate sequence depends only on the campaign seed and its
+/// own identity — never on which devices ran before it or on how the
+/// campaign is sharded across workers. (The sequential runner previously
+/// had no campaign-level seeding at all; links impaired by hand shared
+/// whatever draw order the caller's loop imposed.) The result is masked
+/// to 62 bits so journals round-trip it through JSON integers exactly.
+std::uint64_t impair_seed_for(std::uint64_t campaign_seed, int device,
+                              bool wan_link, int direction);
+
+/// Declarative campaign-wide link impairments. When `wan.any()` the
+/// campaign runner installs them on every device's WAN link (both
+/// directions) at campaign start, seeded per device by impair_seed_for.
+/// Declaring impairments here — rather than poking Link::set_impairments
+/// by hand — is what lets a sharded campaign reproduce them inside each
+/// shard's private testbed, the journal fingerprint bind to them, and a
+/// resumed campaign restore each impairer's exact RNG state.
+struct CampaignImpairments {
+    sim::LinkImpairments wan;
+    std::uint64_t seed = 0x6761'7465'6b69'7421ULL;
+    bool any() const { return wan.any(); }
+};
+
+/// Device-range restriction for sharded execution: the runner measures
+/// only slots [first_device, last_device] of its testbed (which still
+/// contains the full roster, so addressing, DNS zone contents, and
+/// bring-up are byte-identical to an unsharded campaign). Deliberately
+/// excluded from the campaign fingerprint — a shard's journal segment
+/// belongs to the same campaign as the merged whole.
+struct ShardSpec {
+    int index = -1;       ///< shard id, recorded in the journal header
+    int first_device = 0; ///< first slot this runner measures
+    int last_device = -1; ///< inclusive; -1 = through the last slot
+    bool active() const { return index >= 0; }
+};
+
 /// Which measurements to run (each maps to a paper test).
 struct CampaignConfig {
     bool udp1 = false;
@@ -101,6 +145,12 @@ struct CampaignConfig {
     MaxBindingsConfig max_bindings;
 
     SupervisorPolicy supervisor;
+
+    /// Campaign-wide WAN impairments (default: none installed).
+    CampaignImpairments impair;
+
+    /// Device range for sharded execution (default: whole roster).
+    ShardSpec shard;
 
     /// UDP-5 well-known services (paper Figure 6).
     std::vector<std::pair<std::string, std::uint16_t>> udp5_services{
@@ -171,6 +221,71 @@ public:
 private:
     struct Runner;
     Testbed& tb_;
+};
+
+/// Device-sharded campaign executor. One shard per roster device; each
+/// shard owns a full private stack — EventLoop, Testbed built from the
+/// COMPLETE roster (so addressing, VLAN/MAC assignment, and DNS zone
+/// contents match an unsharded bring-up byte for byte), optional
+/// metrics registry + tracer, per-device impairment RNG streams, and a
+/// per-shard journal segment — and measures only its own device.
+/// Because a shard's simulation never reads another shard's state, its
+/// outputs are a pure function of (roster, config, shard index): the
+/// worker count changes wall-clock time and nothing else. Results,
+/// metrics, traces, and journal segments are merged in canonical
+/// device order, so every output artifact is byte-identical at any
+/// worker count, and a killed campaign resumes from whatever mix of
+/// complete shard segments and/or a previously merged journal is on
+/// disk.
+class ShardScheduler {
+public:
+    struct Options {
+        /// Full device roster, slot order (= canonical merge order).
+        std::vector<gateway::DeviceProfile> roster;
+        /// Campaign to run. `config.shard` and the supervisor journal
+        /// path/resume fields are owned by the scheduler and overwritten
+        /// per shard; set journaling through `journal_path` below.
+        CampaignConfig config;
+        /// Worker threads; clamped to [1, roster size]. 1 = run the
+        /// shards sequentially on the calling thread (no threads spawn).
+        int workers = 1;
+        /// Merged journal path ("" = no journal). Shard k journals to
+        /// segment_path(journal_path, k) while running; on completion
+        /// the segments are concatenated (header first, entries in
+        /// device order) into `journal_path` and removed.
+        std::string journal_path;
+        /// Resume: shard k replays its segment if present, else carves
+        /// its device's entries out of an existing merged journal (from
+        /// a run at ANY worker count, including a pre-shard sequential
+        /// journal); with neither on disk it starts fresh.
+        bool resume = false;
+        /// Collect per-shard metrics and merge them into Output::metrics.
+        bool metrics = false;
+        /// Merged trace JSONL path ("" = tracing off). Shard k streams
+        /// to segment_path(trace_path, k); on completion the segments
+        /// merge in device order, keeping each shard's own-device and
+        /// host-level events and dropping other roster devices' (their
+        /// bring-up runs in every shard). Flight-recorder dumps land at
+        /// <segment>.flight.<n>.jsonl.
+        std::string trace_path;
+        /// Progress lines ("[gatekit] shard k/n (tag) done") to stderr.
+        bool verbose = false;
+    };
+
+    struct Output {
+        /// Per-device results, canonical roster order.
+        std::vector<DeviceResults> results;
+        /// Merged registry; null unless Options::metrics.
+        std::unique_ptr<obs::MetricsRegistry> metrics;
+    };
+
+    /// Run the campaign. Throws (after joining every worker) if any
+    /// shard fails; completed shards' journal segments stay on disk, so
+    /// a rerun with `resume` replays them instead of re-measuring.
+    static Output run(const Options& opts);
+
+    /// Per-shard segment path: "<path>.shard<k>".
+    static std::string segment_path(const std::string& path, int shard);
 };
 
 } // namespace gatekit::harness

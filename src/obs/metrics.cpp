@@ -5,6 +5,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace gatekit::obs {
 
@@ -85,6 +86,35 @@ std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
     return total;
 }
 
+void MetricsRegistry::merge_from(
+    const MetricsRegistry& other,
+    const std::function<bool(std::string_view name, const Labels&)>& keep) {
+    for (const auto& e : other.entries_) {
+        if (keep && !keep(e->name, e->labels)) continue;
+        switch (e->kind) {
+        case Kind::kCounter:
+            counter(e->name, e->labels)->value += e->counter->value;
+            break;
+        case Kind::kGauge:
+            gauge(e->name, e->labels)->value = e->gauge->value;
+            break;
+        case Kind::kHistogram: {
+            const Histogram& src = *e->histogram;
+            Histogram* dst = histogram(e->name, src.bounds, e->labels);
+            if (dst->bounds != src.bounds)
+                throw std::runtime_error(
+                    "metrics merge: histogram '" + e->name +
+                    "' bucket bounds differ between registries");
+            for (std::size_t i = 0; i < src.counts.size(); ++i)
+                dst->counts[i] += src.counts[i];
+            dst->total += src.total;
+            dst->sum += src.sum;
+            break;
+        }
+        }
+    }
+}
+
 std::string MetricsRegistry::to_json() const {
     std::ostringstream out;
     report::JsonWriter w(out);
@@ -132,14 +162,57 @@ std::string MetricsRegistry::to_json() const {
     return out.str();
 }
 
+std::string format_label_cell(const Labels& labels) {
+    std::string out;
+    auto append = [&out](const std::string& s) {
+        for (char c : s) {
+            if (c == '\\' || c == '=' || c == ';') out += '\\';
+            out += c;
+        }
+    };
+    for (const auto& [k, v] : labels) {
+        if (!out.empty()) out += ';';
+        append(k);
+        out += '=';
+        append(v);
+    }
+    return out;
+}
+
+bool parse_label_cell(std::string_view cell, Labels& out) {
+    out.clear();
+    if (cell.empty()) return true;
+    std::string key, val;
+    std::string* cur = &key;
+    bool have_key = false; // saw the pair's unescaped '='
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+        const char c = cell[i];
+        if (c == '\\') {
+            if (++i >= cell.size()) return false;
+            *cur += cell[i];
+        } else if (c == '=' && !have_key) {
+            cur = &val;
+            have_key = true;
+        } else if (c == ';') {
+            if (!have_key) return false;
+            out.emplace_back(std::move(key), std::move(val));
+            key.clear();
+            val.clear();
+            cur = &key;
+            have_key = false;
+        } else {
+            *cur += c;
+        }
+    }
+    if (!have_key) return false;
+    out.emplace_back(std::move(key), std::move(val));
+    return true;
+}
+
 std::string MetricsRegistry::to_csv() const {
     report::CsvWriter csv({"name", "kind", "labels", "value", "sum", "count"});
     for (const auto& e : entries_) {
-        std::string labels;
-        for (const auto& [k, v] : e->labels) {
-            if (!labels.empty()) labels += ';';
-            labels += k + "=" + v;
-        }
+        const std::string labels = format_label_cell(e->labels);
         switch (e->kind) {
         case Kind::kCounter:
             csv.add_row({e->name, "counter", labels,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,6 +64,18 @@ inline void observe(Histogram* h, double v) {
 
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Render labels as the single "k=v;k=v" CSV cell to_csv uses. '\\',
+/// '=', and ';' inside keys or values are backslash-escaped — without
+/// that, a label value containing '=' or ';' (say a service string
+/// "port=53;proto=udp") reads back as extra bogus pairs. The CSV layer
+/// itself (commas, quotes, newlines) is handled by CsvWriter.
+std::string format_label_cell(const Labels& labels);
+
+/// Exact inverse of format_label_cell. False on a malformed cell (bare
+/// pair with no '=', or a trailing backslash). An empty cell is the
+/// empty label set.
+bool parse_label_cell(std::string_view cell, Labels& out);
+
 /// Registry of named instruments. Registration dedups on (name, labels):
 /// asking twice for the same instrument returns the same pointer.
 /// Pointers are stable for the registry's lifetime (deque storage).
@@ -90,6 +103,18 @@ public:
     std::uint64_t counter_total(std::string_view name) const;
 
     std::size_t size() const { return entries_.size(); }
+
+    /// Fold another registry into this one: counters add, gauges take
+    /// the other's value (last writer wins), histograms add bucket
+    /// counts and sums (mismatched bucket bounds throw). Series unseen
+    /// here are appended in `other`'s registration order, so merging
+    /// shard registries in canonical device order yields one
+    /// deterministic, worker-count-independent snapshot. `keep` (when
+    /// set) selects which of `other`'s series participate.
+    void merge_from(
+        const MetricsRegistry& other,
+        const std::function<bool(std::string_view name, const Labels&)>&
+            keep = {});
 
     /// Snapshot as one JSON document (schema "gatekit.metrics.v1").
     std::string to_json() const;

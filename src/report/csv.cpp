@@ -18,7 +18,7 @@ void CsvWriter::add_row(std::vector<std::string> cells) {
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
-    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
     std::string out = "\"";
     for (char c : cell) {
         if (c == '"') out += '"';

@@ -4,27 +4,32 @@
 
 namespace gatekit::report {
 
-namespace {
-
-void write_header_line(std::ostream& out, const JournalHeader& header) {
+std::string journal_header_line(const JournalHeader& header) {
+    std::ostringstream out;
     JsonWriter jw(out);
     jw.begin_object();
     jw.key("schema").value(std::string_view(kJournalSchema));
     jw.key("fingerprint").value(std::string_view(header.fingerprint));
+    if (header.shard >= 0)
+        jw.key("shard").value(static_cast<std::int64_t>(header.shard));
     jw.key("devices").begin_array();
     for (const auto& tag : header.devices) jw.value(std::string_view(tag));
     jw.end_array();
     jw.end_object();
-    out << '\n';
+    return out.str();
 }
+
+namespace {
 
 bool known_status(std::string_view s) {
     return s == "ok" || s == "degraded" || s == "gave_up" ||
            s == "quarantined";
 }
 
-bool decode_header(const JsonValue& v, JournalHeader& header,
-                   std::string* error) {
+} // namespace
+
+bool decode_journal_header(const JsonValue& v, JournalHeader& header,
+                           std::string* error) {
     const JsonValue* schema = v.find("schema");
     if (schema == nullptr || schema->as_string() != kJournalSchema) {
         if (error) *error = "missing or wrong schema tag";
@@ -33,6 +38,8 @@ bool decode_header(const JsonValue& v, JournalHeader& header,
     header.schema = schema->as_string();
     if (const JsonValue* fp = v.find("fingerprint"))
         header.fingerprint = fp->as_string();
+    if (const JsonValue* sh = v.find("shard"))
+        header.shard = static_cast<int>(sh->as_int(-1));
     const JsonValue* devices = v.find("devices");
     if (devices == nullptr || devices->type != JsonValue::Type::Array) {
         if (error) *error = "header lacks devices array";
@@ -43,6 +50,8 @@ bool decode_header(const JsonValue& v, JournalHeader& header,
         header.devices.push_back(d.as_string());
     return true;
 }
+
+namespace {
 
 bool decode_entry(JsonValue v, JournalEntry& entry, std::string* error) {
     const JsonValue* device = v.find("device");
@@ -77,6 +86,26 @@ bool decode_entry(JsonValue v, JournalEntry& entry, std::string* error) {
             entry.state.udp_pool = static_cast<std::uint64_t>(c->as_int());
         if (const JsonValue* c = st->find("tcp_pool"))
             entry.state.tcp_pool = static_cast<std::uint64_t>(c->as_int());
+        if (const JsonValue* r = st->find("rng")) {
+            if (r->type != JsonValue::Type::Array) {
+                if (error) *error = "state.rng is not an array";
+                return false;
+            }
+            for (const auto& sv : r->array) {
+                JournalStateStamp::RngStamp stamp;
+                if (const JsonValue* c = sv.find("device"))
+                    stamp.device = static_cast<int>(c->as_int());
+                if (const JsonValue* c = sv.find("link"))
+                    stamp.link = c->as_string();
+                if (const JsonValue* c = sv.find("dir"))
+                    stamp.dir = c->as_string();
+                if (const JsonValue* c = sv.find("seed"))
+                    stamp.seed = static_cast<std::uint64_t>(c->as_int());
+                if (const JsonValue* c = sv.find("draws"))
+                    stamp.draws = static_cast<std::uint64_t>(c->as_int());
+                entry.state.rng.push_back(std::move(stamp));
+            }
+        }
     }
     if (JsonValue* p = const_cast<JsonValue*>(v.find("payload")))
         entry.payload = std::move(*p);
@@ -89,7 +118,7 @@ bool JournalWriter::open_new(const std::string& path,
                              const JournalHeader& header) {
     out_.open(path, std::ios::binary | std::ios::trunc);
     if (!out_.good()) return false;
-    write_header_line(out_, header);
+    out_ << journal_header_line(header) << '\n';
     out_.flush();
     return out_.good();
 }
@@ -117,6 +146,19 @@ bool JournalWriter::append(const JournalEntry& entry,
     jw.key("server_eph").value(entry.state.server_eph);
     jw.key("udp_pool").value(entry.state.udp_pool);
     jw.key("tcp_pool").value(entry.state.tcp_pool);
+    if (!entry.state.rng.empty()) {
+        jw.key("rng").begin_array();
+        for (const auto& stamp : entry.state.rng) {
+            jw.begin_object();
+            jw.key("device").value(static_cast<std::int64_t>(stamp.device));
+            jw.key("link").value(std::string_view(stamp.link));
+            jw.key("dir").value(std::string_view(stamp.dir));
+            jw.key("seed").value(stamp.seed);
+            jw.key("draws").value(stamp.draws);
+            jw.end_object();
+        }
+        jw.end_array();
+    }
     jw.end_object();
     jw.key("payload").raw(payload_json);
     jw.end_object();
@@ -147,7 +189,7 @@ bool JournalReader::load(const std::string& path, JournalHeader& header,
             return false;
         }
         if (lineno == 1) {
-            if (!decode_header(*v, header, error)) return false;
+            if (!decode_journal_header(*v, header, error)) return false;
             continue;
         }
         JournalEntry entry;
@@ -183,7 +225,7 @@ bool validate_journal(std::string_view text, std::string* error) {
             return false;
         }
         if (lineno == 1) {
-            if (!decode_header(*v, header, error)) return false;
+            if (!decode_journal_header(*v, header, error)) return false;
             continue;
         }
         JournalEntry entry;

@@ -26,6 +26,11 @@ struct JournalHeader {
     std::string schema;
     std::string fingerprint; ///< campaign config hash, hex
     std::vector<std::string> devices; ///< profile tags, slot order
+    /// Shard index when this journal is one shard's segment of a
+    /// device-sharded campaign, -1 for a whole-campaign journal. The
+    /// field is omitted from the header line when absent, so sequential
+    /// journals are byte-identical to the pre-shard format.
+    int shard = -1;
 };
 
 /// Allocator cursors captured at a unit boundary. Restoring them (plus
@@ -38,6 +43,23 @@ struct JournalStateStamp {
     std::uint64_t server_eph = 0; ///< test server's next ephemeral port
     std::uint64_t udp_pool = 0;   ///< device's UDP pool cursor
     std::uint64_t tcp_pool = 0;   ///< device's TCP pool cursor
+    /// Exact state of one link-impairment RNG at the unit boundary, as
+    /// the compact (seed, draw-count) pair util::Rng restores from.
+    /// Without these a resumed impaired campaign re-seeds every
+    /// impairer from scratch and diverges from the uninterrupted run at
+    /// the first fate draw.
+    struct RngStamp {
+        int device = 0;    ///< slot index owning the link
+        std::string link;  ///< "wan" | "lan"
+        std::string dir;   ///< "a2b" | "b2a" (Link::Side A/B transmit)
+        std::uint64_t seed = 0;
+        std::uint64_t draws = 0;
+    };
+    /// One stamp per installed impairer, capture order (device, then
+    /// wan/lan, then a2b/b2a). Empty for unimpaired campaigns, and the
+    /// "rng" key is then omitted so lossless journals keep the
+    /// pre-impairment byte format.
+    std::vector<RngStamp> rng;
 };
 
 struct JournalEntry {
@@ -75,6 +97,16 @@ public:
 private:
     std::ofstream out_;
 };
+
+/// Canonical rendering of a journal header line (no trailing newline).
+/// Shared by the journal writer and the shard scheduler's segment
+/// carve/merge, so header bytes have exactly one authority.
+std::string journal_header_line(const JournalHeader& header);
+
+/// Decode a parsed header line; false (with a description in `error`
+/// when non-null) on a missing/wrong schema tag or devices array.
+bool decode_journal_header(const JsonValue& v, JournalHeader& header,
+                           std::string* error = nullptr);
 
 /// Journal reader: load + structural decode of header and entries.
 class JournalReader {

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 
 namespace gatekit::report {
 
@@ -639,6 +640,44 @@ private:
 std::optional<JsonValue> json_parse(std::string_view text,
                                     std::string* error) {
     return Parser(text, error).run();
+}
+
+namespace {
+
+void write_value(JsonWriter& jw, const JsonValue& v) {
+    switch (v.type) {
+    case JsonValue::Type::Null: jw.raw("null"); break;
+    case JsonValue::Type::Bool: jw.value(v.boolean); break;
+    case JsonValue::Type::Number:
+        if (v.is_integer)
+            jw.value(v.integer);
+        else
+            jw.value(v.number);
+        break;
+    case JsonValue::Type::String: jw.value(std::string_view(v.str)); break;
+    case JsonValue::Type::Array:
+        jw.begin_array();
+        for (const auto& e : v.array) write_value(jw, e);
+        jw.end_array();
+        break;
+    case JsonValue::Type::Object:
+        jw.begin_object();
+        for (const auto& [k, e] : v.members) {
+            jw.key(k);
+            write_value(jw, e);
+        }
+        jw.end_object();
+        break;
+    }
+}
+
+} // namespace
+
+std::string json_serialize(const JsonValue& v) {
+    std::ostringstream out;
+    JsonWriter jw(out);
+    write_value(jw, v);
+    return out.str();
 }
 
 } // namespace gatekit::report

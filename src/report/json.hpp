@@ -95,4 +95,11 @@ public:
 std::optional<JsonValue> json_parse(std::string_view text,
                                     std::string* error = nullptr);
 
+/// Re-serialize a parsed value member-by-member through JsonWriter.
+/// Because the DOM preserves member order and integer-ness, a document
+/// produced by JsonWriter round-trips byte-identically — what lets the
+/// shard scheduler carve journal segments out of a merged journal
+/// without touching payload bytes.
+std::string json_serialize(const JsonValue& v);
+
 } // namespace gatekit::report

@@ -1,5 +1,7 @@
 #include "stack/netif.hpp"
 
+#include <chrono>
+
 #include "util/assert.hpp"
 
 namespace gatekit::stack {
@@ -46,12 +48,21 @@ void Iface::send_ip_raw(net::Bytes datagram, net::Ipv4Addr next_hop) {
         return;
     }
     // Queue behind an ARP request. Only the first packet triggers one; the
-    // reply flushes the whole queue. (No retry timer: the simulated segment
-    // never loses frames, so a request is answered iff the host exists.)
-    const bool request_outstanding = awaiting_arp_.contains(next_hop);
-    awaiting_arp_[next_hop].push_back(std::move(datagram));
-    if (request_outstanding) return;
+    // reply flushes the whole queue. Requests retransmit on a timer: an
+    // impaired link can lose the request or the reply, and without retry
+    // one lost ARP frame would blackhole the next hop forever.
+    if (auto it = awaiting_arp_.find(next_hop); it != awaiting_arp_.end()) {
+        it->second.queue.push_back(std::move(datagram));
+        return;
+    }
+    PendingArp& pending = awaiting_arp_[next_hop];
+    pending.queue.push_back(std::move(datagram));
+    pending.epoch = ++arp_epoch_;
+    send_arp_request(next_hop);
+    schedule_arp_retry(next_hop, pending.epoch);
+}
 
+void Iface::send_arp_request(net::Ipv4Addr next_hop) {
     net::ArpMessage req;
     req.op = net::ArpMessage::Op::Request;
     req.sender_mac = mac();
@@ -64,6 +75,25 @@ void Iface::send_ip_raw(net::Bytes datagram, net::Ipv4Addr next_hop) {
     frame.ethertype = net::kEtherTypeArp;
     frame.payload = req.serialize();
     parent_.transmit(std::move(frame));
+}
+
+void Iface::schedule_arp_retry(net::Ipv4Addr next_hop, std::uint64_t epoch) {
+    constexpr auto kRetryInterval = std::chrono::seconds(1);
+    constexpr int kMaxTries = 5; // initial request + 4 retransmits
+    auto& loop = parent_.loop();
+    loop.at(loop.now() + kRetryInterval, [this, next_hop, epoch] {
+        auto it = awaiting_arp_.find(next_hop);
+        if (it == awaiting_arp_.end() || it->second.epoch != epoch)
+            return; // resolved, or a newer resolution cycle owns the hop
+        if (++it->second.tries >= kMaxTries) {
+            // Give up and unpark: drop the queued datagrams, as a real
+            // stack reports EHOSTUNREACH. A later send restarts the cycle.
+            awaiting_arp_.erase(it);
+            return;
+        }
+        send_arp_request(next_hop);
+        schedule_arp_retry(next_hop, epoch);
+    });
 }
 
 void Iface::transmit_ip(net::Bytes datagram, net::MacAddr dst) {
@@ -122,7 +152,7 @@ void Iface::handle_arp(const net::EthernetFrame& frame) {
     // Flush datagrams that were waiting on this resolution.
     auto it = awaiting_arp_.find(msg.sender_ip);
     if (it != awaiting_arp_.end()) {
-        auto queued = std::move(it->second);
+        auto queued = std::move(it->second.queue);
         awaiting_arp_.erase(it);
         for (auto& dgram : queued)
             transmit_ip(std::move(dgram), msg.sender_mac);

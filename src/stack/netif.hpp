@@ -79,8 +79,20 @@ public:
     void handle_frame(const net::EthernetFrame& frame);
 
 private:
+    /// Datagrams parked behind an in-flight ARP resolution, plus the
+    /// retransmit budget spent on it. `epoch` ties retry timers to one
+    /// resolution cycle: a timer from a finished cycle must not touch a
+    /// later resolution of the same next hop.
+    struct PendingArp {
+        std::deque<net::Bytes> queue;
+        int tries = 0;
+        std::uint64_t epoch = 0;
+    };
+
     void transmit_ip(net::Bytes datagram, net::MacAddr dst);
     void handle_arp(const net::EthernetFrame& frame);
+    void send_arp_request(net::Ipv4Addr next_hop);
+    void schedule_arp_retry(net::Ipv4Addr next_hop, std::uint64_t epoch);
 
     NetIf& parent_;
     std::optional<std::uint16_t> vlan_;
@@ -89,7 +101,8 @@ private:
     int prefix_len_ = 0;
     bool configured_ = false;
     ArpCache arp_;
-    std::map<net::Ipv4Addr, std::deque<net::Bytes>> awaiting_arp_;
+    std::map<net::Ipv4Addr, PendingArp> awaiting_arp_;
+    std::uint64_t arp_epoch_ = 0;
     IpHandler on_ip_;
 };
 

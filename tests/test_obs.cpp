@@ -94,6 +94,98 @@ TEST(Metrics, CsvSnapshotHasHeaderAndRows) {
     EXPECT_NE(csv.find("device=d1;proto=udp"), std::string::npos);
 }
 
+namespace {
+
+/// Minimal RFC-4180 reader for the round-trip test: rows of cells,
+/// honoring quoted cells with embedded commas/quotes/newlines.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            row.push_back(std::move(cell));
+            cell.clear();
+        } else if (c == '\n') {
+            row.push_back(std::move(cell));
+            cell.clear();
+            rows.push_back(std::move(row));
+            row.clear();
+        } else {
+            cell += c;
+        }
+    }
+    return rows;
+}
+
+} // namespace
+
+TEST(Metrics, LabelCellRoundTripsAdversarialValues) {
+    // Label keys/values stuffed with every separator in the pipeline:
+    // the label-cell syntax ('=', ';', '\\'), the CSV layer (commas,
+    // quotes, newlines, CR), and innocuous unicode bytes.
+    const std::vector<Labels> cases = {
+        {},
+        {{"k", ""}},
+        {{"", "v"}},
+        {{"svc", "port=53;proto=udp"}},
+        {{"path", "C:\\temp\\x"}, {"q", "say \"hi\", ok?"}},
+        {{"nl", "line1\nline2\rline3"}},
+        {{"w=1;x", "a\\b=c;d"}, {"tail\\", "\\"}},
+        {{"utf8", "p\xc3\xa4ket"}, {"empty", ""}},
+    };
+    for (const auto& labels : cases) {
+        const std::string cell = format_label_cell(labels);
+        Labels back;
+        ASSERT_TRUE(parse_label_cell(cell, back)) << cell;
+        EXPECT_EQ(back, labels) << cell;
+    }
+    // Malformed cells are rejected, not misparsed.
+    Labels out;
+    EXPECT_FALSE(parse_label_cell("novalue", out));
+    EXPECT_FALSE(parse_label_cell("a=b;novalue", out));
+    EXPECT_FALSE(parse_label_cell("a=b\\", out));
+}
+
+TEST(Metrics, CsvSnapshotRoundTripsAdversarialLabels) {
+    // End to end: adversarial labels -> to_csv() -> RFC-4180 parse ->
+    // parse_label_cell -> the original pairs, bit for bit. This breaks
+    // if either the CSV layer or the label-cell escaping is lossy.
+    const Labels awkward = {{"svc", "port=53;proto=udp"},
+                            {"model", "say \"hi\", \\raw\nnewline"},
+                            {"dir", "a2b"}};
+    const Labels plain = {{"device", "d1"}};
+    MetricsRegistry reg;
+    reg.counter("hits", awkward)->value = 7;
+    reg.gauge("load", plain)->value = 0.5;
+    const auto rows = parse_csv(reg.to_csv());
+    ASSERT_EQ(rows.size(), 3u);
+    ASSERT_EQ(rows[0].size(), 6u); // header: name,kind,labels,value,sum,count
+    ASSERT_EQ(rows[1].size(), 6u);
+    EXPECT_EQ(rows[1][0], "hits");
+    EXPECT_EQ(rows[1][3], "7");
+    Labels back;
+    ASSERT_TRUE(parse_label_cell(rows[1][2], back));
+    EXPECT_EQ(back, awkward);
+    ASSERT_TRUE(parse_label_cell(rows[2][2], back));
+    EXPECT_EQ(back, plain);
+}
+
 TEST(Metrics, ValidatorRejectsGarbage) {
     EXPECT_FALSE(validate_metrics_json("not json"));
     EXPECT_FALSE(validate_metrics_json("{}"));

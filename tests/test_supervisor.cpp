@@ -261,6 +261,48 @@ TEST(Supervisor, KillAndResumeIsByteIdentical) {
     std::remove(path.c_str());
 }
 
+TEST(Supervisor, IcmpQuerySideTablesSurviveResumeBoundary) {
+    // The ICMP units exercise the gateway's ICMP-query and IP-only side
+    // tables (identifier bindings, embedded-packet rewrites). Resuming a
+    // campaign exactly at the boundary *before* each device's icmp unit
+    // must leave those allocations on the same trajectory as the
+    // uninterrupted run — any divergent side-table state shows up as a
+    // byte difference in the icmp payload or the regrown journal.
+    const std::string path = journal_path_for("icmp_boundary");
+    std::remove(path.c_str());
+    CampaignConfig cfg;
+    cfg.udp4 = cfg.icmp = true; // plan per device: [udp4, icmp]
+    cfg.supervisor.journal_path = path;
+    const auto baseline = run_roster(cfg, roster3());
+    const std::string baseline_json = results_json(baseline);
+    const std::string journal_text = slurp(path);
+
+    // The unit must be live (not trivially replayed) and nontrivial:
+    // every device's ICMP battery saw at least one forwarded error.
+    for (const auto& r : baseline) {
+        int fwd = 0;
+        for (const auto& e : r.icmp.udp) fwd += e.forwarded ? 1 : 0;
+        EXPECT_GT(fwd, 0) << r.tag;
+    }
+
+    auto rcfg = cfg;
+    rcfg.supervisor.resume = true;
+    const auto all = lines_of(journal_text);
+    ASSERT_EQ(all.size(), 1 + 2 * 3u); // header + 2 units x 3 devices
+    for (std::size_t d = 0; d < 3; ++d) {
+        const std::size_t k = 2 * d + 2; // last record: device d's udp4
+        std::string prefix;
+        for (std::size_t i = 0; i < k; ++i) prefix += all[i] + "\n";
+        spit(path, prefix);
+        const auto resumed = run_roster(rcfg, roster3());
+        EXPECT_EQ(results_json(resumed), baseline_json)
+            << "icmp diverged resuming into device " << d;
+        EXPECT_EQ(slurp(path), journal_text)
+            << "journal did not regrow byte-identically for device " << d;
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Supervisor, ResumeRejectsFingerprintMismatch) {
     const std::string path = journal_path_for("fingerprint");
     std::remove(path.c_str());
