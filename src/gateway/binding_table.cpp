@@ -37,10 +37,6 @@ sim::TimePoint BindingTable::quantize(sim::TimePoint t) const {
     return sim::TimePoint{ticks * g.count()};
 }
 
-bool BindingTable::expired(const Binding& b) const {
-    return loop_.now() >= effective_deadline(b);
-}
-
 sim::TimePoint BindingTable::effective_deadline(const Binding& b) const {
     // Coarse timers only affect confirmed bindings: the paper's UDP-1
     // results are tight for every device, while UDP-2 shows wide
@@ -55,12 +51,31 @@ void BindingTable::schedule_expiry(Binding& b, sim::TimePoint at) {
     if (!pending_free_.empty()) {
         idx = pending_free_.back();
         pending_free_.pop_back();
-        pending_[idx] = PendingExpiry{b.key, b.wheel_gen};
+        pending_[idx] = PendingExpiry{b.slot, b.wheel_gen};
     } else {
         idx = pending_.size();
-        pending_.push_back(PendingExpiry{b.key, b.wheel_gen});
+        pending_.push_back(PendingExpiry{b.slot, b.wheel_gen});
     }
     wheel_.schedule(idx, at);
+}
+
+std::uint32_t BindingTable::alloc_binding() {
+    if (!free_binding_slots_.empty()) {
+        const std::uint32_t s = free_binding_slots_.back();
+        free_binding_slots_.pop_back();
+        slots_[s].slot = s;
+        return s;
+    }
+    const auto s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slots_.back().slot = s;
+    hot_deadline_.push_back(0);
+    return s;
+}
+
+void BindingTable::free_binding(std::uint32_t slot) {
+    slots_[slot] = Binding{};
+    free_binding_slots_.push_back(slot);
 }
 
 void BindingTable::add_to_graveyard(const FlowKey& key, std::uint16_t port,
@@ -69,14 +84,14 @@ void BindingTable::add_to_graveyard(const FlowKey& key, std::uint16_t port,
     grave_queue_.push_back(GraveEntry{key, until});
 }
 
-void BindingTable::erase_external(std::uint16_t port, const FlowKey& key) {
+void BindingTable::erase_external(std::uint16_t port, std::uint32_t slot) {
     auto pit = by_external_.find(port);
     if (pit == by_external_.end()) return;
-    auto& keys = pit->second;
-    auto it = std::find(keys.begin(), keys.end(), key);
-    if (it == keys.end()) return;
-    keys.erase(it); // preserves claim order of the remaining flows
-    if (keys.empty()) by_external_.erase(pit);
+    auto& slots = pit->second;
+    auto it = std::find(slots.begin(), slots.end(), slot);
+    if (it == slots.end()) return;
+    slots.erase(it); // preserves claim order of the remaining flows
+    if (slots.empty()) by_external_.erase(pit);
 }
 
 bool BindingTable::external_in_use(std::uint16_t port) const {
@@ -92,17 +107,18 @@ void BindingTable::sweep() {
     for (std::uint64_t idx : wheel_.collect_due(now)) {
         const PendingExpiry rec = pending_[idx];
         pending_free_.push_back(idx);
-        auto it = by_flow_.find(rec.key);
-        if (it == by_flow_.end()) continue; // binding removed meanwhile
-        Binding& b = it->second;
-        if (b.wheel_gen != rec.gen) continue; // superseded entry
-        const auto deadline = effective_deadline(b);
+        Binding& b = slots_[rec.slot];
+        // A removed binding or reused slot never matches: free_binding
+        // zeroes wheel_gen and generations are never recycled.
+        if (b.wheel_gen != rec.gen) continue;
+        const sim::TimePoint deadline{hot_deadline_[rec.slot]};
         if (now >= deadline) {
-            add_to_graveyard(rec.key, b.external_port,
+            add_to_graveyard(b.key, b.external_port,
                              now + profile_.port_quarantine);
-            erase_external(b.external_port, rec.key);
-            by_flow_.erase(it);
+            erase_external(b.external_port, rec.slot);
+            by_flow_.erase(b.key);
             obs::inc(m_expired_);
+            free_binding(rec.slot);
         } else {
             schedule_expiry(b, deadline);
         }
@@ -122,8 +138,8 @@ bool BindingTable::port_taken_by_other(std::uint16_t port,
                                        const net::Endpoint& internal) const {
     auto pit = by_external_.find(port);
     if (pit == by_external_.end()) return false;
-    for (const FlowKey& key : pit->second)
-        if (key.internal != internal) return true;
+    for (const std::uint32_t slot : pit->second)
+        if (slots_[slot].key.internal != internal) return true;
     return false;
 }
 
@@ -161,7 +177,7 @@ std::uint16_t BindingTable::allocate_port(const FlowKey& key) {
 Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
     sweep();
     auto it = by_flow_.find(key);
-    if (it != by_flow_.end()) return &it->second;
+    if (it != by_flow_.end()) return &slots_[it->second];
 
     if (by_flow_.size() >= capacity_limit()) {
         obs::inc(m_refused_);
@@ -173,36 +189,39 @@ Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
         return nullptr;
     }
 
-    Binding b;
+    const std::uint32_t slot = alloc_binding();
+    Binding& b = slots_[slot];
     b.key = key;
     b.external_port = port;
     b.expires_at = loop_.now() + profile_.udp.initial;
-    auto [ins, ok] = by_flow_.emplace(key, b);
+    const auto [ins, ok] = by_flow_.emplace(key, slot);
     GK_ASSERT(ok);
-    by_external_[port].push_back(key);
-    schedule_expiry(ins->second, effective_deadline(ins->second));
+    (void)ins;
+    by_external_[port].push_back(slot);
+    update_hot(b);
+    schedule_expiry(b, effective_deadline(b));
     obs::inc(m_created_);
     obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
-    return &ins->second;
+    return &b;
 }
 
 Binding* BindingTable::find_inbound(std::uint16_t external_port,
                                     const net::Endpoint& remote) {
     auto pit = by_external_.find(external_port);
     if (pit == by_external_.end()) return nullptr;
-    auto& keys = pit->second;
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-        auto it = by_flow_.find(keys[i]);
-        if (it == by_flow_.end()) continue;
-        Binding& b = it->second;
+    auto& slots = pit->second;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const std::uint32_t slot = slots[i];
+        Binding& b = slots_[slot];
         // Endpoint-dependent filtering: the inbound peer must match.
         if (b.key.remote != remote) continue;
         if (expired(b)) {
             add_to_graveyard(b.key, b.external_port,
                              loop_.now() + profile_.port_quarantine);
-            keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(i));
-            if (keys.empty()) by_external_.erase(pit);
-            by_flow_.erase(it);
+            slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(i));
+            if (slots.empty()) by_external_.erase(pit);
+            by_flow_.erase(b.key);
+            free_binding(slot);
             obs::inc(m_expired_);
             obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
             return nullptr;
@@ -215,11 +234,8 @@ Binding* BindingTable::find_inbound(std::uint16_t external_port,
 Binding* BindingTable::find_by_external(std::uint16_t external_port) {
     auto pit = by_external_.find(external_port);
     if (pit == by_external_.end()) return nullptr;
-    for (const FlowKey& key : pit->second) {
-        auto it = by_flow_.find(key);
-        if (it != by_flow_.end() && !expired(it->second))
-            return &it->second;
-    }
+    for (const std::uint32_t slot : pit->second)
+        if (!expired(slots_[slot])) return &slots_[slot];
     return nullptr;
 }
 
@@ -230,6 +246,7 @@ void BindingTable::refresh(Binding& b, sim::Duration timeout) {
 void BindingTable::set_expiry(Binding& b, sim::TimePoint at) {
     b.expires_at = at;
     const auto deadline = effective_deadline(b);
+    hot_deadline_[b.slot] = deadline.count();
     // Later deadlines ride the existing wheel entry (it re-parks itself on
     // pop); earlier ones need a fresh entry or sweep() would miss them.
     if (deadline < b.wheel_deadline) schedule_expiry(b, deadline);
@@ -238,9 +255,11 @@ void BindingTable::set_expiry(Binding& b, sim::TimePoint at) {
 void BindingTable::remove(const FlowKey& key) {
     auto it = by_flow_.find(key);
     if (it == by_flow_.end()) return;
-    erase_external(it->second.external_port, key);
+    const std::uint32_t slot = it->second;
+    erase_external(slots_[slot].external_port, slot);
     by_flow_.erase(it);
     // The wheel entry goes stale and is discarded when it pops.
+    free_binding(slot);
 }
 
 void BindingTable::clear() {
@@ -248,8 +267,13 @@ void BindingTable::clear() {
     by_external_.clear();
     graveyard_.clear();
     grave_queue_.clear();
+    // Reset every slab slot (zeroed generations stale out parked wheel
+    // entries) and rebuild the free list; the slab itself is retained.
+    free_binding_slots_.clear();
+    for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i-- > 0;)
+        free_binding(i);
     obs::set(m_occupancy_, 0.0);
-    // Wheel entries all reference now-absent flows; each is recycled into
+    // Wheel entries all reference now-absent slots; each is recycled into
     // pending_free_ as its bucket pops, so no explicit wheel reset needed.
 }
 

@@ -68,6 +68,8 @@ struct Binding {
     // wheel entry fires and the generation stamp identifying it.
     sim::TimePoint wheel_deadline{};
     std::uint64_t wheel_gen = 0;
+    /// Slab index, managed by BindingTable; keys the hot deadline array.
+    std::uint32_t slot = 0;
 };
 
 /// One table instance per transport protocol (UDP and TCP each get one).
@@ -110,8 +112,11 @@ public:
     /// Per-protocol concurrent-binding cap from the device profile.
     std::size_t capacity_limit() const;
 
-    /// Expiry check honoring the device's timer granularity.
-    bool expired(const Binding& b) const;
+    /// Expiry check honoring the device's timer granularity. Reads the
+    /// cached effective deadline (hot array), not the binding record.
+    bool expired(const Binding& b) const {
+        return loop_.now().count() >= hot_deadline_[b.slot];
+    }
 
     /// Sequential-allocation pool cursor. Journaled by the campaign
     /// supervisor: devices that hand out pool ports in order would
@@ -137,21 +142,46 @@ private:
     sim::TimePoint effective_deadline(const Binding& b) const;
     /// Park (or re-park) the binding's expiry in the timer wheel.
     void schedule_expiry(Binding& b, sim::TimePoint at);
-    void erase_external(std::uint16_t port, const FlowKey& key);
+    void erase_external(std::uint16_t port, std::uint32_t slot);
     bool external_in_use(std::uint16_t port) const;
     void add_to_graveyard(const FlowKey& key, std::uint16_t port,
                           sim::TimePoint until);
+    std::uint32_t alloc_binding();
+    /// Reset a slab slot for reuse. Zeroing wheel_gen makes any parked
+    /// wheel entry for the old occupant stale.
+    void free_binding(std::uint32_t slot);
+    /// Recompute the cached effective deadline. Every expiry-affecting
+    /// write funnels through here: refresh()/set_expiry() call it, and
+    /// the NAT engine's direct `confirmed` flips are always followed by
+    /// a refresh (first inbound always refreshes), so the cache never
+    /// goes stale between expired() checks.
+    void update_hot(const Binding& b) {
+        hot_deadline_[b.slot] = effective_deadline(b).count();
+    }
 
     sim::EventLoop& loop_;
     const DeviceProfile& profile_;
     std::uint8_t proto_;
 
-    std::unordered_map<FlowKey, Binding, FlowKeyHash> by_flow_;
-    /// External port -> flows sharing it, in claim order. A port-
-    /// preserving NAT maps every flow from one internal endpoint to the
-    /// same external port (endpoint-independent mapping, RFC 4787) and
-    /// demuxes inbound traffic by remote endpoint.
-    std::unordered_map<std::uint16_t, std::vector<FlowKey>> by_external_;
+    /// Binding records live in a stable slab (deque: references survive
+    /// growth) addressed by slot index; the indexes below store 4-byte
+    /// slots instead of full key or record copies, and the hot expiry
+    /// deadlines live in their own contiguous array so lookups and
+    /// sweeps touch one cache line's worth of data per check instead of
+    /// a hash node.
+    std::deque<Binding> slots_;
+    std::vector<std::uint32_t> free_binding_slots_;
+    /// Cached effective deadline (ns) per slot — the only field the
+    /// per-packet expiry checks read.
+    std::vector<std::int64_t> hot_deadline_;
+
+    std::unordered_map<FlowKey, std::uint32_t, FlowKeyHash> by_flow_;
+    /// External port -> slots of flows sharing it, in claim order. A
+    /// port-preserving NAT maps every flow from one internal endpoint to
+    /// the same external port (endpoint-independent mapping, RFC 4787)
+    /// and demuxes inbound traffic by remote endpoint.
+    std::unordered_map<std::uint16_t, std::vector<std::uint32_t>>
+        by_external_;
     /// Recently expired flows: flow -> (old external port, quarantine end).
     std::unordered_map<FlowKey, std::pair<std::uint16_t, sim::TimePoint>,
                        FlowKeyHash>
@@ -166,12 +196,13 @@ private:
     };
     std::deque<GraveEntry> grave_queue_;
 
-    /// Expiry wheel. Entries reference pending_ slots; a slot is stale
+    /// Expiry wheel. Entries reference pending_ slots; an entry is stale
     /// when its generation no longer matches the binding (refreshed to an
-    /// earlier deadline, removed, or the flow re-created).
+    /// earlier deadline, removed, or the slab slot reused). Entries name
+    /// slab slots directly, so harvesting needs no hash lookups.
     sim::TimerWheel wheel_;
     struct PendingExpiry {
-        FlowKey key;
+        std::uint32_t slot = 0;
         std::uint64_t gen = 0;
     };
     std::vector<PendingExpiry> pending_;

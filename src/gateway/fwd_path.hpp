@@ -6,11 +6,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "gateway/profile.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
+#include "util/small_fn.hpp"
 
 namespace gatekit::gateway {
 
@@ -18,7 +18,10 @@ enum class Direction { Down, Up }; ///< Down = WAN->LAN, Up = LAN->WAN
 
 class FwdPath {
 public:
-    using DeliverFn = std::function<void()>;
+    /// Completion callback. Inline capacity fits the hot-path captures
+    /// (owner + recycled frame buffer + destination address) so queueing
+    /// a packet never heap-allocates for the callable.
+    using DeliverFn = util::SmallFn<void(), 48>;
 
     FwdPath(sim::EventLoop& loop, const ForwardingModel& model);
 
@@ -49,6 +52,11 @@ private:
         sim::TimePoint line_free_at{};
         std::uint64_t drops = 0;
         std::uint64_t forwarded = 0;
+        // One-entry service-time memo (line rate is fixed per queue, and
+        // traffic repeats packet sizes): skips two double divisions per
+        // packet while returning the identical computed Duration.
+        std::size_t st_bytes = SIZE_MAX;
+        sim::Duration st_line{};
         // Instrumentation; nullptr until bind_observability.
         obs::Counter* m_forwarded = nullptr;
         obs::Counter* m_dropped = nullptr;
@@ -63,12 +71,24 @@ private:
 
     void schedule();
     void start_service(Direction dir);
+    /// Begin servicing a job on the shared CPU (caller established
+    /// eligibility); factored so the idle fast path can bypass the queue.
+    void start_job(Direction dir, std::size_t bytes, DeliverFn&& deliver);
     static sim::Duration service_time(std::size_t bytes, double mbps);
 
     sim::EventLoop& loop_;
     ForwardingModel model_;
     Queue down_;
     Queue up_;
+    /// Completion callback of the job occupying the CPU. Parked here so
+    /// the completion event captures only `this` instead of nesting the
+    /// full DeliverFn inside the event-loop handler (which would drag an
+    /// indirect move through every handler relocation). `cpu_busy_`
+    /// guarantees at most one job is in flight.
+    DeliverFn inflight_;
+    /// CPU-side service-time memo (shared aggregate rate).
+    std::size_t cpu_st_bytes_ = SIZE_MAX;
+    sim::Duration cpu_st_time_{};
     bool cpu_busy_ = false;
     Direction last_served_ = Direction::Up; ///< round-robin fairness
     sim::EventId retry_event_;

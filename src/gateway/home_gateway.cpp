@@ -1,8 +1,38 @@
 #include "gateway/home_gateway.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace gatekit::gateway {
+
+namespace {
+
+/// Filter key for the legacy (parsed-packet) path, matching
+/// RuleChain::key_of(PacketView) exactly: ports are present only for
+/// non-fragment UDP/TCP whose transport geometry is sound.
+RuleChain::Key filter_key_of(const net::Ipv4Packet& pkt) {
+    RuleChain::Key k{pkt.h.protocol, pkt.h.src.value(), pkt.h.dst.value(), 0,
+                     0};
+    if (pkt.h.more_fragments || pkt.h.frag_offset != 0) return k;
+    const auto& p = pkt.payload;
+    bool have_ports = false;
+    if (pkt.h.protocol == net::proto::kUdp && p.size() >= 8) {
+        const std::size_t udp_len =
+            static_cast<std::size_t>((p[4] << 8) | p[5]);
+        have_ports = udp_len == p.size();
+    } else if (pkt.h.protocol == net::proto::kTcp && p.size() >= 20) {
+        const std::size_t doff = static_cast<std::size_t>(p[12] >> 4) * 4;
+        have_ports = doff >= 20 && doff <= p.size();
+    }
+    if (have_ports) {
+        k.sport = static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+        k.dport = static_cast<std::uint16_t>((p[2] << 8) | p[3]);
+    }
+    return k;
+}
+
+} // namespace
 
 HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
     : loop_(loop), config_(std::move(config)),
@@ -69,6 +99,132 @@ HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
         }
         return false;
     });
+    install_fast_hooks();
+}
+
+void HomeGateway::install_fast_hooks() {
+    if (!config_.enable_fast_path) return;
+    host_.nic().set_fast_ip_hook(
+        [this](net::PacketView& v, sim::Frame& f) {
+            return fast_from_lan(v, f);
+        });
+    wan_nic_.set_fast_ip_hook(
+        [this](net::PacketView& v, sim::Frame& f) {
+            return fast_from_wan(v, f);
+        });
+}
+
+bool HomeGateway::filter_pass(const RuleChain::Key& key) {
+    const RuleVerdict v = filter_compiled_ ? filter_.evaluate_compiled(key)
+                                           : filter_.evaluate(key);
+    return v == RuleVerdict::kAccept;
+}
+
+/// An unconfigured empty-accept chain must cost nothing and count
+/// nothing — the unfiltered figure benches run through here per packet.
+static bool filter_active(const RuleChain& f) {
+    return !f.empty() || f.default_verdict() != RuleVerdict::kAccept;
+}
+
+bool HomeGateway::fast_from_lan(net::PacketView& v, sim::Frame& frame) {
+    // Both legacy hooks swallow all traffic during a fault stall.
+    if (stalled()) {
+        host_.nic().pool().release(std::move(frame));
+        return true;
+    }
+    if (!nat_.configured()) return false;
+    const net::Ipv4Addr dst = v.dst();
+    if (dst.is_broadcast() || host_.is_local_addr(dst))
+        return false; // gateway-local / hairpin: legacy delivery path
+    // Rule out a kSlow replay before the filter sees the packet — a
+    // replay would walk the chain a second time and double its counters.
+    if (!NatEngine::fast_eligible(v)) return false;
+    if (filter_active(filter_) && !filter_pass(RuleChain::key_of(v))) {
+        host_.nic().pool().release(std::move(frame));
+        return true;
+    }
+    const auto verdict = nat_.outbound_fast(v);
+    if (verdict == NatEngine::FastVerdict::kSlow) return false;
+    if (verdict == NatEngine::FastVerdict::kDropped) {
+        host_.nic().pool().release(std::move(frame));
+        return true;
+    }
+    frame.resize(14u + v.total_len()); // shed any trailing link padding
+    fwd_.submit(Direction::Up, v.total_len(),
+                [this, f = std::move(frame), dst]() mutable {
+                    emit_wan_frame(std::move(f), dst);
+                });
+    return true;
+}
+
+bool HomeGateway::fast_from_wan(net::PacketView& v, sim::Frame& frame) {
+    if (stalled()) {
+        wan_nic_.pool().release(std::move(frame));
+        return true;
+    }
+    if (!nat_.configured()) return false;
+    const net::Ipv4Addr wire_dst = v.dst();
+    if (wire_dst.is_broadcast() || !host_.is_local_addr(wire_dst))
+        return false; // plain-router fallback (or not ours): legacy
+    if (!NatEngine::fast_eligible(v)) return false;
+    bool handled = false;
+    const auto verdict = nat_.inbound_fast(v, handled);
+    if (verdict == NatEngine::FastVerdict::kSlow)
+        return false; // unknown flow: gateway-local delivery via legacy
+    // Like the legacy path, the FORWARD chain sees the internal (post-
+    // DNAT) view of the flow.
+    if (verdict == NatEngine::FastVerdict::kDropped ||
+        (filter_active(filter_) && !filter_pass(RuleChain::key_of(v)))) {
+        wan_nic_.pool().release(std::move(frame));
+        return true;
+    }
+    frame.resize(14u + v.total_len());
+    const net::Ipv4Addr dst = v.dst(); // internal destination post-rewrite
+    fwd_.submit(Direction::Down, v.total_len(),
+                [this, f = std::move(frame), dst]() mutable {
+                    emit_lan_frame(std::move(f), dst);
+                });
+    return true;
+}
+
+void HomeGateway::emit_wan_frame(sim::Frame frame, net::Ipv4Addr dst) {
+    const stack::Route* route = host_.lookup_route(dst);
+    if (route == nullptr || route->iface != &wan_if_) {
+        wan_nic_.pool().release(std::move(frame));
+        return;
+    }
+    const auto next_hop = route->via ? *route->via : dst;
+    if (const auto mac = wan_if_.arp_cache().lookup(next_hop)) {
+        std::copy(mac->octets().begin(), mac->octets().end(), frame.begin());
+        // mac() returns by value; copy the octets out rather than
+        // binding a reference into the dead temporary.
+        const auto src = wan_nic_.mac().octets();
+        std::copy(src.begin(), src.end(), frame.begin() + 6);
+        wan_nic_.send_raw_frame(std::move(frame));
+        return;
+    }
+    // ARP miss: the queue-and-resolve machinery owns datagram bytes, not
+    // frames; copy the datagram out and recycle the frame shell.
+    net::Bytes dgram(frame.begin() + 14, frame.end());
+    wan_nic_.pool().release(std::move(frame));
+    wan_if_.send_ip_raw(std::move(dgram), next_hop);
+}
+
+void HomeGateway::emit_lan_frame(sim::Frame frame, net::Ipv4Addr dst) {
+    if (!dst.same_subnet(config_.lan_addr, config_.lan_prefix_len)) {
+        host_.nic().pool().release(std::move(frame));
+        return;
+    }
+    if (const auto mac = lan_if_.arp_cache().lookup(dst)) {
+        std::copy(mac->octets().begin(), mac->octets().end(), frame.begin());
+        const auto src = host_.nic().mac().octets();
+        std::copy(src.begin(), src.end(), frame.begin() + 6);
+        host_.nic().send_raw_frame(std::move(frame));
+        return;
+    }
+    net::Bytes dgram(frame.begin() + 14, frame.end());
+    host_.nic().pool().release(std::move(frame));
+    lan_if_.send_ip_raw(std::move(dgram), dst);
 }
 
 void HomeGateway::connect_lan(sim::Link& link, sim::Link::Side side) {
@@ -135,9 +291,15 @@ void HomeGateway::inject_fault(const GatewayFault& fault) {
 
 void HomeGateway::on_lan_ip(stack::Iface&, const net::Ipv4Packet& pkt) {
     if (!nat_.configured()) return;
+    if (filter_active(filter_) && !filter_pass(filter_key_of(pkt)))
+        return; // FORWARD chain, pre-SNAT (internal view of the flow)
+    // Outbound translation never rewrites the destination, so route on
+    // the ingress parse instead of re-reading the header out of the
+    // rewritten bytes — drop accounting and forwarding then agree on
+    // one view of the packet.
+    const auto dst = pkt.h.dst;
     auto out = nat_.outbound(pkt);
     if (!out) return;
-    const auto dst = net::ipv4_dst(*out);
     // Read the size before the lambda capture moves the buffer out.
     const std::size_t len = out->size();
     fwd_.submit(Direction::Up, len,
@@ -151,6 +313,14 @@ bool HomeGateway::on_wan_local(const net::Ipv4Packet& pkt) {
     auto out = nat_.inbound(pkt, handled);
     if (!handled) return false; // gateway-local traffic (DHCP, DNS, ping)
     if (out) {
+        if (filter_active(filter_)) {
+            // FORWARD chain, post-DNAT: key off the translated bytes so
+            // the chain sees the internal view in both directions.
+            const auto iv = net::PacketView::parse(
+                std::span<std::uint8_t>(out->data(), out->size()));
+            if (iv && !filter_pass(RuleChain::key_of(*iv)))
+                return true; // filtered; the packet was still ours
+        }
         const auto dst = net::ipv4_dst(*out);
         const std::size_t len = out->size();
         fwd_.submit(Direction::Down, len,

@@ -12,6 +12,7 @@
 #include "gateway/fwd_path.hpp"
 #include "gateway/nat_engine.hpp"
 #include "gateway/profile.hpp"
+#include "gateway/rule_chain.hpp"
 #include "stack/dhcp_service.hpp"
 #include "stack/host.hpp"
 
@@ -38,6 +39,12 @@ public:
         net::Ipv4Addr lan_pool_base{192, 168, 1, 100};
         /// Base index for deterministic MAC assignment.
         std::uint32_t mac_index = 1000;
+        /// Zero-copy datapath: untagged unicast IPv4 frames to the
+        /// gateway's own MAC are translated in place and forwarded
+        /// without the parse/serialize round trip. Off forces every
+        /// packet through the legacy path (equivalence tests rely on
+        /// the two producing byte-identical wire traffic).
+        bool enable_fast_path = true;
     };
 
     HomeGateway(sim::EventLoop& loop, Config config);
@@ -82,7 +89,24 @@ public:
     DnsProxy& dns_proxy() { return dns_proxy_; }
     stack::DhcpServer* lan_dhcp() { return lan_dhcp_.get(); }
 
+    /// Netfilter-style FORWARD chain applied to NAT'd traffic in both
+    /// directions (keys are always the internal/LAN view of the flow:
+    /// pre-SNAT going up, post-DNAT coming down). Hairpin and the plain
+    /// router fallback bypass it. An empty chain with an ACCEPT default
+    /// costs nothing and bumps no counters.
+    RuleChain& filter() { return filter_; }
+    /// Evaluate the filter via the compiled single-pass classifier
+    /// instead of the sequential first-match walk (verdicts identical).
+    void set_filter_compiled(bool on) { filter_compiled_ = on; }
+
 private:
+    void install_fast_hooks();
+    bool fast_from_lan(net::PacketView& v, sim::Frame& frame);
+    bool fast_from_wan(net::PacketView& v, sim::Frame& frame);
+    void emit_wan_frame(sim::Frame frame, net::Ipv4Addr dst);
+    void emit_lan_frame(sim::Frame frame, net::Ipv4Addr dst);
+    bool filter_pass(const RuleChain::Key& key);
+
     void on_lan_ip(stack::Iface& in, const net::Ipv4Packet& pkt);
     bool on_wan_local(const net::Ipv4Packet& pkt);
     void emit_wan(net::Bytes datagram, net::Ipv4Addr dst);
@@ -96,6 +120,8 @@ private:
     stack::Iface& wan_if_;
     NatEngine nat_;
     FwdPath fwd_;
+    RuleChain filter_;
+    bool filter_compiled_ = false;
     DnsProxy dns_proxy_;
     std::unique_ptr<stack::DhcpClient> wan_dhcp_;
     std::unique_ptr<stack::DhcpServer> lan_dhcp_;

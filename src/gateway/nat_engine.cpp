@@ -104,6 +104,99 @@ std::optional<net::Bytes> NatEngine::outbound(const net::Ipv4Packet& pkt) {
     }
 }
 
+NatEngine::FastVerdict NatEngine::outbound_fast(net::PacketView& v) {
+    GK_EXPECTS(configured());
+    // Anything the legacy path treats specially goes back through it:
+    // IP options (record-route handling), fragments, transports other
+    // than plain UDP/TCP, L4 geometry the legacy serializer would trim
+    // or reject, and checksum-less UDP (re-serialization computes a
+    // fresh checksum; an in-place rewrite cannot). None of these checks
+    // touch translation state, so a kSlow replay is exact.
+    if (v.has_options() || v.is_fragment() || !v.has_l4() ||
+        v.l4_checksum_disabled())
+        return FastVerdict::kSlow;
+    if (profile_.decrement_ttl && v.ttl() <= 1)
+        return FastVerdict::kDropped; // outbound(): pre-dispatch TTL drop
+    const bool udp = v.protocol() == net::proto::kUdp;
+    BindingTable& table = udp ? udp_ : tcp_;
+    const FlowKey key{v.protocol(),
+                      {v.src(), v.src_port()},
+                      {v.dst(), v.dst_port()}};
+    Binding* b = table.find_or_create_outbound(key);
+    if (b == nullptr) {
+        ++stats_.dropped_capacity;
+        obs::inc(m_drop_capacity_);
+        return FastVerdict::kDropped;
+    }
+    if (udp) {
+        ++b->packets_out;
+        if (profile_.udp.outbound_refreshes || b->packets_out == 1)
+            udp_.refresh(*b, udp_timeout_for(*b, false, key.remote.port));
+    } else {
+        const std::uint8_t flags = v.tcp_flags();
+        const bool syn = (flags & 0x02) != 0;
+        if (syn && (flags & 0x10) == 0)
+            tcp_.set_expiry(*b,
+                            loop_.now() + profile_.tcp_transitory_timeout);
+        ++b->packets_out;
+        if (b->packets_in > 0 && !syn) b->established = true;
+        refresh_tcp(*b);
+        if ((flags & 0x01) != 0) b->fin_out = true;
+    }
+    v.set_src(wan_addr_);
+    v.set_src_port(b->external_port);
+    if (profile_.decrement_ttl) v.decrement_ttl();
+    if (!udp) {
+        const std::uint8_t flags = v.tcp_flags();
+        if ((flags & 0x04) != 0) {
+            tcp_.remove(key); // b invalid past this point
+        } else if (b->fin_in && b->fin_out) {
+            tcp_.set_expiry(*b, loop_.now() + profile_.tcp_fin_linger);
+        }
+    }
+    return FastVerdict::kForwarded;
+}
+
+NatEngine::FastVerdict NatEngine::inbound_fast(net::PacketView& v,
+                                               bool& handled) {
+    GK_EXPECTS(configured());
+    handled = false;
+    if (v.has_options() || v.is_fragment() || !v.has_l4() ||
+        v.l4_checksum_disabled())
+        return FastVerdict::kSlow;
+    const bool udp = v.protocol() == net::proto::kUdp;
+    BindingTable& table = udp ? udp_ : tcp_;
+    Binding* b = table.find_inbound(v.dst_port(), {v.src(), v.src_port()});
+    if (b == nullptr) return FastVerdict::kSlow; // maybe gateway-local
+    handled = true;
+    ++b->packets_in;
+    if (udp) {
+        const bool first_inbound = !b->confirmed;
+        b->confirmed = true;
+        if (profile_.udp.inbound_refreshes || first_inbound)
+            udp_.refresh(*b, udp_timeout_for(*b, true, b->key.remote.port));
+    } else {
+        const std::uint8_t flags = v.tcp_flags();
+        // Mirror of inbound_tcp(): only non-SYN traffic past the
+        // handshake promotes to the established timeout.
+        if (b->packets_out > 1 && (flags & 0x02) == 0) b->established = true;
+        refresh_tcp(*b);
+        if ((flags & 0x01) != 0) b->fin_in = true;
+    }
+    v.set_dst(b->key.internal.addr);
+    v.set_dst_port(b->key.internal.port);
+    if (profile_.decrement_ttl) v.decrement_ttl();
+    if (!udp) {
+        const std::uint8_t flags = v.tcp_flags();
+        if ((flags & 0x04) != 0) {
+            tcp_.remove(b->key); // b invalid past this point
+        } else if (b->fin_in && b->fin_out) {
+            tcp_.set_expiry(*b, loop_.now() + profile_.tcp_fin_linger);
+        }
+    }
+    return FastVerdict::kForwarded;
+}
+
 std::optional<net::Bytes> NatEngine::outbound_udp(const net::Ipv4Packet& pkt) {
     net::UdpDatagram dgram;
     try {

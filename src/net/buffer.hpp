@@ -26,6 +26,12 @@ class BufferWriter {
 public:
     BufferWriter() = default;
     explicit BufferWriter(std::size_t reserve) { data_.reserve(reserve); }
+    /// Adopt an existing buffer (cleared), reusing its capacity. Pairs
+    /// with net::PacketPool so serialization on the hot path appends into
+    /// recycled storage instead of growing a fresh vector.
+    explicit BufferWriter(Bytes&& reuse) : data_(std::move(reuse)) {
+        data_.clear();
+    }
 
     void u8(std::uint8_t v) { data_.push_back(v); }
     void u16(std::uint16_t v);

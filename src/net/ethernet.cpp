@@ -5,7 +5,12 @@
 namespace gatekit::net {
 
 Bytes EthernetFrame::serialize() const {
-    BufferWriter w(payload.size() + 18);
+    return serialize_into(Bytes{});
+}
+
+Bytes EthernetFrame::serialize_into(Bytes reuse) const {
+    reuse.reserve(payload.size() + 18);
+    BufferWriter w(std::move(reuse));
     w.bytes(dst.octets());
     w.bytes(src.octets());
     if (vlan_id) {

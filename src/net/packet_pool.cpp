@@ -1,0 +1,77 @@
+#include "net/packet_pool.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GATEKIT_POOL_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define GATEKIT_POOL_ASAN 1
+#endif
+
+#if defined(GATEKIT_POOL_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace gatekit::net {
+
+namespace {
+
+// Poison a parked buffer's storage so any alias into a recycled frame
+// (a stale PacketView, a span captured past its lifetime) faults loudly
+// under ASan instead of reading whatever packet lands there next.
+void poison(const Bytes& buf) {
+#if defined(GATEKIT_POOL_ASAN)
+    if (buf.capacity() != 0)
+        __asan_poison_memory_region(buf.data(), buf.capacity());
+#else
+    (void)buf;
+#endif
+}
+
+void unpoison(const Bytes& buf) {
+#if defined(GATEKIT_POOL_ASAN)
+    if (buf.capacity() != 0)
+        __asan_unpoison_memory_region(buf.data(), buf.capacity());
+#else
+    (void)buf;
+#endif
+}
+
+} // namespace
+
+PacketPool::PacketPool(std::size_t max_free, std::size_t reserve_bytes)
+    : max_free_(max_free), reserve_bytes_(reserve_bytes) {}
+
+PacketPool::~PacketPool() {
+    for (Bytes& buf : free_) unpoison(buf);
+}
+
+Bytes PacketPool::acquire() {
+    ++stats_.acquires;
+    if (!free_.empty()) {
+        ++stats_.hits;
+        Bytes buf = std::move(free_.back());
+        free_.pop_back();
+        unpoison(buf);
+        buf.clear();
+        return buf;
+    }
+    ++stats_.fallbacks;
+    Bytes buf;
+    buf.reserve(reserve_bytes_);
+    return buf;
+}
+
+void PacketPool::release(Bytes buf) {
+    ++stats_.releases;
+    if (buf.capacity() == 0) return; // nothing worth parking
+    if (free_.size() >= max_free_) {
+        ++stats_.dropped;
+        return; // freed on scope exit
+    }
+    buf.clear();
+    poison(buf);
+    free_.push_back(std::move(buf));
+}
+
+} // namespace gatekit::net

@@ -1,0 +1,57 @@
+// Per-stack packet arena: a free list of recycled byte buffers that the
+// hot forwarding path draws frames from instead of malloc'ing per packet.
+// Pools are strictly per-stack state (each shard's testbed owns its own),
+// so there is no cross-thread sharing to synchronize. Exhaustion degrades
+// gracefully to a plain heap allocation; parked buffers are poisoned
+// under AddressSanitizer so a stale PacketView into a recycled frame
+// traps instead of silently reading the next packet's bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/buffer.hpp"
+
+namespace gatekit::net {
+
+class PacketPool {
+public:
+    /// `max_free` bounds the parked-buffer list (beyond it, released
+    /// buffers are simply freed); `reserve_bytes` is the capacity fresh
+    /// buffers are created with (a full Ethernet frame plus headroom).
+    explicit PacketPool(std::size_t max_free = 64,
+                        std::size_t reserve_bytes = 2048);
+    ~PacketPool();
+
+    PacketPool(const PacketPool&) = delete;
+    PacketPool& operator=(const PacketPool&) = delete;
+
+    /// An empty buffer with at least `reserve_bytes` capacity, recycled
+    /// when possible. Falls back to a fresh allocation when the free
+    /// list is empty.
+    Bytes acquire();
+
+    /// Return a buffer for reuse. Contents are discarded; capacity is
+    /// kept. Buffers beyond `max_free` are freed.
+    void release(Bytes buf);
+
+    struct Stats {
+        std::uint64_t acquires = 0;  ///< total acquire() calls
+        std::uint64_t hits = 0;      ///< served from the free list
+        std::uint64_t fallbacks = 0; ///< fresh heap allocations
+        std::uint64_t releases = 0;  ///< total release() calls
+        std::uint64_t dropped = 0;   ///< released while the list was full
+    };
+    const Stats& stats() const { return stats_; }
+    std::size_t free_count() const { return free_.size(); }
+    std::size_t max_free() const { return max_free_; }
+
+private:
+    std::size_t max_free_;
+    std::size_t reserve_bytes_;
+    std::vector<Bytes> free_;
+    Stats stats_;
+};
+
+} // namespace gatekit::net

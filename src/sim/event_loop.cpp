@@ -4,11 +4,25 @@
 
 namespace gatekit::sim {
 
+std::uint32_t EventLoop::alloc_slot(Handler&& fn) {
+    if (!free_slots_.empty()) {
+        const std::uint32_t idx = free_slots_.back();
+        free_slots_.pop_back();
+        slot(idx).fn = std::move(fn);
+        return idx;
+    }
+    const std::uint32_t idx = slot_count_++;
+    if ((idx >> kSlotChunkBits) == chunks_.size())
+        chunks_.emplace_back(new Slot[1u << kSlotChunkBits]);
+    slot(idx).fn = std::move(fn);
+    return idx;
+}
+
 EventId EventLoop::at(TimePoint t, Handler fn) {
     GK_EXPECTS(t >= now_);
     GK_EXPECTS(fn != nullptr);
     const std::uint64_t seq = next_seq_++;
-    queue_.push(Event{t, seq, std::move(fn)});
+    queue_.push(Ref{t, seq, alloc_slot(std::move(fn))});
     return EventId{seq};
 }
 
@@ -26,33 +40,80 @@ bool EventLoop::is_cancelled(std::uint64_t seq) const {
     return cancelled_.contains(seq);
 }
 
-void EventLoop::fire(Event& ev) {
+void EventLoop::fire(const Ref& ev) {
     now_ = ev.when;
-    if (!cancelled_.empty() && cancelled_.erase(ev.seq) != 0) return;
+    // Free the slot even if the handler throws (the slab reference
+    // stays valid while the handler runs; reuse can only happen after).
+    struct SlotGuard {
+        EventLoop* loop;
+        std::uint32_t slot;
+        ~SlotGuard() { loop->free_slots_.push_back(slot); }
+    } guard{this, ev.slot};
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) != 0) {
+        slot(ev.slot).fn = nullptr; // destroy the skipped handler
+        return;
+    }
     ++processed_;
-    ev.fn();
+    // consume() fuses invoke + destroy into one indirection and leaves
+    // the slot's handler empty, ready for reassignment on reuse.
+    slot(ev.slot).fn.consume();
 }
 
 bool EventLoop::step() {
     if (queue_.empty()) return false;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const Ref ev = queue_.top();
     queue_.pop();
     fire(ev);
     return true;
 }
 
+void EventLoop::drain_tick(std::vector<Ref>& batch) {
+    const TimePoint t = queue_.top().when;
+    do {
+        batch.push_back(queue_.top());
+        queue_.pop();
+    } while (!queue_.empty() && queue_.top().when == t);
+}
+
 void EventLoop::run() {
-    while (step()) {
+    // Lone-event ticks (the per-packet pipeline's common case) fire
+    // straight off the heap; dense ticks drain into a scratch vector
+    // first, amortizing percolation when many events share a timestamp.
+    // The member buffer is moved to a local so a handler that re-enters
+    // run()/run_until() gets its own (briefly heap-fresh) buffer instead
+    // of corrupting the one being iterated.
+    std::vector<Ref> batch = std::move(batch_);
+    while (!queue_.empty()) {
+        if (queue_.size() == 1) {
+            const Ref ev = queue_.top();
+            queue_.pop();
+            fire(ev);
+            continue;
+        }
+        batch.clear();
+        drain_tick(batch);
+        for (const Ref& ev : batch) fire(ev);
     }
+    batch.clear();
+    batch_ = std::move(batch);
 }
 
 void EventLoop::run_until(TimePoint t) {
     GK_EXPECTS(t >= now_);
+    std::vector<Ref> batch = std::move(batch_);
     while (!queue_.empty() && queue_.top().when <= t) {
-        Event ev = std::move(const_cast<Event&>(queue_.top()));
-        queue_.pop();
-        fire(ev);
+        if (queue_.size() == 1) {
+            const Ref ev = queue_.top();
+            queue_.pop();
+            fire(ev);
+            continue;
+        }
+        batch.clear();
+        drain_tick(batch);
+        for (const Ref& ev : batch) fire(ev);
     }
+    batch.clear();
+    batch_ = std::move(batch);
     now_ = t;
 }
 

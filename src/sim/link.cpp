@@ -8,6 +8,8 @@ Link::Link(EventLoop& loop, std::uint64_t bits_per_sec, Duration propagation)
     : loop_(loop), rate_(bits_per_sec), prop_(propagation) {
     GK_EXPECTS(bits_per_sec > 0);
     GK_EXPECTS(propagation >= Duration::zero());
+    constexpr std::uint64_t kBitsPerSecNs = 8u * 1'000'000'000ULL;
+    if (kBitsPerSecNs % rate_ == 0) ns_per_byte_ = kBitsPerSecNs / rate_;
 }
 
 void Link::bind_observability(obs::MetricsRegistry* reg, obs::Tracer* tracer,
@@ -60,7 +62,13 @@ std::size_t Link::tx_backlog_bytes(Side side) const {
 }
 
 Duration Link::tx_time(std::size_t bytes) const {
-    // Whole-frame serialization delay at the configured bit rate.
+    // Whole-frame serialization delay at the configured bit rate. When
+    // the rate divides 8e9 the division is exact, so the precomputed
+    // per-byte form gives the identical truncated result without a
+    // 64-bit divide on the per-frame path.
+    if (ns_per_byte_ != 0)
+        return Duration(
+            static_cast<std::int64_t>(bytes * ns_per_byte_));
     const auto bits = static_cast<std::uint64_t>(bytes) * 8u;
     return Duration(static_cast<std::int64_t>(bits * 1'000'000'000ULL / rate_));
 }

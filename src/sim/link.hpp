@@ -167,6 +167,10 @@ private:
 
     EventLoop& loop_;
     std::uint64_t rate_;
+    /// Exact whole nanoseconds per byte when the rate divides 8e9 bits
+    /// (every standard rate: 10M/100M/1G...). Zero forces the general
+    /// division in tx_time(); the fast path is bit-identical when set.
+    std::uint64_t ns_per_byte_ = 0;
     Duration prop_;
     std::size_t tx_queue_bytes_ = kDefaultTxQueueBytes;
     Direction a_to_b_;

@@ -1,5 +1,6 @@
 #include "stack/netif.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/assert.hpp"
@@ -181,18 +182,39 @@ Iface* NetIf::find_iface(std::optional<std::uint16_t> vlan) {
 
 void NetIf::transmit(net::EthernetFrame frame) {
     GK_EXPECTS(out_.connected());
-    out_.send(frame.serialize());
+    out_.send(frame.serialize_into(pool_.acquire()));
+}
+
+void NetIf::send_raw_frame(sim::Frame frame) {
+    GK_EXPECTS(out_.connected());
+    out_.send(std::move(frame));
 }
 
 void NetIf::frame_in(sim::Frame raw) {
+    // Datapath intercept: untagged IPv4 unicast addressed to this port can
+    // skip the EthernetFrame/Ipv4Packet deep copies entirely. Anything the
+    // hook declines (or that fails the cheap shape checks) falls through to
+    // the generic demux below, so behaviour is unchanged — only faster.
+    if (fast_hook_ && raw.size() >= 34 && raw[12] == 0x08 && raw[13] == 0x00 &&
+        std::equal(raw.begin(), raw.begin() + 6, mac_.octets().begin())) {
+        auto view = net::PacketView::parse(
+            std::span<std::uint8_t>(raw.data() + 14, raw.size() - 14));
+        if (view && fast_hook_(*view, raw)) return; // consumed (or recycled)
+    }
     net::EthernetFrame frame;
     try {
         frame = net::EthernetFrame::parse(raw);
     } catch (const net::ParseError&) {
+        pool_.release(std::move(raw));
         return;
     }
-    if (!frame.dst.is_broadcast() && frame.dst != mac_) return;
-    if (Iface* iface = find_iface(frame.vlan_id)) iface->handle_frame(frame);
+    if (frame.dst.is_broadcast() || frame.dst == mac_) {
+        if (Iface* iface = find_iface(frame.vlan_id))
+            iface->handle_frame(frame);
+    }
+    // The parse above copied the payload out, so the wire buffer is dead;
+    // park its capacity for the next transmit on this port.
+    pool_.release(std::move(raw));
 }
 
 } // namespace gatekit::stack

@@ -17,6 +17,8 @@
 #include "net/arp.hpp"
 #include "net/ethernet.hpp"
 #include "net/ipv4.hpp"
+#include "net/packet_pool.hpp"
+#include "net/packet_view.hpp"
 #include "sim/link.hpp"
 
 namespace gatekit::stack {
@@ -127,13 +129,32 @@ public:
     /// Serialize and transmit a frame (VLAN tag per `vlan`).
     void transmit(net::EthernetFrame frame);
 
+    /// Transmit pre-serialized frame bytes verbatim — the zero-copy
+    /// egress used by the gateway datapath after an in-place rewrite.
+    void send_raw_frame(sim::Frame frame);
+
+    /// Datapath intercept, tried before the generic parse on untagged
+    /// unicast IPv4 frames addressed to this port. The hook receives a
+    /// parsed view aliasing `frame` and may rewrite it in place and take
+    /// ownership (return true = consumed); returning false falls through
+    /// to the normal parse/demux path with the frame untouched. Installed
+    /// by HomeGateway on its LAN/WAN ports; plain hosts have none.
+    using FastIpHook = std::function<bool(net::PacketView&, sim::Frame&)>;
+    void set_fast_ip_hook(FastIpHook hook) { fast_hook_ = std::move(hook); }
+
     void frame_in(sim::Frame frame) override;
+
+    /// Per-port packet arena: transmit paths draw serialization buffers
+    /// here and the receive path recycles consumed frames back into it.
+    net::PacketPool& pool() { return pool_; }
 
 private:
     sim::EventLoop& loop_;
     net::MacAddr mac_;
     sim::LinkEnd out_;
     std::vector<std::unique_ptr<Iface>> ifaces_;
+    net::PacketPool pool_;
+    FastIpHook fast_hook_;
 };
 
 } // namespace gatekit::stack

@@ -1,0 +1,178 @@
+// Move-only callable wrapper with configurable inline storage. The event
+// loop and forwarding path burn one of these per packet event; std::function
+// spills any capture over two pointers to the heap, which at sub-100 ns per
+// forward is the single largest cost. SmallFn keeps packet-sized captures
+// (a frame buffer + an address + a couple of pointers) inline and falls back
+// to the heap only for genuinely large closures, so every existing call
+// site keeps compiling unchanged.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gatekit::util {
+
+template <typename Sig, std::size_t Inline = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t Inline>
+class SmallFn<R(Args...), Inline> {
+public:
+    SmallFn() = default;
+    SmallFn(std::nullptr_t) {} // NOLINT(google-explicit-constructor)
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+    SmallFn(F&& f) { // NOLINT(google-explicit-constructor)
+        emplace(std::forward<F>(f));
+    }
+
+    SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+    SmallFn& operator=(SmallFn&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+    SmallFn& operator=(F&& f) {
+        reset();
+        emplace(std::forward<F>(f));
+        return *this;
+    }
+
+    SmallFn& operator=(std::nullptr_t) {
+        reset();
+        return *this;
+    }
+
+    SmallFn(const SmallFn&) = delete;
+    SmallFn& operator=(const SmallFn&) = delete;
+
+    ~SmallFn() { reset(); }
+
+    R operator()(Args... args) {
+        return invoke_(&storage_, std::forward<Args>(args)...);
+    }
+
+    /// Invoke and destroy through a single indirection, leaving *this
+    /// empty — for one-shot callables (scheduled events fire exactly
+    /// once). The callable is destroyed even if it throws.
+    R consume(Args... args) {
+        ConsumeFn c = consume_;
+        invoke_ = nullptr;
+        manage_ = nullptr;
+        consume_ = nullptr;
+        return c(&storage_, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+    friend bool operator==(const SmallFn& f, std::nullptr_t) {
+        return f.invoke_ == nullptr;
+    }
+
+private:
+    enum class Op { MoveTo, Destroy };
+
+    using InvokeFn = R (*)(void*, Args&&...);
+    using ManageFn = void (*)(void* self, void* dst, Op);
+    using ConsumeFn = R (*)(void*, Args&&...);
+
+    template <typename F>
+    static constexpr bool fits_inline =
+        sizeof(F) <= Inline && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    struct InlineOps {
+        static R invoke(void* p, Args&&... args) {
+            return (*std::launder(static_cast<F*>(p)))(
+                std::forward<Args>(args)...);
+        }
+        static void manage(void* self, void* dst, Op op) {
+            F* f = std::launder(static_cast<F*>(self));
+            if (op == Op::MoveTo) ::new (dst) F(std::move(*f));
+            f->~F();
+        }
+        static R consume(void* p, Args&&... args) {
+            F* f = std::launder(static_cast<F*>(p));
+            struct Guard {
+                F* f;
+                ~Guard() { f->~F(); }
+            } guard{f};
+            return (*f)(std::forward<Args>(args)...);
+        }
+    };
+
+    template <typename F>
+    struct HeapOps {
+        static R invoke(void* p, Args&&... args) {
+            return (**static_cast<F**>(p))(std::forward<Args>(args)...);
+        }
+        static void manage(void* self, void* dst, Op op) {
+            F** slot = static_cast<F**>(self);
+            if (op == Op::MoveTo)
+                *static_cast<F**>(dst) = *slot;
+            else
+                delete *slot;
+        }
+        static R consume(void* p, Args&&... args) {
+            F* f = *static_cast<F**>(p);
+            struct Guard {
+                F* f;
+                ~Guard() { delete f; }
+            } guard{f};
+            return (*f)(std::forward<Args>(args)...);
+        }
+    };
+
+    template <typename F>
+    void emplace(F&& f) {
+        using D = std::decay_t<F>;
+        if constexpr (fits_inline<D>) {
+            ::new (&storage_) D(std::forward<F>(f));
+            invoke_ = &InlineOps<D>::invoke;
+            manage_ = &InlineOps<D>::manage;
+            consume_ = &InlineOps<D>::consume;
+        } else {
+            ::new (&storage_) D*(new D(std::forward<F>(f)));
+            invoke_ = &HeapOps<D>::invoke;
+            manage_ = &HeapOps<D>::manage;
+            consume_ = &HeapOps<D>::consume;
+        }
+    }
+
+    void reset() {
+        if (manage_ != nullptr) manage_(&storage_, nullptr, Op::Destroy);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+        consume_ = nullptr;
+    }
+
+    void move_from(SmallFn& other) noexcept {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        consume_ = other.consume_;
+        if (other.manage_ != nullptr)
+            other.manage_(&other.storage_, &storage_, Op::MoveTo);
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+        other.consume_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[Inline];
+    InvokeFn invoke_ = nullptr;
+    ManageFn manage_ = nullptr;
+    ConsumeFn consume_ = nullptr;
+};
+
+} // namespace gatekit::util

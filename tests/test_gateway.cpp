@@ -416,3 +416,44 @@ TEST(GatewayDns, TcpProxyModes) {
         }
     }
 }
+
+// Regression: routing decisions must come from the ingress parse, never
+// from re-reading header bytes after the NAT rewrite (or after a NAT
+// drop, when there are no rewritten bytes at all). A TTL-expiring packet
+// exercises the drop leg on both the fast path (plain UDP) and the
+// legacy path (IP options make the packet fast-ineligible).
+TEST(GatewayNat, TtlExpiringPacketDropsCleanlyOnBothPaths) {
+    Bed bed;
+    auto& slot = bed.slot();
+    int received = 0;
+    std::uint8_t seen_ttl = 0;
+    auto& server_sock = bed.tb.server().udp_open(net::Ipv4Addr::any(), 7000);
+    server_sock.set_receive_handler(
+        [&](net::Endpoint, std::span<const std::uint8_t>,
+            const net::Ipv4Packet& pkt) {
+            ++received;
+            seen_ttl = pkt.h.ttl;
+        });
+    auto& sock = bed.tb.client().udp_open(slot.client_addr, 0);
+
+    // Fast path: TTL exhausts inside the NAT, nothing may reach the WAN.
+    stack::UdpSocket::SendOptions opts;
+    opts.ttl = 1;
+    sock.send_to({slot.server_addr, 7000}, {1}, opts);
+    bed.loop.run();
+    EXPECT_EQ(received, 0);
+
+    // Legacy path (IP options force fast-ineligibility): same drop.
+    opts.ip_options = {0x01, 0x01, 0x01, 0x00}; // NOP NOP NOP EOL
+    sock.send_to({slot.server_addr, 7000}, {2}, opts);
+    bed.loop.run();
+    EXPECT_EQ(received, 0);
+
+    // The gateway state must be intact: a surviving packet on the same
+    // flow still translates, routes, and decrements to TTL-1.
+    opts.ttl = 2;
+    sock.send_to({slot.server_addr, 7000}, {3}, opts);
+    bed.loop.run();
+    EXPECT_EQ(received, 1);
+    EXPECT_EQ(seen_ttl, 1);
+}
