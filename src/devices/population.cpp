@@ -1,0 +1,252 @@
+#include "devices/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/profiles.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::devices {
+
+using gateway::DeviceProfile;
+
+namespace {
+
+using std::chrono::seconds;
+
+/// splitmix64 step — the same finalizer the harness uses for impairment
+/// seed derivation, kept self-contained so the sampler has no
+/// dependency on any std:: distribution's implementation-defined
+/// mapping: the sampled population is a pure function of the bits below.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Per-gateway deterministic draw stream (splitmix64 sequence).
+class Stream {
+public:
+    explicit Stream(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t x = (state_ += 0x9e3779b97f4a7c15ULL);
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    /// Uniform in [0, 1) with 53-bit resolution.
+    double unit() { return static_cast<double>(next() >> 11) * 0x1p-53; }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+    /// Log-uniform multiplicative jitter in [1/r, r].
+    double jitter(double r) { return std::pow(r, unit() * 2.0 - 1.0); }
+
+    /// Bernoulli with probability p.
+    bool chance(double p) { return unit() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Envelope of one integer knob over the 34 calibrated profiles.
+struct Env {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::int64_t clamp(std::int64_t v) const {
+        return std::clamp(v, lo, hi);
+    }
+};
+
+template <typename Get>
+Env envelope_of(const std::vector<DeviceProfile>& all, Get get) {
+    Env e{get(all.front()), get(all.front())};
+    for (const auto& p : all) {
+        e.lo = std::min(e.lo, get(p));
+        e.hi = std::max(e.hi, get(p));
+    }
+    return e;
+}
+
+std::int64_t secs(sim::Duration d) {
+    return std::chrono::duration_cast<seconds>(d).count();
+}
+
+/// Jitter an archetype's integer-second timeout and clamp it to the
+/// calibrated envelope. r = 1.4 keeps a sampled device within ±40% of
+/// its archetype, wide enough that 10k samples fill the envelope and
+/// narrow enough that the marginal stays shaped like the 34.
+std::int64_t jit_secs(Stream& s, sim::Duration v, const Env& env,
+                      double r = 1.4) {
+    const double x = static_cast<double>(secs(v)) * s.jitter(r);
+    return env.clamp(static_cast<std::int64_t>(std::llround(x)));
+}
+
+/// Multiplicative jitter + envelope clamp for a double-valued knob.
+double jit_real(Stream& s, double v, double lo, double hi,
+                double r = 1.3) {
+    return std::clamp(v * s.jitter(r), lo, hi);
+}
+
+/// One sampling attempt; may return a profile that fails validate()
+/// (the port pool endpoints are drawn independently).
+DeviceProfile draw(Stream& s, int index, const std::string& tag_prefix) {
+    const auto& all = all_profiles();
+    const auto pick = [&]() -> const DeviceProfile& {
+        return all[s.below(all.size())];
+    };
+
+    // Archetype: cross-knob correlations (a slow software NAT tends to
+    // come with coarse timers and a short binding table) enter through
+    // this copy; jitter and donor swaps diversify around it.
+    DeviceProfile p = pick();
+    p.tag = tag_prefix + std::to_string(index);
+    p.vendor = "Synthetic";
+    p.model = p.model + " (pop)";
+    p.firmware = "sampled";
+
+    // --- UDP timers (paper UDP-1/2/3): jittered, envelope-clamped, and
+    // ordered like every calibrated device (outbound refresh never below
+    // inbound refresh).
+    static const Env env_u1 = envelope_of(
+        all, [](const DeviceProfile& q) { return secs(q.udp.initial); });
+    static const Env env_u2 = envelope_of(all, [](const DeviceProfile& q) {
+        return secs(q.udp.inbound_refresh);
+    });
+    static const Env env_u3 = envelope_of(all, [](const DeviceProfile& q) {
+        return secs(q.udp.outbound_refresh);
+    });
+    p.udp.initial = seconds(jit_secs(s, p.udp.initial, env_u1));
+    p.udp.inbound_refresh =
+        seconds(jit_secs(s, p.udp.inbound_refresh, env_u2));
+    p.udp.outbound_refresh = seconds(
+        std::max(secs(p.udp.inbound_refresh),
+                 jit_secs(s, p.udp.outbound_refresh, env_u3)));
+    // Timer granularity is a firmware trait, not a continuous dial:
+    // swap the donor's in occasionally, never invent new values.
+    if (s.chance(0.15)) p.udp.granularity = pick().udp.granularity;
+    if (s.chance(0.15)) p.udp.per_service = pick().udp.per_service;
+
+    // --- TCP binding behavior (TCP-1/TCP-4).
+    static const Env env_t1 = envelope_of(all, [](const DeviceProfile& q) {
+        return secs(q.tcp_established_timeout);
+    });
+    static const Env env_bind = envelope_of(
+        all,
+        [](const DeviceProfile& q) {
+            return static_cast<std::int64_t>(q.max_tcp_bindings);
+        });
+    p.tcp_established_timeout =
+        seconds(jit_secs(s, p.tcp_established_timeout, env_t1));
+    p.max_tcp_bindings = static_cast<int>(env_bind.clamp(
+        std::llround(p.max_tcp_bindings * s.jitter(1.4))));
+
+    // --- Port allocation (UDP-4): allocation policy and quarantine are
+    // one coherent pair; the pool endpoints are sampled independently in
+    // the calibrated 20000..29999 decade. Roughly half the draws come
+    // out inverted (pool_end < pool_begin) — validate() rejects those
+    // and sample_gateway deterministically redraws.
+    if (s.chance(0.2)) {
+        const DeviceProfile& donor = pick();
+        p.port_allocation = donor.port_allocation;
+        p.port_quarantine = donor.port_quarantine;
+    }
+    p.pool_begin = static_cast<std::uint16_t>(20000 + s.below(10000));
+    p.pool_end = static_cast<std::uint16_t>(20000 + s.below(10000));
+
+    // --- Coherent categorical groups: donor-swapped whole, so sampled
+    // combinations always exist somewhere in the calibrated table.
+    if (s.chance(0.2)) {
+        const DeviceProfile& donor = pick();
+        p.icmp_tcp = donor.icmp_tcp;
+        p.icmp_udp = donor.icmp_udp;
+        p.icmp_query_errors_translated = donor.icmp_query_errors_translated;
+        p.fix_embedded_transport = donor.fix_embedded_transport;
+        p.fix_embedded_ip_checksum = donor.fix_embedded_ip_checksum;
+        p.tcp_icmp_becomes_rst = donor.tcp_icmp_becomes_rst;
+    }
+    if (s.chance(0.2)) {
+        const DeviceProfile& donor = pick();
+        p.unknown_proto = donor.unknown_proto;
+        p.unknown_proto_inbound_allowed = donor.unknown_proto_inbound_allowed;
+        p.unknown_proto_timeout = donor.unknown_proto_timeout;
+    }
+    if (s.chance(0.2)) {
+        const DeviceProfile& donor = pick();
+        p.dns_udp_proxy = donor.dns_udp_proxy;
+        p.dns_tcp = donor.dns_tcp;
+        p.dns_proxy_strips_edns = donor.dns_proxy_strips_edns;
+        p.dns_proxy_max_udp = donor.dns_proxy_max_udp;
+    }
+    if (s.chance(0.2)) {
+        const DeviceProfile& donor = pick();
+        p.hairpin = donor.hairpin;
+        p.decrement_ttl = donor.decrement_ttl;
+        p.honor_record_route = donor.honor_record_route;
+        p.same_mac_both_sides = donor.same_mac_both_sides;
+    }
+
+    // --- Forwarding model (TCP-2/TCP-3): rates jitter within the
+    // calibrated [min, 94] Mb/s band (94 = the line-rate cap every
+    // calibrated profile respects); the aggregate CPU budget keeps its
+    // calibrated invariant agg <= down + up; buffers jitter together
+    // (calibration sizes both directions equally).
+    static const Env env_buf = envelope_of(all, [](const DeviceProfile& q) {
+        return static_cast<std::int64_t>(q.fwd.buffer_down_bytes);
+    });
+    double rate_lo = all.front().fwd.down_mbps, rate_hi = rate_lo;
+    double agg_lo = all.front().fwd.aggregate_mbps, agg_hi = agg_lo;
+    for (const auto& q : all) {
+        rate_lo = std::min({rate_lo, q.fwd.down_mbps, q.fwd.up_mbps});
+        rate_hi = std::max({rate_hi, q.fwd.down_mbps, q.fwd.up_mbps});
+        agg_lo = std::min(agg_lo, q.fwd.aggregate_mbps);
+        agg_hi = std::max(agg_hi, q.fwd.aggregate_mbps);
+    }
+    p.fwd.down_mbps = jit_real(s, p.fwd.down_mbps, rate_lo, rate_hi);
+    p.fwd.up_mbps = std::min(jit_real(s, p.fwd.up_mbps, rate_lo, rate_hi),
+                             p.fwd.down_mbps);
+    p.fwd.aggregate_mbps =
+        std::min(jit_real(s, p.fwd.aggregate_mbps, agg_lo, agg_hi),
+                 p.fwd.down_mbps + p.fwd.up_mbps);
+    const auto buf = static_cast<std::size_t>(env_buf.clamp(std::llround(
+        static_cast<double>(p.fwd.buffer_down_bytes) * s.jitter(1.4))));
+    p.fwd.buffer_down_bytes = buf;
+    p.fwd.buffer_up_bytes = buf;
+    return p;
+}
+
+} // namespace
+
+std::uint64_t gateway_stream_seed(std::uint64_t seed, int index) {
+    return mix64(seed ^ (0x9e3779b97f4a7c15ULL *
+                         (static_cast<std::uint64_t>(index) + 1)));
+}
+
+DeviceProfile sample_gateway(std::uint64_t seed, int index,
+                             const std::string& tag_prefix) {
+    GK_EXPECTS(index >= 0);
+    Stream s(gateway_stream_seed(seed, index));
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        DeviceProfile p = draw(s, index, tag_prefix);
+        if (p.validate().empty()) return p;
+    }
+    // ~50% rejection per draw makes 64 consecutive rejects a 2^-64
+    // event; reaching here means the sampler or validate() regressed.
+    GK_ASSERT(false);
+    return {};
+}
+
+std::vector<DeviceProfile> sample_roster(const PopulationSpec& spec) {
+    GK_EXPECTS(spec.count >= 0);
+    std::vector<DeviceProfile> roster;
+    roster.reserve(static_cast<std::size_t>(spec.count));
+    for (int i = 0; i < spec.count; ++i)
+        roster.push_back(sample_gateway(spec.seed, i, spec.tag_prefix));
+    return roster;
+}
+
+} // namespace gatekit::devices

@@ -1,0 +1,55 @@
+// Generative gateway population: parameterized distributions fitted over
+// the 34 calibrated profiles' behavioral knobs, sampled per gateway from
+// a splitmix64-derived stream so the pair (population seed, gateway
+// index) always yields the same device — at any worker count, in any
+// sampling order, and across a campaign kill/resume.
+//
+// The model is archetype + jitter (DESIGN.md section 14): each sampled
+// gateway starts from one of the 34 calibrated profiles drawn uniformly,
+// multiplicatively jitters the continuous knobs (timeouts, binding caps,
+// forwarding rates/buffers) with clamping to the calibrated envelope,
+// and occasionally swaps each coherent categorical knob group (port
+// allocation, ICMP translation tier, unknown-protocol policy, DNS proxy
+// behavior, IP quirks) for a random donor profile's — preserving the
+// cross-knob correlations of real firmware while keeping every marginal
+// inside what the paper actually observed. Port pools are sampled
+// endpoint-wise in the calibrated 20000..29999 decade, which makes
+// pool_end < pool_begin a real (≈50%) outcome: the sampler rejects via
+// DeviceProfile::validate() and deterministically resamples from the
+// same per-gateway stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gateway/profile.hpp"
+
+namespace gatekit::devices {
+
+/// Default population seed ("populat!").
+inline constexpr std::uint64_t kPopulationSeed = 0x706f'7075'6c61'7421ULL;
+
+/// A sampled-population request: `count` gateways from `seed`, tagged
+/// "<tag_prefix><index>" (tags carry no behavioral information; the
+/// campaign fingerprint hashes full profile identities instead).
+struct PopulationSpec {
+    std::uint64_t seed = kPopulationSeed;
+    int count = 0;
+    std::string tag_prefix = "p";
+};
+
+/// Per-gateway stream seed: splitmix64-mixed from (seed, index). Every
+/// gateway owns an independent draw stream, so rejection resampling for
+/// one gateway never shifts another's draws.
+std::uint64_t gateway_stream_seed(std::uint64_t seed, int index);
+
+/// Sample gateway `index` of population `seed`. Deterministic pure
+/// function; always returns a profile for which validate() is "".
+gateway::DeviceProfile sample_gateway(std::uint64_t seed, int index,
+                                      const std::string& tag_prefix = "p");
+
+/// Sample the full roster for `spec` (= sample_gateway for each index).
+std::vector<gateway::DeviceProfile> sample_roster(const PopulationSpec& spec);
+
+} // namespace gatekit::devices

@@ -1,6 +1,84 @@
 #include "gateway/profile.hpp"
 
+#include <sstream>
+
 namespace gatekit::gateway {
+
+std::string DeviceProfile::validate() const {
+    using sim::Duration;
+    const auto pos = [](Duration d) { return d > Duration::zero(); };
+    const auto nonneg = [](Duration d) { return d >= Duration::zero(); };
+    if (!pos(udp.initial)) return "udp.initial must be > 0";
+    if (!pos(udp.inbound_refresh)) return "udp.inbound_refresh must be > 0";
+    if (!pos(udp.outbound_refresh))
+        return "udp.outbound_refresh must be > 0";
+    if (!nonneg(udp.granularity)) return "udp.granularity must be >= 0";
+    for (const auto& [port, d] : udp.per_service)
+        if (!pos(d))
+            return "udp.per_service[" + std::to_string(port) +
+                   "] must be > 0";
+    if (!pos(tcp_established_timeout))
+        return "tcp_established_timeout must be > 0";
+    if (!pos(tcp_transitory_timeout))
+        return "tcp_transitory_timeout must be > 0";
+    if (!nonneg(tcp_fin_linger)) return "tcp_fin_linger must be >= 0";
+    if (max_tcp_bindings <= 0) return "max_tcp_bindings must be > 0";
+    if (max_udp_bindings <= 0 && max_udp_bindings != -1)
+        return "max_udp_bindings must be > 0 or the -1 follow sentinel";
+    if (!nonneg(port_quarantine)) return "port_quarantine must be >= 0";
+    if (pool_begin < 1) return "pool_begin must be >= 1";
+    if (pool_end < pool_begin) return "pool_end must be >= pool_begin";
+    if (!pos(unknown_proto_timeout))
+        return "unknown_proto_timeout must be > 0";
+    if (!(fwd.down_mbps > 0.0)) return "fwd.down_mbps must be > 0";
+    if (!(fwd.up_mbps > 0.0)) return "fwd.up_mbps must be > 0";
+    if (!(fwd.aggregate_mbps > 0.0)) return "fwd.aggregate_mbps must be > 0";
+    if (fwd.buffer_down_bytes == 0) return "fwd.buffer_down_bytes must be > 0";
+    if (fwd.buffer_up_bytes == 0) return "fwd.buffer_up_bytes must be > 0";
+    if (!nonneg(fwd.processing_delay))
+        return "fwd.processing_delay must be >= 0";
+    if (!nonneg(fwd.forwarding_tick))
+        return "fwd.forwarding_tick must be >= 0";
+    return "";
+}
+
+std::string profile_identity(const DeviceProfile& p) {
+    std::ostringstream s;
+    // Durations as exact ns counts; doubles as hexfloat (round-trip
+    // exact, locale-independent) — the identity must never depend on
+    // decimal formatting.
+    const auto ns = [](sim::Duration d) { return d.count(); };
+    s << std::hexfloat;
+    s << p.tag << '|' << p.vendor << '|' << p.model << '|' << p.firmware
+      << "|udp:" << ns(p.udp.initial) << ',' << ns(p.udp.inbound_refresh)
+      << ',' << ns(p.udp.outbound_refresh) << ',' << p.udp.inbound_refreshes
+      << p.udp.outbound_refreshes << ',' << ns(p.udp.granularity);
+    for (const auto& [port, d] : p.udp.per_service)
+        s << ",svc" << port << '=' << ns(d);
+    s << "|tcp:" << ns(p.tcp_established_timeout) << ','
+      << ns(p.tcp_transitory_timeout) << ',' << ns(p.tcp_fin_linger) << ','
+      << p.max_tcp_bindings << ',' << p.max_udp_bindings
+      << "|port:" << static_cast<int>(p.port_allocation) << ','
+      << ns(p.port_quarantine) << ',' << p.pool_begin << ',' << p.pool_end
+      << "|icmp:";
+    for (int k = 0; k < kIcmpKindCount; ++k)
+        s << p.icmp_tcp.translates(static_cast<IcmpKind>(k));
+    for (int k = 0; k < kIcmpKindCount; ++k)
+        s << p.icmp_udp.translates(static_cast<IcmpKind>(k));
+    s << ',' << p.icmp_query_errors_translated << p.fix_embedded_transport
+      << p.fix_embedded_ip_checksum << p.tcp_icmp_becomes_rst
+      << "|unk:" << static_cast<int>(p.unknown_proto) << ','
+      << p.unknown_proto_inbound_allowed << ','
+      << ns(p.unknown_proto_timeout) << "|dns:" << p.dns_udp_proxy << ','
+      << static_cast<int>(p.dns_tcp) << ',' << p.dns_proxy_strips_edns
+      << ',' << p.dns_proxy_max_udp << "|ip:" << p.hairpin
+      << p.decrement_ttl << p.honor_record_route << p.same_mac_both_sides
+      << "|fwd:" << p.fwd.down_mbps << ',' << p.fwd.up_mbps << ','
+      << p.fwd.aggregate_mbps << ',' << p.fwd.buffer_down_bytes << ','
+      << p.fwd.buffer_up_bytes << ',' << ns(p.fwd.processing_delay) << ','
+      << ns(p.fwd.forwarding_tick);
+    return s.str();
+}
 
 const char* to_string(IcmpKind kind) {
     switch (kind) {

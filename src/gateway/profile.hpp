@@ -201,6 +201,29 @@ struct DeviceProfile {
 
     // --- forwarding performance -------------------------------------------
     ForwardingModel fwd;
+
+    /// Check the invariants every consumer of a profile assumes. Returns
+    /// "" when the profile is usable, else a short description of the
+    /// first violated invariant. The calibrated profiles satisfy all of
+    /// these by construction; the population sampler and hand-built test
+    /// profiles are the ones that can stray:
+    ///   * every UDP/TCP timeout and the unknown-protocol timeout > 0;
+    ///   * granularity, quarantine, fin linger, processing delay, and
+    ///     forwarding tick >= 0;
+    ///   * max_tcp_bindings > 0; max_udp_bindings > 0 or exactly -1
+    ///     (the documented follow-TCP sentinel);
+    ///   * pool_begin >= 1 and pool_begin <= pool_end;
+    ///   * every ForwardingModel rate > 0 and both buffers > 0.
+    /// Testbed::add_device rejects profiles that fail this, so a bad
+    /// sample can never silently produce a nonsense measurement.
+    std::string validate() const;
 };
+
+/// Canonical one-line text of every behavioral knob (identity fields
+/// included). Two profiles produce the same identity iff a campaign
+/// cannot distinguish them, so hashing identities — rather than tags —
+/// binds a journal fingerprint to sampled rosters whose tags ("p0",
+/// "p1", ...) carry no behavioral information.
+std::string profile_identity(const DeviceProfile& p);
 
 } // namespace gatekit::gateway

@@ -1,5 +1,7 @@
 #include "harness/testbed.hpp"
 
+#include <stdexcept>
+
 #include "util/assert.hpp"
 
 namespace gatekit::harness {
@@ -43,11 +45,28 @@ Testbed::Testbed(sim::EventLoop& loop)
 }
 
 int Testbed::add_device(gateway::DeviceProfile profile) {
+    return add_device(std::move(profile),
+                      static_cast<int>(slots_.size()) + 1);
+}
+
+int Testbed::add_device(gateway::DeviceProfile profile, int number) {
     GK_EXPECTS(!started_);
-    const int n = static_cast<int>(slots_.size()) + 1;
+    GK_EXPECTS(number >= 1);
+    if (std::string err = profile.validate(); !err.empty())
+        throw std::invalid_argument(
+            "device profile '" + profile.tag + "': " + err);
+    const int n = number;
+    // The 12-bit VLAN space caps a single testbed at 1000 devices:
+    // device n takes LAN VLAN 2000+((n-1)%1000+1) and WAN VLAN
+    // 1000+((n-1)%1000+1), so ids never leave their thousand band (and
+    // are untouched for n <= 1000, which covers every calibrated
+    // artifact). Sharded campaigns build one-device testbeds, so the
+    // cap bounds co-resident devices, not roster size.
+    GK_EXPECTS(slots_.size() < 1000);
     auto slot = std::make_unique<DeviceSlot>();
     slot->index = n;
     const auto n8 = static_cast<std::uint8_t>(n);
+    const auto vlan_slot = static_cast<std::uint16_t>((n - 1) % 1000 + 1);
 
     // Gateway n: LAN 192.168.n.1/24, WAN leased from 10.0.n.0/24.
     gateway::HomeGateway::Config cfg;
@@ -57,24 +76,28 @@ int Testbed::add_device(gateway::DeviceProfile profile) {
     cfg.mac_index = 1000 + static_cast<std::uint32_t>(2 * n);
     slot->gw = std::make_unique<gateway::HomeGateway>(loop_, std::move(cfg));
 
-    // LAN side: access port on VLAN 2000+n, client vlan-if on the trunk.
+    // LAN side: access port on VLAN 2000+vlan_slot, client vlan-if on
+    // the trunk.
     slot->lan_link = std::make_unique<sim::Link>(loop_, kLinkRate, kLinkProp);
     slot->gw->connect_lan(*slot->lan_link, sim::Link::Side::A);
     lan_switch_.connect(
-        lan_switch_.add_access_port(static_cast<std::uint16_t>(2000 + n)),
+        lan_switch_.add_access_port(
+            static_cast<std::uint16_t>(2000 + vlan_slot)),
         *slot->lan_link, sim::Link::Side::B);
     slot->client_if =
-        &client_.add_iface(static_cast<std::uint16_t>(2000 + n));
+        &client_.add_iface(static_cast<std::uint16_t>(2000 + vlan_slot));
 
-    // WAN side: access port on VLAN 1000+n, server vlan-if 10.0.n.1/24.
+    // WAN side: access port on VLAN 1000+vlan_slot, server vlan-if
+    // 10.0.n.1/24.
     slot->wan_link = std::make_unique<sim::Link>(loop_, kLinkRate, kLinkProp);
     slot->gw->connect_wan(*slot->wan_link, sim::Link::Side::A);
     wan_switch_.connect(
-        wan_switch_.add_access_port(static_cast<std::uint16_t>(1000 + n)),
+        wan_switch_.add_access_port(
+            static_cast<std::uint16_t>(1000 + vlan_slot)),
         *slot->wan_link, sim::Link::Side::B);
     slot->wan_tap.attach(*slot->wan_link);
     slot->server_if =
-        &server_.add_iface(static_cast<std::uint16_t>(1000 + n));
+        &server_.add_iface(static_cast<std::uint16_t>(1000 + vlan_slot));
     slot->server_addr = net::Ipv4Addr(10, 0, n8, 1);
     slot->server_if->configure(slot->server_addr, 24);
     server_.add_route(net::Ipv4Addr(10, 0, n8, 0), 24, *slot->server_if);
@@ -92,7 +115,7 @@ int Testbed::add_device(gateway::DeviceProfile profile) {
     slots_.push_back(std::move(slot));
     dns_->add_record(kTestName, slots_.back()->server_addr);
     if (obs_ != nullptr) bind_slot_observability(*slots_.back());
-    return n - 1;
+    return static_cast<int>(slots_.size()) - 1;
 }
 
 std::string Testbed::device_label(const DeviceSlot& slot) {

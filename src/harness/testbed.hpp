@@ -45,8 +45,17 @@ public:
     Testbed& operator=(const Testbed&) = delete;
 
     /// Add a gateway with the given behavior profile; returns its slot
-    /// index (0-based). Must be called before start().
+    /// index (0-based). Must be called before start(). Throws
+    /// std::invalid_argument when the profile fails validate().
     int add_device(gateway::DeviceProfile profile);
+
+    /// Add a gateway under an explicit 1-based device number: addressing,
+    /// VLANs, MACs, and the "tag#n" label all derive from `number`
+    /// exactly as if the device sat at slot number-1 of a larger roster.
+    /// This is what lets a sharded campaign build a one-device testbed
+    /// whose wire traffic is byte-identical to the device's slice of a
+    /// full-roster bring-up.
+    int add_device(gateway::DeviceProfile profile, int number);
 
     /// Bring everything up (gateway WAN DHCP, then client-side DHCP per
     /// VLAN). `on_ready` fires when every device slot is operational.

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
-#include <set>
-#include <sstream>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -122,6 +122,29 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         return (l >= 0 && l < max) ? l : max;
     }
 
+    /// Global roster index of local testbed slot d. Journal entries and
+    /// impairment RNG streams always use global indices, so a shard's
+    /// segment stays carve/merge-compatible with a sequential journal
+    /// of the whole roster.
+    int global_dev(int d) const { return d + config.shard.device_base; }
+
+    /// The campaign fingerprint this journal binds to: precomputed by
+    /// the shard scheduler (which hashes the full roster's profile
+    /// identities once), or derived here when the testbed itself holds
+    /// the full roster. Hashing profile identities rather than tags is
+    /// what makes the fingerprint cover sampled rosters, whose tags
+    /// ("p0", "p1", ...) say nothing about behavior.
+    std::string fingerprint() const {
+        if (!config.shard.fingerprint.empty())
+            return config.shard.fingerprint;
+        std::vector<std::string> ids;
+        ids.reserve(tb.device_count());
+        for (std::size_t i = 0; i < tb.device_count(); ++i)
+            ids.push_back(gateway::profile_identity(
+                tb.slot(static_cast<int>(i)).gw->profile()));
+        return campaign_fingerprint(config, ids);
+    }
+
     /// Install the campaign's declarative impairments on every device's
     /// WAN link, each direction seeded from its own derived stream. Runs
     /// before any measurement traffic (bring-up is already complete and
@@ -135,10 +158,10 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
             auto& link = *tb.slot(d).wan_link;
             link.set_impairments(
                 sim::Link::Side::A, config.impair.wan,
-                impair_seed_for(config.impair.seed, d, true, 0));
+                impair_seed_for(config.impair.seed, global_dev(d), true, 0));
             link.set_impairments(
                 sim::Link::Side::B, config.impair.wan,
-                impair_seed_for(config.impair.seed, d, true, 1));
+                impair_seed_for(config.impair.seed, global_dev(d), true, 1));
         }
     }
 
@@ -182,7 +205,7 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
             } else {
                 report::JournalHeader header;
                 header.schema = report::kJournalSchema;
-                header.fingerprint = campaign_fingerprint(config, roster());
+                header.fingerprint = fingerprint();
                 header.devices = roster();
                 header.shard = config.shard.index;
                 if (!journal.open_new(sup.journal_path, header))
@@ -221,7 +244,7 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         if (!report::JournalReader::load(sup.journal_path, header, entries,
                                          &err))
             throw std::runtime_error("campaign journal: " + err);
-        if (header.fingerprint != campaign_fingerprint(config, roster()))
+        if (header.fingerprint != fingerprint())
             throw std::runtime_error(
                 "campaign journal: fingerprint mismatch (campaign config "
                 "or roster changed since the journal was written)");
@@ -240,7 +263,7 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
             if (device > last_dev())
                 throw std::runtime_error(
                     "campaign journal: more entries than planned units");
-            if (e.device != device || e.unit != unit())
+            if (e.device != global_dev(device) || e.unit != unit())
                 throw std::runtime_error(
                     "campaign journal: entry order diverges from the "
                     "campaign plan at device " + std::to_string(device) +
@@ -281,11 +304,11 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         // apply_impairments() before replay; a stamp for a link with no
         // impairer means the campaign configs diverged.
         for (const auto& st : last.state.rng) {
-            if (st.device < 0 ||
-                st.device >= static_cast<int>(tb.device_count()))
+            const int local = st.device - config.shard.device_base;
+            if (local < 0 || local >= static_cast<int>(tb.device_count()))
                 throw std::runtime_error(
                     "campaign journal: rng stamp device out of roster");
-            auto& slot = tb.slot(st.device);
+            auto& slot = tb.slot(local);
             sim::Link* link = st.link == "wan"   ? slot.wan_link.get()
                               : st.link == "lan" ? slot.lan_link.get()
                                                  : nullptr;
@@ -306,7 +329,8 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         // gateway<->server pairs, and entries never expire. Without this
         // the first live unit pays ARP exchanges the uninterrupted run
         // already paid, shifting every later timestamp.
-        for (int d = first_dev(); d <= last.device &&
+        const int last_local = last.device - config.shard.device_base;
+        for (int d = first_dev(); d <= last_local &&
                                   d < static_cast<int>(tb.device_count());
              ++d) {
             auto& slot = tb.slot(d);
@@ -482,7 +506,7 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
     void journal_unit(const UnitReport& rep, const std::string& payload) {
         if (!journaling) return;
         report::JournalEntry e;
-        e.device = device;
+        e.device = global_dev(device);
         e.tag = cur().tag;
         e.unit = rep.unit;
         e.status = to_string(rep.status);
@@ -503,7 +527,8 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
                          sim::Link::Side side, const char* dname) {
             std::uint64_t seed = 0, draws = 0;
             if (link.impair_rng_state(side, seed, draws))
-                e.state.rng.push_back({device, lname, dname, seed, draws});
+                e.state.rng.push_back(
+                    {global_dev(device), lname, dname, seed, draws});
         };
         stamp(*slot.wan_link, "wan", sim::Link::Side::A, "a2b");
         stamp(*slot.wan_link, "wan", sim::Link::Side::B, "b2a");
@@ -674,41 +699,156 @@ bool file_exists(const std::string& path) {
     return f.good();
 }
 
-/// Carve device `dev`'s entries out of a merged journal into shard
-/// `shard`'s segment file. Entry lines are copied verbatim — merging is
-/// a byte-level concatenation, so carve + re-merge round-trips exactly —
-/// and only the header is re-rendered with the shard index added.
-void carve_segment(const std::string& merged_path,
-                   const std::string& seg_path, int shard, int dev) {
+/// Fixed-size copy chunk for every streaming merge. Nothing in the
+/// merge path may allocate proportionally to a segment or journal.
+constexpr std::size_t kMergeChunk = 64 * 1024;
+
+/// Streaming segment concatenator shared by the incremental journal and
+/// trace merges. Appends segments one by one in fixed-size chunks,
+/// deleting each segment only after its bytes are flushed to the merged
+/// file — so a kill at any instant leaves either the segment (resumable
+/// state) or its merged copy on disk, never neither.
+class SegmentMerger {
+public:
+    /// Journal mode: `header_line` is written first and every segment's
+    /// own header line is validated against `fingerprint`, then
+    /// skipped. Trace mode (empty header_line): raw concatenation.
+    SegmentMerger(std::string path, const std::string& header_line,
+                  std::string fingerprint)
+        : path_(std::move(path)), fingerprint_(std::move(fingerprint)),
+          journal_mode_(!header_line.empty()) {
+        out_.open(path_, std::ios::binary | std::ios::trunc);
+        if (!out_.good())
+            throw std::runtime_error(
+                "shard scheduler: cannot write merged file '" + path_ +
+                "'");
+        if (journal_mode_) {
+            out_ << header_line << '\n';
+            note_buffer(header_line.size());
+        }
+    }
+
+    void append_segment(const std::string& seg) {
+        std::ifstream in(seg, std::ios::binary);
+        if (!in.good())
+            throw std::runtime_error(
+                "shard scheduler: missing segment '" + seg + "'");
+        if (journal_mode_) {
+            std::string line;
+            if (!std::getline(in, line) || line.empty())
+                throw std::runtime_error("shard scheduler: segment '" +
+                                         seg + "' is empty");
+            note_buffer(line.size());
+            std::string err;
+            auto v = report::json_parse(line, &err);
+            report::JournalHeader header;
+            if (!v || !report::decode_journal_header(*v, header, &err))
+                throw std::runtime_error("shard scheduler: segment '" +
+                                         seg + "': " + err);
+            if (header.fingerprint != fingerprint_)
+                throw std::runtime_error(
+                    "shard scheduler: segment '" + seg +
+                    "' fingerprint differs from the campaign (segments "
+                    "from different campaigns?)");
+        }
+        char buf[kMergeChunk];
+        note_buffer(sizeof buf);
+        while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+            out_.write(buf, in.gcount());
+            stats_.bytes += static_cast<std::uint64_t>(in.gcount());
+        }
+        out_.flush();
+        if (!out_.good())
+            throw std::runtime_error(
+                "shard scheduler: write failed for merged file '" + path_ +
+                "'");
+        in.close();
+        std::remove(seg.c_str());
+        ++stats_.segments;
+    }
+
+    void finish() {
+        out_.flush();
+        out_.close();
+        if (out_.fail())
+            throw std::runtime_error(
+                "shard scheduler: cannot finalize merged file '" + path_ +
+                "'");
+    }
+
+    const ShardScheduler::MergeStats& stats() const { return stats_; }
+
+private:
+    void note_buffer(std::size_t n) {
+        stats_.peak_buffer_bytes = std::max(stats_.peak_buffer_bytes, n);
+    }
+
+    std::string path_;
+    std::string fingerprint_;
+    bool journal_mode_;
+    std::ofstream out_;
+    ShardScheduler::MergeStats stats_;
+};
+
+/// Carve every shard in `need` out of a merged journal in ONE streaming
+/// pass. Entry lines are copied verbatim — merging is a byte-level
+/// concatenation, so carve + re-merge round-trips exactly — and each
+/// segment gets a fresh header naming its own device with the shard
+/// index added. Segments are written to "<seg>.tmp" and renamed whole,
+/// so a kill mid-carve never leaves a truncated segment shadowing the
+/// still-intact merged journal. Only devices with at least one entry
+/// get a segment (their shard resumes from it; entry-less shards start
+/// fresh, which is the same outcome with one less file). Sets
+/// seg_resume[k]=1 for every segment produced.
+void carve_all_segments(const std::string& merged_path,
+                        const std::string& journal_path,
+                        const std::vector<char>& need,
+                        std::vector<char>& seg_resume) {
     std::ifstream in(merged_path, std::ios::binary);
     if (!in.good())
         throw std::runtime_error("shard scheduler: cannot open journal '" +
                                  merged_path + "'");
+    report::JournalHeader merged_header;
     std::ofstream out;
+    std::string open_tmp, open_seg;
+    int open_dev = -1, prev_dev = -1;
+    bool have_header = false;
     std::string line;
     std::size_t lineno = 0;
-    bool have_header = false;
+
+    auto close_open_segment = [&] {
+        if (open_dev < 0) return;
+        out.flush();
+        if (!out.good())
+            throw std::runtime_error(
+                "shard scheduler: write failed for segment '" + open_seg +
+                "'");
+        out.close();
+        if (std::rename(open_tmp.c_str(), open_seg.c_str()) != 0)
+            throw std::runtime_error(
+                "shard scheduler: cannot finalize segment '" + open_seg +
+                "'");
+        seg_resume[static_cast<std::size_t>(open_dev)] = 1;
+        open_dev = -1;
+    };
+
     while (std::getline(in, line)) {
         ++lineno;
         if (line.empty()) continue;
         std::string err;
         auto v = report::json_parse(line, &err);
-        if (!v)
+        if (!v) {
+            // A torn final line is the legitimate residue of a kill
+            // mid-append; anything malformed earlier is corruption.
+            if (in.peek() == std::char_traits<char>::eof()) break;
             throw std::runtime_error(
                 "shard scheduler: journal '" + merged_path + "' line " +
                 std::to_string(lineno) + ": " + err);
+        }
         if (!have_header) {
-            report::JournalHeader header;
-            if (!report::decode_journal_header(*v, header, &err))
+            if (!report::decode_journal_header(*v, merged_header, &err))
                 throw std::runtime_error("shard scheduler: journal '" +
                                          merged_path + "': " + err);
-            header.shard = shard;
-            out.open(seg_path, std::ios::binary | std::ios::trunc);
-            if (!out.good())
-                throw std::runtime_error(
-                    "shard scheduler: cannot create segment '" + seg_path +
-                    "'");
-            out << report::journal_header_line(header) << '\n';
             have_header = true;
             continue;
         }
@@ -717,117 +857,63 @@ void carve_segment(const std::string& merged_path,
             throw std::runtime_error(
                 "shard scheduler: journal '" + merged_path + "' line " +
                 std::to_string(lineno) + ": entry lacks device");
-        if (static_cast<int>(d->as_int(-1)) == dev) out << line << '\n';
+        const int dev = static_cast<int>(d->as_int(-1));
+        if (dev < 0 ||
+            dev >= static_cast<int>(merged_header.devices.size()))
+            throw std::runtime_error(
+                "shard scheduler: journal '" + merged_path + "' line " +
+                std::to_string(lineno) + ": device out of roster");
+        if (dev < prev_dev)
+            throw std::runtime_error(
+                "shard scheduler: journal '" + merged_path +
+                "' entries out of device order (not a merged journal?)");
+        prev_dev = dev;
+        if (!need[static_cast<std::size_t>(dev)]) continue;
+        if (dev != open_dev) {
+            close_open_segment();
+            open_seg = ShardScheduler::segment_path(journal_path, dev);
+            open_tmp = open_seg + ".tmp";
+            out.open(open_tmp, std::ios::binary | std::ios::trunc);
+            if (!out.good())
+                throw std::runtime_error(
+                    "shard scheduler: cannot create segment '" + open_seg +
+                    "'");
+            report::JournalHeader header = merged_header;
+            header.shard = dev;
+            header.devices = {
+                merged_header.devices[static_cast<std::size_t>(dev)]};
+            out << report::journal_header_line(header) << '\n';
+            open_dev = dev;
+        }
+        out << line << '\n';
     }
     if (!have_header)
         throw std::runtime_error("shard scheduler: journal '" +
                                  merged_path + "' is empty");
-    out.flush();
-    if (!out.good())
-        throw std::runtime_error(
-            "shard scheduler: write failed for segment '" + seg_path + "'");
-}
-
-/// Concatenate completed shard segments into the merged journal (one
-/// header with the shard index dropped, then entries in device order)
-/// and remove the segments. The merged text is assembled fully before
-/// the output opens, so a kill mid-merge leaves the segments — the
-/// resumable state — intact.
-void merge_segments(const std::string& path, int n_shards) {
-    std::ostringstream buf;
-    std::string expected_fp;
-    for (int k = 0; k < n_shards; ++k) {
-        const std::string seg = ShardScheduler::segment_path(path, k);
-        std::ifstream in(seg, std::ios::binary);
-        if (!in.good())
-            throw std::runtime_error(
-                "shard scheduler: missing journal segment '" + seg + "'");
-        std::string line;
-        bool saw_header = false;
-        while (std::getline(in, line)) {
-            if (line.empty()) continue;
-            if (!saw_header) {
-                saw_header = true;
-                std::string err;
-                auto v = report::json_parse(line, &err);
-                report::JournalHeader header;
-                if (!v ||
-                    !report::decode_journal_header(*v, header, &err))
-                    throw std::runtime_error("shard scheduler: segment '" +
-                                             seg + "': " + err);
-                if (k == 0) {
-                    expected_fp = header.fingerprint;
-                    header.shard = -1;
-                    buf << report::journal_header_line(header) << '\n';
-                } else if (header.fingerprint != expected_fp) {
-                    throw std::runtime_error(
-                        "shard scheduler: segment '" + seg +
-                        "' fingerprint differs from segment 0 (segments "
-                        "from different campaigns?)");
-                }
-                continue;
-            }
-            buf << line << '\n';
-        }
-        if (!saw_header)
-            throw std::runtime_error("shard scheduler: segment '" + seg +
-                                     "' is empty");
-    }
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << buf.str();
-    out.flush();
-    if (!out.good())
-        throw std::runtime_error(
-            "shard scheduler: cannot write merged journal '" + path + "'");
-    out.close();
-    for (int k = 0; k < n_shards; ++k)
-        std::remove(ShardScheduler::segment_path(path, k).c_str());
-}
-
-/// Merge per-shard trace segments in device order. From shard k keep
-/// its own device's events plus device-less / host-level lines (test
-/// client/server events, trigger markers — these arise only from the
-/// shard's own campaign traffic); drop other roster devices' events,
-/// which are the full-roster bring-up every shard re-runs.
-void merge_traces(const std::string& path,
-                  const std::vector<std::string>& labels) {
-    const std::set<std::string> roster(labels.begin(), labels.end());
-    std::ostringstream buf;
-    for (std::size_t k = 0; k < labels.size(); ++k) {
-        const std::string seg =
-            ShardScheduler::segment_path(path, static_cast<int>(k));
-        std::ifstream in(seg, std::ios::binary);
-        if (!in.good())
-            throw std::runtime_error(
-                "shard scheduler: missing trace segment '" + seg + "'");
-        std::string line;
-        while (std::getline(in, line)) {
-            if (line.empty()) continue;
-            auto v = report::json_parse(line);
-            if (!v)
-                throw std::runtime_error(
-                    "shard scheduler: malformed trace line in '" + seg +
-                    "'");
-            const report::JsonValue* d = v->find("device");
-            const std::string dev = d ? d->as_string() : std::string();
-            if (dev.empty() || dev == labels[k] || roster.count(dev) == 0)
-                buf << line << '\n';
-        }
-    }
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << buf.str();
-    out.flush();
-    if (!out.good())
-        throw std::runtime_error(
-            "shard scheduler: cannot write merged trace '" + path + "'");
-    out.close();
-    for (std::size_t k = 0; k < labels.size(); ++k)
-        std::remove(
-            ShardScheduler::segment_path(path, static_cast<int>(k))
-                .c_str());
+    close_open_segment();
 }
 
 } // namespace
+
+void ShardScheduler::merge_segments(const std::string& path, int n_shards,
+                                    const std::string& header_line,
+                                    const std::string& fingerprint,
+                                    MergeStats* stats) {
+    SegmentMerger merger(path, header_line, fingerprint);
+    for (int k = 0; k < n_shards; ++k)
+        merger.append_segment(segment_path(path, k));
+    merger.finish();
+    if (stats != nullptr) *stats = merger.stats();
+}
+
+void ShardScheduler::merge_traces(const std::string& path, int n_segments,
+                                  MergeStats* stats) {
+    SegmentMerger merger(path, "", "");
+    for (int k = 0; k < n_segments; ++k)
+        merger.append_segment(segment_path(path, k));
+    merger.finish();
+    if (stats != nullptr) *stats = merger.stats();
+}
 
 ShardScheduler::Output ShardScheduler::run(const Options& opts) {
     const int n = static_cast<int>(opts.roster.size());
@@ -835,36 +921,82 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
     if (opts.metrics) out.metrics = std::make_unique<obs::MetricsRegistry>();
     if (n == 0) return out;
 
+    // Campaign identity, computed exactly once: the fingerprint hashes
+    // every roster profile's full knob identity (not just its tag), so a
+    // sampled roster binds its journal to the (seed, count) that built
+    // it, and every shard receives the precomputed value instead of
+    // re-hashing a 10k-profile roster 10k times.
+    std::vector<std::string> ids;
+    ids.reserve(opts.roster.size());
+    for (const auto& p : opts.roster)
+        ids.push_back(gateway::profile_identity(p));
+    const std::string fingerprint = campaign_fingerprint(opts.config, ids);
+    ids.clear();
+    ids.shrink_to_fit();
+    std::string merged_header_line;
+    if (!opts.journal_path.empty()) {
+        report::JournalHeader mh;
+        mh.schema = report::kJournalSchema;
+        mh.fingerprint = fingerprint;
+        for (const auto& p : opts.roster) mh.devices.push_back(p.tag);
+        mh.shard = -1;
+        merged_header_line = report::journal_header_line(mh);
+    }
+
     // Resume preparation runs serially before any worker spawns: shard k
-    // resumes from its own segment when present, else carves its device's
-    // entries out of a previously merged journal (written at any worker
-    // count, including a pre-shard sequential journal), else starts
-    // fresh — a killed campaign legitimately leaves later shards with no
-    // segment at all.
+    // resumes from its own segment when present, else from its device's
+    // entries carved out of a previously merged journal (written at any
+    // worker count, including a pre-shard sequential journal), else
+    // starts fresh — a killed campaign legitimately leaves later shards
+    // with no segment at all. The merged journal is consumed by the
+    // carve and deleted: the incremental merge below rebuilds it from
+    // scratch as the completion frontier advances, and when a segment
+    // and the merged journal both cover a shard (a kill between segment
+    // flush and segment delete), the segment wins.
     std::vector<char> seg_resume(static_cast<std::size_t>(n), 0);
     if (!opts.journal_path.empty() && opts.resume) {
+        std::vector<char> need(static_cast<std::size_t>(n), 0);
+        bool any_need = false;
         for (int k = 0; k < n; ++k) {
             const std::string seg = segment_path(opts.journal_path, k);
             if (file_exists(seg)) {
                 seg_resume[static_cast<std::size_t>(k)] = 1;
-            } else if (file_exists(opts.journal_path)) {
-                carve_segment(opts.journal_path, seg, k, k);
-                seg_resume[static_cast<std::size_t>(k)] = 1;
+            } else {
+                need[static_cast<std::size_t>(k)] = 1;
+                any_need = true;
             }
+        }
+        if (file_exists(opts.journal_path)) {
+            if (any_need)
+                carve_all_segments(opts.journal_path, opts.journal_path,
+                                   need, seg_resume);
+            std::remove(opts.journal_path.c_str());
         }
     }
 
-    struct Cell {
+    // Per-shard completion state, merged in canonical device order by a
+    // frontier that advances as shards finish: results stream out (or
+    // accumulate), metrics merge, and journal/trace segments append to
+    // the merged files — then the state is dropped. Out-of-order
+    // completions wait in `pending`, whose size the backlog bound below
+    // keeps O(workers), so memory stays flat however large the roster.
+    struct Pending {
         std::vector<DeviceResults> results;
         std::unique_ptr<obs::MetricsRegistry> metrics;
-        std::string label;
-        std::exception_ptr error;
     };
-    std::vector<Cell> cells(static_cast<std::size_t>(n));
-    std::mutex io_mutex;
+    std::mutex m;
+    std::condition_variable cv;
+    std::map<int, Pending> pending;
+    std::map<int, std::exception_ptr> errors;
+    int frontier = 0;
+    std::optional<SegmentMerger> jmerge, tmerge;
+    if (!opts.journal_path.empty())
+        jmerge.emplace(opts.journal_path, merged_header_line, fingerprint);
+    if (!opts.trace_path.empty())
+        tmerge.emplace(opts.trace_path, "", "");
 
     auto run_shard = [&](int k) {
-        Cell& cell = cells[static_cast<std::size_t>(k)];
+        Pending cell;
         sim::EventLoop loop;
         // obs before the testbed: components keep raw instrument
         // pointers, so the registry must outlive them.
@@ -885,14 +1017,22 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
             obs->tracer().add_sink(recorder.get());
             obs->tracer().add_sink(sink.get());
         }
+        // One-device testbed under the device's GLOBAL roster number:
+        // addressing, VLANs, MACs, and the journal/RNG indices all match
+        // the device's slice of a full-roster campaign, while bring-up
+        // work across all shards stays linear in the roster instead of
+        // quadratic.
         Testbed tb(loop);
-        for (const auto& profile : opts.roster) tb.add_device(profile);
+        tb.add_device(opts.roster[static_cast<std::size_t>(k)], k + 1);
         if (obs) tb.attach_observability(obs.get());
         tb.start_and_wait();
-        cell.label = Testbed::device_label(tb.slot(k));
 
         CampaignConfig cfg = opts.config;
-        cfg.shard = ShardSpec{k, k, k};
+        cfg.shard.index = k;
+        cfg.shard.first_device = 0;
+        cfg.shard.last_device = 0;
+        cfg.shard.device_base = k;
+        cfg.shard.fingerprint = fingerprint;
         if (!opts.journal_path.empty()) {
             cfg.supervisor.journal_path =
                 segment_path(opts.journal_path, k);
@@ -906,64 +1046,108 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
         cell.results = rund.run_blocking(cfg);
 
         if (opts.metrics) {
-            // Keep the shard's own-device series plus device-less and
-            // host-level ones; other roster devices' series are the
-            // full-roster bring-up this shard re-ran.
-            std::set<std::string> roster_labels;
-            for (int d = 0; d < n; ++d)
-                roster_labels.insert(Testbed::device_label(tb.slot(d)));
+            // A one-device shard's registry holds only its own device's
+            // and host-level series, so it merges whole — the old
+            // own-device filter existed to discard the other 33 devices'
+            // bring-up, which no longer happens.
             cell.metrics = std::make_unique<obs::MetricsRegistry>();
-            cell.metrics->merge_from(
-                obs->metrics(),
-                [&](std::string_view, const obs::Labels& labels) {
-                    for (const auto& [lk, lv] : labels)
-                        if (lk == "device" &&
-                            roster_labels.count(lv) != 0)
-                            return lv == cell.label;
-                    return true;
-                });
+            cell.metrics->merge_from(obs->metrics());
         }
         if (opts.verbose) {
+            static std::mutex io_mutex;
             const std::lock_guard<std::mutex> lock(io_mutex);
             std::cerr << "[gatekit] shard " << (k + 1) << "/" << n << " ("
                       << opts.roster[static_cast<std::size_t>(k)].tag
                       << ") done\n";
         }
+        return cell;
     };
 
+    // Fold every pending shard at the frontier into the merged outputs.
+    // Caller holds the lock. Merging stops (permanently) at the first
+    // errored shard: the merged journal stays a valid prefix and later
+    // completed shards keep their segments — exactly the on-disk state a
+    // resume consumes.
+    auto advance_frontier = [&] {
+        while (frontier < n && errors.count(frontier) == 0) {
+            auto it = pending.find(frontier);
+            if (it == pending.end()) break;
+            Pending& cell = it->second;
+            if (opts.on_result) {
+                for (auto& r : cell.results)
+                    opts.on_result(frontier, std::move(r));
+            } else {
+                for (auto& r : cell.results)
+                    out.results.push_back(std::move(r));
+            }
+            if (out.metrics && cell.metrics)
+                out.metrics->merge_from(*cell.metrics);
+            if (jmerge)
+                jmerge->append_segment(
+                    segment_path(opts.journal_path, frontier));
+            if (tmerge)
+                tmerge->append_segment(
+                    segment_path(opts.trace_path, frontier));
+            pending.erase(it);
+            ++frontier;
+        }
+    };
+
+    // Backlog bound: a worker may run ahead of the merge frontier by at
+    // most this many shards before it waits. The worker holding the
+    // smallest unfinished shard never waits (everything below it is
+    // merged), so the bound cannot deadlock; it exists purely to cap
+    // how many completed-but-unmerged results sit in memory when shard
+    // durations are skewed.
+    const int workers = std::clamp(opts.workers, 1, n);
+    const int backlog_limit = workers * 4 + 16;
+
     std::atomic<int> next{0};
-    auto worker = [&] {
+    auto worker_fn = [&] {
         for (int k; (k = next.fetch_add(1)) < n;) {
+            {
+                std::unique_lock<std::mutex> lk(m);
+                cv.wait(lk, [&] {
+                    return !errors.empty() ||
+                           k - frontier <= backlog_limit;
+                });
+            }
+            Pending cell;
+            std::exception_ptr error;
             try {
-                run_shard(k);
+                cell = run_shard(k);
             } catch (...) {
-                cells[static_cast<std::size_t>(k)].error =
-                    std::current_exception();
+                error = std::current_exception();
+            }
+            {
+                std::unique_lock<std::mutex> lk(m);
+                if (error) {
+                    errors.emplace(k, error);
+                } else {
+                    pending.emplace(k, std::move(cell));
+                    try {
+                        advance_frontier();
+                    } catch (...) {
+                        errors.emplace(frontier,
+                                       std::current_exception());
+                    }
+                }
+                cv.notify_all();
             }
         }
     };
-    const int workers = std::clamp(opts.workers, 1, n);
     if (workers == 1) {
-        worker(); // no threads: byte-identical output, zero overhead
+        worker_fn(); // no threads: byte-identical output, zero overhead
     } else {
         std::vector<std::thread> pool;
         pool.reserve(static_cast<std::size_t>(workers));
-        for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+        for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
         for (auto& t : pool) t.join();
     }
-    for (const auto& cell : cells)
-        if (cell.error) std::rethrow_exception(cell.error);
-
-    std::vector<std::string> labels;
-    labels.reserve(cells.size());
-    for (auto& cell : cells) {
-        for (auto& r : cell.results) out.results.push_back(std::move(r));
-        labels.push_back(cell.label);
-        if (out.metrics && cell.metrics)
-            out.metrics->merge_from(*cell.metrics);
-    }
-    if (!opts.journal_path.empty()) merge_segments(opts.journal_path, n);
-    if (!opts.trace_path.empty()) merge_traces(opts.trace_path, labels);
+    if (!errors.empty()) std::rethrow_exception(errors.begin()->second);
+    GK_ENSURES(frontier == n && pending.empty());
+    if (jmerge) jmerge->finish();
+    if (tmerge) tmerge->finish();
     return out;
 }
 

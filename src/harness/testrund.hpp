@@ -109,15 +109,27 @@ struct CampaignImpairments {
 };
 
 /// Device-range restriction for sharded execution: the runner measures
-/// only slots [first_device, last_device] of its testbed (which still
-/// contains the full roster, so addressing, DNS zone contents, and
-/// bring-up are byte-identical to an unsharded campaign). Deliberately
-/// excluded from the campaign fingerprint — a shard's journal segment
-/// belongs to the same campaign as the merged whole.
+/// only slots [first_device, last_device] of its testbed. A sharded
+/// campaign builds each shard a one-device testbed whose slot 0 is
+/// device number `device_base + 1` of the full roster (Testbed
+/// addressing derives from the global number, so the wire bytes match
+/// the device's slice of a full-roster bring-up); journal entries and
+/// impairment RNG streams always use global indices, which is what
+/// keeps segments carve/merge-compatible with sequential journals.
+/// Deliberately excluded from the campaign fingerprint — a shard's
+/// journal segment belongs to the same campaign as the merged whole.
 struct ShardSpec {
     int index = -1;       ///< shard id, recorded in the journal header
     int first_device = 0; ///< first slot this runner measures
     int last_device = -1; ///< inclusive; -1 = through the last slot
+    /// Global device index of testbed slot 0 (0 for a full-roster
+    /// testbed). Journaled entry/RNG device fields are slot + base.
+    int device_base = 0;
+    /// Precomputed whole-campaign fingerprint; "" = the runner derives
+    /// it from its own testbed (correct only when the testbed holds the
+    /// full roster). The scheduler computes it once per campaign so a
+    /// 10k-shard run does not hash a 10k-profile roster 10k times.
+    std::string fingerprint;
     bool active() const { return index >= 0; }
 };
 
@@ -224,19 +236,22 @@ private:
 };
 
 /// Device-sharded campaign executor. One shard per roster device; each
-/// shard owns a full private stack — EventLoop, Testbed built from the
-/// COMPLETE roster (so addressing, VLAN/MAC assignment, and DNS zone
-/// contents match an unsharded bring-up byte for byte), optional
-/// metrics registry + tracer, per-device impairment RNG streams, and a
-/// per-shard journal segment — and measures only its own device.
-/// Because a shard's simulation never reads another shard's state, its
-/// outputs are a pure function of (roster, config, shard index): the
+/// shard owns a full private stack — EventLoop, a ONE-device Testbed
+/// whose addressing derives from the device's global roster number (so
+/// its wire bytes match that device's slice of a full-roster bring-up),
+/// optional metrics registry + tracer, per-device impairment RNG
+/// streams, and a per-shard journal segment — and measures only its own
+/// device. Because a shard's simulation never reads another shard's
+/// state, its outputs are a pure function of (device profile, config,
+/// global index): total bring-up work is linear in the roster, and the
 /// worker count changes wall-clock time and nothing else. Results,
-/// metrics, traces, and journal segments are merged in canonical
-/// device order, so every output artifact is byte-identical at any
-/// worker count, and a killed campaign resumes from whatever mix of
-/// complete shard segments and/or a previously merged journal is on
-/// disk.
+/// metrics, traces, and journal segments are merged incrementally in
+/// canonical device order as a completion frontier advances — per-shard
+/// state is released as soon as the frontier passes it, so memory stays
+/// flat in the roster size — and every output artifact is
+/// byte-identical at any worker count. A killed campaign resumes from
+/// whatever mix of complete shard segments and/or a previously merged
+/// journal prefix is on disk.
 class ShardScheduler {
 public:
     struct Options {
@@ -250,9 +265,10 @@ public:
         /// shards sequentially on the calling thread (no threads spawn).
         int workers = 1;
         /// Merged journal path ("" = no journal). Shard k journals to
-        /// segment_path(journal_path, k) while running; on completion
-        /// the segments are concatenated (header first, entries in
-        /// device order) into `journal_path` and removed.
+        /// segment_path(journal_path, k) while running; as the
+        /// completion frontier reaches it the segment is appended to
+        /// `journal_path` (header first, entries in device order) and
+        /// removed, so the merged journal is always a valid prefix.
         std::string journal_path;
         /// Resume: shard k replays its segment if present, else carves
         /// its device's entries out of an existing merged journal (from
@@ -262,18 +278,24 @@ public:
         /// Collect per-shard metrics and merge them into Output::metrics.
         bool metrics = false;
         /// Merged trace JSONL path ("" = tracing off). Shard k streams
-        /// to segment_path(trace_path, k); on completion the segments
-        /// merge in device order, keeping each shard's own-device and
-        /// host-level events and dropping other roster devices' (their
-        /// bring-up runs in every shard). Flight-recorder dumps land at
-        /// <segment>.flight.<n>.jsonl.
+        /// to segment_path(trace_path, k); segments are concatenated in
+        /// device order as the frontier advances. Flight-recorder dumps
+        /// land at <segment>.flight.<n>.jsonl.
         std::string trace_path;
         /// Progress lines ("[gatekit] shard k/n (tag) done") to stderr.
         bool verbose = false;
+        /// Streaming consumer: when set, each device's results are
+        /// handed over as the completion frontier passes it (canonical
+        /// device order, serialized — never concurrently) and
+        /// Output::results stays empty. This is what keeps a
+        /// 10k-gateway campaign from holding every DeviceResults alive
+        /// until the end.
+        std::function<void(int device, DeviceResults&&)> on_result;
     };
 
     struct Output {
-        /// Per-device results, canonical roster order.
+        /// Per-device results, canonical roster order. Empty when
+        /// Options::on_result streamed them instead.
         std::vector<DeviceResults> results;
         /// Merged registry; null unless Options::metrics.
         std::unique_ptr<obs::MetricsRegistry> metrics;
@@ -286,6 +308,34 @@ public:
 
     /// Per-shard segment path: "<path>.shard<k>".
     static std::string segment_path(const std::string& path, int shard);
+
+    /// Transient-buffer accounting for a streaming merge: the merge
+    /// must never hold more than one fixed-size chunk of any segment in
+    /// memory, whatever the journal size.
+    struct MergeStats {
+        std::size_t peak_buffer_bytes = 0; ///< largest transient buffer
+        std::uint64_t segments = 0;        ///< segments consumed
+        std::uint64_t bytes = 0;           ///< payload bytes written
+    };
+
+    /// Concatenate journal segments 0..n_shards-1 of `path` into the
+    /// merged journal and remove them. `header_line` is written first
+    /// (the scheduler renders it from the campaign fingerprint + roster
+    /// with the shard field dropped); each segment's own header line is
+    /// checked against `fingerprint` and skipped. Segment bodies are
+    /// streamed in fixed-size chunks — peak transient memory is
+    /// O(chunk), not O(journal) — and `stats`, when non-null, reports
+    /// the high-water mark so tests can pin that property down.
+    static void merge_segments(const std::string& path, int n_shards,
+                               const std::string& header_line,
+                               const std::string& fingerprint,
+                               MergeStats* stats = nullptr);
+
+    /// Concatenate trace segments 0..n_segments-1 of `path` (pure
+    /// streamed concatenation — a one-device shard can only emit its
+    /// own device's and host-level events) and remove them.
+    static void merge_traces(const std::string& path, int n_segments,
+                             MergeStats* stats = nullptr);
 };
 
 } // namespace gatekit::harness
