@@ -24,6 +24,19 @@
 //                   figures, CSV, journal, metrics, trace — is
 //                   byte-identical at any worker count; anything but an
 //                   integer in [1, 256] aborts
+//   GATEKIT_TIMESERIES  streaming time-series sidecar path (JSONL,
+//                   schema gatekit.timeseries.v1): counters/gauges
+//                   sampled per shard on a sim-time cadence, merged in
+//                   canonical device order (byte-identical at any
+//                   worker count)
+//   GATEKIT_TS_INTERVAL  time-series sampling interval in SIM-time
+//                   milliseconds (default 1000); anything but an
+//                   integer in [1, 3600000] aborts
+//   GATEKIT_PROFILE harness self-profiler sidecar path (JSONL, schema
+//                   gatekit.profile.v1): wall-clock spans per
+//                   (device, unit), worker utilization, shard skew.
+//                   The one artifact that is NOT byte-gated (it
+//                   records wall time by design)
 #pragma once
 
 #include <cerrno>
@@ -90,6 +103,22 @@ inline int env_workers() {
         std::exit(2);
     }
     return static_cast<int>(n);
+}
+
+/// GATEKIT_TS_INTERVAL: time-series sampling cadence in sim-time
+/// milliseconds, default 1000. Strict parse, like GATEKIT_WORKERS.
+inline sim::Duration env_ts_interval() {
+    const char* v = std::getenv("GATEKIT_TS_INTERVAL");
+    if (v == nullptr) return std::chrono::seconds(1);
+    errno = 0;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0' || n < 1 || n > 3'600'000) {
+        std::cerr << "[gatekit] invalid GATEKIT_TS_INTERVAL='" << v
+                  << "': expected milliseconds in [1, 3600000]\n";
+        std::exit(2);
+    }
+    return std::chrono::milliseconds(n);
 }
 
 /// Optional observability sidecar, driven entirely by environment. With
@@ -213,6 +242,12 @@ run_campaign(const harness::CampaignConfig& config) {
     }
     if (const char* trace = std::getenv("GATEKIT_TRACE"))
         opts.trace_path = trace;
+    if (const char* ts = std::getenv("GATEKIT_TIMESERIES")) {
+        opts.timeseries_path = ts;
+        opts.timeseries_interval = env_ts_interval();
+    }
+    if (const char* prof = std::getenv("GATEKIT_PROFILE"))
+        opts.profile_path = prof;
     opts.verbose = true;
     std::cerr << "[gatekit] running measurement campaign over "
               << opts.roster.size() << " devices (" << opts.workers

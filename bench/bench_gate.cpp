@@ -35,10 +35,13 @@ struct Gate {
 // is informational (and too noisy on shared hosts to gate at 15%).
 constexpr Gate kGates[] = {
     {"BM_ForwardPipelineUdp", 150.0},
+    {"BM_ForwardPipelineUdpObserved", 0.0},
     {"BM_NatOutboundUdp", 200.0},
     {"BM_PacketPoolAcquireRelease", 0.0},
     {"BM_ParseHeadersView", 0.0},
     {"BM_RuleChainCompiled/1000", 0.0},
+    {"BM_HistogramLogObserve", 0.0},
+    {"BM_TimeseriesSampleDisabled", 0.0},
 };
 constexpr double kMaxRegression = 0.15;
 
@@ -84,8 +87,18 @@ int main(int argc, char** argv) {
     const std::string fresh_path = results_dir + "/.bench_gate_run.json";
 
     // Repetitions + median: single runs on a shared host jitter well
-    // past the 15% threshold; the median of 7 does not.
+    // past the 15% threshold; the median of 7 does not. Only the gated
+    // benches run — the shorter the wall-clock window, the fewer
+    // noisy-neighbor bursts land inside it.
+    std::string filter = "^(";
+    for (const Gate& g : kGates) {
+        if (filter.size() > 2) filter += '|';
+        filter += g.name;
+    }
+    filter += ")$";
     const std::string cmd = microbench +
+                            " --benchmark_filter='" + filter +
+                            "'"
                             " --benchmark_repetitions=7"
                             " --benchmark_min_time=0.1"
                             " --benchmark_out_format=json"

@@ -1,12 +1,14 @@
-// metrics_check: end-to-end validation of the GATEKIT_METRICS sidecar.
+// metrics_check: end-to-end validation of the observability sidecars.
 // Runs a figure bench (argv[1], normally fig03_udp1) on a two-device
-// testbed with the metrics env switch set, then checks the snapshot it
-// wrote: structurally valid JSON, the gatekit.metrics.v1 schema, and the
-// series a UDP-1 campaign cannot help but produce. Wired into ctest as
+// testbed with the metrics, time-series, and profiler env switches set,
+// then checks everything it wrote: the gatekit.metrics.v1 snapshot
+// (structure, schema tag, the series a UDP-1 campaign cannot help but
+// produce, log-histogram percentiles), the gatekit.timeseries.v1
+// stream, and the gatekit.profile.v1 sidecar. Wired into ctest as
 // `metrics_smoke`.
 //
-// Exit code 0 = sidecar present and valid; nonzero = not (with a reason
-// on stderr).
+// Exit code 0 = sidecars present and valid; nonzero = not (with a
+// reason on stderr).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -15,6 +17,8 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -35,12 +39,19 @@ int main(int argc, char** argv) {
         return 2;
     }
     const std::string sidecar = "metrics_check_sidecar.json";
+    const std::string ts_sidecar = "metrics_check_timeseries.jsonl";
+    const std::string prof_sidecar = "metrics_check_profile.jsonl";
     std::remove(sidecar.c_str());
+    std::remove(ts_sidecar.c_str());
+    std::remove(prof_sidecar.c_str());
     ::setenv("GATEKIT_METRICS", sidecar.c_str(), 1);
+    ::setenv("GATEKIT_TIMESERIES", ts_sidecar.c_str(), 1);
+    ::setenv("GATEKIT_PROFILE", prof_sidecar.c_str(), 1);
     ::setenv("GATEKIT_DEVICES", "2", 1);
     ::setenv("GATEKIT_REPS", "1", 1);
     ::unsetenv("GATEKIT_CSV");
     ::unsetenv("GATEKIT_TRACE");
+    ::unsetenv("GATEKIT_TS_INTERVAL");
 
     const std::string cmd =
         std::string(argv[1]) + " > metrics_check_run.log 2>&1";
@@ -69,8 +80,42 @@ int main(int argc, char** argv) {
     for (const char* label : {"\"device\"", "\"probe\":\"udp1\""})
         if (!contains(text, label))
             return fail(std::string("expected label missing: ") + label);
+    // The log-histogram sites (packet sizes, granted timeouts, probe
+    // timeouts) must snapshot with percentile fields.
+    for (const char* needle : {"\"log_histogram\"", "\"p50\"", "\"p999\""})
+        if (!contains(text, needle))
+            return fail(std::string("expected log_histogram field "
+                                    "missing: ") +
+                        needle);
 
-    std::cerr << "metrics_check: PASS (" << text.size()
-              << " bytes, schema gatekit.metrics.v1)\n";
+    const auto slurp = [](const std::string& path, std::string& out) {
+        std::ifstream f(path, std::ios::binary);
+        if (!f) return false;
+        std::ostringstream b;
+        b << f.rdbuf();
+        out = b.str();
+        return true;
+    };
+    std::string ts;
+    if (!slurp(ts_sidecar, ts))
+        return fail("bench did not write " + ts_sidecar);
+    if (!gatekit::obs::validate_timeseries_jsonl(ts, &error))
+        return fail("time-series sidecar failed schema validation: " +
+                    error);
+    if (!contains(ts, "\"t_ns\""))
+        return fail("time-series sidecar has no sample lines");
+    std::string prof;
+    if (!slurp(prof_sidecar, prof))
+        return fail("bench did not write " + prof_sidecar);
+    if (!gatekit::obs::validate_profile_jsonl(prof, &error))
+        return fail("profile sidecar failed schema validation: " + error);
+    for (const char* needle :
+         {"\"type\":\"span\"", "\"type\":\"shard\"", "\"type\":\"summary\""})
+        if (!contains(prof, needle))
+            return fail(std::string("profile sidecar missing ") + needle);
+
+    std::cerr << "metrics_check: PASS (metrics " << text.size()
+              << " B, timeseries " << ts.size() << " B, profile "
+              << prof.size() << " B)\n";
     return 0;
 }

@@ -462,6 +462,38 @@ void BM_MetricsDisabledInc(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsDisabledInc);
 
+/// Log2-bucketed histogram observe: frexp + linear sub-bucket index +
+/// count bump. This is what the hot-path latency sites (packet bytes,
+/// granted timeouts) pay when metrics are attached.
+void BM_HistogramLogObserve(benchmark::State& state) {
+    obs::MetricsRegistry reg;
+    obs::LogHistogram* h =
+        reg.log_histogram("bench.sketch", {{"device", "bench#1"}});
+    // Pre-size across the value range so steady state measures observe,
+    // not vector growth.
+    double v = 1.0;
+    for (auto _ : state) {
+        obs::observe(h, v);
+        v = v < 1e9 ? v * 1.7 : 1.0;
+        benchmark::DoNotOptimize(h->total);
+    }
+}
+BENCHMARK(BM_HistogramLogObserve);
+
+/// Schedule+fire cycles with NO advance hook installed — the per-event
+/// cost every campaign pays for the time-series sink's existence (one
+/// untaken null check in EventLoop::fire). Must track
+/// BM_EventLoopScheduleRun within noise.
+void BM_TimeseriesSampleDisabled(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::EventLoop loop;
+        for (int i = 0; i < 100; ++i)
+            loop.after(std::chrono::microseconds(i), [] {});
+        loop.run();
+    }
+}
+BENCHMARK(BM_TimeseriesSampleDisabled);
+
 /// Trace event construction + emit into a ring-buffer flight recorder,
 /// the sink every traced run carries.
 void BM_TraceEmit(benchmark::State& state) {

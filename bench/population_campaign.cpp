@@ -36,6 +36,8 @@
 #include "bench_common.hpp"
 #include "devices/population.hpp"
 #include "harness/results_io.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 #include "stun/stun_service.hpp"
 
 using namespace gatekit;
@@ -138,6 +140,15 @@ int main() {
     devices::PopulationSpec spec;
     spec.seed = env_u64("GATEKIT_POP_SEED", devices::kPopulationSeed);
     spec.count = count;
+    // Per-gateway firewall chains (TEST-NET-2 matchers: exercised on
+    // every forwarded packet, never change a verdict — see
+    // PopulationSpec). Small default so the rule-hit counter population
+    // stays O(roster), not O(roster * chain).
+    spec.firewall_rules = env_int("GATEKIT_POP_FIREWALL", 2);
+    if (spec.firewall_rules < 0) {
+        std::cerr << "[population] GATEKIT_POP_FIREWALL must be >= 0\n";
+        std::exit(2);
+    }
     const int workers = env_workers();
     const harness::CampaignConfig cfg = population_config();
 
@@ -150,43 +161,96 @@ int main() {
     const int gate_n = std::min(count, 12);
     int failures = 0;
     {
+        // Three legs: workers 1 and 4 bare, then workers 4 with the
+        // time-series sink and self-profiler on. All three must produce
+        // byte-identical per-device results and merged journal — the
+        // telemetry leg is the "observation never perturbs the
+        // campaign" invariant, gated on every run.
+        struct Leg {
+            int workers;
+            bool telemetry;
+        };
         std::string ref_results, ref_journal;
-        for (const int w : {1, 4}) {
-            const std::string path =
-                "gatekit_population_gate_w" + std::to_string(w) + ".jsonl";
+        for (const Leg leg : {Leg{1, false}, Leg{4, false}, Leg{4, true}}) {
+            const std::string stem =
+                "gatekit_population_gate_w" + std::to_string(leg.workers) +
+                (leg.telemetry ? "_tel" : "");
+            const std::string path = stem + ".jsonl";
+            const std::string ts_path = stem + "_timeseries.jsonl";
+            const std::string prof_path = stem + "_profile.jsonl";
             std::remove(path.c_str());
+            std::remove(ts_path.c_str());
+            std::remove(prof_path.c_str());
             harness::ShardScheduler::Options opts;
             opts.roster.assign(roster.begin(), roster.begin() + gate_n);
             opts.config = cfg;
-            opts.workers = w;
+            opts.workers = leg.workers;
             opts.journal_path = path;
+            if (leg.telemetry) {
+                opts.timeseries_path = ts_path;
+                opts.profile_path = prof_path;
+            }
             auto out = harness::ShardScheduler::run(opts);
             std::string results;
             for (const auto& r : out.results)
                 results += harness::device_results_json(r) + "\n";
             const std::string journal = slurp_file(path);
             std::remove(path.c_str());
-            if (w == 1) {
+            if (leg.telemetry) {
+                std::string error;
+                if (!obs::validate_timeseries_jsonl(slurp_file(ts_path),
+                                                    &error)) {
+                    ++failures;
+                    std::cerr << "[population] FAIL: gate time-series "
+                                 "sidecar invalid: "
+                              << error << "\n";
+                }
+                if (!obs::validate_profile_jsonl(slurp_file(prof_path),
+                                                 &error)) {
+                    ++failures;
+                    std::cerr << "[population] FAIL: gate profile "
+                                 "sidecar invalid: "
+                              << error << "\n";
+                }
+                std::remove(ts_path.c_str());
+                std::remove(prof_path.c_str());
+            }
+            if (ref_results.empty() && ref_journal.empty()) {
                 ref_results = results;
                 ref_journal = journal;
             } else if (results != ref_results || journal != ref_journal) {
                 ++failures;
-                std::cerr << "[population] FAIL: worker count " << w
+                std::cerr << "[population] FAIL: workers="
+                          << leg.workers << " telemetry="
+                          << (leg.telemetry ? "on" : "off")
                           << " changed the sampled-campaign bytes\n";
             }
         }
         if (failures == 0)
             std::cerr << "[population] determinism gate: " << gate_n
-                      << "-device prefix byte-identical at workers 1 and "
-                         "4\n";
+                      << "-device prefix byte-identical at workers 1/4 "
+                         "and with telemetry on\n";
     }
 
     // --- Full population run, streaming: Output::results stays empty.
+    // Telemetry sidecars are on by default at population scale — the
+    // time-series sampler and profiler hold per-shard state only, so
+    // the flat-memory budget below also gates their footprint.
+    const auto env_path = [](const char* name, const char* def) {
+        const char* v = std::getenv(name);
+        return std::string(v != nullptr ? v : def);
+    };
+    const std::string ts_path = env_path(
+        "GATEKIT_TIMESERIES", "gatekit_population_timeseries.jsonl");
+    const std::string prof_path =
+        env_path("GATEKIT_PROFILE", "gatekit_population_profile.jsonl");
     Tally tally;
     harness::ShardScheduler::Options opts;
     opts.roster = roster;
     opts.config = cfg;
     opts.workers = workers;
+    opts.timeseries_path = ts_path;
+    opts.profile_path = prof_path;
     opts.on_result = [&](int device, harness::DeviceResults&& r) {
         tally.add(r);
         if ((device + 1) % 1000 == 0)
@@ -245,6 +309,38 @@ int main() {
               << report::fmt_double(se_punch * 100, 1)
               << "% of random pairs punch directly (n = " << tally.devices
               << "; Ford et al. measured 82% in the wild).\n";
+
+    // Streaming validation (one line in memory at a time): slurping a
+    // population-scale sidecar would dwarf the campaign's own RSS and
+    // defeat the flat-memory gate below. Empty path = sidecar disabled.
+    const auto file_kb = [](const std::string& path) {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        return in ? static_cast<long>(in.tellg()) / 1024 : 0L;
+    };
+    if (!ts_path.empty() || !prof_path.empty()) {
+        std::string error;
+        if (!ts_path.empty() &&
+            !obs::validate_timeseries_file(ts_path, &error)) {
+            ++failures;
+            std::cerr << "[population] FAIL: time-series sidecar "
+                         "invalid: "
+                      << error << "\n";
+        }
+        if (!prof_path.empty() &&
+            !obs::validate_profile_file(prof_path, &error)) {
+            ++failures;
+            std::cerr << "[population] FAIL: profile sidecar invalid: "
+                      << error << "\n";
+        }
+        std::cout << "\nTelemetry:";
+        if (!ts_path.empty())
+            std::cout << " " << ts_path << " (" << file_kb(ts_path)
+                      << " KB)" << (prof_path.empty() ? "" : ",");
+        if (!prof_path.empty())
+            std::cout << " " << prof_path << " (" << file_kb(prof_path)
+                      << " KB)";
+        std::cout << "; analyze with bench/telemetry_report.\n";
+    }
 
     const long rss_mb = max_rss_kb() / 1024;
     std::cout << "\nScale: " << count << " gateways in "

@@ -219,6 +219,42 @@ DeviceProfile draw(Stream& s, int index, const std::string& tag_prefix) {
     return p;
 }
 
+/// Deterministic per-gateway firewall chain: `n` rules whose matchers
+/// all sit inside TEST-NET-2 (198.51.100.0/24, RFC 5737) — an address
+/// block no testbed host, gateway, or probe server ever occupies, so
+/// the sequential walk (or compiled classifier) runs on every forwarded
+/// packet and falls through to the accept default without changing a
+/// single verdict. Drawn from a salted stream independent of the
+/// profile draws: turning the knob on never shifts a behavioral sample.
+void install_firewall(DeviceProfile& p, std::uint64_t seed, int index,
+                      int n) {
+    constexpr std::uint64_t kFirewallSalt = 0x6669'7265'7761'6c6cULL;
+    Stream s(mix64(gateway_stream_seed(seed, index) ^ kFirewallSalt));
+    constexpr std::uint32_t kTestNet2 = 0xC6336400u; // 198.51.100.0
+    p.firewall_rules.clear();
+    p.firewall_rules.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        gateway::Rule r;
+        const std::uint64_t proto_pick = s.below(3);
+        r.proto = proto_pick == 0 ? 17 : proto_pick == 1 ? 6 : 0;
+        // Destination prefix stays >= /24, i.e. wholly inside TEST-NET-2.
+        r.dst_prefix_len = 24 + static_cast<int>(s.below(9));
+        const std::uint32_t host = static_cast<std::uint32_t>(s.below(256));
+        const std::uint32_t mask =
+            ~std::uint32_t{0} << (32 - r.dst_prefix_len);
+        r.dst_net = net::Ipv4Addr((kTestNet2 | host) & mask);
+        if (s.chance(0.5)) {
+            const auto lo = static_cast<std::uint16_t>(s.below(65536));
+            const auto hi = static_cast<std::uint16_t>(s.below(65536));
+            r.dport = {std::min(lo, hi), std::max(lo, hi)};
+        }
+        r.verdict = s.chance(0.5) ? gateway::RuleVerdict::kDrop
+                                  : gateway::RuleVerdict::kAccept;
+        p.firewall_rules.push_back(r);
+    }
+    p.firewall_compiled = s.chance(0.5);
+}
+
 } // namespace
 
 std::uint64_t gateway_stream_seed(std::uint64_t seed, int index) {
@@ -242,10 +278,15 @@ DeviceProfile sample_gateway(std::uint64_t seed, int index,
 
 std::vector<DeviceProfile> sample_roster(const PopulationSpec& spec) {
     GK_EXPECTS(spec.count >= 0);
+    GK_EXPECTS(spec.firewall_rules >= 0);
     std::vector<DeviceProfile> roster;
     roster.reserve(static_cast<std::size_t>(spec.count));
-    for (int i = 0; i < spec.count; ++i)
+    for (int i = 0; i < spec.count; ++i) {
         roster.push_back(sample_gateway(spec.seed, i, spec.tag_prefix));
+        if (spec.firewall_rules > 0)
+            install_firewall(roster.back(), spec.seed, i,
+                             spec.firewall_rules);
+    }
     return roster;
 }
 

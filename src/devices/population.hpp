@@ -37,6 +37,15 @@ struct PopulationSpec {
     std::uint64_t seed = kPopulationSeed;
     int count = 0;
     std::string tag_prefix = "p";
+    /// Firewall rules per sampled gateway (netfilter FORWARD-chain
+    /// shape; 0 = no chain, matching the calibrated devices). Rules are
+    /// drawn from an independent per-gateway stream and every matcher is
+    /// confined to TEST-NET-2 (198.51.100.0/24), an address block no
+    /// testbed traffic ever uses: the chain walk runs and its
+    /// default-verdict counters advance on every forwarded packet, but
+    /// verdicts — and therefore campaign measurement bytes — are
+    /// identical to a chain-less run.
+    int firewall_rules = 0;
 };
 
 /// Per-gateway stream seed: splitmix64-mixed from (seed, index). Every

@@ -14,9 +14,6 @@ FwdPath::FwdPath(sim::EventLoop& loop, const ForwardingModel& model)
 
 void FwdPath::bind_observability(obs::MetricsRegistry& reg,
                                  const std::string& device) {
-    // Ethernet-ish size buckets: small control traffic, typical datagram
-    // sizes, and full-MTU frames land in distinct buckets.
-    const std::vector<double> bounds{64, 128, 256, 512, 1024, 1500};
     for (Direction dir : {Direction::Down, Direction::Up}) {
         const std::string d = dir == Direction::Down ? "down" : "up";
         obs::Labels labels{{"device", device}, {"direction", d}};
@@ -27,7 +24,9 @@ void FwdPath::bind_observability(obs::MetricsRegistry& reg,
                             {"direction", d},
                             {"reason", "buffer_full"}});
         queue.m_bytes = reg.gauge("fwd.queue.bytes", labels);
-        queue.m_pkt_bytes = reg.histogram("fwd.packet.bytes", bounds, labels);
+        // Log-bucketed sizes: 12.5% relative resolution from runt
+        // frames to jumbo without pre-chosen Ethernet bounds.
+        queue.m_pkt_bytes = reg.log_histogram("fwd.packet.bytes", labels);
     }
 }
 

@@ -35,7 +35,7 @@ public:
     std::size_t queued_bytes(Direction dir) const { return q(dir).bytes; }
 
     /// Register per-direction forwarded/dropped counters, queue-depth
-    /// gauges and a packet-size histogram under `device`.
+    /// gauges and a packet-size log histogram under `device`.
     void bind_observability(obs::MetricsRegistry& reg,
                             const std::string& device);
 
@@ -61,7 +61,7 @@ private:
         obs::Counter* m_forwarded = nullptr;
         obs::Counter* m_dropped = nullptr;
         obs::Gauge* m_bytes = nullptr;
-        obs::Histogram* m_pkt_bytes = nullptr;
+        obs::LogHistogram* m_pkt_bytes = nullptr;
     };
 
     Queue& q(Direction dir) { return dir == Direction::Down ? down_ : up_; }

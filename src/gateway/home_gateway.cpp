@@ -48,6 +48,10 @@ HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
     lan_if_.configure(config_.lan_addr, config_.lan_prefix_len);
     host_.add_route(config_.lan_addr, config_.lan_prefix_len, lan_if_);
 
+    for (const Rule& r : config_.profile.firewall_rules)
+        filter_.add_rule(r);
+    filter_compiled_ = config_.profile.firewall_compiled;
+
     // Datapath hooks: LAN->WAN via the forward hook (dst is never local),
     // WAN->LAN via local intercept (inbound packets target the WAN addr).
     host_.set_forward_hook([this](stack::Iface& in,
@@ -267,6 +271,7 @@ void HomeGateway::bind_observability(obs::MetricsRegistry* reg,
         nat_.bind_observability(*reg, device);
         fwd_.bind_observability(*reg, device);
         dns_proxy_.bind_observability(*reg, device);
+        if (!filter_.empty()) filter_.attach_metrics(*reg, device);
         m_faults_ = reg->counter("gateway.faults", {{"device", device}});
     }
     host_.bind_observability(reg, tracer);

@@ -57,21 +57,25 @@ net::Ipv4Packet NatEngine::translated_header(const net::Ipv4Packet& pkt,
 sim::Duration NatEngine::udp_timeout_for(const Binding& b,
                                          bool inbound_packet,
                                          std::uint16_t service_port) const {
+    const auto granted = [this](sim::Duration d) {
+        obs::observe(m_to_granted_ns_, static_cast<double>(d.count()));
+        return d;
+    };
     auto it = profile_.udp.per_service.find(service_port);
     if (it != profile_.udp.per_service.end()) {
         obs::inc(m_to_per_service_);
-        return it->second;
+        return granted(it->second);
     }
     if (inbound_packet) {
         obs::inc(m_to_inbound_);
-        return profile_.udp.inbound_refresh;
+        return granted(profile_.udp.inbound_refresh);
     }
     if (b.confirmed) {
         obs::inc(m_to_outbound_);
-        return profile_.udp.outbound_refresh;
+        return granted(profile_.udp.outbound_refresh);
     }
     obs::inc(m_to_initial_);
-    return profile_.udp.initial;
+    return granted(profile_.udp.initial);
 }
 
 void NatEngine::bind_observability(obs::MetricsRegistry& reg,
@@ -87,6 +91,10 @@ void NatEngine::bind_observability(obs::MetricsRegistry& reg,
     m_to_inbound_ = reg.counter("nat.timeout.inbound_refresh", labels);
     m_to_outbound_ = reg.counter("nat.timeout.outbound_refresh", labels);
     m_to_initial_ = reg.counter("nat.timeout.initial", labels);
+    // Distribution of the UDP timeout actually granted per refresh, in
+    // ns — the policy counters say which rule fired, the sketch says
+    // what the population of granted lifetimes looks like.
+    m_to_granted_ns_ = reg.log_histogram("nat.timeout.granted_ns", labels);
 }
 
 std::optional<net::Bytes> NatEngine::outbound(const net::Ipv4Packet& pkt) {

@@ -39,6 +39,19 @@ std::string DeviceProfile::validate() const {
         return "fwd.processing_delay must be >= 0";
     if (!nonneg(fwd.forwarding_tick))
         return "fwd.forwarding_tick must be >= 0";
+    for (std::size_t i = 0; i < firewall_rules.size(); ++i) {
+        const Rule& r = firewall_rules[i];
+        const std::string where =
+            "firewall_rules[" + std::to_string(i) + "]";
+        if (r.src_prefix_len < 0 || r.src_prefix_len > 32)
+            return where + ".src_prefix_len must be in [0, 32]";
+        if (r.dst_prefix_len < 0 || r.dst_prefix_len > 32)
+            return where + ".dst_prefix_len must be in [0, 32]";
+        if (r.sport.lo > r.sport.hi)
+            return where + ".sport must have lo <= hi";
+        if (r.dport.lo > r.dport.hi)
+            return where + ".dport must have lo <= hi";
+    }
     return "";
 }
 
@@ -77,6 +90,17 @@ std::string profile_identity(const DeviceProfile& p) {
       << p.fwd.aggregate_mbps << ',' << p.fwd.buffer_down_bytes << ','
       << p.fwd.buffer_up_bytes << ',' << ns(p.fwd.processing_delay) << ','
       << ns(p.fwd.forwarding_tick);
+    // Firewall section only when a chain exists, so the identities of
+    // every pre-existing (chain-less) profile are unchanged.
+    if (!p.firewall_rules.empty()) {
+        s << "|fw:" << p.firewall_compiled;
+        for (const Rule& r : p.firewall_rules)
+            s << ',' << static_cast<int>(r.proto) << '/'
+              << r.src_net.value() << '/' << r.src_prefix_len << '/'
+              << r.dst_net.value() << '/' << r.dst_prefix_len << '/'
+              << r.sport.lo << '-' << r.sport.hi << '/' << r.dport.lo
+              << '-' << r.dport.hi << '/' << static_cast<int>(r.verdict);
+    }
     return s.str();
 }
 

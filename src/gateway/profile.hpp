@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "gateway/rule_chain.hpp"
 #include "sim/time.hpp"
 
 namespace gatekit::gateway {
@@ -202,6 +204,17 @@ struct DeviceProfile {
     // --- forwarding performance -------------------------------------------
     ForwardingModel fwd;
 
+    // --- firewall (netfilter-style FORWARD chain) -------------------------
+    /// Ordered FORWARD-chain rules installed into the gateway's RuleChain
+    /// at construction. Empty (every calibrated device) means no
+    /// filtering and zero per-packet cost; the population sampler can
+    /// synthesize chains so rule-walk cost and per-rule hit counters
+    /// appear in campaign metrics.
+    std::vector<Rule> firewall_rules;
+    /// Evaluate the chain via the compiled single-pass classifier
+    /// instead of the sequential walk (same verdicts and counters).
+    bool firewall_compiled = false;
+
     /// Check the invariants every consumer of a profile assumes. Returns
     /// "" when the profile is usable, else a short description of the
     /// first violated invariant. The calibrated profiles satisfy all of
@@ -213,7 +226,9 @@ struct DeviceProfile {
     ///   * max_tcp_bindings > 0; max_udp_bindings > 0 or exactly -1
     ///     (the documented follow-TCP sentinel);
     ///   * pool_begin >= 1 and pool_begin <= pool_end;
-    ///   * every ForwardingModel rate > 0 and both buffers > 0.
+    ///   * every ForwardingModel rate > 0 and both buffers > 0;
+    ///   * every firewall rule has prefix lengths in [0, 32] and
+    ///     non-inverted port ranges (lo <= hi).
     /// Testbed::add_device rejects profiles that fail this, so a bad
     /// sample can never silently produce a nonsense measurement.
     std::string validate() const;

@@ -25,6 +25,8 @@ public:
             m_trials_ = o->metrics().counter("probe.trials", labels);
             m_retries_ = o->metrics().counter("probe.retries", labels);
             m_giveups_ = o->metrics().counter("probe.giveups", labels);
+            m_timeout_ns_ =
+                o->metrics().log_histogram("probe.timeout_ns", labels);
             if (config_.search.tracer == nullptr) {
                 config_.search.tracer = &o->tracer();
                 config_.search.trace_device = device;
@@ -67,6 +69,8 @@ private:
                 if (r.exceeded_limit) self->result_.exceeded_limit = true;
                 self->result_.samples_sec.push_back(
                     sim::to_sec(r.timeout));
+                obs::observe(self->m_timeout_ns_,
+                             static_cast<double>(r.timeout.count()));
                 self->result_.search_retries += r.retries;
                 self->result_.search_giveups += r.giveups;
                 obs::add(self->m_trials_,
@@ -186,6 +190,7 @@ private:
     obs::Counter* m_trials_ = nullptr;
     obs::Counter* m_retries_ = nullptr;
     obs::Counter* m_giveups_ = nullptr;
+    obs::LogHistogram* m_timeout_ns_ = nullptr;
 };
 
 // --- TCP-2 / TCP-3 -----------------------------------------------------------

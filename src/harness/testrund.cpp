@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include <utility>
 
 #include "harness/results_io.hpp"
+#include "obs/timeseries.hpp"
 #include "report/journal.hpp"
 #include "util/assert.hpp"
 
@@ -394,6 +396,12 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
                            now_ns,  now_ns};
             cur().units.push_back(rep);
             journal_unit(rep, "null");
+            if (config.profiler != nullptr) {
+                config.profiler->begin_unit(); // zero-length span
+                config.profiler->end_unit(label(), rep.unit,
+                                          to_string(rep.status), 0, now_ns,
+                                          now_ns);
+            }
             next_unit(); // bounded recursion: at most one plan per device
             return;
         }
@@ -402,6 +410,7 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
         hard_hit = false;
         unit_done = false;
         hard_ev = sim::EventId{};
+        if (config.profiler != nullptr) config.profiler->begin_unit();
         launch_attempt();
     }
 
@@ -445,6 +454,10 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
                        unit_start.count(), loop().now().count()};
         cur().units.push_back(rep);
         journal_unit(rep, unit_payload_json(cur(), rep.unit));
+        if (config.profiler != nullptr)
+            config.profiler->end_unit(label(), rep.unit,
+                                      to_string(rep.status), rep.attempts,
+                                      rep.t_start_ns, rep.t_end_ns);
         note_unit_outcome(status);
         next_unit();
     }
@@ -983,27 +996,65 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
     struct Pending {
         std::vector<DeviceResults> results;
         std::unique_ptr<obs::MetricsRegistry> metrics;
+        std::vector<obs::ProfileSpan> spans;
+        std::string device_label;
+        std::int64_t wall_ns = 0;
+        int worker = 0;
+        std::uint64_t flight_dumps = 0;
     };
     std::mutex m;
     std::condition_variable cv;
     std::map<int, Pending> pending;
     std::map<int, std::exception_ptr> errors;
     int frontier = 0;
-    std::optional<SegmentMerger> jmerge, tmerge;
+    std::optional<SegmentMerger> jmerge, tmerge, tsmerge;
     if (!opts.journal_path.empty())
         jmerge.emplace(opts.journal_path, merged_header_line, fingerprint);
     if (!opts.trace_path.empty())
         tmerge.emplace(opts.trace_path, "", "");
+    if (!opts.timeseries_path.empty())
+        tsmerge.emplace(opts.timeseries_path, "", "");
+    // Flight-recorder dumps stay per-shard files (each is a complete
+    // trace window); the manifest lists them in canonical device order
+    // so a reader walks dumps in the same order at any worker count.
+    std::ofstream flight_manifest;
+    if (!opts.trace_path.empty()) {
+        flight_manifest.open(opts.trace_path + ".flight.manifest",
+                             std::ios::binary | std::ios::trunc);
+        if (!flight_manifest)
+            throw std::runtime_error(
+                "shard scheduler: cannot open flight manifest '" +
+                opts.trace_path + ".flight.manifest'");
+    }
+    const int clamped_workers =
+        std::clamp(opts.workers, 1, std::max(n, 1));
+    std::ofstream profile_out;
+    std::optional<obs::ProfileWriter> pwrite;
+    std::vector<std::int64_t> worker_busy_ns(
+        static_cast<std::size_t>(clamped_workers), 0);
+    if (!opts.profile_path.empty()) {
+        profile_out.open(opts.profile_path,
+                         std::ios::binary | std::ios::trunc);
+        if (!profile_out)
+            throw std::runtime_error(
+                "shard scheduler: cannot open profile sidecar '" +
+                opts.profile_path + "'");
+        pwrite.emplace(profile_out, clamped_workers, n);
+    }
+    const auto campaign_wall_start = std::chrono::steady_clock::now();
 
-    auto run_shard = [&](int k) {
+    auto run_shard = [&](int k, int worker_id) {
         Pending cell;
+        cell.worker = worker_id;
+        const auto shard_wall_start = std::chrono::steady_clock::now();
         sim::EventLoop loop;
         // obs before the testbed: components keep raw instrument
         // pointers, so the registry must outlive them.
         std::unique_ptr<obs::Observability> obs;
         std::unique_ptr<obs::JsonlSink> sink;
         std::unique_ptr<obs::FlightRecorder> recorder;
-        if (opts.metrics || !opts.trace_path.empty())
+        if (opts.metrics || !opts.trace_path.empty() ||
+            !opts.timeseries_path.empty())
             obs = std::make_unique<obs::Observability>(loop);
         if (!opts.trace_path.empty()) {
             const std::string seg = segment_path(opts.trace_path, k);
@@ -1025,9 +1076,33 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
         Testbed tb(loop);
         tb.add_device(opts.roster[static_cast<std::size_t>(k)], k + 1);
         if (obs) tb.attach_observability(obs.get());
+        cell.device_label = Testbed::device_label(tb.slot(0));
+        // Time-series sampler: installed before bring-up so the stream
+        // covers the whole shard, sampling on sim-time boundaries via
+        // the loop's advance hook (never scheduling events — the sim's
+        // behavior is identical with the sampler on or off).
+        std::ofstream ts_out;
+        std::unique_ptr<obs::TimeseriesSampler> ts;
+        if (!opts.timeseries_path.empty()) {
+            const std::string seg = segment_path(opts.timeseries_path, k);
+            ts_out.open(seg, std::ios::binary | std::ios::trunc);
+            if (!ts_out)
+                throw std::runtime_error(
+                    "shard scheduler: cannot open timeseries segment '" +
+                    seg + "'");
+            obs::TimeseriesSampler::Options tso;
+            tso.interval = opts.timeseries_interval;
+            tso.device = cell.device_label;
+            tso.shard = k;
+            ts = std::make_unique<obs::TimeseriesSampler>(obs->metrics(),
+                                                          ts_out, tso);
+            loop.set_advance_hook(ts.get());
+        }
         tb.start_and_wait();
 
+        obs::ProfileCollector prof;
         CampaignConfig cfg = opts.config;
+        if (!opts.profile_path.empty()) cfg.profiler = &prof;
         cfg.shard.index = k;
         cfg.shard.first_device = 0;
         cfg.shard.last_device = 0;
@@ -1044,6 +1119,20 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
         }
         Testrund rund(tb);
         cell.results = rund.run_blocking(cfg);
+        if (ts) {
+            loop.set_advance_hook(nullptr);
+            ts->finish(loop.now());
+            ts_out.flush();
+            if (!ts_out)
+                throw std::runtime_error(
+                    "shard scheduler: timeseries segment write failed");
+        }
+        if (recorder) cell.flight_dumps = recorder->dumps_written();
+        cell.spans = prof.take_spans();
+        cell.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() -
+                           shard_wall_start)
+                           .count();
 
         if (opts.metrics) {
             // A one-device shard's registry holds only its own device's
@@ -1085,9 +1174,23 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
             if (jmerge)
                 jmerge->append_segment(
                     segment_path(opts.journal_path, frontier));
-            if (tmerge)
+            if (tmerge) {
                 tmerge->append_segment(
                     segment_path(opts.trace_path, frontier));
+                const std::string base =
+                    segment_path(opts.trace_path, frontier) + ".flight";
+                for (std::uint64_t i = 0; i < cell.flight_dumps; ++i)
+                    flight_manifest << base << '.' << i << ".jsonl\n";
+            }
+            if (tsmerge)
+                tsmerge->append_segment(
+                    segment_path(opts.timeseries_path, frontier));
+            if (pwrite) {
+                pwrite->write_shard(frontier, cell.device_label,
+                                    cell.worker, cell.wall_ns, cell.spans);
+                worker_busy_ns[static_cast<std::size_t>(cell.worker)] +=
+                    cell.wall_ns;
+            }
             pending.erase(it);
             ++frontier;
         }
@@ -1099,11 +1202,11 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
     // merged), so the bound cannot deadlock; it exists purely to cap
     // how many completed-but-unmerged results sit in memory when shard
     // durations are skewed.
-    const int workers = std::clamp(opts.workers, 1, n);
+    const int workers = clamped_workers;
     const int backlog_limit = workers * 4 + 16;
 
     std::atomic<int> next{0};
-    auto worker_fn = [&] {
+    auto worker_fn = [&](int worker_id) {
         for (int k; (k = next.fetch_add(1)) < n;) {
             {
                 std::unique_lock<std::mutex> lk(m);
@@ -1115,7 +1218,7 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
             Pending cell;
             std::exception_ptr error;
             try {
-                cell = run_shard(k);
+                cell = run_shard(k, worker_id);
             } catch (...) {
                 error = std::current_exception();
             }
@@ -1137,17 +1240,33 @@ ShardScheduler::Output ShardScheduler::run(const Options& opts) {
         }
     };
     if (workers == 1) {
-        worker_fn(); // no threads: byte-identical output, zero overhead
+        worker_fn(0); // no threads: byte-identical output, zero overhead
     } else {
         std::vector<std::thread> pool;
         pool.reserve(static_cast<std::size_t>(workers));
-        for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back([&worker_fn, w] { worker_fn(w); });
         for (auto& t : pool) t.join();
     }
     if (!errors.empty()) std::rethrow_exception(errors.begin()->second);
     GK_ENSURES(frontier == n && pending.empty());
     if (jmerge) jmerge->finish();
-    if (tmerge) tmerge->finish();
+    if (tmerge) {
+        tmerge->finish();
+        flight_manifest.flush();
+        if (!flight_manifest)
+            throw std::runtime_error(
+                "shard scheduler: flight manifest write failed");
+    }
+    if (tsmerge) tsmerge->finish();
+    if (pwrite) {
+        pwrite->write_summary(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - campaign_wall_start)
+                .count(),
+            worker_busy_ns);
+        profile_out.flush();
+    }
     return out;
 }
 

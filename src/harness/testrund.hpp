@@ -21,6 +21,7 @@
 #include "harness/transport_probe.hpp"
 #include "harness/udp_probes.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "sim/link.hpp"
 
 namespace gatekit::harness {
@@ -164,6 +165,13 @@ struct CampaignConfig {
     /// Device range for sharded execution (default: whole roster).
     ShardSpec shard;
 
+    /// Harness self-profiler (non-owning; null = off). When set the
+    /// runner brackets every live unit with wall-clock stamps. Absent
+    /// from the campaign fingerprint by construction — profiling reads
+    /// the host clock but never schedules events, so the measurement
+    /// stream is byte-identical either way.
+    obs::ProfileCollector* profiler = nullptr;
+
     /// UDP-5 well-known services (paper Figure 6).
     std::vector<std::pair<std::string, std::uint16_t>> udp5_services{
         {"dns", 53}, {"http", 80}, {"ntp", 123}, {"snmp", 161}, {"tftp", 69}};
@@ -280,8 +288,27 @@ public:
         /// Merged trace JSONL path ("" = tracing off). Shard k streams
         /// to segment_path(trace_path, k); segments are concatenated in
         /// device order as the frontier advances. Flight-recorder dumps
-        /// land at <segment>.flight.<n>.jsonl.
+        /// land at <segment>.flight.<n>.jsonl and are listed — in
+        /// canonical device order, identical at any worker count — in
+        /// <trace_path>.flight.manifest.
         std::string trace_path;
+        /// Merged time-series sidecar path ("" = off; schema
+        /// gatekit.timeseries.v1). Shard k samples its private registry
+        /// every `timeseries_interval` of SIM time into
+        /// segment_path(timeseries_path, k); segments are concatenated
+        /// in device order as the frontier advances, exactly like
+        /// journal/trace segments, so the merged stream is
+        /// byte-identical at any worker count. Implies a per-shard
+        /// registry even when `metrics` is false.
+        std::string timeseries_path;
+        sim::Duration timeseries_interval{std::chrono::seconds(1)};
+        /// Harness self-profiler sidecar path ("" = off; schema
+        /// gatekit.profile.v1): wall-clock spans per (device, unit),
+        /// per-shard totals with worker attribution, and a
+        /// worker-utilization/shard-skew summary. The one artifact that
+        /// is NOT byte-gated — it records wall time by design. Campaign
+        /// results remain byte-identical with it on or off.
+        std::string profile_path;
         /// Progress lines ("[gatekit] shard k/n (tag) done") to stderr.
         bool verbose = false;
         /// Streaming consumer: when set, each device's results are

@@ -31,6 +31,8 @@ public:
             m_trials_ = o->metrics().counter("probe.trials", labels);
             m_retries_ = o->metrics().counter("probe.retries", labels);
             m_giveups_ = o->metrics().counter("probe.giveups", labels);
+            m_timeout_ns_ =
+                o->metrics().log_histogram("probe.timeout_ns", labels);
             if (config_.search.tracer == nullptr) {
                 config_.search.tracer = &o->tracer();
                 config_.search.trace_device = device;
@@ -277,6 +279,8 @@ private:
         result_.samples_sec.push_back(sim::to_sec(r.timeout));
         result_.search_retries += r.retries;
         result_.search_giveups += r.giveups;
+        obs::observe(m_timeout_ns_,
+                     static_cast<double>(r.timeout.count()));
         obs::add(m_trials_, static_cast<std::uint64_t>(r.trials));
         obs::add(m_retries_, static_cast<std::uint64_t>(r.retries));
         obs::add(m_giveups_, static_cast<std::uint64_t>(r.giveups));
@@ -318,6 +322,7 @@ private:
     obs::Counter* m_trials_ = nullptr;
     obs::Counter* m_retries_ = nullptr;
     obs::Counter* m_giveups_ = nullptr;
+    obs::LogHistogram* m_timeout_ns_ = nullptr;
     bool trial_running_ = false;
     bool prev_trial_alive_ = false;
     sim::Duration min_dead_gap_{};

@@ -3,11 +3,63 @@
 #include "report/csv.hpp"
 #include "report/json.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace gatekit::obs {
+
+std::size_t LogHistogram::bucket_index(double v) {
+    if (!(v >= 1.0)) return 0; // also catches NaN
+    if (v >= std::ldexp(1.0, kMaxOctave)) return kBucketCount - 1;
+    int exp = 0;
+    // frexp: v == frac * 2^exp with frac in [0.5, 1), so the octave is
+    // exp - 1 and 2*frac in [1, 2) locates the linear sub-bucket.
+    const double frac = std::frexp(v, &exp);
+    const int octave = exp - 1;
+    int sub = static_cast<int>((2.0 * frac - 1.0) * kSubBuckets);
+    if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+    return 1 + static_cast<std::size_t>(octave) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+double LogHistogram::bucket_upper(std::size_t index) {
+    if (index == 0) return 1.0;
+    const std::size_t i = index - 1;
+    const auto octave = static_cast<int>(i / kSubBuckets);
+    const auto sub = static_cast<int>(i % kSubBuckets);
+    return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                      octave);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+    if (other.total == 0) return;
+    if (other.counts.size() > counts.size())
+        counts.resize(other.counts.size(), 0);
+    for (std::size_t i = 0; i < other.counts.size(); ++i)
+        counts[i] += other.counts[i];
+    if (total == 0 || other.min < min) min = other.min;
+    if (total == 0 || other.max > max) max = other.max;
+    total += other.total;
+    sum += other.sum;
+}
+
+double LogHistogram::percentile(double q) const {
+    if (total == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        if (cum >= rank && cum > 0)
+            return std::clamp(bucket_upper(i), min, max);
+    }
+    return max;
+}
 
 MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
                                                Labels labels, Kind kind,
@@ -23,6 +75,9 @@ MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
     case Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
     case Kind::kHistogram:
         e->histogram = std::make_unique<Histogram>(std::move(bounds));
+        break;
+    case Kind::kLogHistogram:
+        e->log_histogram = std::make_unique<LogHistogram>();
         break;
     }
     Entry* raw = e.get();
@@ -44,6 +99,12 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
                                       Labels labels) {
     return entry(name, std::move(labels), Kind::kHistogram, std::move(bounds))
         .histogram.get();
+}
+
+LogHistogram* MetricsRegistry::log_histogram(std::string_view name,
+                                             Labels labels) {
+    return entry(name, std::move(labels), Kind::kLogHistogram)
+        .log_histogram.get();
 }
 
 const MetricsRegistry::Entry*
@@ -70,6 +131,23 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name,
                                                  const Labels& labels) const {
     const Entry* e = find(name, labels, Kind::kHistogram);
     return e ? e->histogram.get() : nullptr;
+}
+
+const LogHistogram*
+MetricsRegistry::find_log_histogram(std::string_view name,
+                                    const Labels& labels) const {
+    const Entry* e = find(name, labels, Kind::kLogHistogram);
+    return e ? e->log_histogram.get() : nullptr;
+}
+
+void MetricsRegistry::visit_scalars(
+    const std::function<void(const ScalarRef&)>& fn) const {
+    for (const auto& e : entries_) {
+        if (e->kind == Kind::kCounter)
+            fn(ScalarRef{e->name, e->labels, e->counter.get(), nullptr});
+        else if (e->kind == Kind::kGauge)
+            fn(ScalarRef{e->name, e->labels, nullptr, e->gauge.get()});
+    }
 }
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name,
@@ -111,6 +189,9 @@ void MetricsRegistry::merge_from(
             dst->sum += src.sum;
             break;
         }
+        case Kind::kLogHistogram:
+            log_histogram(e->name, e->labels)->merge(*e->log_histogram);
+            break;
         }
     }
 }
@@ -150,6 +231,30 @@ std::string MetricsRegistry::to_json() const {
                     w.key("le").value("inf");
                 w.key("count").value(h.counts[i]);
                 w.end_object();
+            }
+            w.end_array();
+            break;
+        }
+        case Kind::kLogHistogram: {
+            const LogHistogram& h = *e->log_histogram;
+            w.key("kind").value("log_histogram");
+            w.key("count").value(h.total);
+            w.key("sum").value(h.sum);
+            w.key("min").value(h.total ? h.min : 0.0);
+            w.key("max").value(h.total ? h.max : 0.0);
+            w.key("p50").value(h.percentile(0.50));
+            w.key("p90").value(h.percentile(0.90));
+            w.key("p99").value(h.percentile(0.99));
+            w.key("p999").value(h.percentile(0.999));
+            // Sparse [index, count] pairs: a latency sketch touches a
+            // handful of octaves out of the 513 possible buckets.
+            w.key("buckets").begin_array();
+            for (std::size_t i = 0; i < h.counts.size(); ++i) {
+                if (h.counts[i] == 0) continue;
+                w.begin_array();
+                w.value(static_cast<std::uint64_t>(i));
+                w.value(h.counts[i]);
+                w.end_array();
             }
             w.end_array();
             break;
@@ -209,24 +314,64 @@ bool parse_label_cell(std::string_view cell, Labels& out) {
     return true;
 }
 
+namespace {
+
+/// Quantile from a fixed-bucket histogram: the upper bound of the
+/// bucket holding the ceil(q * total)-th observation. Observations in
+/// the +inf overflow bucket report the last finite bound (clipped —
+/// fixed bounds cannot say more; the log histogram exists for that).
+double fixed_percentile(const Histogram& h, double q) {
+    if (h.total == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(h.total)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        cum += h.counts[i];
+        if (cum >= rank && cum > 0)
+            return i < h.bounds.size() ? h.bounds[i] : h.bounds.back();
+    }
+    return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+} // namespace
+
 std::string MetricsRegistry::to_csv() const {
-    report::CsvWriter csv({"name", "kind", "labels", "value", "sum", "count"});
+    report::CsvWriter csv({"name", "kind", "labels", "value", "sum", "count",
+                           "p50", "p90", "p99", "p999"});
+    const auto pcts = [](auto&& p) -> std::array<std::string, 4> {
+        return {report::json_double(p(0.50)), report::json_double(p(0.90)),
+                report::json_double(p(0.99)), report::json_double(p(0.999))};
+    };
     for (const auto& e : entries_) {
         const std::string labels = format_label_cell(e->labels);
         switch (e->kind) {
         case Kind::kCounter:
             csv.add_row({e->name, "counter", labels,
-                         std::to_string(e->counter->value), "", ""});
+                         std::to_string(e->counter->value), "", "", "", "",
+                         "", ""});
             break;
         case Kind::kGauge:
             csv.add_row({e->name, "gauge", labels,
-                         report::json_double(e->gauge->value), "", ""});
+                         report::json_double(e->gauge->value), "", "", "",
+                         "", "", ""});
             break;
-        case Kind::kHistogram:
+        case Kind::kHistogram: {
+            const Histogram& h = *e->histogram;
+            const auto p =
+                pcts([&](double q) { return fixed_percentile(h, q); });
             csv.add_row({e->name, "histogram", labels, "",
-                         report::json_double(e->histogram->sum),
-                         std::to_string(e->histogram->total)});
+                         report::json_double(h.sum),
+                         std::to_string(h.total), p[0], p[1], p[2], p[3]});
             break;
+        }
+        case Kind::kLogHistogram: {
+            const LogHistogram& h = *e->log_histogram;
+            const auto p = pcts([&](double q) { return h.percentile(q); });
+            csv.add_row({e->name, "log_histogram", labels, "",
+                         report::json_double(h.sum),
+                         std::to_string(h.total), p[0], p[1], p[2], p[3]});
+            break;
+        }
         }
     }
     return csv.to_string();
@@ -257,7 +402,8 @@ bool validate_metrics_json(std::string_view text, std::string* error) {
         pos += 8;
         std::string_view rest = text.substr(pos);
         if (rest.rfind("counter\"", 0) != 0 && rest.rfind("gauge\"", 0) != 0 &&
-            rest.rfind("histogram\"", 0) != 0)
+            rest.rfind("histogram\"", 0) != 0 &&
+            rest.rfind("log_histogram\"", 0) != 0)
             return fail("unknown metric kind");
         ++kinds;
     }

@@ -48,6 +48,54 @@ struct Histogram {
     double sum = 0.0;
 };
 
+/// Log2-bucketed histogram with linear sub-buckets (HDR style): no
+/// pre-chosen bounds, bounded relative error, and exact cross-registry
+/// merge. Values below 1 (and NaN) land in bucket 0; otherwise octave
+/// e = floor(log2(v)) and a linear sub-bucket within the octave give
+/// index 1 + e*kSubBuckets + sub, so every bucket's width is at most
+/// 1/kSubBuckets of its lower edge (12.5% relative error at 8
+/// sub-buckets). Observe in the series' natural fine unit (nanoseconds
+/// for latencies, bytes for sizes) so bucket 0 stays a degenerate
+/// "underflow" bin. Storage grows on demand to the highest octave seen;
+/// merge is element-wise addition, hence associative and commutative.
+struct LogHistogram {
+    static constexpr int kSubBuckets = 8;
+    static constexpr int kMaxOctave = 64; ///< values >= 2^64 clip here
+    static constexpr std::size_t kBucketCount =
+        1 + static_cast<std::size_t>(kMaxOctave) * kSubBuckets;
+
+    /// Bucket index for a value; pure, total (NaN/negative -> 0).
+    static std::size_t bucket_index(double v);
+    /// Upper edge of a bucket — the deterministic representative value
+    /// percentile extraction reports. bucket_upper(0) == 1.
+    static double bucket_upper(std::size_t index);
+
+    void observe(double v) {
+        const std::size_t i = bucket_index(v);
+        if (i >= counts.size()) counts.resize(i + 1, 0);
+        ++counts[i];
+        ++total;
+        sum += v;
+        if (total == 1 || v < min) min = v;
+        if (total == 1 || v > max) max = v;
+    }
+
+    /// Element-wise fold of `other` into this histogram (exact).
+    void merge(const LogHistogram& other);
+
+    /// Value at quantile q in [0, 1]: the upper edge of the bucket
+    /// holding the ceil(q * total)-th observation, clamped to the
+    /// observed [min, max]. 0 when empty. Deterministic — depends only
+    /// on the merged bucket counts, never on observation order.
+    double percentile(double q) const;
+
+    std::vector<std::uint64_t> counts; ///< grows to highest bucket seen
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    double min = 0.0; ///< meaningful only when total > 0
+    double max = 0.0; ///< meaningful only when total > 0
+};
+
 // Null-safe instrumentation helpers: the disabled path is branch-on-null.
 inline void inc(Counter* c) {
     if (c) ++c->value;
@@ -59,6 +107,9 @@ inline void set(Gauge* g, double v) {
     if (g) g->value = v;
 }
 inline void observe(Histogram* h, double v) {
+    if (h) h->observe(v);
+}
+inline void observe(LogHistogram* h, double v) {
     if (h) h->observe(v);
 }
 
@@ -85,6 +136,7 @@ public:
     Gauge* gauge(std::string_view name, Labels labels = {});
     Histogram* histogram(std::string_view name, std::vector<double> bounds,
                          Labels labels = {});
+    LogHistogram* log_histogram(std::string_view name, Labels labels = {});
 
     /// Lookup without creating; nullptr when absent. Used by tests.
     const Counter* find_counter(std::string_view name,
@@ -93,6 +145,8 @@ public:
                             const Labels& labels = {}) const;
     const Histogram* find_histogram(std::string_view name,
                                     const Labels& labels = {}) const;
+    const LogHistogram* find_log_histogram(std::string_view name,
+                                           const Labels& labels = {}) const;
 
     /// Counter value by name+labels, 0 when the counter was never
     /// registered — convenient for test assertions.
@@ -103,6 +157,22 @@ public:
     std::uint64_t counter_total(std::string_view name) const;
 
     std::size_t size() const { return entries_.size(); }
+
+    /// One counter-or-gauge entry, as seen by visit_scalars. Exactly one
+    /// of counter/gauge is non-null.
+    struct ScalarRef {
+        const std::string& name;
+        const Labels& labels;
+        const Counter* counter;
+        const Gauge* gauge;
+    };
+
+    /// Walk every counter and gauge in registration order (histograms
+    /// are skipped). Registration order is append-only and preserved by
+    /// merge_from, so a visitor may key per-entry state by visitation
+    /// index — the time-series sampler's change-detection relies on
+    /// exactly that.
+    void visit_scalars(const std::function<void(const ScalarRef&)>& fn) const;
 
     /// Fold another registry into this one: counters add, gauges take
     /// the other's value (last writer wins), histograms add bucket
@@ -118,13 +188,15 @@ public:
 
     /// Snapshot as one JSON document (schema "gatekit.metrics.v1").
     std::string to_json() const;
-    /// Snapshot as CSV rows: name,kind,labels,value,sum,buckets.
+    /// Snapshot as CSV rows:
+    /// name,kind,labels,value,sum,count,p50,p90,p99,p999 — the
+    /// percentile columns are filled for histogram kinds only.
     std::string to_csv() const;
     /// Write to_json() to `path`; false on I/O failure.
     bool save_json(const std::string& path) const;
 
 private:
-    enum class Kind { kCounter, kGauge, kHistogram };
+    enum class Kind { kCounter, kGauge, kHistogram, kLogHistogram };
 
     struct Entry {
         std::string name;
@@ -133,6 +205,7 @@ private:
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
+        std::unique_ptr<LogHistogram> log_histogram;
     };
 
     using Key = std::pair<std::string, Labels>;

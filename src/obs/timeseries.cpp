@@ -1,0 +1,221 @@
+#include "obs/timeseries.hpp"
+
+#include "report/json.hpp"
+#include "util/assert.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace gatekit::obs {
+
+TimeseriesSampler::TimeseriesSampler(const MetricsRegistry& reg,
+                                     std::ostream& out, Options opts)
+    : reg_(reg), out_(out), opts_(std::move(opts)) {
+    GK_EXPECTS(opts_.interval > sim::Duration::zero());
+    report::JsonWriter w(out_);
+    w.begin_object();
+    w.key("schema").value("gatekit.timeseries.v1");
+    w.key("interval_ms")
+        .value(static_cast<std::int64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                opts_.interval)
+                .count()));
+    w.key("device").value(opts_.device);
+    w.key("shard").value(static_cast<std::int64_t>(opts_.shard));
+    w.end_object();
+    out_ << '\n';
+    ++lines_;
+}
+
+sim::TimePoint TimeseriesSampler::on_advance(sim::TimePoint t) {
+    // Stamp the last interval boundary at or below t: every handler
+    // strictly before t has run, none at t has, so the sample is the
+    // state "entering" this stretch of virtual time. Long idle jumps
+    // cross many boundaries but emit at most one line — intermediate
+    // boundaries saw no state change by construction (nothing ran).
+    const std::int64_t iv = opts_.interval.count();
+    const std::int64_t k = t.count() / iv;
+    sample(sim::TimePoint(sim::Duration(k * iv)));
+    return sim::TimePoint(sim::Duration((k + 1) * iv));
+}
+
+void TimeseriesSampler::finish(sim::TimePoint end) {
+    // Events AT the last sampled boundary run after that boundary's
+    // sample, so the final flush must not be deduplicated away — a
+    // trailing line may share its predecessor's timestamp (validators
+    // accept equal stamps, only regressions fail).
+    sample(end, /*force=*/true);
+}
+
+void TimeseriesSampler::sample(sim::TimePoint stamp, bool force) {
+    if (!force && stamp.count() <= last_stamp_ns_) return;
+
+    struct Changed {
+        std::size_t id;
+        double value;
+        bool integral;
+    };
+    std::vector<Changed> changed;
+    std::size_t id = 0;
+    reg_.visit_scalars([&](const MetricsRegistry::ScalarRef& s) {
+        if (id >= prev_.size()) {
+            prev_.resize(id + 1, 0.0);
+            declared_.resize(id + 1, 0);
+        }
+        const bool integral = s.counter != nullptr;
+        const double v = integral
+                             ? static_cast<double>(s.counter->value)
+                             : s.gauge->value;
+        if (v != prev_[id]) {
+            changed.push_back({id, v, integral});
+            prev_[id] = v;
+            if (declared_[id] == 0) {
+                declared_[id] = 1;
+                report::JsonWriter w(out_);
+                w.begin_object();
+                w.key("series").value(static_cast<std::uint64_t>(id));
+                w.key("name").value(s.name);
+                w.key("labels").begin_object();
+                for (const auto& [lk, lv] : s.labels) w.key(lk).value(lv);
+                w.end_object();
+                w.key("kind").value(integral ? "counter" : "gauge");
+                w.end_object();
+                out_ << '\n';
+                ++lines_;
+            }
+        }
+        ++id;
+    });
+    if (changed.empty()) return;
+    last_stamp_ns_ = std::max(last_stamp_ns_, stamp.count());
+    report::JsonWriter w(out_);
+    w.begin_object();
+    w.key("t_ns").value(static_cast<std::int64_t>(stamp.count()));
+    w.key("v").begin_array();
+    for (const Changed& c : changed) {
+        w.begin_array();
+        w.value(static_cast<std::uint64_t>(c.id));
+        if (c.integral)
+            w.value(static_cast<std::uint64_t>(c.value));
+        else
+            w.value(c.value);
+        w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+    out_ << '\n';
+    ++lines_;
+}
+
+namespace {
+
+/// Per-line validation state machine shared by the in-memory and
+/// streaming-file validators. One instance per stream; feed lines in
+/// order, then call finish().
+struct TimeseriesValidator {
+    bool in_segment = false;
+    std::int64_t last_t = -1;
+    std::vector<char> declared; ///< series id declared this segment
+    std::size_t line_no = 0;
+
+    bool fail(std::string* error, const std::string& what) {
+        if (error) *error = what;
+        return false;
+    }
+
+    bool line(std::string_view l, std::string* error) {
+        ++line_no;
+        if (l.empty()) return true;
+        const auto doc = report::json_parse(l, error);
+        if (!doc)
+            return fail(error, "line " + std::to_string(line_no) +
+                                   ": invalid JSON");
+        if (const auto* schema = doc->find("schema")) {
+            if (schema->as_string() != "gatekit.timeseries.v1")
+                return fail(error, "line " + std::to_string(line_no) +
+                                       ": wrong schema tag");
+            if (doc->find("interval_ms") == nullptr)
+                return fail(error, "header missing interval_ms");
+            in_segment = true;
+            last_t = -1;
+            declared.assign(declared.size(), 0);
+            return true;
+        }
+        if (!in_segment)
+            return fail(error, "line " + std::to_string(line_no) +
+                                   ": data before segment header");
+        if (const auto* series = doc->find("series")) {
+            if (doc->find("name") == nullptr ||
+                doc->find("kind") == nullptr)
+                return fail(error, "line " + std::to_string(line_no) +
+                                       ": declaration missing name/kind");
+            const auto id = static_cast<std::size_t>(series->as_int());
+            if (id >= declared.size()) declared.resize(id + 1, 0);
+            declared[id] = 1;
+            return true;
+        }
+        const auto* t = doc->find("t_ns");
+        const auto* v = doc->find("v");
+        if (t == nullptr || v == nullptr ||
+            v->type != report::JsonValue::Type::Array)
+            return fail(error, "line " + std::to_string(line_no) +
+                                   ": expected header, declaration, or "
+                                   "sample");
+        if (t->as_int() < last_t)
+            return fail(error, "line " + std::to_string(line_no) +
+                                   ": timestamps regress within a segment");
+        last_t = t->as_int();
+        for (const auto& pair : v->array) {
+            if (pair.type != report::JsonValue::Type::Array ||
+                pair.array.size() != 2)
+                return fail(error, "line " + std::to_string(line_no) +
+                                       ": sample pair is not [id, value]");
+            const auto id =
+                static_cast<std::size_t>(pair.array[0].as_int());
+            if (id >= declared.size() || declared[id] == 0)
+                return fail(error,
+                            "line " + std::to_string(line_no) +
+                                ": sample references undeclared series " +
+                                std::to_string(id));
+        }
+        return true;
+    }
+
+    bool finish(std::string* error) {
+        if (!in_segment) return fail(error, "no segment header found");
+        return true;
+    }
+};
+
+} // namespace
+
+bool validate_timeseries_jsonl(std::string_view text, std::string* error) {
+    TimeseriesValidator v;
+    while (!text.empty()) {
+        const std::size_t nl = text.find('\n');
+        const std::string_view line =
+            nl == std::string_view::npos ? text : text.substr(0, nl);
+        text = nl == std::string_view::npos ? std::string_view{}
+                                            : text.substr(nl + 1);
+        if (!v.line(line, error)) return false;
+    }
+    return v.finish(error);
+}
+
+bool validate_timeseries_file(const std::string& path, std::string* error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error) *error = "cannot open '" + path + "'";
+        return false;
+    }
+    // One line in memory at a time: a multi-gigabyte campaign sidecar
+    // validates in O(longest line), not O(file).
+    TimeseriesValidator v;
+    for (std::string l; std::getline(in, l);)
+        if (!v.line(l, error)) return false;
+    return v.finish(error);
+}
+
+} // namespace gatekit::obs

@@ -1,0 +1,91 @@
+// Streaming time-series sink: samples every counter and gauge in a
+// MetricsRegistry on a sim-time cadence and appends JSONL (schema
+// "gatekit.timeseries.v1") to an output stream. Implemented as a
+// sim::AdvanceHook — it observes the clock the loop was advancing
+// anyway and never schedules events, so a campaign's virtual-time
+// behavior (and every byte-gated artifact) is identical with the
+// sampler on or off.
+//
+// Memory and output are bounded: the sampler keeps one double per
+// registered scalar (change detection), emits at most one line per
+// crossed interval boundary, and emits nothing at all for boundaries
+// where no sampled value changed — a 24-hour idle binding-timeout gap
+// costs zero lines, not 86,400.
+//
+// Stream layout (one JSON object per line):
+//   {"schema":"gatekit.timeseries.v1","interval_ms":...,
+//    "device":"...","shard":k}                         header, once
+//   {"series":i,"name":"...","labels":{...},
+//    "kind":"counter"|"gauge"}                         declaration,
+//                                                      first use of i
+//   {"t_ns":...,"v":[[i,value],...]}                   sample (changed
+//                                                      series only)
+// Series ids are indices into the registry's registration order and
+// are scoped to the stream segment that declared them: a merged
+// multi-shard file is a concatenation of self-contained segments, each
+// re-starting with its own header line. Timestamps are sim-time only —
+// the stream is byte-identical across runs and worker counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gatekit::obs {
+
+class TimeseriesSampler final : public sim::AdvanceHook {
+public:
+    struct Options {
+        sim::Duration interval{std::chrono::seconds(1)};
+        std::string device; ///< header metadata: the shard's device label
+        int shard = -1;     ///< header metadata; -1 = unsharded run
+    };
+
+    /// Writes the header line immediately. The registry and stream must
+    /// outlive the sampler; install with loop.set_advance_hook(&s) and
+    /// clear the hook before destroying the sampler.
+    TimeseriesSampler(const MetricsRegistry& reg, std::ostream& out,
+                      Options opts);
+
+    TimeseriesSampler(const TimeseriesSampler&) = delete;
+    TimeseriesSampler& operator=(const TimeseriesSampler&) = delete;
+
+    sim::TimePoint on_advance(sim::TimePoint t) override;
+
+    /// Final flush at end-of-run: emits any still-unreported changes
+    /// stamped at `end` (the loop's final sim time — deterministic).
+    /// Call after the loop drains, before closing the stream.
+    void finish(sim::TimePoint end);
+
+    std::uint64_t lines_emitted() const { return lines_; }
+
+private:
+    void sample(sim::TimePoint stamp, bool force = false);
+
+    const MetricsRegistry& reg_;
+    std::ostream& out_;
+    Options opts_;
+    std::vector<double> prev_;     ///< last emitted value per series id
+    std::vector<char> declared_;   ///< series id has a declaration line
+    std::uint64_t lines_ = 0;
+    std::int64_t last_stamp_ns_ = -1;
+};
+
+/// Structural check for a (possibly multi-segment) timeseries stream:
+/// every line is valid JSON, the first line of each segment carries the
+/// schema tag, declarations precede use, and sample timestamps are
+/// non-decreasing within a segment. Used by the telemetry_smoke ctest.
+bool validate_timeseries_jsonl(std::string_view text,
+                               std::string* error = nullptr);
+
+/// Same check, streaming from a file one line at a time — memory stays
+/// O(longest line) however large the sidecar (population-scale streams
+/// reach tens of MB; slurping them would dominate the campaign's RSS).
+bool validate_timeseries_file(const std::string& path,
+                              std::string* error = nullptr);
+
+} // namespace gatekit::obs

@@ -41,6 +41,8 @@ bool EventLoop::is_cancelled(std::uint64_t seq) const {
 }
 
 void EventLoop::fire(const Ref& ev) {
+    if (hook_ != nullptr && ev.when >= hook_due_)
+        hook_due_ = hook_->on_advance(ev.when);
     now_ = ev.when;
     // Free the slot even if the handler throws (the slab reference
     // stays valid while the handler runs; reuse can only happen after).
@@ -114,6 +116,10 @@ void EventLoop::run_until(TimePoint t) {
     }
     batch.clear();
     batch_ = std::move(batch);
+    // The clock can advance past due boundaries with no event to carry
+    // the hook; the idle jump to `t` observes them here.
+    if (hook_ != nullptr && t >= hook_due_)
+        hook_due_ = hook_->on_advance(t);
     now_ = t;
 }
 

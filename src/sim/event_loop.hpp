@@ -29,6 +29,22 @@ private:
     std::uint64_t seq_ = 0;
 };
 
+/// Observer of virtual-time advancement, for samplers that need a
+/// periodic view of simulation state WITHOUT scheduling events — a
+/// self-rescheduling sampler event would keep run() from ever draining
+/// and perturb FIFO sequence numbers; a hook observes the clock the
+/// loop was going to advance anyway. The hook must not schedule,
+/// cancel, or otherwise touch the loop: it is a pure observer.
+class AdvanceHook {
+public:
+    virtual ~AdvanceHook() = default;
+    /// Called when virtual time is about to advance to `t` (>= the due
+    /// time returned previously), before any handler at `t` runs — so
+    /// the observed state is "everything strictly before t". Returns
+    /// the next due time; the loop stays silent until then.
+    virtual TimePoint on_advance(TimePoint t) = 0;
+};
+
 /// The virtual-time event loop. Events scheduled for the same instant run
 /// in FIFO order of scheduling, which keeps packet ordering deterministic.
 class EventLoop {
@@ -69,6 +85,15 @@ public:
 
     /// Number of events currently queued (including cancelled ones).
     std::size_t pending() const { return queue_.size(); }
+
+    /// Install (or, with nullptr, remove) the advance hook. The hook
+    /// fires at the next advance and thereafter per its own returned
+    /// due times. Disabled cost on the firing path is one untaken
+    /// branch; the caller must clear the hook before it is destroyed.
+    void set_advance_hook(AdvanceHook* hook) {
+        hook_ = hook;
+        hook_due_ = TimePoint{};
+    }
 
 private:
     /// Handlers live in stable slots (chunked slab: references survive
@@ -119,6 +144,8 @@ private:
     TimePoint now_{0};
     std::uint64_t next_seq_ = 1;
     std::uint64_t processed_ = 0;
+    AdvanceHook* hook_ = nullptr;
+    TimePoint hook_due_{}; ///< next time hook_ wants on_advance
 };
 
 } // namespace gatekit::sim

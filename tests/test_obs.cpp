@@ -175,8 +175,9 @@ TEST(Metrics, CsvSnapshotRoundTripsAdversarialLabels) {
     reg.gauge("load", plain)->value = 0.5;
     const auto rows = parse_csv(reg.to_csv());
     ASSERT_EQ(rows.size(), 3u);
-    ASSERT_EQ(rows[0].size(), 6u); // header: name,kind,labels,value,sum,count
-    ASSERT_EQ(rows[1].size(), 6u);
+    // header: name,kind,labels,value,sum,count,p50,p90,p99,p999
+    ASSERT_EQ(rows[0].size(), 10u);
+    ASSERT_EQ(rows[1].size(), 10u);
     EXPECT_EQ(rows[1][0], "hits");
     EXPECT_EQ(rows[1][3], "7");
     Labels back;
