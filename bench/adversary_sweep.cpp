@@ -1,8 +1,10 @@
-// adversary_sweep: graceful degradation under hostile workloads. Runs the
-// binding-exhaustion battery (harness/adversary.hpp) against every
-// calibrated device: ReDAN-style UDP and TCP SYN floods past the binding
+// adversary_sweep: graceful degradation under hostile workloads. Runs
+// the on-path binding-exhaustion audit (harness/adversary.hpp) against
+// every calibrated device: UDP and TCP SYN floods past the binding
 // cap, a port-collision storm, ICMP query-id and unknown-protocol
-// side-table floods, and a reboot injected mid-measurement. A device
+// side-table floods, and a reboot injected mid-measurement. For the
+// off-path ReDAN remote-DoS scenarios delivered through the real
+// WAN-side packet path, see bench/attack_matrix.cpp. A device
 // passes when its caps hold, no state table grows without bound, the
 // pre-established victim flow keeps translating through the flood, and
 // the NAT recovers after the reboot.

@@ -1,0 +1,313 @@
+// attack_matrix: the ReDAN off-path remote-DoS battery (arXiv:2410.21984
+// scenarios, harness/attacks.hpp) against every calibrated device in two
+// postures — factory default and hardened (all four mitigation knobs on)
+// — plus a single-knob ablation proving each knob closes exactly its own
+// attack, a conntrack-teardown demo posture, and an analytic
+// vulnerability projection over the sampled gateway population.
+//
+// Every verdict on the 34 calibrated devices is measured through the
+// real WAN-side packet path; the population rates come from a knob-level
+// predictor that this binary first cross-validates against all measured
+// (device, posture) pairs — a single mismatch fails the run.
+//
+// Exit code 0 requires: no harness failures, predictor/measurement
+// agreement on every vulnerable bit, at least one default-posture victim
+// per attack class, the hardened posture closing all four attacks on
+// every calibrated device, clean single-knob attribution, and the
+// teardown demo behaving (purge by default, closed by the rate limit).
+//
+// Extra env knobs on top of bench_common's:
+//   GATEKIT_POP_COUNT  sampled-population size (default 10000)
+#include <array>
+#include <iomanip>
+
+#include "bench_common.hpp"
+#include "devices/population.hpp"
+#include "harness/attacks.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+namespace {
+
+using gateway::DeviceProfile;
+
+/// Full hardened posture. The per-host budget scales with the device's
+/// binding cap (a fixed budget above a small device's cap would contain
+/// nothing) and stays below the battery's 72-flow steal prefix so the
+/// squat itself is refused.
+DeviceProfile hardened(DeviceProfile p) {
+    p.icmp_error_rate_limit = 32;
+    p.validate_embedded_binding = true;
+    p.wan_syn_policy = gateway::WanSynPolicy::Drop;
+    const int cap = p.max_udp_bindings >= 0 ? p.max_udp_bindings
+                                            : p.max_tcp_bindings;
+    p.per_host_binding_budget = std::max(4, std::min(64, cap / 4));
+    return p;
+}
+
+/// Knob-level vulnerability predictor — the analytic model projected
+/// onto the sampled population after cross-validation against every
+/// measured (device, posture) pair.
+struct Pred {
+    bool icmp = false;
+    bool exhaust = false;
+    bool syn = false;
+    bool quote = false;
+};
+
+Pred predict(const DeviceProfile& p, const harness::AttackConfig& cfg) {
+    Pred out;
+    const bool relays =
+        p.icmp_udp.translates(gateway::IcmpKind::PortUnreachable);
+    // The victim's real port sits at index sweep_width/2 of the ascending
+    // sweep; a per-second budget at or below that index starves the
+    // attacker before the one error that matters.
+    const int half = cfg.sweep_width / 2;
+    const bool sweep_admitted =
+        p.icmp_error_rate_limit == 0 || p.icmp_error_rate_limit > half;
+    out.icmp = sweep_admitted && (relays || p.icmp_error_teardown);
+    // Exhaustion races whichever runs out first: the binding cap, or (on
+    // sequential allocators) the port pool. A per-host budget must sit
+    // below that limit with headroom for the victim's own flows.
+    const long cap = p.max_udp_bindings >= 0 ? p.max_udp_bindings
+                                             : p.max_tcp_bindings;
+    long limit = cap;
+    if (p.port_allocation == gateway::PortAllocation::Sequential)
+        limit = std::min(limit, static_cast<long>(p.pool_end) -
+                                    static_cast<long>(p.pool_begin) + 1);
+    out.exhaust = p.per_host_binding_budget < 0 ||
+                  p.per_host_binding_budget + 8 > limit;
+    out.syn = p.wan_syn_policy == gateway::WanSynPolicy::Forward;
+    out.quote = relays && !p.validate_embedded_binding;
+    return out;
+}
+
+std::array<bool, 4> vuln_bits(const harness::AttackReport& r) {
+    return {r.icmp_teardown.vulnerable, r.port_exhaustion.vulnerable,
+            r.syn_confusion.vulnerable, r.quote_abuse.vulnerable};
+}
+
+std::array<bool, 4> pred_bits(const Pred& p) {
+    return {p.icmp, p.exhaust, p.syn, p.quote};
+}
+
+/// One isolated single-device bring-up + battery run. A fresh loop per
+/// run: the exhaustion attack deliberately leaves tables saturated, so
+/// postures must not share a testbed.
+harness::AttackReport measure(const DeviceProfile& p,
+                              const harness::AttackConfig& cfg) {
+    sim::EventLoop loop;
+    harness::Testbed tb(loop);
+    tb.add_device(p);
+    tb.start_and_wait();
+    return harness::run_attacks(tb, 0, cfg);
+}
+
+} // namespace
+
+int main() {
+    const auto& profiles = devices::all_profiles();
+    const int limit = env_device_limit(static_cast<int>(profiles.size()));
+    const int n_dev =
+        limit > 0 ? limit : static_cast<int>(profiles.size());
+    const harness::AttackConfig cfg;
+
+    bool all_ok = true;
+    int mismatches = 0;
+    std::array<int, 4> default_vuln{}; // per-attack vulnerable count
+    std::array<int, 4> hardened_vuln{};
+    static const char* kAttack[] = {"icmp_teardown", "port_exhaustion",
+                                    "syn_confusion", "quote_abuse"};
+
+    report::CsvWriter csv({"tag", "posture", "icmp", "exhaust", "syn",
+                           "quote", "icmp_v", "exhaust_v", "syn_v",
+                           "quote_v", "predicted_match", "ok"});
+
+    std::cout << "attack_matrix: ReDAN off-path battery, default vs "
+                 "hardened posture ("
+              << n_dev << " calibrated devices)\n\n";
+    std::cout << std::left << std::setw(7) << "device" << std::setw(34)
+              << "icmp_teardown" << std::setw(34) << "port_exhaustion"
+              << std::setw(28) << "syn_confusion" << std::setw(34)
+              << "quote_abuse" << "\n";
+
+    for (int i = 0; i < n_dev; ++i) {
+        const auto& base = profiles[static_cast<std::size_t>(i)];
+        std::cerr << "[attack_matrix] " << base.tag << " (" << (i + 1)
+                  << "/" << n_dev << ")...\n";
+        const auto rd = measure(base, cfg);
+        const auto rh = measure(hardened(base), cfg);
+        all_ok = all_ok && rd.ok() && rh.ok();
+        for (const auto& f : rd.failures)
+            std::cout << "    ! default:  " << f << "\n";
+        for (const auto& f : rh.failures)
+            std::cout << "    ! hardened: " << f << "\n";
+
+        const auto vd = vuln_bits(rd), vh = vuln_bits(rh);
+        const auto pd = pred_bits(predict(base, cfg));
+        const auto ph = pred_bits(predict(hardened(base), cfg));
+        bool match = true;
+        for (int a = 0; a < 4; ++a) {
+            default_vuln[static_cast<std::size_t>(a)] +=
+                vd[static_cast<std::size_t>(a)] ? 1 : 0;
+            hardened_vuln[static_cast<std::size_t>(a)] +=
+                vh[static_cast<std::size_t>(a)] ? 1 : 0;
+            if (vd[static_cast<std::size_t>(a)] !=
+                    pd[static_cast<std::size_t>(a)] ||
+                vh[static_cast<std::size_t>(a)] !=
+                    ph[static_cast<std::size_t>(a)]) {
+                match = false;
+                ++mismatches;
+                std::cout << "    ! predictor mismatch on "
+                          << kAttack[a] << "\n";
+            }
+        }
+
+        const auto cell = [](const harness::AttackOutcome& d,
+                             const harness::AttackOutcome& h) {
+            return d.verdict + " -> " + h.verdict;
+        };
+        std::cout << std::left << std::setw(7) << base.tag << std::setw(34)
+                  << cell(rd.icmp_teardown, rh.icmp_teardown)
+                  << std::setw(34)
+                  << cell(rd.port_exhaustion, rh.port_exhaustion)
+                  << std::setw(28)
+                  << cell(rd.syn_confusion, rh.syn_confusion)
+                  << std::setw(34) << cell(rd.quote_abuse, rh.quote_abuse)
+                  << "\n";
+        for (const auto* rep : {&rd, &rh}) {
+            const bool is_default = rep == &rd;
+            const auto v = is_default ? vd : vh;
+            csv.add_row({base.tag, is_default ? "default" : "hardened",
+                         rep->icmp_teardown.verdict,
+                         rep->port_exhaustion.verdict,
+                         rep->syn_confusion.verdict,
+                         rep->quote_abuse.verdict,
+                         v[0] ? "1" : "0", v[1] ? "1" : "0",
+                         v[2] ? "1" : "0", v[3] ? "1" : "0",
+                         match ? "1" : "0", rep->ok() ? "1" : "0"});
+        }
+    }
+
+    std::cout << "\nvulnerable devices (default -> hardened):";
+    for (int a = 0; a < 4; ++a) {
+        std::cout << "  " << kAttack[a] << " "
+                  << default_vuln[static_cast<std::size_t>(a)] << "->"
+                  << hardened_vuln[static_cast<std::size_t>(a)];
+        // The battery must demonstrate each attack class on at least one
+        // factory-default device, and the hardened posture must close
+        // every class on every calibrated device.
+        all_ok = all_ok && default_vuln[static_cast<std::size_t>(a)] > 0 &&
+                 hardened_vuln[static_cast<std::size_t>(a)] == 0;
+    }
+    std::cout << "\npredictor cross-validation: " << mismatches
+              << " mismatches over " << (n_dev * 2 * 4) << " bits\n";
+    all_ok = all_ok && mismatches == 0;
+
+    // --- single-knob ablation: each knob closes exactly its attack ------
+    std::cout << "\nsingle-knob ablation (device "
+              << profiles.front().tag << "):\n";
+    struct Knob {
+        const char* name;
+        int closes; // index into kAttack
+        DeviceProfile (*apply)(DeviceProfile);
+    };
+    const Knob knobs[] = {
+        {"icmp_error_rate_limit", 0,
+         [](DeviceProfile p) {
+             p.icmp_error_rate_limit = 32;
+             return p;
+         }},
+        {"per_host_binding_budget", 1,
+         [](DeviceProfile p) {
+             p.per_host_binding_budget = 64;
+             return p;
+         }},
+        {"wan_syn_policy=Drop", 2,
+         [](DeviceProfile p) {
+             p.wan_syn_policy = gateway::WanSynPolicy::Drop;
+             return p;
+         }},
+        {"validate_embedded_binding", 3,
+         [](DeviceProfile p) {
+             p.validate_embedded_binding = true;
+             return p;
+         }},
+    };
+    for (const auto& k : knobs) {
+        const auto r = measure(k.apply(profiles.front()), cfg);
+        const auto v = vuln_bits(r);
+        bool knob_ok = r.ok();
+        for (int a = 0; a < 4; ++a) {
+            const bool expect = a != k.closes; // others stay vulnerable
+            knob_ok = knob_ok &&
+                      v[static_cast<std::size_t>(a)] == expect;
+        }
+        std::cout << "  " << std::left << std::setw(28) << k.name
+                  << " closes " << std::setw(16) << kAttack[k.closes]
+                  << (knob_ok ? "PASS" : "FAIL") << "\n";
+        all_ok = all_ok && knob_ok;
+    }
+
+    // --- conntrack-teardown demo: the purge posture no calibrated device
+    // ships, torn down by default and closed by the rate limit alone.
+    DeviceProfile purge = profiles.front();
+    purge.icmp_error_teardown = true;
+    const auto rp = measure(purge, cfg);
+    DeviceProfile purge_rl = purge;
+    purge_rl.icmp_error_rate_limit = 32;
+    const auto rp_rl = measure(purge_rl, cfg);
+    const bool demo_ok = rp.ok() && rp_rl.ok() &&
+                         rp.icmp_teardown.verdict == "torn-down" &&
+                         !rp_rl.icmp_teardown.vulnerable;
+    std::cout << "\nteardown demo (icmp_error_teardown=1): "
+              << rp.icmp_teardown.verdict << " -> "
+              << rp_rl.icmp_teardown.verdict << " with rate limit  "
+              << (demo_ok ? "PASS" : "FAIL") << "\n";
+    all_ok = all_ok && demo_ok;
+
+    // --- sampled population: analytic projection of the validated
+    // predictor, default vs hardened posture.
+    const int pop_n = env_int("GATEKIT_POP_COUNT", 10000);
+    devices::PopulationSpec spec;
+    spec.count = pop_n;
+    const auto pop_default = devices::sample_roster(spec);
+    spec.hardening = true;
+    const auto pop_hardened = devices::sample_roster(spec);
+    std::array<int, 4> rate_d{}, rate_h{};
+    for (int i = 0; i < pop_n; ++i) {
+        const auto& hp = pop_hardened[static_cast<std::size_t>(i)];
+        all_ok = all_ok && hp.validate().empty();
+        const auto d =
+            pred_bits(predict(pop_default[static_cast<std::size_t>(i)], cfg));
+        const auto h = pred_bits(predict(hp, cfg));
+        for (int a = 0; a < 4; ++a) {
+            rate_d[static_cast<std::size_t>(a)] +=
+                d[static_cast<std::size_t>(a)] ? 1 : 0;
+            rate_h[static_cast<std::size_t>(a)] +=
+                h[static_cast<std::size_t>(a)] ? 1 : 0;
+        }
+    }
+    std::cout << "\nsampled population (n=" << pop_n
+              << "): predicted vulnerability rate, default -> hardened\n";
+    for (int a = 0; a < 4; ++a) {
+        const auto pct = [pop_n](int c) {
+            return 100.0 * c / std::max(1, pop_n);
+        };
+        std::cout << "  " << std::left << std::setw(18) << kAttack[a]
+                  << std::right << std::fixed << std::setprecision(1)
+                  << std::setw(6) << pct(rate_d[static_cast<std::size_t>(a)])
+                  << "% -> " << std::setw(5)
+                  << pct(rate_h[static_cast<std::size_t>(a)]) << "%\n";
+        csv.add_row({std::string("population_") + kAttack[a], "rates",
+                     std::to_string(rate_d[static_cast<std::size_t>(a)]),
+                     std::to_string(rate_h[static_cast<std::size_t>(a)]),
+                     std::to_string(pop_n), "", "", "", "", "", "", ""});
+    }
+
+    std::cout << "\nattack_matrix overall: " << (all_ok ? "PASS" : "FAIL")
+              << "\n";
+    maybe_csv("attack_matrix", csv);
+    return all_ok ? 0 : 1;
+}

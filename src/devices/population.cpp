@@ -255,6 +255,23 @@ void install_firewall(DeviceProfile& p, std::uint64_t seed, int index,
     p.firewall_compiled = s.chance(0.5);
 }
 
+/// Deterministic hardened posture: the four off-path-attack knobs drawn
+/// from a salted stream independent of the behavioral draws (the same
+/// discipline as install_firewall), so turning hardening on never shifts
+/// a behavioral sample. Ranges model firmware that actually ships such
+/// mitigations: a per-second error budget well under an attack sweep, a
+/// per-host share of the binding table, and a non-forwarding WAN SYN
+/// policy split between silent drop and tarpit.
+void install_hardening(DeviceProfile& p, std::uint64_t seed, int index) {
+    constexpr std::uint64_t kHardeningSalt = 0x6861'7264'656e'2121ULL;
+    Stream s(mix64(gateway_stream_seed(seed, index) ^ kHardeningSalt));
+    p.icmp_error_rate_limit = 16 + static_cast<int>(s.below(32));
+    p.validate_embedded_binding = true;
+    p.wan_syn_policy = s.chance(0.5) ? gateway::WanSynPolicy::Drop
+                                     : gateway::WanSynPolicy::Tarpit;
+    p.per_host_binding_budget = 32 + static_cast<int>(s.below(33));
+}
+
 } // namespace
 
 std::uint64_t gateway_stream_seed(std::uint64_t seed, int index) {
@@ -286,6 +303,8 @@ std::vector<DeviceProfile> sample_roster(const PopulationSpec& spec) {
         if (spec.firewall_rules > 0)
             install_firewall(roster.back(), spec.seed, i,
                              spec.firewall_rules);
+        if (spec.hardening)
+            install_hardening(roster.back(), spec.seed, i);
     }
     return roster;
 }

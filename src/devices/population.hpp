@@ -46,6 +46,13 @@ struct PopulationSpec {
     /// verdicts — and therefore campaign measurement bytes — are
     /// identical to a chain-less run.
     int firewall_rules = 0;
+    /// Apply a hardened posture — the four off-path-attack knobs
+    /// (icmp_error_rate_limit, validate_embedded_binding, wan_syn_policy,
+    /// per_host_binding_budget) — to every sampled gateway, drawn from an
+    /// independent salted stream so the behavioral sample is unchanged.
+    /// Off by default: the default population stays byte-identical to
+    /// earlier releases (all hardening knobs at their inert defaults).
+    bool hardening = false;
 };
 
 /// Per-gateway stream seed: splitmix64-mixed from (seed, index). Every

@@ -20,6 +20,8 @@ void BindingTable::bind_observability(obs::MetricsRegistry& reg,
     m_expired_ = reg.counter("nat.binding.expired", labels);
     m_refused_ = reg.counter("nat.binding.refused", labels);
     m_port_collisions_ = reg.counter("nat.port.collisions", labels);
+    m_host_budget_refused_ = reg.counter("nat.binding.host_budget_refused",
+                                         labels);
     m_occupancy_ = reg.gauge("nat.binding.occupancy", labels);
     m_cascades_ = reg.gauge("nat.wheel.cascades", labels);
 }
@@ -73,6 +75,18 @@ std::uint32_t BindingTable::alloc_binding() {
     return s;
 }
 
+void BindingTable::host_claim(const Binding& b) {
+    if (profile_.per_host_binding_budget < 0) return;
+    ++per_host_[b.key.internal.addr.value()];
+}
+
+void BindingTable::host_release(const Binding& b) {
+    if (profile_.per_host_binding_budget < 0) return;
+    auto it = per_host_.find(b.key.internal.addr.value());
+    if (it == per_host_.end()) return;
+    if (--it->second == 0) per_host_.erase(it);
+}
+
 void BindingTable::free_binding(std::uint32_t slot) {
     slots_[slot] = Binding{};
     free_binding_slots_.push_back(slot);
@@ -117,6 +131,7 @@ void BindingTable::sweep() {
                              now + profile_.port_quarantine);
             erase_external(b.external_port, rec.slot);
             by_flow_.erase(b.key);
+            host_release(b);
             obs::inc(m_expired_);
             free_binding(rec.slot);
         } else {
@@ -183,6 +198,16 @@ Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
         obs::inc(m_refused_);
         return nullptr;
     }
+    if (profile_.per_host_binding_budget >= 0) {
+        auto hit = per_host_.find(key.internal.addr.value());
+        if (hit != per_host_.end() &&
+            hit->second >=
+                static_cast<std::uint32_t>(profile_.per_host_binding_budget)) {
+            ++host_budget_refusals_;
+            obs::inc(m_host_budget_refused_);
+            return nullptr;
+        }
+    }
     const std::uint16_t port = allocate_port(key);
     if (port == 0) {
         obs::inc(m_refused_);
@@ -198,6 +223,7 @@ Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
     GK_ASSERT(ok);
     (void)ins;
     by_external_[port].push_back(slot);
+    host_claim(b);
     update_hot(b);
     schedule_expiry(b, effective_deadline(b));
     obs::inc(m_created_);
@@ -221,6 +247,7 @@ Binding* BindingTable::find_inbound(std::uint16_t external_port,
             slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(i));
             if (slots.empty()) by_external_.erase(pit);
             by_flow_.erase(b.key);
+            host_release(b);
             free_binding(slot);
             obs::inc(m_expired_);
             obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
@@ -258,6 +285,7 @@ void BindingTable::remove(const FlowKey& key) {
     const std::uint32_t slot = it->second;
     erase_external(slots_[slot].external_port, slot);
     by_flow_.erase(it);
+    host_release(slots_[slot]);
     // The wheel entry goes stale and is discarded when it pops.
     free_binding(slot);
 }
@@ -267,6 +295,7 @@ void BindingTable::clear() {
     by_external_.clear();
     graveyard_.clear();
     grave_queue_.clear();
+    per_host_.clear();
     // Reset every slab slot (zeroed generations stale out parked wheel
     // entries) and rebuild the free list; the slab itself is retained.
     free_binding_slots_.clear();

@@ -60,6 +60,10 @@ struct Binding {
     bool confirmed = false; ///< has seen inbound traffic
     // TCP state tracking, so the NAT can reap closed connections.
     bool established = false; ///< TCP three-way handshake observed
+    /// Inbound SYN-ACK observed. Only consulted under a non-Forward
+    /// wan_syn_policy (strict handshake tracking); legacy devices never
+    /// read it.
+    bool synack_in = false;
     bool fin_in = false;
     bool fin_out = false;
     std::uint64_t packets_out = 0;
@@ -118,6 +122,13 @@ public:
         return loop_.now().count() >= hot_deadline_[b.slot];
     }
 
+    /// Outbound creations refused by per_host_binding_budget (0 while the
+    /// knob is disabled). Read by the supervisor's attack annotator and
+    /// the attack battery's verdict oracles.
+    std::uint64_t host_budget_refusals() const {
+        return host_budget_refusals_;
+    }
+
     /// Sequential-allocation pool cursor. Journaled by the campaign
     /// supervisor: devices that hand out pool ports in order would
     /// otherwise start a resumed run from the pool base and diverge from
@@ -147,6 +158,11 @@ private:
     void add_to_graveyard(const FlowKey& key, std::uint16_t port,
                           sim::TimePoint until);
     std::uint32_t alloc_binding();
+    /// Per-host live-binding accounting; no-ops (one untaken branch)
+    /// unless per_host_binding_budget is enabled. `host_release` must run
+    /// before free_binding() resets the record.
+    void host_claim(const Binding& b);
+    void host_release(const Binding& b);
     /// Reset a slab slot for reuse. Zeroing wheel_gen makes any parked
     /// wheel entry for the old occupant stale.
     void free_binding(std::uint32_t slot);
@@ -211,11 +227,17 @@ private:
 
     std::uint16_t next_pool_port_;
 
+    /// Live bindings per internal host; only populated while
+    /// per_host_binding_budget is enabled.
+    std::unordered_map<std::uint32_t, std::uint32_t> per_host_;
+    std::uint64_t host_budget_refusals_ = 0;
+
     // Instrumentation; all nullptr until bind_observability.
     obs::Counter* m_created_ = nullptr;
     obs::Counter* m_expired_ = nullptr;
     obs::Counter* m_refused_ = nullptr;
     obs::Counter* m_port_collisions_ = nullptr;
+    obs::Counter* m_host_budget_refused_ = nullptr;
     obs::Gauge* m_occupancy_ = nullptr;
     obs::Gauge* m_cascades_ = nullptr;
 };

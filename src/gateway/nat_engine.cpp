@@ -87,6 +87,12 @@ void NatEngine::bind_observability(obs::MetricsRegistry& reg,
     m_drop_policy_ = reg.counter("nat.drop.policy", labels);
     m_icmp_translated_ = reg.counter("nat.icmp.translated", labels);
     m_icmp_dropped_ = reg.counter("nat.icmp.dropped", labels);
+    m_icmp_rate_limited_ = reg.counter("nat.icmp.rate_limited", labels);
+    m_icmp_quote_rejected_ = reg.counter("nat.icmp.quote_rejected", labels);
+    m_icmp_teardown_ = reg.counter("nat.icmp.teardown", labels);
+    m_wan_syn_dropped_ = reg.counter("nat.wan_syn.dropped", labels);
+    m_wan_syn_tarpitted_ = reg.counter("nat.wan_syn.tarpitted", labels);
+    m_wan_stray_dropped_ = reg.counter("nat.wan_syn.stray_dropped", labels);
     m_to_per_service_ = reg.counter("nat.timeout.per_service", labels);
     m_to_inbound_ = reg.counter("nat.timeout.inbound_refresh", labels);
     m_to_outbound_ = reg.counter("nat.timeout.outbound_refresh", labels);
@@ -174,8 +180,36 @@ NatEngine::FastVerdict NatEngine::inbound_fast(net::PacketView& v,
         return FastVerdict::kSlow;
     const bool udp = v.protocol() == net::proto::kUdp;
     BindingTable& table = udp ? udp_ : tcp_;
+    // Mirror of inbound_tcp()'s unsolicited-SYN policy and strict
+    // handshake tracking; one untaken branch per TCP packet while the
+    // knob stays at Forward.
+    if (!udp && profile_.wan_syn_policy != WanSynPolicy::Forward) {
+        const std::uint8_t flags = v.tcp_flags();
+        if ((flags & 0x02) != 0 && (flags & 0x10) == 0) {
+            handled = true;
+            if (profile_.wan_syn_policy == WanSynPolicy::Tarpit) {
+                ++stats_.wan_syn_tarpitted;
+                obs::inc(m_wan_syn_tarpitted_);
+            } else {
+                ++stats_.wan_syn_dropped;
+                obs::inc(m_wan_syn_dropped_);
+            }
+            return FastVerdict::kDropped;
+        }
+    }
     Binding* b = table.find_inbound(v.dst_port(), {v.src(), v.src_port()});
     if (b == nullptr) return FastVerdict::kSlow; // maybe gateway-local
+    if (!udp && profile_.wan_syn_policy != WanSynPolicy::Forward) {
+        const std::uint8_t flags = v.tcp_flags();
+        const bool synack = (flags & 0x12) == 0x12;
+        if (!b->established && !b->synack_in && !synack) {
+            handled = true;
+            ++stats_.wan_stray_dropped;
+            obs::inc(m_wan_stray_dropped_);
+            return FastVerdict::kDropped;
+        }
+        if (synack) b->synack_in = true;
+    }
     handled = true;
     ++b->packets_in;
     if (udp) {
@@ -426,9 +460,36 @@ std::optional<net::Bytes> NatEngine::inbound_tcp(const net::Ipv4Packet& pkt,
     } catch (const net::ParseError&) {
         return std::nullopt;
     }
+    // Unsolicited-SYN policy: Drop/Tarpit devices swallow any inbound
+    // plain SYN before it can touch binding state or draw a gateway-
+    // local RST, and additionally track the handshake strictly: until a
+    // binding has seen an inbound SYN-ACK (or is established), nothing
+    // else from the WAN is accepted on it. Forward (every calibrated
+    // device) takes neither branch.
+    if (profile_.wan_syn_policy != WanSynPolicy::Forward &&
+        seg.flags.syn && !seg.flags.ack) {
+        handled = true;
+        if (profile_.wan_syn_policy == WanSynPolicy::Tarpit) {
+            ++stats_.wan_syn_tarpitted;
+            obs::inc(m_wan_syn_tarpitted_);
+        } else {
+            ++stats_.wan_syn_dropped;
+            obs::inc(m_wan_syn_dropped_);
+        }
+        return std::nullopt;
+    }
     Binding* b = tcp_.find_inbound(seg.dst_port, {pkt.h.src, seg.src_port});
     if (b == nullptr) return std::nullopt;
     handled = true;
+    if (profile_.wan_syn_policy != WanSynPolicy::Forward) {
+        const bool synack = seg.flags.syn && seg.flags.ack;
+        if (!b->established && !b->synack_in && !synack) {
+            ++stats_.wan_stray_dropped;
+            obs::inc(m_wan_stray_dropped_);
+            return std::nullopt;
+        }
+        if (synack) b->synack_in = true;
+    }
     ++b->packets_in;
     // Mirror of the outbound rule at outbound_tcp(): only non-SYN traffic
     // past the handshake promotes. A retransmitted SYN followed by the
@@ -474,14 +535,47 @@ std::optional<IcmpKind> NatEngine::classify_icmp(const net::IcmpMessage& m) {
     case IcmpType::SourceQuench:
         return IcmpKind::SourceQuench;
     case IcmpType::TimeExceeded:
-        return m.code == code::kReassemblyTimeExceeded
-                   ? IcmpKind::ReassemblyTimeExceeded
-                   : IcmpKind::TtlExceeded;
+        // Only the two defined codes classify; anything else used to be
+        // lumped in with TtlExceeded, which let a spoofed error with a
+        // nonsense code ride a device's TTL-translation posture.
+        switch (m.code) {
+        case code::kTtlExceeded:
+            return IcmpKind::TtlExceeded;
+        case code::kReassemblyTimeExceeded:
+            return IcmpKind::ReassemblyTimeExceeded;
+        default:
+            return std::nullopt;
+        }
     case IcmpType::ParamProblem:
         return IcmpKind::ParamProblem;
     default:
         return std::nullopt;
     }
+}
+
+bool NatEngine::icmp_error_admitted() {
+    const auto now = loop_.now();
+    if (now >= icmp_err_window_ + std::chrono::seconds(1)) {
+        icmp_err_window_ = now;
+        icmp_err_count_ = 0;
+    }
+    if (icmp_err_count_ >= profile_.icmp_error_rate_limit) return false;
+    ++icmp_err_count_;
+    return true;
+}
+
+bool NatEngine::embedded_quote_valid(const net::Ipv4Packet& embedded) {
+    // RFC 792 quotes carry the embedded IP header plus at least the
+    // first 8 transport bytes; a shorter quote cannot be checked against
+    // a binding beyond the bare port pair, which is exactly the sloppy
+    // acceptance attack class 4 exploits.
+    if (embedded.payload.size() < 8) return false;
+    if (embedded.h.protocol == net::proto::kUdp) {
+        const auto udp_len = static_cast<std::uint16_t>(
+            (embedded.payload[4] << 8) | embedded.payload[5]);
+        if (udp_len < 8) return false; // impossible UDP header
+    }
+    return true;
 }
 
 net::Bytes NatEngine::translate_embedded(const net::Bytes& quoted,
@@ -579,6 +673,16 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
 
     if (!msg.is_error()) return std::nullopt;
 
+    // Hardened devices budget how many inbound WAN errors they process
+    // per second; once spent, errors are dropped before any quote parse
+    // or binding lookup, so an attacker's port sweep starves itself.
+    if (profile_.icmp_error_rate_limit > 0 && !icmp_error_admitted()) {
+        handled = true;
+        ++stats_.icmp_rate_limited;
+        obs::inc(m_icmp_rate_limited_);
+        return std::nullopt;
+    }
+
     // Parse the quoted datagram to identify the binding it concerns.
     net::Ipv4Packet embedded;
     try {
@@ -587,6 +691,17 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
         return std::nullopt;
     }
     if (embedded.h.src != wan_addr_) return std::nullopt; // not our flow
+
+    // A quote of a non-first fragment carries mid-stream payload where
+    // the transport header would sit; reading those bytes as ports could
+    // alias an unrelated live binding on attacker-chosen data. The quote
+    // is unattributable, so drop the error outright.
+    if (embedded.h.frag_offset != 0) {
+        handled = true;
+        ++stats_.icmp_dropped;
+        obs::inc(m_icmp_dropped_);
+        return std::nullopt;
+    }
 
     const auto kind = classify_icmp(msg);
     if (!kind) return std::nullopt;
@@ -626,6 +741,13 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
         embedded.h.protocol != net::proto::kTcp)
         return std::nullopt;
     if (embedded.payload.size() < 4) return std::nullopt;
+    if (profile_.validate_embedded_binding &&
+        !embedded_quote_valid(embedded)) {
+        handled = true;
+        ++stats_.icmp_quote_rejected;
+        obs::inc(m_icmp_quote_rejected_);
+        return std::nullopt;
+    }
 
     const auto ext_port = static_cast<std::uint16_t>(
         (embedded.payload[0] << 8) | embedded.payload[1]);
@@ -639,27 +761,42 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
     if (b == nullptr) return std::nullopt;
     handled = true;
 
+    // Conntrack-style teardown posture: an accepted hard error purges
+    // the binding it names, whether or not the device also relays the
+    // error into the LAN. This is the ReDAN off-path DoS surface; the
+    // purge runs after the relay bytes are built (the binding is read
+    // there) and before every return below.
+    const bool purge =
+        profile_.icmp_error_teardown &&
+        (*kind == IcmpKind::PortUnreachable ||
+         *kind == IcmpKind::HostUnreachable ||
+         *kind == IcmpKind::ProtoUnreachable);
+    std::optional<net::Bytes> result;
+
     const auto& set = is_tcp ? profile_.icmp_tcp : profile_.icmp_udp;
     if (!set.translates(*kind)) {
         ++stats_.icmp_dropped;
         obs::inc(m_icmp_dropped_);
-        return std::nullopt;
-    }
-
-    if (is_tcp && profile_.tcp_icmp_becomes_rst) {
+    } else if (is_tcp && profile_.tcp_icmp_becomes_rst) {
         ++stats_.icmp_translated;
         obs::inc(m_icmp_translated_);
-        return synthesize_rst_from_icmp(embedded, *b);
+        result = synthesize_rst_from_icmp(embedded, *b);
+    } else {
+        ++stats_.icmp_translated;
+        obs::inc(m_icmp_translated_);
+        net::IcmpMessage fwd = msg;
+        fwd.payload =
+            translate_embedded(msg.payload, *b, embedded.h.protocol);
+        auto out = translated_header(pkt, pkt.h.src, b->key.internal.addr);
+        out.payload = fwd.serialize(); // outer ICMP checksum recomputed
+        result = out.serialize();
     }
-
-    ++stats_.icmp_translated;
-    obs::inc(m_icmp_translated_);
-    net::IcmpMessage fwd = msg;
-    fwd.payload =
-        translate_embedded(msg.payload, *b, embedded.h.protocol);
-    auto out = translated_header(pkt, pkt.h.src, b->key.internal.addr);
-    out.payload = fwd.serialize(); // outer ICMP checksum recomputed
-    return out.serialize();
+    if (purge) {
+        ++stats_.icmp_teardowns;
+        obs::inc(m_icmp_teardown_);
+        table.remove(b->key); // b invalid past this point
+    }
+    return result;
 }
 
 std::optional<net::Bytes> NatEngine::inbound_unknown(

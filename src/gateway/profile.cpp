@@ -52,6 +52,10 @@ std::string DeviceProfile::validate() const {
         if (r.dport.lo > r.dport.hi)
             return where + ".dport must have lo <= hi";
     }
+    if (icmp_error_rate_limit < 0)
+        return "icmp_error_rate_limit must be >= 0";
+    if (per_host_binding_budget <= 0 && per_host_binding_budget != -1)
+        return "per_host_binding_budget must be > 0 or the -1 sentinel";
     return "";
 }
 
@@ -90,6 +94,18 @@ std::string profile_identity(const DeviceProfile& p) {
       << p.fwd.aggregate_mbps << ',' << p.fwd.buffer_down_bytes << ','
       << p.fwd.buffer_up_bytes << ',' << ns(p.fwd.processing_delay) << ','
       << ns(p.fwd.forwarding_tick);
+    // Hardening section only when a knob left its default, so the
+    // identities (and journal fingerprints) of every pre-existing
+    // profile are unchanged.
+    if (p.icmp_error_teardown || p.validate_embedded_binding ||
+        p.icmp_error_rate_limit != 0 ||
+        p.wan_syn_policy != WanSynPolicy::Forward ||
+        p.per_host_binding_budget != -1) {
+        s << "|hard:" << p.icmp_error_teardown << p.validate_embedded_binding
+          << ',' << p.icmp_error_rate_limit << ','
+          << static_cast<int>(p.wan_syn_policy) << ','
+          << p.per_host_binding_budget;
+    }
     // Firewall section only when a chain exists, so the identities of
     // every pre-existing (chain-less) profile are unchanged.
     if (!p.firewall_rules.empty()) {

@@ -28,6 +28,18 @@ enum class UnknownProtocolPolicy {
     TranslateIpOnly, ///< rewrite only the IP source address (20/34)
 };
 
+/// What the NAT does with an unsolicited WAN-side TCP SYN (no ACK bit).
+/// The paper's devices all forward such segments into the TCP state
+/// machine (where an unmatched one draws a gateway-local RST); the ReDAN
+/// study (arXiv:2410.21984) shows that posture lets an off-path attacker
+/// poison transitory binding state, so hardened profiles can drop or
+/// tarpit instead.
+enum class WanSynPolicy {
+    Forward, ///< legacy behavior: hand the SYN to the state machine
+    Drop,    ///< silently discard; no state touched, no RST reflected
+    Tarpit,  ///< like Drop, but counted separately for operator telemetry
+};
+
 /// DNS proxy behavior on TCP port 53 (paper section 4.3, "DNS").
 enum class DnsTcpMode {
     NoListen,    ///< connection refused (20/34)
@@ -215,6 +227,35 @@ struct DeviceProfile {
     /// instead of the sequential walk (same verdicts and counters).
     bool firewall_compiled = false;
 
+    // --- hardening (off-path attack battery) ------------------------------
+    // Every knob below defaults to the measured legacy behavior of the 34
+    // calibrated devices; profile_identity() emits the section only when
+    // one is non-default, and the NAT hot paths pay a single untaken
+    // branch while they stay off. bench/attack_matrix ablates each knob
+    // against the attack it closes.
+    /// Purge the matched binding when an inbound hard ICMP error
+    /// (Port/Host/Proto-Unreachable) is accepted for it — the
+    /// conntrack-style teardown posture ReDAN abuses for off-path DoS.
+    bool icmp_error_teardown = false;
+    /// Require the embedded quote of an inbound ICMP error to be
+    /// structurally complete (full 8 transport bytes, sane embedded UDP
+    /// length) before acting on it; rejects the truncated/malformed
+    /// quotes attack class 4 sends. Default-off devices accept any quote
+    /// carrying at least the two port fields.
+    bool validate_embedded_binding = false;
+    /// Per-second budget of inbound WAN ICMP errors the NAT will process;
+    /// excess errors are dropped before any binding lookup, so an
+    /// attacker's port sweep exhausts its own budget. 0 = unlimited.
+    int icmp_error_rate_limit = 0;
+    /// Disposition of unsolicited inbound SYNs; non-Forward values also
+    /// enable strict handshake tracking (a binding that has not seen an
+    /// inbound SYN-ACK accepts nothing else from the WAN until it is
+    /// established).
+    WanSynPolicy wan_syn_policy = WanSynPolicy::Forward;
+    /// Maximum live bindings one internal host may hold per transport
+    /// table; contains single-host port-exhaustion races. -1 = unlimited.
+    int per_host_binding_budget = -1;
+
     /// Check the invariants every consumer of a profile assumes. Returns
     /// "" when the profile is usable, else a short description of the
     /// first violated invariant. The calibrated profiles satisfy all of
@@ -228,7 +269,9 @@ struct DeviceProfile {
     ///   * pool_begin >= 1 and pool_begin <= pool_end;
     ///   * every ForwardingModel rate > 0 and both buffers > 0;
     ///   * every firewall rule has prefix lengths in [0, 32] and
-    ///     non-inverted port ranges (lo <= hi).
+    ///     non-inverted port ranges (lo <= hi);
+    ///   * icmp_error_rate_limit >= 0; per_host_binding_budget > 0 or
+    ///     exactly -1 (the unlimited sentinel).
     /// Testbed::add_device rejects profiles that fail this, so a bad
     /// sample can never silently produce a nonsense measurement.
     std::string validate() const;

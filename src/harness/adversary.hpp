@@ -1,10 +1,14 @@
-// Hostile-workload battery for the binding-exhaustion audits: drives a
-// device's NAT engine directly with synthetic floods (ReDAN-style UDP and
-// TCP SYN binding exhaustion, port-collision storms, ICMP query-id and
-// unknown-protocol side-table floods) plus a reboot mid-measurement, and
-// checks that the device degrades gracefully: caps enforced, no state
-// table grows without bound, and the pre-established victim flow keeps
-// translating per the device's profile policy.
+// On-path exhaustion audit: drives a device's NAT engine directly with
+// synthetic floods (UDP and TCP SYN binding exhaustion, port-collision
+// storms, ICMP query-id and unknown-protocol side-table floods) plus a
+// reboot mid-measurement, and checks that the device degrades
+// gracefully: caps enforced, no state table grows without bound, and the
+// pre-established victim flow keeps translating per the device's profile
+// policy. This battery is a capacity/graceful-degradation audit, not a
+// threat model: it injects engine-direct from an omniscient on-path
+// position. The off-path ReDAN remote-DoS scenarios (spoofed traffic
+// through the real WAN-side packet path) live in harness/attacks.hpp and
+// bench/attack_matrix.cpp.
 #pragma once
 
 #include <cstddef>

@@ -97,6 +97,17 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
     int device_failures = 0;
     bool device_quarantined = false;
 
+    /// NAT hardening counters at unit start. finish_unit() compares them
+    /// against the live values and annotates a failed unit's reason with
+    /// any attack-shaped deltas, so campaign post-mortems can separate
+    /// probe bugs from hostile traffic the gateway was fending off.
+    struct AttackSnap {
+        std::uint64_t icmp_hostile = 0; ///< rate-limited + bad-quote + teardown
+        std::uint64_t wan_syn = 0;      ///< dropped + tarpitted + stray
+        std::uint64_t budget = 0;       ///< host-budget refusals, both tables
+    };
+    AttackSnap attack_snap;
+
     report::JournalWriter journal;
     bool journaling = false;
 
@@ -406,6 +417,7 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
             return;
         }
         unit_start = loop().now();
+        attack_snap = attack_counters();
         attempts = 1;
         hard_hit = false;
         unit_done = false;
@@ -442,8 +454,39 @@ struct Testrund::Runner : std::enable_shared_from_this<Testrund::Runner> {
             finish_unit(UnitStatus::Ok, "");
     }
 
+    AttackSnap attack_counters() {
+        auto& nat = tb.slot(device).gw->nat();
+        const auto& st = nat.stats();
+        AttackSnap s;
+        s.icmp_hostile =
+            st.icmp_rate_limited + st.icmp_quote_rejected + st.icmp_teardowns;
+        s.wan_syn =
+            st.wan_syn_dropped + st.wan_syn_tarpitted + st.wan_stray_dropped;
+        s.budget = nat.udp_table().host_budget_refusals() +
+                   nat.tcp_table().host_budget_refusals();
+        return s;
+    }
+
+    /// ";attack=<comma-list>" naming the hardening counter groups that
+    /// moved during this unit, or empty. Journal replay copies the
+    /// composite reason verbatim, so resumed campaigns keep the verdict.
+    std::string attack_annotation() {
+        const AttackSnap now = attack_counters();
+        std::string list;
+        const auto add = [&list](const char* name) {
+            if (!list.empty()) list += ',';
+            list += name;
+        };
+        if (now.icmp_hostile > attack_snap.icmp_hostile)
+            add("icmp_error_flood");
+        if (now.wan_syn > attack_snap.wan_syn) add("wan_syn_flood");
+        if (now.budget > attack_snap.budget) add("binding_budget_pressure");
+        return list.empty() ? std::string{} : ";attack=" + list;
+    }
+
     void finish_unit(UnitStatus status, std::string reason) {
         unit_done = true;
+        if (status != UnitStatus::Ok) reason += attack_annotation();
         if (soft_ev) loop().cancel(soft_ev);
         if (hard_ev) loop().cancel(hard_ev);
         if (force_ev) loop().cancel(force_ev);
