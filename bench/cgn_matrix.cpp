@@ -1,0 +1,450 @@
+// NAT444 campaign: every calibrated device re-measured behind a
+// carrier-grade NAT (RFC 6888 defaults), three questions per run:
+//
+//   1. Effective binding timeout through the chain. The subscriber
+//      experiences min(home, CGN); with the CGN's UDP timer at the
+//      RFC 4787 REQ-5 floor of 120 s, every device the paper measured
+//      above that is clipped. Measured with the paper's modified binary
+//      search (section 3.2.1) end-to-end through both NAT layers.
+//
+//   2. Hole punching through two NAT layers (Ford et al., the paper's
+//      reference [10]). An EIM CGN is transparent to punching — the
+//      sampled-pair success rate must match the single-layer rate
+//      (62% measured, p^2 = 62.4% +- 0.6% predicted at n = 10000) —
+//      while an EDM (symmetric) CGN kills punching outright, and the
+//      same-CGN case succeeds only via the CGN's hairpin (REQ-9).
+//
+//   3. Port-budget fairness under churn: RFC 7422 deterministic
+//      per-subscriber blocks confine an aggressive subscriber to its
+//      own carve, while a shared first-come pool lets it starve every
+//      neighbor (the ReDAN exhaustion victim, now at carrier scale) —
+//      plus the deployment arithmetic for the 10k sampled population.
+//
+// Exit-code gated on all three. Extra knobs: GATEKIT_POP_PAIRS (sampled
+// punch pairs, default 48, same indexes as holepunch_matrix) and
+// GATEKIT_POP_COUNT (population size for the block arithmetic, default
+// 10000). Output is byte-identical at any GATEKIT_WORKERS value.
+#include "bench_common.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "devices/population.hpp"
+#include "gateway/cgn.hpp"
+#include "harness/binding_search.hpp"
+#include "harness/holepunch.hpp"
+#include "harness/testbed.hpp"
+#include "net/udp.hpp"
+#include "stack/udp_socket.hpp"
+
+using namespace gatekit;
+using namespace gatekit::bench;
+
+namespace {
+
+/// Run fn(0..n-1) across `workers` threads, any order. Callers store
+/// results by index, so output stays byte-identical at any worker count.
+template <typename Fn>
+void parallel_index(int n, int workers, Fn&& fn) {
+    std::atomic<int> next{0};
+    auto body = [&] {
+        for (int i = 0; (i = next.fetch_add(1)) < n;) fn(i);
+    };
+    if (workers <= 1 || n <= 1) {
+        body();
+        return;
+    }
+    std::vector<std::thread> threads;
+    const int count = std::min(workers, n);
+    threads.reserve(static_cast<std::size_t>(count));
+    for (int w = 0; w < count; ++w) threads.emplace_back(body);
+    for (auto& t : threads) t.join();
+}
+
+constexpr std::uint16_t kServerPort = 9009;
+
+struct ChainRow {
+    std::string tag;
+    double paper_s = 0;
+    double expected_s = 0;
+    double measured_s = 0;
+    bool clipped = false;
+    int trials = 0;
+    bool ok = false;
+};
+
+/// Paper section 3.2.1's binary search, but end-to-end through a full
+/// NAT444 bring-up: home gateway behind a default CGN. Every trial
+/// opens a fresh client flow (new source port), creates the bindings
+/// with one outbound packet, idles `gap`, then the server probes the
+/// reflexive endpoint it saw; the chain is alive iff the probe clears
+/// BOTH inbound translations.
+ChainRow measure_chain_timeout(const gateway::DeviceProfile& prof) {
+    ChainRow row;
+    row.tag = prof.tag;
+    row.paper_s = std::chrono::duration<double>(prof.udp.initial).count();
+
+    gateway::CgnConfig cgn; // RFC 6888 defaults: 120 s UDP, EIM, blocks
+    const double cgn_s =
+        std::chrono::duration<double>(cgn.udp.initial).count();
+    row.expected_s = std::min(row.paper_s, cgn_s);
+    row.clipped = row.paper_s > cgn_s;
+
+    sim::EventLoop loop;
+    harness::Testbed tb(loop);
+    const int g = tb.add_cgn_group(cgn);
+    const int slot_i = tb.add_device_behind_cgn(prof, g);
+    tb.start_and_wait();
+    auto& slot = tb.slot(slot_i);
+
+    std::uint64_t epoch = 0;
+    sim::Duration cur_gap{};
+    bool alive = false;
+    stack::UdpSocket* client = nullptr;
+    std::uint16_t next_port = 40000;
+
+    auto& server = tb.server().udp_open(net::Ipv4Addr::any(), kServerPort);
+    server.set_receive_handler([&](net::Endpoint src,
+                                   std::span<const std::uint8_t>,
+                                   const net::Ipv4Packet&) {
+        const std::uint64_t e = epoch;
+        loop.after(cur_gap, [&, e, src] {
+            if (e == epoch) server.send_to(src, {'p'});
+        });
+    });
+
+    auto trial = [&](sim::Duration gap, std::function<void(bool)> done) {
+        ++epoch;
+        cur_gap = gap;
+        alive = false;
+        // Fresh flow per trial: a reused source port would re-anchor (or
+        // fail to re-anchor, on non-refreshing devices) the previous
+        // trial's binding instead of creating one.
+        if (client != nullptr) tb.client().udp_close(*client);
+        client =
+            &tb.client().udp_open(slot.client_addr, next_port++, slot.client_if);
+        client->set_receive_handler([&](net::Endpoint,
+                                        std::span<const std::uint8_t>,
+                                        const net::Ipv4Packet&) {
+            alive = true;
+        });
+        client->send_to({slot.server_addr, kServerPort}, {'s'});
+        loop.after(gap + std::chrono::seconds(3),
+                   [&, done = std::move(done)] { done(alive); });
+    };
+
+    harness::SearchParams params;
+    params.hi_limit = std::chrono::seconds(300); // CGN clips at 120 s
+    bool finished = false;
+    harness::SearchResult result;
+    harness::BindingTimeoutSearch search(loop, params, trial,
+                                         [&](harness::SearchResult r) {
+                                             result = r;
+                                             finished = true;
+                                         });
+    search.start();
+    for (int guard = 0; !finished && guard < 4000; ++guard)
+        loop.run_for(std::chrono::seconds(30));
+
+    row.measured_s = std::chrono::duration<double>(result.timeout).count();
+    row.trials = result.trials;
+    row.ok = finished && !result.exceeded_limit &&
+             std::abs(row.measured_s - row.expected_s) <= 2.0;
+    return row;
+}
+
+const char* punch_cell(const harness::HolePunchResult& r) {
+    return !r.registered ? "NOREG" : r.success ? "punch" : "fail";
+}
+
+struct FairnessOutcome {
+    std::vector<std::uint64_t> served; ///< per subscriber, churner last
+    std::uint64_t sub_min = 0, sub_max = 0;
+    double jain = 0;
+    std::uint64_t pool_exhausted = 0;
+};
+
+/// Interleaved allocation rounds against a bare CgnEngine: 34 polite
+/// subscribers wanting 4 flows per round for 8 rounds, one churner
+/// demanding 512 fresh flows per round, churner first within each round
+/// (worst case for the polite crowd).
+FairnessOutcome run_fairness(std::uint16_t block_size, int n_subs) {
+    gateway::CgnConfig cfg;
+    cfg.pool_begin = 1024;
+    cfg.pool_end = 5119; // 4096 ports
+    cfg.block_size = block_size;
+    sim::EventLoop loop;
+    gateway::CgnEngine engine(loop, cfg);
+    const net::Ipv4Addr access(100, 64, 0, 1);
+    const net::Ipv4Addr external(198, 51, 100, 7);
+    const net::Ipv4Addr remote(10, 0, 9, 9);
+    engine.set_addresses(access, 24, external);
+
+    auto flow = [&](net::Ipv4Addr src, std::uint16_t sport) {
+        net::Ipv4Packet pkt;
+        pkt.h.protocol = net::proto::kUdp;
+        pkt.h.src = src;
+        pkt.h.dst = remote;
+        pkt.h.ttl = 64;
+        net::UdpDatagram d;
+        d.src_port = sport;
+        d.dst_port = 7000;
+        d.payload = {1};
+        pkt.payload = d.serialize(src, remote);
+        return engine.outbound(pkt).has_value();
+    };
+
+    const net::Ipv4Addr churner(100, 64, 0, 100);
+    FairnessOutcome out;
+    out.served.assign(static_cast<std::size_t>(n_subs) + 1, 0);
+    for (int round = 0; round < 8; ++round) {
+        for (int j = 0; j < 512; ++j)
+            out.served.back() += flow(
+                churner, static_cast<std::uint16_t>(30000 + round * 512 + j));
+        for (int s = 0; s < n_subs; ++s) {
+            const net::Ipv4Addr sub(
+                (access.value() & 0xffffff00u) |
+                static_cast<std::uint32_t>(2 + s));
+            for (int k = 0; k < 4; ++k)
+                out.served[static_cast<std::size_t>(s)] += flow(
+                    sub, static_cast<std::uint16_t>(20000 + round * 4 + k));
+        }
+    }
+    out.sub_min = out.sub_max = out.served[0];
+    for (int s = 0; s < n_subs; ++s) {
+        out.sub_min = std::min(out.sub_min, out.served[static_cast<std::size_t>(s)]);
+        out.sub_max = std::max(out.sub_max, out.served[static_cast<std::size_t>(s)]);
+    }
+    double sum = 0, sumsq = 0;
+    for (const auto v : out.served) {
+        const auto d = static_cast<double>(v);
+        sum += d;
+        sumsq += d * d;
+    }
+    out.jain = sumsq > 0 ? (sum * sum) /
+                               (static_cast<double>(out.served.size()) * sumsq)
+                         : 0;
+    out.pool_exhausted = engine.stats().pool_exhausted;
+    return out;
+}
+
+} // namespace
+
+int main() {
+    const auto& profiles = devices::all_profiles();
+    const int limit = env_device_limit(static_cast<int>(profiles.size()));
+    const int n_devices =
+        limit > 0 ? limit : static_cast<int>(profiles.size());
+    const int workers = env_workers();
+    bool all_ok = true;
+
+    report::CsvWriter csv({"section", "key", "value"});
+
+    // ---- Section 1: effective binding timeout = min(home, CGN) --------
+    std::vector<ChainRow> rows(static_cast<std::size_t>(n_devices));
+    parallel_index(n_devices, workers, [&](int i) {
+        rows[static_cast<std::size_t>(i)] =
+            measure_chain_timeout(profiles[static_cast<std::size_t>(i)]);
+        std::cerr << "[gatekit] chain timeout "
+                  << profiles[static_cast<std::size_t>(i)].tag << " done\n";
+    });
+
+    std::cout << "NAT444 effective UDP binding timeout (min of chain)\n"
+              << "===================================================\n"
+              << "Home gateway behind a default CGN (RFC 6888: 120 s UDP\n"
+              << "timer, the RFC 4787 REQ-5 floor). The paper's per-device\n"
+              << "timeout survives only below the carrier's; everything\n"
+              << "above 120 s is clipped to it.\n\n";
+    report::TextTable t1(
+        {"device", "paper (s)", "chain expect (s)", "measured (s)",
+         "clipped", "trials", "ok"});
+    int clipped = 0;
+    for (const auto& r : rows) {
+        t1.add_row({r.tag, report::fmt_double(r.paper_s, 0),
+                    report::fmt_double(r.expected_s, 0),
+                    report::fmt_double(r.measured_s, 0),
+                    r.clipped ? "yes" : "", std::to_string(r.trials),
+                    r.ok ? "yes" : "NO"});
+        csv.add_row({"timeout", r.tag, report::fmt_double(r.measured_s, 0)});
+        clipped += r.clipped;
+        all_ok = all_ok && r.ok;
+    }
+    t1.print(std::cout);
+    std::cout << "\n" << clipped << " of " << n_devices
+              << " devices clipped to the carrier's 120 s timer; every "
+                 "measurement within 2 s of min(home, CGN).\n";
+
+    // ---- Section 2: hole punching through two NAT layers ---------------
+    std::cout << "\nHole punching through NAT444\n"
+              << "============================\n"
+              << "Columns: single home NAT layer (the PR7 baseline), both\n"
+              << "peers behind distinct EIM CGNs, both behind ONE EIM CGN\n"
+              << "(succeeds only via the CGN hairpin, RFC 6888 REQ-9), and\n"
+              << "distinct EDM (symmetric) CGNs.\n\n";
+
+    const std::vector<std::string> reps = {"owrt", "we", "be1", "ng5"};
+    gateway::CgnConfig eim_cfg;
+    gateway::CgnConfig edm_cfg;
+    edm_cfg.eim = false;
+
+    report::TextTable t2(
+        {"A", "B", "single", "eim x2", "same cgn", "edm x2"});
+    for (const auto& ta : reps) {
+        for (const auto& tb_tag : reps) {
+            const auto pa = devices::find_profile(ta);
+            const auto pb = devices::find_profile(tb_tag);
+            const auto single = harness::run_hole_punch(*pa, *pb);
+            const auto eim =
+                harness::run_hole_punch_nat444(*pa, *pb, eim_cfg, false);
+            const auto same =
+                harness::run_hole_punch_nat444(*pa, *pb, eim_cfg, true);
+            const auto edm =
+                harness::run_hole_punch_nat444(*pa, *pb, edm_cfg, false);
+            t2.add_row({ta, tb_tag, punch_cell(single), punch_cell(eim),
+                        punch_cell(same), punch_cell(edm)});
+            csv.add_row({"punch", ta + "/" + tb_tag,
+                         std::string(punch_cell(eim))});
+            // The EIM CGN must be transparent (same verdict as one
+            // layer, with or without the hairpin turn); the EDM CGN
+            // must kill punching outright.
+            all_ok = all_ok && eim.success == single.success &&
+                     same.success == single.success && !edm.success &&
+                     edm.registered;
+        }
+        std::cerr << "[gatekit] punch row " << ta << " done\n";
+    }
+    t2.print(std::cout);
+
+    const int n_pairs = env_int("GATEKIT_POP_PAIRS", 48);
+    struct PairVerdict {
+        bool single = false, eim = false, edm = false;
+    };
+    std::vector<PairVerdict> pairs(static_cast<std::size_t>(n_pairs));
+    parallel_index(n_pairs, workers, [&](int i) {
+        const auto pa =
+            devices::sample_gateway(devices::kPopulationSeed, 2 * i);
+        const auto pb =
+            devices::sample_gateway(devices::kPopulationSeed, 2 * i + 1);
+        auto& v = pairs[static_cast<std::size_t>(i)];
+        v.single = harness::run_hole_punch(pa, pb).success;
+        v.eim = harness::run_hole_punch_nat444(pa, pb, eim_cfg, false).success;
+        v.edm = harness::run_hole_punch_nat444(pa, pb, edm_cfg, false).success;
+    });
+    int s_single = 0, s_eim = 0, s_edm = 0;
+    bool pairwise_equal = true;
+    for (const auto& v : pairs) {
+        s_single += v.single;
+        s_eim += v.eim;
+        s_edm += v.edm;
+        pairwise_equal = pairwise_equal && v.eim == v.single;
+    }
+    all_ok = all_ok && pairwise_equal && s_edm == 0;
+    const auto pct = [&](int k) {
+        return report::fmt_double(100.0 * k / std::max(1, n_pairs), 0);
+    };
+    std::cout << "\nSampled population (" << n_pairs
+              << " random pairs, the same (seed, index) draws as "
+                 "holepunch_matrix):\n"
+              << "  single layer    " << s_single << "/" << n_pairs << " ("
+              << pct(s_single) << "%)  [population prediction p^2 = 62.4% "
+              << "+- 0.6% at n = 10000;\n                     Ford et al. "
+              << "measured 82% in the wild]\n"
+              << "  + EIM CGN x2    " << s_eim << "/" << n_pairs << " ("
+              << pct(s_eim) << "%)  pair-for-pair "
+              << (pairwise_equal ? "identical to" : "DIVERGES from")
+              << " the single-layer verdicts\n"
+              << "  + EDM CGN x2    " << s_edm << "/" << n_pairs << " ("
+              << pct(s_edm)
+              << "%)  a symmetric carrier NAT ends direct p2p\n";
+    csv.add_row({"punch_sampled", "single", std::to_string(s_single)});
+    csv.add_row({"punch_sampled", "eim", std::to_string(s_eim)});
+    csv.add_row({"punch_sampled", "edm", std::to_string(s_edm)});
+
+    // ---- Section 3: port-budget fairness + deployment arithmetic -------
+    std::cout << "\nPer-subscriber port budget under churn\n"
+              << "======================================\n"
+              << "4096-port pool, 34 polite subscribers (4 flows/round, 8\n"
+              << "rounds) vs one churner (512 flows/round), churner first\n"
+              << "each round. RFC 7422 deterministic blocks (64 ports each)\n"
+              << "vs one shared first-come pool.\n\n";
+    const int n_subs = 34;
+    const auto block = run_fairness(64, n_subs);
+    const auto shared = run_fairness(0, n_subs);
+    report::TextTable t3({"pool carve", "sub min", "sub max", "churner",
+                          "Jain(35)", "refusals"});
+    const auto fair_row = [&](const char* name, const FairnessOutcome& f) {
+        t3.add_row({name, std::to_string(f.sub_min),
+                    std::to_string(f.sub_max),
+                    std::to_string(f.served.back()),
+                    report::fmt_double(f.jain, 3),
+                    std::to_string(f.pool_exhausted)});
+        csv.add_row({"fairness", name, report::fmt_double(f.jain, 3)});
+    };
+    fair_row("64-port blocks", block);
+    fair_row("shared pool", shared);
+    t3.print(std::cout);
+    std::cout << "\nBlocks confine the churner to its own 64-port carve "
+                 "(every polite\nsubscriber gets all 32 flows); the shared "
+                 "pool lets it starve the\nneighborhood.\n";
+    all_ok = all_ok && block.sub_min == 32 && block.jain > 0.9 &&
+             shared.sub_min < 32 && shared.jain < 0.2 &&
+             shared.pool_exhausted > 0;
+
+    const int n_pop = env_int("GATEKIT_POP_COUNT", 10000);
+    std::cout << "\nDeterministic-NAT deployment arithmetic, " << n_pop
+              << " sampled subscribers\n"
+              << "(full 64512-port pool, RFC 7422 block carve; \"cap>"
+                 "block\" = sampled\ndevices whose own concurrent-UDP-"
+                 "binding appetite exceeds the carve):\n\n";
+    std::vector<int> caps(static_cast<std::size_t>(n_pop));
+    parallel_index(n_pop, workers, [&](int i) {
+        const auto p = devices::sample_gateway(devices::kPopulationSeed, i);
+        caps[static_cast<std::size_t>(i)] =
+            p.max_udp_bindings > 0 ? p.max_udp_bindings : p.max_tcp_bindings;
+    });
+    report::TextTable t4({"block", "subs/ext IP", "ext IPs for pop",
+                          "max subs/block", "cap>block"});
+    for (const std::uint16_t bs : {512, 1024, 2048, 4096}) {
+        gateway::CgnConfig cfg;
+        cfg.block_size = bs;
+        sim::EventLoop loop;
+        gateway::CgnEngine engine(loop, cfg);
+        engine.set_addresses(net::Ipv4Addr(100, 64, 0, 1), 10,
+                             net::Ipv4Addr(198, 51, 100, 7));
+        const int nb = engine.num_blocks();
+        std::vector<int> load(static_cast<std::size_t>(nb), 0);
+        const std::uint32_t base = net::Ipv4Addr(100, 64, 0, 0).value();
+        for (int i = 0; i < n_pop; ++i) {
+            const net::Ipv4Addr sub(base + 2u + static_cast<std::uint32_t>(i));
+            const auto info = engine.block_of(sub);
+            // The whole point of RFC 7422: the mapping is pure modular
+            // arithmetic, reproducible offline from the address alone.
+            all_ok = all_ok && info.has_value() &&
+                     info->index == static_cast<int>((2u + static_cast<std::uint32_t>(i)) %
+                                                     static_cast<std::uint32_t>(nb));
+            if (info) ++load[static_cast<std::size_t>(info->index)];
+        }
+        int max_load = 0;
+        for (const int l : load) max_load = std::max(max_load, l);
+        int over = 0;
+        for (const int c : caps) over += c > static_cast<int>(bs);
+        const int ext_ips = (n_pop + nb - 1) / nb;
+        t4.add_row({std::to_string(bs), std::to_string(nb),
+                    std::to_string(ext_ips), std::to_string(max_load),
+                    report::fmt_double(100.0 * over / std::max(1, n_pop), 1) +
+                        "%"});
+        csv.add_row({"blocks", std::to_string(bs), std::to_string(ext_ips)});
+    }
+    t4.print(std::cout);
+    std::cout << "\nSmaller blocks pack more subscribers per external "
+                 "address but squeeze\ndevices whose own binding tables "
+                 "out-eat the carve; the paper's devices\n(1024+ concurrent "
+                 "bindings) are exactly the squeezed class at 512.\n";
+
+    maybe_csv("cgn_matrix", csv);
+    if (!all_ok) {
+        std::cerr << "[gatekit] cgn_matrix FAILED one or more gates\n";
+        return 1;
+    }
+    return 0;
+}

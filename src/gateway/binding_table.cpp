@@ -87,6 +87,20 @@ void BindingTable::host_release(const Binding& b) {
     if (--it->second == 0) per_host_.erase(it);
 }
 
+void BindingTable::internal_claim(const Binding& b) {
+    if (profile_.port_allocation != PortAllocation::ReusePooled) return;
+    auto& held = by_internal_[b.key.internal];
+    held.first = b.external_port;
+    ++held.second;
+}
+
+void BindingTable::internal_release(const Binding& b) {
+    if (profile_.port_allocation != PortAllocation::ReusePooled) return;
+    auto it = by_internal_.find(b.key.internal);
+    if (it == by_internal_.end()) return;
+    if (--it->second.second == 0) by_internal_.erase(it);
+}
+
 void BindingTable::free_binding(std::uint32_t slot) {
     slots_[slot] = Binding{};
     free_binding_slots_.push_back(slot);
@@ -132,6 +146,7 @@ void BindingTable::sweep() {
             erase_external(b.external_port, rec.slot);
             by_flow_.erase(b.key);
             host_release(b);
+            internal_release(b);
             obs::inc(m_expired_);
             free_binding(rec.slot);
         } else {
@@ -159,6 +174,14 @@ bool BindingTable::port_taken_by_other(std::uint16_t port,
 }
 
 std::uint16_t BindingTable::allocate_port(const FlowKey& key) {
+    if (profile_.port_allocation == PortAllocation::ReusePooled) {
+        // Paired pooling: while any of this endpoint's flows lives, new
+        // flows share its pool port (endpoint-independent mapping). The
+        // port cannot collide — find_or_create_outbound already missed
+        // by_flow_, so this (internal, remote) pair is new on it.
+        auto it = by_internal_.find(key.internal);
+        if (it != by_internal_.end()) return it->second.first;
+    }
     if (profile_.port_allocation == PortAllocation::PreserveSourcePort) {
         bool quarantined = false;
         auto it = graveyard_.find(key);
@@ -224,11 +247,19 @@ Binding* BindingTable::find_or_create_outbound(const FlowKey& key) {
     (void)ins;
     by_external_[port].push_back(slot);
     host_claim(b);
+    internal_claim(b);
     update_hot(b);
     schedule_expiry(b, effective_deadline(b));
     obs::inc(m_created_);
     obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
     return &b;
+}
+
+Binding* BindingTable::find_outbound(const FlowKey& key) {
+    auto it = by_flow_.find(key);
+    if (it == by_flow_.end()) return nullptr;
+    Binding& b = slots_[it->second];
+    return expired(b) ? nullptr : &b;
 }
 
 Binding* BindingTable::find_inbound(std::uint16_t external_port,
@@ -248,6 +279,7 @@ Binding* BindingTable::find_inbound(std::uint16_t external_port,
             if (slots.empty()) by_external_.erase(pit);
             by_flow_.erase(b.key);
             host_release(b);
+            internal_release(b);
             free_binding(slot);
             obs::inc(m_expired_);
             obs::set(m_occupancy_, static_cast<double>(by_flow_.size()));
@@ -286,6 +318,7 @@ void BindingTable::remove(const FlowKey& key) {
     erase_external(slots_[slot].external_port, slot);
     by_flow_.erase(it);
     host_release(slots_[slot]);
+    internal_release(slots_[slot]);
     // The wheel entry goes stale and is discarded when it pops.
     free_binding(slot);
 }
@@ -296,6 +329,7 @@ void BindingTable::clear() {
     graveyard_.clear();
     grave_queue_.clear();
     per_host_.clear();
+    by_internal_.clear();
     // Reset every slab slot (zeroed generations stale out parked wheel
     // entries) and rebuild the free list; the slab itself is retained.
     free_binding_slots_.clear();

@@ -53,6 +53,16 @@ struct FlowKeyHash {
     }
 };
 
+/// Hash for internal-endpoint keys (the ReusePooled paired-pool index).
+struct EndpointHash {
+    std::size_t operator()(const net::Endpoint& e) const noexcept {
+        std::uint64_t x = (std::uint64_t{e.addr.value()} << 16) ^ e.port;
+        x *= 0x9e3779b97f4a7c15ULL;
+        x ^= x >> 29;
+        return static_cast<std::size_t>(x);
+    }
+};
+
 struct Binding {
     FlowKey key;
     std::uint16_t external_port = 0;
@@ -86,6 +96,11 @@ public:
     /// Returns nullptr when the table is full (per profile max) or the
     /// port pool is exhausted. Expired entries are swept lazily.
     Binding* find_or_create_outbound(const FlowKey& key);
+
+    /// Find an existing live outbound binding without creating one (used
+    /// when attributing an ICMP error's quote to a flow). Returns nullptr
+    /// for unknown or expired flows; expired entries are left for sweep().
+    Binding* find_outbound(const FlowKey& key);
 
     /// Find the (live) binding matching an inbound packet.
     Binding* find_inbound(std::uint16_t external_port,
@@ -163,6 +178,11 @@ private:
     /// before free_binding() resets the record.
     void host_claim(const Binding& b);
     void host_release(const Binding& b);
+    /// Paired-pool accounting (ReusePooled only): which pool port each
+    /// internal endpoint holds and how many live flows ride it. Like
+    /// host_release, `internal_release` must precede free_binding().
+    void internal_claim(const Binding& b);
+    void internal_release(const Binding& b);
     /// Reset a slab slot for reuse. Zeroing wheel_gen makes any parked
     /// wheel entry for the old occupant stale.
     void free_binding(std::uint32_t slot);
@@ -230,6 +250,12 @@ private:
     /// Live bindings per internal host; only populated while
     /// per_host_binding_budget is enabled.
     std::unordered_map<std::uint32_t, std::uint32_t> per_host_;
+
+    /// Internal endpoint -> (held pool port, live-flow refcount); only
+    /// populated under PortAllocation::ReusePooled.
+    std::unordered_map<net::Endpoint, std::pair<std::uint16_t, std::uint32_t>,
+                       EndpointHash>
+        by_internal_;
     std::uint64_t host_budget_refusals_ = 0;
 
     // Instrumentation; all nullptr until bind_observability.

@@ -1,0 +1,737 @@
+#include "gateway/cgn.hpp"
+
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+#include "net/tcp_header.hpp"
+#include "net/udp.hpp"
+#include "util/assert.hpp"
+
+namespace gatekit::gateway {
+
+namespace {
+constexpr sim::Duration kIcmpQueryTimeout = std::chrono::seconds(60);
+constexpr std::size_t kMaxIcmpQueries = 4096;
+
+/// Rewrite one (address, port) half of an ICMP error quote — `src_side`
+/// selects the quoted source or destination — keeping the quote's IP
+/// header checksum and, when the quote reaches it, its UDP checksum
+/// incrementally correct (RFC 1624). A computed UDP checksum of zero is
+/// written as 0xffff (RFC 768); a raw 0x0000 would read as "disabled" to
+/// the next NAT layer of the cascade. TCP's checksum at transport offset
+/// 16 lies beyond the RFC 792 8-byte quote and is left alone.
+void rewrite_quote(net::Bytes& q, bool src_side, net::Ipv4Addr new_addr,
+                   std::uint16_t new_port, bool rewrite_port) {
+    if (q.size() < 20) return;
+    const std::size_t ihl = static_cast<std::size_t>(q[0] & 0xf) * 4;
+    if (ihl < 20 || q.size() < ihl) return;
+
+    const std::size_t ao = src_side ? 12 : 16;
+    const auto old_addr = static_cast<std::uint32_t>(
+        (q[ao] << 24) | (q[ao + 1] << 16) | (q[ao + 2] << 8) | q[ao + 3]);
+    const std::uint32_t na = new_addr.value();
+    for (int i = 0; i < 4; ++i)
+        q[ao + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(na >> (24 - 8 * i));
+    auto ip_ck = static_cast<std::uint16_t>((q[10] << 8) | q[11]);
+    ip_ck = net::checksum_update32(ip_ck, old_addr, na);
+    q[10] = static_cast<std::uint8_t>(ip_ck >> 8);
+    q[11] = static_cast<std::uint8_t>(ip_ck);
+
+    std::uint16_t old_port = 0;
+    std::uint16_t port = 0;
+    const std::size_t po = ihl + (src_side ? 0u : 2u);
+    const bool port_done = rewrite_port && q.size() >= po + 2;
+    if (port_done) {
+        old_port = static_cast<std::uint16_t>((q[po] << 8) | q[po + 1]);
+        port = new_port;
+        q[po] = static_cast<std::uint8_t>(port >> 8);
+        q[po + 1] = static_cast<std::uint8_t>(port);
+    }
+    if (q[9] == net::proto::kUdp && q.size() >= ihl + 8) {
+        auto ck = static_cast<std::uint16_t>((q[ihl + 6] << 8) | q[ihl + 7]);
+        if (ck != 0) { // zero means the quoted datagram had no checksum
+            ck = net::checksum_update32(ck, old_addr, na);
+            if (port_done) ck = net::checksum_update16(ck, old_port, port);
+            if (ck == 0) ck = 0xffff;
+            q[ihl + 6] = static_cast<std::uint8_t>(ck >> 8);
+            q[ihl + 7] = static_cast<std::uint8_t>(ck);
+        }
+    }
+}
+} // namespace
+
+CgnEngine::CgnEngine(sim::EventLoop& loop, CgnConfig cfg)
+    : loop_(loop), cfg_(cfg) {
+    GK_EXPECTS(cfg_.pool_begin >= 1 && cfg_.pool_begin <= cfg_.pool_end);
+    if (cfg_.block_size != 0) GK_EXPECTS(num_blocks() >= 1);
+}
+
+int CgnEngine::num_blocks() const {
+    if (cfg_.block_size == 0) return 0;
+    return (cfg_.pool_end - cfg_.pool_begin + 1) / cfg_.block_size;
+}
+
+void CgnEngine::set_addresses(net::Ipv4Addr access_addr,
+                              int access_prefix_len,
+                              net::Ipv4Addr external_addr) {
+    GK_EXPECTS(!external_addr.is_unspecified());
+    access_addr_ = access_addr;
+    access_prefix_len_ = access_prefix_len;
+    external_addr_ = external_addr;
+    blocks_.clear();
+    blocks_.resize(cfg_.block_size == 0
+                       ? 1u
+                       : static_cast<std::size_t>(num_blocks()));
+    icmp_queries_.clear();
+    stats_ = Stats{};
+}
+
+std::optional<CgnEngine::BlockInfo>
+CgnEngine::block_of(net::Ipv4Addr subscriber) const {
+    GK_EXPECTS(configured());
+    if (cfg_.block_size == 0) return std::nullopt;
+    const auto n = static_cast<std::uint32_t>(num_blocks());
+    const std::uint32_t host_mask =
+        access_prefix_len_ == 0
+            ? ~std::uint32_t{0}
+            : ~(~std::uint32_t{0} << (32 - access_prefix_len_));
+    const std::uint32_t host = subscriber.value() & host_mask;
+    BlockInfo info;
+    info.index = static_cast<int>(host % n);
+    info.begin = static_cast<std::uint16_t>(
+        cfg_.pool_begin + info.index * cfg_.block_size);
+    info.end = static_cast<std::uint16_t>(info.begin + cfg_.block_size - 1);
+    return info;
+}
+
+DeviceProfile CgnEngine::make_profile(std::uint16_t begin,
+                                      std::uint16_t end) const {
+    DeviceProfile p;
+    p.tag = "cgn";
+    p.vendor = "carrier";
+    p.model = "cgn";
+    p.firmware = "rfc6888";
+    p.udp = cfg_.udp;
+    p.tcp_established_timeout = cfg_.tcp_established_timeout;
+    p.tcp_transitory_timeout = cfg_.tcp_transitory_timeout;
+    p.tcp_fin_linger = cfg_.tcp_fin_linger;
+    const int span = end - begin + 1;
+    const int cap = cfg_.max_bindings > 0 ? cfg_.max_bindings : span;
+    p.max_tcp_bindings = cap;
+    p.max_udp_bindings = cap;
+    // Preserving the subscriber's source port is impossible — it lies
+    // outside the assigned block — so EIM is paired pooling (RFC 6888
+    // APP) and EDM is a fresh sequential port per flow.
+    p.port_allocation = cfg_.eim ? PortAllocation::ReusePooled
+                                 : PortAllocation::Sequential;
+    p.port_quarantine = sim::Duration{0};
+    p.pool_begin = begin;
+    p.pool_end = end;
+    p.icmp_tcp = IcmpTranslationSet::all();
+    p.icmp_udp = IcmpTranslationSet::all();
+    p.hairpin = cfg_.hairpin;
+    p.decrement_ttl = true;
+    GK_EXPECTS(p.validate().empty());
+    return p;
+}
+
+CgnEngine::Slice* CgnEngine::slice_for_subscriber(net::Ipv4Addr src) {
+    if (cfg_.block_size == 0) {
+        auto& s = blocks_[0];
+        if (!s)
+            s = std::make_unique<Slice>(
+                loop_, net::Ipv4Addr{}, -1,
+                make_profile(cfg_.pool_begin, cfg_.pool_end));
+        return s.get();
+    }
+    const auto info = block_of(src);
+    auto& s = blocks_[static_cast<std::size_t>(info->index)];
+    if (!s) {
+        s = std::make_unique<Slice>(loop_, src, info->index,
+                                    make_profile(info->begin, info->end));
+        return s.get();
+    }
+    if (s->owner != src) {
+        // Deterministic NAT refusal: the block is statically someone
+        // else's. An over-subscribed modulus surfaces as exhaustion for
+        // the colliding address, never as port leakage across blocks.
+        ++stats_.block_collisions;
+        return nullptr;
+    }
+    return s.get();
+}
+
+CgnEngine::Slice* CgnEngine::slice_for_port(std::uint16_t external_port) {
+    if (external_port < cfg_.pool_begin || external_port > cfg_.pool_end)
+        return nullptr;
+    if (cfg_.block_size == 0) return blocks_[0].get();
+    const auto idx = static_cast<std::size_t>(
+        (external_port - cfg_.pool_begin) / cfg_.block_size);
+    // Remainder ports past the last full block are never allocated.
+    if (idx >= blocks_.size()) return nullptr;
+    return blocks_[idx].get();
+}
+
+void CgnEngine::refresh_udp(Slice& s, Binding& b, bool inbound_packet) {
+    sim::Duration d = cfg_.udp.initial;
+    if (inbound_packet)
+        d = cfg_.udp.inbound_refresh;
+    else if (b.confirmed)
+        d = cfg_.udp.outbound_refresh;
+    s.udp.refresh(b, d);
+}
+
+void CgnEngine::refresh_tcp(Slice& s, Binding& b) {
+    s.tcp.refresh(b, b.established ? cfg_.tcp_established_timeout
+                                   : cfg_.tcp_transitory_timeout);
+}
+
+std::optional<net::Bytes> CgnEngine::outbound(const net::Ipv4Packet& pkt) {
+    GK_EXPECTS(configured());
+    if (pkt.h.ttl <= 1) return std::nullopt; // caller emits Time Exceeded
+    if (!on_access_subnet(pkt.h.src)) {
+        ++stats_.dropped_policy;
+        return std::nullopt;
+    }
+    switch (pkt.h.protocol) {
+    case net::proto::kUdp:
+    case net::proto::kTcp:
+        return outbound_l4(pkt);
+    case net::proto::kIcmp:
+        return outbound_icmp(pkt);
+    default:
+        // RFC 6888 scopes a CGN to the transports it can multiplex;
+        // anything else cannot share the external address and is dropped.
+        ++stats_.dropped_policy;
+        return std::nullopt;
+    }
+}
+
+std::optional<net::Bytes> CgnEngine::outbound_l4(const net::Ipv4Packet& pkt) {
+    const bool udp = pkt.h.protocol == net::proto::kUdp;
+    net::UdpDatagram dgram;
+    net::TcpSegment seg;
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    try {
+        if (udp) {
+            dgram = net::UdpDatagram::parse(pkt.payload, pkt.h.src,
+                                            pkt.h.dst);
+            sport = dgram.src_port;
+            dport = dgram.dst_port;
+        } else {
+            seg = net::TcpSegment::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+            sport = seg.src_port;
+            dport = seg.dst_port;
+        }
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+
+    Slice* s = slice_for_subscriber(pkt.h.src);
+    if (s == nullptr) return std::nullopt; // block collision (counted)
+    BindingTable& table = udp ? s->udp : s->tcp;
+    const FlowKey key{pkt.h.protocol,
+                      {pkt.h.src, sport},
+                      {pkt.h.dst, dport}};
+    Binding* b = table.find_or_create_outbound(key);
+    if (b == nullptr) {
+        ++stats_.pool_exhausted;
+        return std::nullopt;
+    }
+
+    net::Ipv4Packet out;
+    out.h = pkt.h;
+    out.h.src = external_addr_;
+    out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+
+    if (udp) {
+        ++b->packets_out;
+        if (cfg_.udp.outbound_refreshes || b->packets_out == 1)
+            refresh_udp(*s, *b, false);
+        dgram.src_port = b->external_port;
+        out.payload = dgram.serialize(out.h.src, out.h.dst);
+        ++stats_.translated_out;
+        return out.serialize();
+    }
+
+    if (seg.flags.syn && !seg.flags.ack)
+        table.set_expiry(*b, loop_.now() + cfg_.tcp_transitory_timeout);
+    ++b->packets_out;
+    if (b->packets_in > 0 && !seg.flags.syn) b->established = true;
+    refresh_tcp(*s, *b);
+    if (seg.flags.fin) b->fin_out = true;
+    seg.src_port = b->external_port;
+    out.payload = seg.serialize(out.h.src, out.h.dst);
+    auto bytes = out.serialize();
+    if (seg.flags.rst) {
+        table.remove(key); // b invalid past this point
+    } else if (b->fin_in && b->fin_out) {
+        table.set_expiry(*b, loop_.now() + cfg_.tcp_fin_linger);
+    }
+    ++stats_.translated_out;
+    return bytes;
+}
+
+std::optional<net::Bytes> CgnEngine::outbound_icmp(
+    const net::Ipv4Packet& pkt) {
+    net::IcmpMessage msg;
+    try {
+        msg = net::IcmpMessage::parse(pkt.payload);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+
+    net::Ipv4Packet out;
+    out.h = pkt.h;
+    out.h.src = external_addr_;
+    out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+
+    if (msg.type == net::IcmpType::Echo) {
+        const QueryKey key{pkt.h.src, msg.echo_id(), pkt.h.dst};
+        if (!icmp_queries_.contains(key) &&
+            icmp_queries_.size() >= kMaxIcmpQueries) {
+            for (auto it = icmp_queries_.begin();
+                 it != icmp_queries_.end();) {
+                if (loop_.now() >= it->second)
+                    it = icmp_queries_.erase(it);
+                else
+                    ++it;
+            }
+            if (icmp_queries_.size() >= kMaxIcmpQueries) {
+                ++stats_.dropped_policy;
+                return std::nullopt;
+            }
+        }
+        icmp_queries_[key] = loop_.now() + kIcmpQueryTimeout;
+        out.payload = pkt.payload; // id preserved
+        ++stats_.translated_out;
+        return out.serialize();
+    }
+
+    if (msg.is_error()) {
+        // A subscriber-originated error (a home gateway's Time Exceeded,
+        // a port unreachable) quotes the inbound packet as the subscriber
+        // saw it: destination = subscriber address and internal port.
+        // Rewrite that half to the external view so the upstream sender
+        // can attribute the error to its own flow through both layers.
+        net::Bytes quoted = msg.payload;
+        net::Ipv4Packet embedded;
+        bool parsed = true;
+        try {
+            embedded = net::Ipv4Packet::parse_prefix(msg.payload);
+        } catch (const net::ParseError&) {
+            parsed = false;
+        }
+        if (parsed && embedded.h.frag_offset == 0 &&
+            (embedded.h.protocol == net::proto::kUdp ||
+             embedded.h.protocol == net::proto::kTcp) &&
+            embedded.payload.size() >= 4 &&
+            on_access_subnet(embedded.h.dst)) {
+            const auto remote_port = static_cast<std::uint16_t>(
+                (embedded.payload[0] << 8) | embedded.payload[1]);
+            const auto int_port = static_cast<std::uint16_t>(
+                (embedded.payload[2] << 8) | embedded.payload[3]);
+            if (Slice* s = slice_for_subscriber(embedded.h.dst)) {
+                BindingTable& table =
+                    embedded.h.protocol == net::proto::kUdp ? s->udp
+                                                            : s->tcp;
+                const FlowKey key{embedded.h.protocol,
+                                  {embedded.h.dst, int_port},
+                                  {embedded.h.src, remote_port}};
+                if (const Binding* b = table.find_outbound(key))
+                    rewrite_quote(quoted, /*src_side=*/false,
+                                  external_addr_, b->external_port, true);
+            }
+        } else if (parsed && embedded.h.frag_offset == 0 &&
+                   embedded.h.protocol == net::proto::kIcmp &&
+                   on_access_subnet(embedded.h.dst)) {
+            // Error about an inbound echo reply: the quote's destination
+            // is the subscriber that sent the query; only the address
+            // needs the external view (the query id is preserved).
+            rewrite_quote(quoted, /*src_side=*/false, external_addr_, 0,
+                          false);
+        }
+        net::IcmpMessage fwd = msg;
+        fwd.payload = std::move(quoted);
+        out.payload = fwd.serialize(); // outer ICMP checksum recomputed
+        ++stats_.icmp_relayed;
+        return out.serialize();
+    }
+
+    // Remaining query types cross with outer translation only.
+    out.payload = pkt.payload;
+    ++stats_.translated_out;
+    return out.serialize();
+}
+
+std::optional<net::Bytes> CgnEngine::inbound(const net::Ipv4Packet& pkt,
+                                             bool& handled) {
+    GK_EXPECTS(configured());
+    handled = false;
+    if (pkt.h.dst != external_addr_) return std::nullopt;
+    switch (pkt.h.protocol) {
+    case net::proto::kUdp:
+    case net::proto::kTcp:
+        return inbound_l4(pkt, handled);
+    case net::proto::kIcmp:
+        return inbound_icmp(pkt, handled);
+    default:
+        return std::nullopt; // CGN-host local (none expected)
+    }
+}
+
+std::optional<net::Bytes> CgnEngine::inbound_l4(const net::Ipv4Packet& pkt,
+                                                bool& handled) {
+    const bool udp = pkt.h.protocol == net::proto::kUdp;
+    net::UdpDatagram dgram;
+    net::TcpSegment seg;
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    try {
+        if (udp) {
+            dgram = net::UdpDatagram::parse(pkt.payload, pkt.h.src,
+                                            pkt.h.dst);
+            sport = dgram.src_port;
+            dport = dgram.dst_port;
+        } else {
+            seg = net::TcpSegment::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+            sport = seg.src_port;
+            dport = seg.dst_port;
+        }
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+
+    Slice* s = slice_for_port(dport);
+    if (s == nullptr) return std::nullopt; // outside the pool: host-local
+    BindingTable& table = udp ? s->udp : s->tcp;
+    Binding* b = table.find_inbound(dport, {pkt.h.src, sport});
+    if (b == nullptr) {
+        ++stats_.dropped_no_binding;
+        return std::nullopt; // unsolicited: falls to the CGN's own stack
+    }
+    handled = true;
+    ++b->packets_in;
+
+    net::Ipv4Packet out;
+    out.h = pkt.h;
+    out.h.dst = b->key.internal.addr;
+    out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+
+    if (udp) {
+        const bool first_inbound = !b->confirmed;
+        b->confirmed = true;
+        if (cfg_.udp.inbound_refreshes || first_inbound)
+            refresh_udp(*s, *b, true);
+        dgram.dst_port = b->key.internal.port;
+        out.payload = dgram.serialize(out.h.src, out.h.dst);
+        ++stats_.translated_in;
+        return out.serialize();
+    }
+
+    if (b->packets_out > 1 && !seg.flags.syn) b->established = true;
+    refresh_tcp(*s, *b);
+    if (seg.flags.fin) b->fin_in = true;
+    seg.dst_port = b->key.internal.port;
+    out.payload = seg.serialize(out.h.src, out.h.dst);
+    const auto bytes = out.serialize();
+    if (seg.flags.rst) {
+        table.remove(b->key); // b invalid past this point
+    } else if (b->fin_in && b->fin_out) {
+        table.set_expiry(*b, loop_.now() + cfg_.tcp_fin_linger);
+    }
+    ++stats_.translated_in;
+    return bytes;
+}
+
+std::optional<net::Bytes> CgnEngine::inbound_icmp(const net::Ipv4Packet& pkt,
+                                                  bool& handled) {
+    net::IcmpMessage msg;
+    try {
+        msg = net::IcmpMessage::parse(pkt.payload);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+
+    if (msg.type == net::IcmpType::EchoReply) {
+        for (auto it = icmp_queries_.begin(); it != icmp_queries_.end();) {
+            if (loop_.now() >= it->second) {
+                it = icmp_queries_.erase(it);
+                continue;
+            }
+            if (it->first.id == msg.echo_id() &&
+                it->first.remote == pkt.h.src) {
+                handled = true;
+                net::Ipv4Packet out;
+                out.h = pkt.h;
+                out.h.dst = it->first.internal;
+                out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+                out.payload = pkt.payload;
+                ++stats_.translated_in;
+                return out.serialize();
+            }
+            ++it;
+        }
+        return std::nullopt; // the CGN's own ping, if any
+    }
+
+    if (!msg.is_error()) return std::nullopt;
+
+    net::Ipv4Packet embedded;
+    try {
+        embedded = net::Ipv4Packet::parse_prefix(msg.payload);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    if (embedded.h.src != external_addr_) return std::nullopt; // not ours
+    if (embedded.h.frag_offset != 0) {
+        // Unattributable: the bytes where ports would sit are mid-stream
+        // payload.
+        handled = true;
+        ++stats_.icmp_dropped;
+        return std::nullopt;
+    }
+
+    if (embedded.h.protocol == net::proto::kIcmp) {
+        if (embedded.payload.size() < 8) return std::nullopt;
+        const auto id = static_cast<std::uint16_t>(
+            (embedded.payload[4] << 8) | embedded.payload[5]);
+        for (const auto& [key, expires] : icmp_queries_) {
+            if (key.id != id || key.remote != embedded.h.dst) continue;
+            handled = true;
+            net::Bytes quoted = msg.payload;
+            rewrite_quote(quoted, /*src_side=*/true, key.internal, 0,
+                          false);
+            net::IcmpMessage fwd = msg;
+            fwd.payload = std::move(quoted);
+            net::Ipv4Packet out;
+            out.h = pkt.h;
+            out.h.dst = key.internal;
+            out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+            out.payload = fwd.serialize();
+            ++stats_.icmp_relayed;
+            return out.serialize();
+        }
+        return std::nullopt;
+    }
+
+    if (embedded.h.protocol != net::proto::kUdp &&
+        embedded.h.protocol != net::proto::kTcp)
+        return std::nullopt;
+    if (embedded.payload.size() < 4) return std::nullopt;
+
+    const auto ext_port = static_cast<std::uint16_t>(
+        (embedded.payload[0] << 8) | embedded.payload[1]);
+    const auto remote_port = static_cast<std::uint16_t>(
+        (embedded.payload[2] << 8) | embedded.payload[3]);
+    Slice* s = slice_for_port(ext_port);
+    if (s == nullptr) return std::nullopt;
+    BindingTable& table =
+        embedded.h.protocol == net::proto::kUdp ? s->udp : s->tcp;
+    Binding* b = table.find_inbound(ext_port, {embedded.h.dst, remote_port});
+    if (b == nullptr) return std::nullopt;
+    handled = true;
+
+    net::Bytes quoted = msg.payload;
+    rewrite_quote(quoted, /*src_side=*/true, b->key.internal.addr,
+                  b->key.internal.port, true);
+    net::IcmpMessage fwd = msg;
+    fwd.payload = std::move(quoted);
+    net::Ipv4Packet out;
+    out.h = pkt.h;
+    out.h.dst = b->key.internal.addr;
+    out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+    out.payload = fwd.serialize();
+    ++stats_.icmp_relayed;
+    return out.serialize();
+}
+
+std::optional<net::Bytes> CgnEngine::hairpin(const net::Ipv4Packet& pkt) {
+    GK_EXPECTS(configured());
+    if (!cfg_.hairpin || pkt.h.protocol != net::proto::kUdp)
+        return std::nullopt;
+    net::UdpDatagram dgram;
+    try {
+        dgram = net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    } catch (const net::ParseError&) {
+        return std::nullopt;
+    }
+    Slice* ts = slice_for_port(dgram.dst_port);
+    Binding* target =
+        ts != nullptr ? ts->udp.find_by_external(dgram.dst_port) : nullptr;
+    if (target == nullptr) return std::nullopt;
+
+    Slice* ss = slice_for_subscriber(pkt.h.src);
+    if (ss == nullptr) return std::nullopt;
+    const FlowKey key{net::proto::kUdp,
+                      {pkt.h.src, dgram.src_port},
+                      {external_addr_, dgram.dst_port}};
+    Binding* sender = ss->udp.find_or_create_outbound(key);
+    if (sender == nullptr) {
+        ++stats_.pool_exhausted;
+        return std::nullopt;
+    }
+    ++sender->packets_out;
+    refresh_udp(*ss, *sender, false);
+
+    net::Ipv4Packet out;
+    out.h = pkt.h;
+    out.h.src = external_addr_;
+    out.h.dst = target->key.internal.addr;
+    out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
+    dgram.src_port = sender->external_port;
+    dgram.dst_port = target->key.internal.port;
+    out.payload = dgram.serialize(out.h.src, out.h.dst);
+    ++stats_.hairpinned;
+    return out.serialize();
+}
+
+std::size_t CgnEngine::live_bindings(net::Ipv4Addr subscriber) {
+    GK_EXPECTS(configured());
+    if (cfg_.block_size == 0) {
+        // Shared pool: per-subscriber attribution would need a table
+        // walk; report the pool-wide total (what exhaustion is felt
+        // against).
+        auto* s = blocks_[0].get();
+        return s == nullptr ? 0 : s->udp.size() + s->tcp.size();
+    }
+    const auto info = block_of(subscriber);
+    auto* s = blocks_[static_cast<std::size_t>(info->index)].get();
+    if (s == nullptr || s->owner != subscriber) return 0;
+    return s->udp.size() + s->tcp.size();
+}
+
+void CgnEngine::flush() {
+    for (auto& s : blocks_) {
+        if (!s) continue;
+        s->udp.clear();
+        s->tcp.clear();
+    }
+    icmp_queries_.clear();
+}
+
+CgnGateway::CgnGateway(sim::EventLoop& loop, Config config)
+    : loop_(loop), config_(std::move(config)),
+      host_(loop, "cgn", net::MacAddr::from_index(config_.mac_index)),
+      wan_nic_(host_.add_nic(
+          net::MacAddr::from_index(config_.mac_index + 1))),
+      access_if_(host_.add_iface()), wan_if_(host_.add_iface_on(wan_nic_)),
+      engine_(loop, config_.cgn) {
+    access_if_.configure(config_.access_addr, config_.access_prefix_len);
+    host_.add_route(config_.access_addr, config_.access_prefix_len,
+                    access_if_);
+
+    host_.set_forward_hook([this](stack::Iface& in,
+                                  const net::Ipv4Packet& pkt,
+                                  std::span<const std::uint8_t>) {
+        // WAN-side packets for non-local destinations are not ours: a
+        // CGN translates toward its external address, it does not
+        // transit-route.
+        if (&in == &access_if_) on_access_ip(pkt);
+    });
+    host_.set_local_intercept([this](stack::Iface& in,
+                                     const net::Ipv4Packet& pkt,
+                                     std::span<const std::uint8_t>) {
+        if (!engine_.configured()) return false;
+        if (&in == &wan_if_) return on_wan_local(pkt);
+        if (&in == &access_if_ && pkt.h.dst == engine_.external_addr()) {
+            // Subscriber traffic addressed to the shared external
+            // address: hairpin candidate (RFC 6888 REQ-9).
+            if (pkt.h.ttl <= 1) {
+                ttl_expired(pkt);
+                return true;
+            }
+            auto out = engine_.hairpin(pkt);
+            if (!out) return false; // e.g. pinging the external address
+            const auto dst = net::ipv4_dst(*out);
+            emit(std::move(*out), dst);
+            return true;
+        }
+        return false;
+    });
+}
+
+void CgnGateway::connect_access(sim::Link& link, sim::Link::Side side) {
+    host_.nic().connect(link, side);
+}
+
+void CgnGateway::connect_wan(sim::Link& link, sim::Link::Side side) {
+    wan_nic_.connect(link, side);
+}
+
+void CgnGateway::start(std::function<void(net::Ipv4Addr)> on_ready) {
+    on_ready_ = std::move(on_ready);
+    wan_dhcp_ = std::make_unique<stack::DhcpClient>(host_, wan_if_);
+    wan_dhcp_->start([this](const stack::DhcpLease& lease) {
+        host_.add_route(lease.addr, lease.prefix_len, wan_if_);
+        if (!lease.router.is_unspecified()) {
+            host_.add_route(net::Ipv4Addr::any(), 0, wan_if_, lease.router);
+            wan_if_.set_gateway(lease.router);
+        }
+        engine_.set_addresses(config_.access_addr,
+                              config_.access_prefix_len, lease.addr);
+
+        // The access side comes up once the external address is known:
+        // the CGN is the access network's DHCP server and router, and
+        // passes the ISP's resolver through (no DNS proxy of its own —
+        // subscriber gateways already proxy for their LANs).
+        stack::DhcpServerConfig acc;
+        acc.pool_base = config_.access_pool_base;
+        acc.prefix_len = config_.access_prefix_len;
+        acc.router = config_.access_addr;
+        acc.dns_server = lease.dns_server;
+        access_dhcp_ =
+            std::make_unique<stack::DhcpServer>(host_, access_if_, acc);
+        if (on_ready_) on_ready_(lease.addr);
+    });
+}
+
+void CgnGateway::on_access_ip(const net::Ipv4Packet& pkt) {
+    if (!engine_.configured()) return;
+    // Forwarding-path TTL check precedes translation (Linux order), so
+    // the Time Exceeded quote embeds the pristine received packet.
+    if (pkt.h.ttl <= 1) {
+        ttl_expired(pkt);
+        return;
+    }
+    const auto dst = pkt.h.dst;
+    auto out = engine_.outbound(pkt);
+    if (!out) return;
+    emit(std::move(*out), dst);
+}
+
+bool CgnGateway::on_wan_local(const net::Ipv4Packet& pkt) {
+    bool handled = false;
+    auto out = engine_.inbound(pkt, handled);
+    if (!handled) return false; // CGN-host local (DHCP toward the ISP)
+    // Only a packet the engine attributes to a subscriber flow is a
+    // forwarding event; its TTL expiring here draws a Time Exceeded.
+    if (out && pkt.h.ttl <= 1) {
+        ttl_expired(pkt);
+        return true;
+    }
+    if (out) {
+        const auto dst = net::ipv4_dst(*out);
+        emit(std::move(*out), dst);
+    }
+    return true;
+}
+
+void CgnGateway::emit(net::Bytes datagram, net::Ipv4Addr dst) {
+    const stack::Route* route = host_.lookup_route(dst);
+    if (route == nullptr) return;
+    host_.send_raw(*route->iface, std::move(datagram),
+                   route->via ? *route->via : dst);
+}
+
+void CgnGateway::ttl_expired(const net::Ipv4Packet& pkt) {
+    if (pkt.h.src.is_unspecified() || pkt.h.src.is_broadcast()) return;
+    const auto original = pkt.serialize();
+    const auto err = net::IcmpMessage::make_error(
+        net::IcmpType::TimeExceeded, net::icmp_code::kTtlExceeded, 0,
+        original);
+    host_.send_icmp(net::Ipv4Addr::any(), pkt.h.src, err);
+}
+
+} // namespace gatekit::gateway

@@ -1,0 +1,247 @@
+// Carrier-grade NAT (RFC 6888 posture) and the CgnGateway device that
+// wraps it: the middle box of a NAT444 deployment, translating between
+// the carrier access network (one home-gateway WAN address per
+// subscriber) and a single ISP-facing external address.
+//
+// Unlike a DeviceProfile-driven HomeGateway — a measured consumer device
+// with calibrated quirks — the CGN always translates correctly: every
+// checksum is fixed, ICMP quotes are rewritten in both directions, and
+// TTL is decremented per hop. Its knobs are the deployment parameters an
+// operator chooses: the port pool, the per-subscriber block carve
+// (RFC 7422 deterministic NAT), EIM vs. EDM mapping, and hairpinning.
+// The engine reuses the BindingTable slab/timer-wheel machinery (one
+// UDP + TCP table pair per subscriber block, or one shared pair), and
+// the gateway's datapath rides the same Host/NetIf packet-pool stack as
+// every other device.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gateway/binding_table.hpp"
+#include "gateway/profile.hpp"
+#include "stack/dhcp_service.hpp"
+#include "stack/host.hpp"
+
+namespace gatekit::gateway {
+
+/// RFC 6888 inherits RFC 4787 REQ-5's 120 s floor for UDP mapping
+/// timers; the defaults sit exactly there, so the NAT444 effective
+/// timeout min(home, cgn) clips every calibrated device above 120 s.
+inline UdpTimerPolicy cgn_udp_defaults() {
+    UdpTimerPolicy p;
+    p.initial = std::chrono::seconds(120);
+    p.inbound_refresh = std::chrono::seconds(120);
+    p.outbound_refresh = std::chrono::seconds(120);
+    return p;
+}
+
+/// Operator-chosen CGN deployment parameters.
+struct CgnConfig {
+    /// External port pool (shared by every subscriber).
+    std::uint16_t pool_begin = 1024;
+    std::uint16_t pool_end = 65534;
+    /// Ports per subscriber block (RFC 7422 deterministic NAT): each
+    /// subscriber address maps to a fixed block, computable offline, so
+    /// the operator needs no per-flow logging. 0 = one shared pool —
+    /// first-come allocation where a single churning subscriber can
+    /// exhaust everyone's ports (the ReDAN exhaustion victim).
+    std::uint16_t block_size = 2048;
+    /// Endpoint-independent mapping (RFC 4787 REQ-1): all flows from one
+    /// subscriber endpoint share one external port, which is what makes
+    /// hole punching through the CGN layer possible. false = endpoint-
+    /// dependent (symmetric) mapping — every flow draws a fresh port.
+    bool eim = true;
+    /// RFC 6888 REQ-9: hairpin subscriber-to-subscriber traffic sent to
+    /// the external address.
+    bool hairpin = true;
+    /// UDP binding timers (see cgn_udp_defaults above).
+    UdpTimerPolicy udp = cgn_udp_defaults();
+    sim::Duration tcp_established_timeout{std::chrono::hours(2)};
+    sim::Duration tcp_transitory_timeout{std::chrono::minutes(4)};
+    sim::Duration tcp_fin_linger{std::chrono::seconds(10)};
+    /// Per-subscriber concurrent-binding cap per transport. 0 = bounded
+    /// by the block span (block mode) or the whole pool (shared mode).
+    int max_bindings = 0;
+};
+
+/// The translation core. Pure packet-in/bytes-out like NatEngine; the
+/// CgnGateway below owns the wires.
+class CgnEngine {
+public:
+    CgnEngine(sim::EventLoop& loop, CgnConfig cfg);
+
+    /// `access_addr/prefix` is the subscriber-facing subnet; packets
+    /// sourced outside it are not translated. `external_addr` is the
+    /// single ISP-facing address every subscriber is multiplexed onto.
+    void set_addresses(net::Ipv4Addr access_addr, int access_prefix_len,
+                       net::Ipv4Addr external_addr);
+    bool configured() const { return !external_addr_.is_unspecified(); }
+    net::Ipv4Addr external_addr() const { return external_addr_; }
+    const CgnConfig& config() const { return cfg_; }
+
+    /// Subscriber -> deterministic port block (RFC 7422): block index is
+    /// host-id modulo block count, so it is computable offline from the
+    /// address alone. nullopt in shared-pool mode.
+    struct BlockInfo {
+        int index = 0;
+        std::uint16_t begin = 0;
+        std::uint16_t end = 0;
+    };
+    std::optional<BlockInfo> block_of(net::Ipv4Addr subscriber) const;
+    int num_blocks() const;
+
+    std::optional<net::Bytes> outbound(const net::Ipv4Packet& pkt);
+    std::optional<net::Bytes> inbound(const net::Ipv4Packet& pkt,
+                                      bool& handled);
+    /// Subscriber-to-subscriber traffic addressed to the external
+    /// address (UDP only, like the consumer devices' hairpin).
+    std::optional<net::Bytes> hairpin(const net::Ipv4Packet& pkt);
+
+    /// Live bindings a subscriber currently holds (UDP + TCP).
+    std::size_t live_bindings(net::Ipv4Addr subscriber);
+
+    /// Drop all translation state (maintenance restart).
+    void flush();
+
+    struct Stats {
+        std::uint64_t translated_out = 0;
+        std::uint64_t translated_in = 0;
+        /// find_or_create refused: port block / shared pool dry, or the
+        /// per-subscriber cap hit.
+        std::uint64_t pool_exhausted = 0;
+        /// Subscriber refused because its deterministic block is already
+        /// owned by a different address (over-subscribed modulus).
+        std::uint64_t block_collisions = 0;
+        std::uint64_t dropped_no_binding = 0;
+        std::uint64_t dropped_policy = 0;
+        std::uint64_t icmp_relayed = 0;
+        std::uint64_t icmp_dropped = 0;
+        std::uint64_t hairpinned = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    /// One port block's translation state. In shared-pool mode a single
+    /// instance (block -1, full pool) carries every subscriber — FlowKey
+    /// internals keep them apart, but they compete for ports.
+    struct Slice {
+        net::Ipv4Addr owner; ///< unspecified in shared mode
+        int block = -1;
+        DeviceProfile prof; ///< stable: the tables hold a reference
+        BindingTable udp;
+        BindingTable tcp;
+        Slice(sim::EventLoop& loop, net::Ipv4Addr a, int blk,
+              DeviceProfile p)
+            : owner(a), block(blk), prof(std::move(p)),
+              udp(loop, prof, 17), tcp(loop, prof, 6) {}
+    };
+
+    Slice* slice_for_subscriber(net::Ipv4Addr src);
+    Slice* slice_for_port(std::uint16_t external_port);
+    DeviceProfile make_profile(std::uint16_t begin, std::uint16_t end) const;
+    bool on_access_subnet(net::Ipv4Addr a) const {
+        return a.same_subnet(access_addr_, access_prefix_len_);
+    }
+
+    std::optional<net::Bytes> outbound_l4(const net::Ipv4Packet& pkt);
+    std::optional<net::Bytes> outbound_icmp(const net::Ipv4Packet& pkt);
+    std::optional<net::Bytes> inbound_l4(const net::Ipv4Packet& pkt,
+                                         bool& handled);
+    std::optional<net::Bytes> inbound_icmp(const net::Ipv4Packet& pkt,
+                                           bool& handled);
+    void refresh_udp(Slice& s, Binding& b, bool inbound_packet);
+    void refresh_tcp(Slice& s, Binding& b);
+
+    sim::EventLoop& loop_;
+    CgnConfig cfg_;
+    net::Ipv4Addr access_addr_;
+    int access_prefix_len_ = 24;
+    net::Ipv4Addr external_addr_;
+
+    /// Block index -> slice (created on first use); shared mode uses
+    /// blocks_[0] as the single full-pool slice.
+    std::vector<std::unique_ptr<Slice>> blocks_;
+
+    struct QueryKey {
+        net::Ipv4Addr internal;
+        std::uint16_t id = 0;
+        net::Ipv4Addr remote;
+        friend constexpr auto operator<=>(const QueryKey&,
+                                          const QueryKey&) = default;
+    };
+    struct QueryKeyHash {
+        std::size_t operator()(const QueryKey& k) const noexcept {
+            std::uint64_t x = (std::uint64_t{k.internal.value()} << 32) |
+                              k.remote.value();
+            x ^= std::uint64_t{k.id} << 13;
+            x *= 0x9e3779b97f4a7c15ULL;
+            x ^= x >> 29;
+            return static_cast<std::size_t>(x);
+        }
+    };
+    std::unordered_map<QueryKey, sim::TimePoint, QueryKeyHash> icmp_queries_;
+
+    Stats stats_;
+};
+
+/// The deployable middle box: a Host with an access-side interface (it
+/// runs the access network's DHCP server, handing each home gateway its
+/// WAN lease) and a WAN interface (DHCP client toward the ISP), with a
+/// CgnEngine spliced into forwarding and local delivery the same way
+/// HomeGateway splices its NatEngine. No FwdPath: carrier boxes forward
+/// at line rate relative to the CPE devices under study.
+class CgnGateway {
+public:
+    struct Config {
+        CgnConfig cgn;
+        net::Ipv4Addr access_addr{100, 64, 0, 1}; ///< RFC 6598 space
+        int access_prefix_len = 24;
+        net::Ipv4Addr access_pool_base{100, 64, 0, 100};
+        std::uint32_t mac_index = 5000;
+    };
+
+    CgnGateway(sim::EventLoop& loop, Config config);
+
+    CgnGateway(const CgnGateway&) = delete;
+    CgnGateway& operator=(const CgnGateway&) = delete;
+
+    void connect_access(sim::Link& link, sim::Link::Side side);
+    void connect_wan(sim::Link& link, sim::Link::Side side);
+
+    /// Bring the box up: WAN DHCP first; once the external address is
+    /// leased the engine configures and the access-side DHCP server
+    /// starts serving subscriber (home-gateway WAN) leases.
+    void start(std::function<void(net::Ipv4Addr)> on_ready = {});
+
+    bool ready() const { return engine_.configured(); }
+    net::Ipv4Addr access_addr() const { return config_.access_addr; }
+    net::Ipv4Addr external_addr() const { return engine_.external_addr(); }
+
+    stack::Host& host() { return host_; }
+    CgnEngine& engine() { return engine_; }
+    stack::Iface& access_if() { return access_if_; }
+    stack::Iface& wan_if() { return wan_if_; }
+
+private:
+    void on_access_ip(const net::Ipv4Packet& pkt);
+    bool on_wan_local(const net::Ipv4Packet& pkt);
+    void emit(net::Bytes datagram, net::Ipv4Addr dst);
+    void ttl_expired(const net::Ipv4Packet& pkt);
+
+    sim::EventLoop& loop_;
+    Config config_;
+    stack::Host host_;
+    stack::NetIf& wan_nic_;
+    stack::Iface& access_if_;
+    stack::Iface& wan_if_;
+    CgnEngine engine_;
+    std::unique_ptr<stack::DhcpClient> wan_dhcp_;
+    std::unique_ptr<stack::DhcpServer> access_dhcp_;
+    std::function<void(net::Ipv4Addr)> on_ready_;
+};
+
+} // namespace gatekit::gateway

@@ -67,7 +67,10 @@ HomeGateway::HomeGateway(sim::EventLoop& loop, Config config)
                                        config_.lan_prefix_len)) {
             net::Ipv4Packet out = pkt;
             if (config_.profile.decrement_ttl) {
-                if (pkt.h.ttl <= 1) return;
+                if (pkt.h.ttl <= 1) {
+                    ttl_expired(pkt);
+                    return;
+                }
                 out.h.ttl = static_cast<std::uint8_t>(pkt.h.ttl - 1);
             }
             auto bytes = out.serialize();
@@ -143,6 +146,9 @@ bool HomeGateway::fast_from_lan(net::PacketView& v, sim::Frame& frame) {
     // Rule out a kSlow replay before the filter sees the packet — a
     // replay would walk the chain a second time and double its counters.
     if (!NatEngine::fast_eligible(v)) return false;
+    // TTL expiry needs the pristine parsed packet for the ICMP quote:
+    // defer to the legacy path before anything rewrites the frame.
+    if (config_.profile.decrement_ttl && v.ttl() <= 1) return false;
     if (filter_active(filter_) && !filter_pass(RuleChain::key_of(v))) {
         host_.nic().pool().release(std::move(frame));
         return true;
@@ -171,6 +177,9 @@ bool HomeGateway::fast_from_wan(net::PacketView& v, sim::Frame& frame) {
     if (wire_dst.is_broadcast() || !host_.is_local_addr(wire_dst))
         return false; // plain-router fallback (or not ours): legacy
     if (!NatEngine::fast_eligible(v)) return false;
+    // Same deferral as the LAN side: an expiring TTL must reach the
+    // legacy path unrewritten so the Time Exceeded quote is faithful.
+    if (config_.profile.decrement_ttl && v.ttl() <= 1) return false;
     bool handled = false;
     const auto verdict = nat_.inbound_fast(v, handled);
     if (verdict == NatEngine::FastVerdict::kSlow)
@@ -215,11 +224,13 @@ void HomeGateway::emit_wan_frame(sim::Frame frame, net::Ipv4Addr dst) {
 }
 
 void HomeGateway::emit_lan_frame(sim::Frame frame, net::Ipv4Addr dst) {
-    if (!dst.same_subnet(config_.lan_addr, config_.lan_prefix_len)) {
+    const stack::Route* route = host_.lookup_route(dst);
+    if (route == nullptr || route->iface != &lan_if_) {
         host_.nic().pool().release(std::move(frame));
         return;
     }
-    if (const auto mac = lan_if_.arp_cache().lookup(dst)) {
+    const auto next_hop = route->via ? *route->via : dst;
+    if (const auto mac = lan_if_.arp_cache().lookup(next_hop)) {
         std::copy(mac->octets().begin(), mac->octets().end(), frame.begin());
         const auto src = host_.nic().mac().octets();
         std::copy(src.begin(), src.end(), frame.begin() + 6);
@@ -228,7 +239,7 @@ void HomeGateway::emit_lan_frame(sim::Frame frame, net::Ipv4Addr dst) {
     }
     net::Bytes dgram(frame.begin() + 14, frame.end());
     host_.nic().pool().release(std::move(frame));
-    lan_if_.send_ip_raw(std::move(dgram), dst);
+    lan_if_.send_ip_raw(std::move(dgram), next_hop);
 }
 
 void HomeGateway::connect_lan(sim::Link& link, sim::Link::Side side) {
@@ -244,8 +255,13 @@ void HomeGateway::start(std::function<void(net::Ipv4Addr)> on_ready) {
     wan_dhcp_ = std::make_unique<stack::DhcpClient>(host_, wan_if_);
     wan_dhcp_->start([this](const stack::DhcpLease& lease) {
         host_.add_route(lease.addr, lease.prefix_len, wan_if_);
-        if (!lease.router.is_unspecified())
+        if (!lease.router.is_unspecified()) {
             host_.add_route(net::Ipv4Addr::any(), 0, wan_if_, lease.router);
+            // Off-link egress (e.g. toward subnets behind an upstream
+            // CGN) resolves the lease's router instead of ARPing for
+            // the final destination.
+            wan_if_.set_gateway(lease.router);
+        }
         nat_.set_addresses(config_.lan_addr, config_.lan_prefix_len,
                            lease.addr);
 
@@ -296,6 +312,13 @@ void HomeGateway::inject_fault(const GatewayFault& fault) {
 
 void HomeGateway::on_lan_ip(stack::Iface&, const net::Ipv4Packet& pkt) {
     if (!nat_.configured()) return;
+    // Linux order: the forwarding path's TTL check (and its Time
+    // Exceeded) precedes the FORWARD chain. The NAT engine's own
+    // ttl<=1 drop stays as a backstop for direct engine users.
+    if (config_.profile.decrement_ttl && pkt.h.ttl <= 1) {
+        ttl_expired(pkt);
+        return;
+    }
     if (filter_active(filter_) && !filter_pass(filter_key_of(pkt)))
         return; // FORWARD chain, pre-SNAT (internal view of the flow)
     // Outbound translation never rewrites the destination, so route on
@@ -317,6 +340,13 @@ bool HomeGateway::on_wan_local(const net::Ipv4Packet& pkt) {
     bool handled = false;
     auto out = nat_.inbound(pkt, handled);
     if (!handled) return false; // gateway-local traffic (DHCP, DNS, ping)
+    // The engine answered "this flow is NAT'd and would be forwarded";
+    // only now is a TTL of 1 a forwarding event rather than local
+    // delivery. Pre-fix the translated packet left here with TTL 0.
+    if (out && config_.profile.decrement_ttl && pkt.h.ttl <= 1) {
+        ttl_expired(pkt);
+        return true;
+    }
     if (out) {
         if (filter_active(filter_)) {
             // FORWARD chain, post-DNAT: key off the translated bytes so
@@ -336,6 +366,17 @@ bool HomeGateway::on_wan_local(const net::Ipv4Packet& pkt) {
     return true;
 }
 
+void HomeGateway::ttl_expired(const net::Ipv4Packet& pkt) {
+    if (pkt.h.src.is_unspecified() || pkt.h.src.is_broadcast()) return;
+    const auto original = pkt.serialize();
+    const auto err = net::IcmpMessage::make_error(
+        net::IcmpType::TimeExceeded, net::icmp_code::kTtlExceeded, 0,
+        original);
+    // Routed back toward the source; the egress interface's address
+    // becomes the ICMP source (LAN address upstream, WAN downstream).
+    host_.send_icmp(net::Ipv4Addr::any(), pkt.h.src, err);
+}
+
 void HomeGateway::emit_wan(net::Bytes datagram, net::Ipv4Addr dst) {
     const stack::Route* route = host_.lookup_route(dst);
     if (route == nullptr || route->iface != &wan_if_) return;
@@ -344,8 +385,13 @@ void HomeGateway::emit_wan(net::Bytes datagram, net::Ipv4Addr dst) {
 }
 
 void HomeGateway::emit_lan(net::Bytes datagram, net::Ipv4Addr dst) {
-    if (!dst.same_subnet(config_.lan_addr, config_.lan_prefix_len)) return;
-    host_.send_raw(lan_if_, std::move(datagram), dst);
+    // Route-table-driven (mirrors emit_wan): anything whose best route
+    // does not leave via the LAN port is dropped here, which preserves
+    // the old on-link-only gate while allowing routed LAN-side subnets.
+    const stack::Route* route = host_.lookup_route(dst);
+    if (route == nullptr || route->iface != &lan_if_) return;
+    host_.send_raw(lan_if_, std::move(datagram),
+                   route->via ? *route->via : dst);
 }
 
 } // namespace gatekit::gateway

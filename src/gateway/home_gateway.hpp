@@ -109,6 +109,11 @@ private:
 
     void on_lan_ip(stack::Iface& in, const net::Ipv4Packet& pkt);
     bool on_wan_local(const net::Ipv4Packet& pkt);
+    /// Emit ICMP Time Exceeded toward `pkt`'s source (RFC 792): this hop
+    /// would have decremented the TTL to zero. Both datapath directions
+    /// land here, so cascaded (NAT444) chains report the expiring hop
+    /// instead of silently eating traceroute probes.
+    void ttl_expired(const net::Ipv4Packet& pkt);
     void emit_wan(net::Bytes datagram, net::Ipv4Addr dst);
     void emit_lan(net::Bytes datagram, net::Ipv4Addr dst);
 

@@ -617,6 +617,11 @@ net::Bytes NatEngine::translate_embedded(const net::Bytes& quoted,
             if (ck != 0) { // zero means checksum disabled
                 ck = net::checksum_update32(ck, old_addr, new_addr);
                 ck = net::checksum_update16(ck, old_port, new_port);
+                // A computed zero must be written as 0xffff (RFC 768):
+                // a raw 0x0000 here reads as "checksum disabled" to the
+                // next NAT layer in a cascade, which then skips its own
+                // rewrite and delivers a quote with a stale checksum.
+                if (ck == 0) ck = 0xffff;
                 out[ihl + 6] = static_cast<std::uint8_t>(ck >> 8);
                 out[ihl + 7] = static_cast<std::uint8_t>(ck);
             }
@@ -727,6 +732,20 @@ std::optional<net::Bytes> NatEngine::inbound_icmp(const net::Ipv4Packet& pkt,
                 for (int i = 0; i < 4; ++i)
                     quoted[12 + static_cast<std::size_t>(i)] =
                         static_cast<std::uint8_t>(v >> (24 - 8 * i));
+                // The quote's IP checksum covers the rewritten address;
+                // leaving it stale survives one NAT layer (end hosts
+                // rarely verify quotes) but a downstream home NAT that
+                // validates embedded quotes discards the error. Same
+                // incremental update the UDP/TCP path applies, behind
+                // the same profile knob.
+                if (profile_.fix_embedded_ip_checksum && quoted.size() >= 12) {
+                    const auto old_ck = static_cast<std::uint16_t>(
+                        (quoted[10] << 8) | quoted[11]);
+                    const auto new_ck = net::checksum_update32(
+                        old_ck, wan_addr_.value(), v);
+                    quoted[10] = static_cast<std::uint8_t>(new_ck >> 8);
+                    quoted[11] = static_cast<std::uint8_t>(new_ck);
+                }
                 net::IcmpMessage fwd = msg;
                 fwd.payload = std::move(quoted);
                 auto out = translated_header(pkt, pkt.h.src, key.internal);

@@ -19,6 +19,13 @@ namespace gatekit::gateway {
 enum class PortAllocation {
     PreserveSourcePort, ///< use the internal source port when free (27/34)
     Sequential,         ///< always pick the next pool port (7/34)
+    /// "Paired" pooling (RFC 6888 APP): the internal endpoint's first
+    /// flow draws the next pool port; later flows from the same endpoint
+    /// reuse it while any of them lives. Endpoint-independent mapping
+    /// confined to the pool — the CGN posture, where preserving the
+    /// subscriber's source port is impossible (it lies outside the
+    /// subscriber's assigned block). No calibrated device uses it.
+    ReusePooled,
 };
 
 /// What happens to an unknown transport protocol (paper section 4.3).

@@ -6,14 +6,13 @@
 
 namespace gatekit::harness {
 
-HolePunchResult run_hole_punch(const gateway::DeviceProfile& a,
-                               const gateway::DeviceProfile& b) {
+namespace {
+
+/// The rendezvous + simultaneous-punch exchange, topology-agnostic: the
+/// testbed is already up, and slots ia/ib may sit behind any NAT chain.
+HolePunchResult drive_punch(Testbed& tb, sim::EventLoop& loop, int ia,
+                            int ib) {
     HolePunchResult result;
-    sim::EventLoop loop;
-    Testbed tb(loop);
-    const int ia = tb.add_device(a);
-    const int ib = tb.add_device(b);
-    tb.start_and_wait();
 
     auto& rendezvous = tb.server().udp_open(net::Ipv4Addr::any(), 9987);
     rendezvous.set_receive_handler(
@@ -55,6 +54,32 @@ HolePunchResult run_hole_punch(const gateway::DeviceProfile& a,
     }
     result.success = heard_a && heard_b;
     return result;
+}
+
+} // namespace
+
+HolePunchResult run_hole_punch(const gateway::DeviceProfile& a,
+                               const gateway::DeviceProfile& b) {
+    sim::EventLoop loop;
+    Testbed tb(loop);
+    const int ia = tb.add_device(a);
+    const int ib = tb.add_device(b);
+    tb.start_and_wait();
+    return drive_punch(tb, loop, ia, ib);
+}
+
+HolePunchResult run_hole_punch_nat444(const gateway::DeviceProfile& a,
+                                      const gateway::DeviceProfile& b,
+                                      const gateway::CgnConfig& cgn,
+                                      bool same_cgn) {
+    sim::EventLoop loop;
+    Testbed tb(loop);
+    const int ga = tb.add_cgn_group(cgn);
+    const int gb = same_cgn ? ga : tb.add_cgn_group(cgn);
+    const int ia = tb.add_device_behind_cgn(a, ga);
+    const int ib = tb.add_device_behind_cgn(b, gb);
+    tb.start_and_wait();
+    return drive_punch(tb, loop, ia, ib);
 }
 
 const char* to_string(P2pPath p) {

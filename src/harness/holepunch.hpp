@@ -4,6 +4,7 @@
 // the mapping behaviors this library measures.
 #pragma once
 
+#include "gateway/cgn.hpp"
 #include "gateway/profile.hpp"
 #include "net/addr.hpp"
 
@@ -20,6 +21,18 @@ struct HolePunchResult {
 /// builds and drives its own event loop).
 HolePunchResult run_hole_punch(const gateway::DeviceProfile& a,
                                const gateway::DeviceProfile& b);
+
+/// NAT444: the same rendezvous/punch scenario with both home gateways
+/// behind carrier-grade NAT. `same_cgn` puts both subscribers on one CGN
+/// — the punch packets then arrive at their own shared external address
+/// and succeed only via the CGN's hairpin — otherwise each peer gets its
+/// own CGN and the punch must line up mappings through two NAT layers on
+/// each side (Ford et al. report lower success rates for exactly this
+/// cascaded case).
+HolePunchResult run_hole_punch_nat444(const gateway::DeviceProfile& a,
+                                      const gateway::DeviceProfile& b,
+                                      const gateway::CgnConfig& cgn,
+                                      bool same_cgn = false);
 
 /// ICE-style connectivity ladder (the paper's section-5 STUN/TURN/ICE
 /// plans, composed): try a direct hole punch; when the mapping classes

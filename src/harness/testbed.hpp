@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "gateway/cgn.hpp"
 #include "gateway/home_gateway.hpp"
 #include "l2/vlan_switch.hpp"
 #include "obs/obs.hpp"
@@ -36,6 +37,27 @@ public:
         net::Ipv4Addr client_addr; ///< leased from the gateway
         net::Ipv4Addr gw_wan_addr; ///< leased from the test server
         pcap::CaptureTap wan_tap;  ///< capture on the gateway's WAN link
+        /// CGN group (0-based) this gateway's WAN sits behind, or -1 for
+        /// a direct (single-NAT) uplink to the test server.
+        int cgn_group = -1;
+        bool ready = false;
+    };
+
+    /// One carrier-grade NAT and its access network. The CGN's WAN side
+    /// looks exactly like a home gateway's to the test server (VLAN
+    /// 1000+c, subnet 10.0.c.0/24, DHCP + routing from the server); its
+    /// access side is a private 100.64.c.0/24 network on VLAN 3000+c
+    /// where member gateways lease their WAN addresses.
+    struct CgnGroup {
+        int index = 0; ///< 1-based number c (shares the device numbering)
+        std::unique_ptr<gateway::CgnGateway> cgn;
+        std::unique_ptr<sim::Link> access_link; ///< access if <-> WAN switch
+        std::unique_ptr<sim::Link> wan_link;    ///< wan if <-> WAN switch
+        stack::Iface* server_if = nullptr;      ///< test server's vlan-if
+        std::unique_ptr<stack::DhcpServer> wan_dhcp; ///< test-server side
+        net::Ipv4Addr server_addr;   ///< 10.0.c.1
+        net::Ipv4Addr external_addr; ///< leased from the test server
+        std::vector<int> members;    ///< 0-based slot indexes behind it
         bool ready = false;
     };
 
@@ -57,8 +79,25 @@ public:
     /// full-roster bring-up.
     int add_device(gateway::DeviceProfile profile, int number);
 
+    /// Add a carrier-grade NAT; returns its group index (0-based). The
+    /// CGN takes the next device number c (its uplink occupies the same
+    /// VLAN/subnet/DHCP resources a home gateway's would), and serves
+    /// the 100.64.c.0/24 access network on VLAN 3000+c. `cgn` carries
+    /// the engine knobs; addressing fields are filled in here.
+    int add_cgn_group(gateway::CgnConfig cgn = {});
+
+    /// Add a home gateway whose WAN side sits on `group`'s access
+    /// network instead of a direct test-server VLAN: NAT444. The slot
+    /// keeps its own device number (LAN addressing, client vlan-if) but
+    /// leases its WAN address from the CGN, and slot.server_addr points
+    /// at the group's test-server interface so probes traverse the
+    /// whole chain. Returns the slot index (0-based).
+    int add_device_behind_cgn(gateway::DeviceProfile profile, int group);
+
     /// Bring everything up (gateway WAN DHCP, then client-side DHCP per
-    /// VLAN). `on_ready` fires when every device slot is operational.
+    /// VLAN). CGN groups come up first; their member gateways start once
+    /// the access network is serving leases.
+    /// `on_ready` fires when every device slot is operational.
     void start(std::function<void()> on_ready);
 
     /// Convenience: start() and run the loop until ready (bounded wait).
@@ -76,6 +115,10 @@ public:
 
     std::size_t device_count() const { return slots_.size(); }
     DeviceSlot& slot(int i) { return *slots_.at(static_cast<std::size_t>(i)); }
+    std::size_t cgn_count() const { return cgn_groups_.size(); }
+    CgnGroup& cgn_group(int i) {
+        return *cgn_groups_.at(static_cast<std::size_t>(i));
+    }
 
     /// Attach an observability session (owned by the caller, must outlive
     /// the testbed): binds every device slot created so far and any added
@@ -95,6 +138,11 @@ public:
 
 private:
     void maybe_ready();
+    /// Validation + LAN side + gateway + WAN link; the caller attaches
+    /// the WAN link to its segment (server VLAN or CGN access network).
+    std::unique_ptr<DeviceSlot> make_slot(gateway::DeviceProfile profile,
+                                          int number);
+    void start_slot(DeviceSlot& slot);
     void bind_slot_observability(DeviceSlot& slot);
 
     sim::EventLoop& loop_;
@@ -106,6 +154,11 @@ private:
     sim::Link server_trunk_;
     std::unique_ptr<stack::DnsServer> dns_;
     std::vector<std::unique_ptr<DeviceSlot>> slots_;
+    std::vector<std::unique_ptr<CgnGroup>> cgn_groups_;
+    /// Next auto-assigned device number; CGN uplinks and gateways draw
+    /// from the same sequence (identical to slots_.size()+1 until the
+    /// first CGN group, so existing single-NAT artifacts are unchanged).
+    int next_number_ = 1;
     std::function<void()> on_ready_;
     bool started_ = false;
     obs::Observability* obs_ = nullptr;

@@ -1,0 +1,114 @@
+#include "net/route_table.hpp"
+
+#include "util/assert.hpp"
+
+namespace gatekit::net {
+
+RouteTable::RouteTable() {
+    nodes_.emplace_back(); // root = node 0, the /0 key
+}
+
+std::uint32_t RouteTable::masked(Ipv4Addr prefix, int prefix_len) {
+    if (prefix_len <= 0) return 0;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+    return prefix.value() & mask;
+}
+
+std::int32_t RouteTable::alloc_node() {
+    if (!free_.empty()) {
+        const std::int32_t idx = free_.back();
+        free_.pop_back();
+        nodes_[static_cast<std::size_t>(idx)] = Node{};
+        return idx;
+    }
+    nodes_.emplace_back();
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+bool RouteTable::insert(Ipv4Addr prefix, int prefix_len, std::int32_t value) {
+    GK_EXPECTS(prefix_len >= 0 && prefix_len <= 32);
+    GK_EXPECTS(value >= 0);
+    const std::uint32_t key = masked(prefix, prefix_len);
+    std::int32_t node = 0;
+    for (int depth = 0; depth < prefix_len; ++depth) {
+        const int bit = (key >> (31 - depth)) & 1;
+        std::int32_t next = nodes_[static_cast<std::size_t>(node)].child[bit];
+        if (next == kNone) {
+            // alloc_node may reallocate nodes_, so re-index afterwards.
+            next = alloc_node();
+            nodes_[static_cast<std::size_t>(node)].child[bit] = next;
+        }
+        node = next;
+    }
+    Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.value != kNoValue) return false; // first insert wins
+    n.value = value;
+    ++size_;
+    return true;
+}
+
+std::int32_t RouteTable::lookup(Ipv4Addr dst) const {
+    const std::uint32_t key = dst.value();
+    std::int32_t best = nodes_[0].value; // default route, if any
+    std::int32_t node = 0;
+    for (int depth = 0; depth < 32; ++depth) {
+        const int bit = (key >> (31 - depth)) & 1;
+        node = nodes_[static_cast<std::size_t>(node)].child[bit];
+        if (node == kNone) break;
+        const std::int32_t v = nodes_[static_cast<std::size_t>(node)].value;
+        if (v != kNoValue) best = v; // deeper = longer prefix = better
+    }
+    return best;
+}
+
+std::int32_t RouteTable::find(Ipv4Addr prefix, int prefix_len) const {
+    GK_EXPECTS(prefix_len >= 0 && prefix_len <= 32);
+    const std::uint32_t key = masked(prefix, prefix_len);
+    std::int32_t node = 0;
+    for (int depth = 0; depth < prefix_len; ++depth) {
+        const int bit = (key >> (31 - depth)) & 1;
+        node = nodes_[static_cast<std::size_t>(node)].child[bit];
+        if (node == kNone) return kNoValue;
+    }
+    return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+std::int32_t RouteTable::remove(Ipv4Addr prefix, int prefix_len) {
+    GK_EXPECTS(prefix_len >= 0 && prefix_len <= 32);
+    const std::uint32_t key = masked(prefix, prefix_len);
+    // Record the descent so empty nodes can be pruned bottom-up.
+    std::int32_t path[33];
+    path[0] = 0;
+    std::int32_t node = 0;
+    for (int depth = 0; depth < prefix_len; ++depth) {
+        const int bit = (key >> (31 - depth)) & 1;
+        node = nodes_[static_cast<std::size_t>(node)].child[bit];
+        if (node == kNone) return kNoValue;
+        path[depth + 1] = node;
+    }
+    Node& target = nodes_[static_cast<std::size_t>(node)];
+    const std::int32_t removed = target.value;
+    if (removed == kNoValue) return kNoValue;
+    target.value = kNoValue;
+    --size_;
+    // Prune trailing nodes that now hold neither a value nor children.
+    for (int depth = prefix_len; depth > 0; --depth) {
+        Node& n = nodes_[static_cast<std::size_t>(path[depth])];
+        if (n.value != kNoValue || n.child[0] != kNone || n.child[1] != kNone)
+            break;
+        const int bit = (key >> (32 - depth)) & 1;
+        nodes_[static_cast<std::size_t>(path[depth - 1])].child[bit] = kNone;
+        free_.push_back(path[depth]);
+    }
+    return removed;
+}
+
+void RouteTable::clear() {
+    nodes_.clear();
+    free_.clear();
+    nodes_.emplace_back();
+    size_ = 0;
+}
+
+} // namespace gatekit::net

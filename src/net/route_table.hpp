@@ -1,0 +1,73 @@
+// Binary-trie longest-prefix-match table for IPv4 routes. One bit per
+// level, walked MSB-first; a lookup descends as far as the destination's
+// bits allow and returns the value of the deepest node that holds one.
+// Replaces the O(routes) linear scan in stack::Host — a NAT444 testbed
+// carries a route per subscriber subnet plus per-CGN aggregates, and the
+// forwarding fast path looks a route up per packet.
+//
+// The table stores opaque non-negative int32 values (the owner's slab
+// index). Duplicate (prefix, len) inserts keep the FIRST value — the
+// same earliest-wins tie-break the linear scan had — so an owner that
+// allows duplicate routes sees identical selection behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/addr.hpp"
+
+namespace gatekit::net {
+
+class RouteTable {
+public:
+    /// Returned by lookup/find/remove when no entry matches.
+    static constexpr std::int32_t kNoValue = -1;
+
+    RouteTable();
+
+    /// Insert (prefix, prefix_len) -> value (value must be >= 0). The
+    /// prefix is masked to its length, so 10.0.5.12/24 and 10.0.5.0/24
+    /// are the same key. Returns false when that exact key already holds
+    /// a value (the existing value is kept — first insert wins).
+    bool insert(Ipv4Addr prefix, int prefix_len, std::int32_t value);
+
+    /// Remove the exact (prefix, prefix_len) entry. Returns the removed
+    /// value, or kNoValue if the key held none. Frees nodes left empty
+    /// by the removal (interior nodes on the path are pruned bottom-up
+    /// and recycled through a free list).
+    std::int32_t remove(Ipv4Addr prefix, int prefix_len);
+
+    /// Longest-prefix match for `dst`; kNoValue when nothing matches
+    /// (a default route — prefix_len 0 — matches everything).
+    std::int32_t lookup(Ipv4Addr dst) const;
+
+    /// Exact-match probe; kNoValue when the key holds no value.
+    std::int32_t find(Ipv4Addr prefix, int prefix_len) const;
+
+    void clear();
+
+    /// Number of stored (prefix, len) -> value entries.
+    std::size_t size() const { return size_; }
+
+    /// Allocated node count (root included) minus free-listed nodes;
+    /// exposed so tests can assert deletes actually prune.
+    std::size_t node_count() const { return nodes_.size() - free_.size(); }
+
+private:
+    struct Node {
+        std::int32_t child[2] = {kNone, kNone};
+        std::int32_t value = kNoValue;
+    };
+    static constexpr std::int32_t kNone = -1;
+
+    std::int32_t alloc_node();
+    static std::uint32_t masked(Ipv4Addr prefix, int prefix_len);
+
+    // Slab + free list: node links are indexes, so growth never
+    // invalidates them and recycled nodes keep the slab compact.
+    std::vector<Node> nodes_;
+    std::vector<std::int32_t> free_;
+    std::size_t size_ = 0;
+};
+
+} // namespace gatekit::net

@@ -41,19 +41,39 @@ void Host::add_route(net::Ipv4Addr prefix, int prefix_len, Iface& iface,
                      std::optional<net::Ipv4Addr> via) {
     GK_EXPECTS(prefix_len >= 0 && prefix_len <= 32);
     routes_.push_back(Route{prefix, prefix_len, &iface, via});
+    // A duplicate (prefix, len) insert returns false and keeps the
+    // earlier slab index — insertion-order tie-break preserved.
+    route_index_.insert(prefix, prefix_len,
+                        static_cast<std::int32_t>(routes_.size() - 1));
+    route_cache_idx_ = net::RouteTable::kNoValue;
 }
 
 void Host::remove_routes_via(const Iface& iface) {
-    std::erase_if(routes_, [&](const Route& r) { return r.iface == &iface; });
+    const auto removed = std::erase_if(
+        routes_, [&](const Route& r) { return r.iface == &iface; });
+    if (removed != 0) reindex_routes();
+}
+
+void Host::reindex_routes() {
+    route_index_.clear();
+    route_cache_idx_ = net::RouteTable::kNoValue;
+    for (std::size_t i = 0; i < routes_.size(); ++i)
+        route_index_.insert(routes_[i].prefix, routes_[i].prefix_len,
+                            static_cast<std::int32_t>(i));
 }
 
 const Route* Host::lookup_route(net::Ipv4Addr dst) const {
-    const Route* best = nullptr;
-    for (const auto& r : routes_) {
-        if (!dst.same_subnet(r.prefix, r.prefix_len)) continue;
-        if (best == nullptr || r.prefix_len > best->prefix_len) best = &r;
-    }
-    return best;
+    // One-entry LPM cache: forwarding workloads hammer the same flow's
+    // destination back to back, and the trie walk — cheap as it is —
+    // sits on the packet fast path. Any table mutation invalidates.
+    if (route_cache_idx_ != net::RouteTable::kNoValue &&
+        dst == route_cache_dst_)
+        return &routes_[static_cast<std::size_t>(route_cache_idx_)];
+    const std::int32_t idx = route_index_.lookup(dst);
+    if (idx == net::RouteTable::kNoValue) return nullptr;
+    route_cache_dst_ = dst;
+    route_cache_idx_ = idx;
+    return &routes_[static_cast<std::size_t>(idx)];
 }
 
 bool Host::send_ip(net::Ipv4Packet pkt) {

@@ -14,6 +14,7 @@
 #include "net/icmp.hpp"
 #include "net/tcp_header.hpp"
 #include "net/ipv4.hpp"
+#include "net/route_table.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stack/netif.hpp"
@@ -179,11 +180,25 @@ private:
     void dispatch_icmp_to_transport(const net::Ipv4Packet& outer,
                                     const net::IcmpMessage& msg);
 
+    /// Re-index the LPM trie from routes_ (route removal shifts slab
+    /// indexes, so bulk removals rebuild rather than patch).
+    void reindex_routes();
+
     sim::EventLoop& loop_;
     std::string name_;
     std::vector<std::unique_ptr<NetIf>> nics_;
     std::vector<Iface*> ifaces_;
+    // Route slab + binary-trie LPM index over it. The trie maps a
+    // masked (prefix, len) key to the slab index of the selected route;
+    // duplicate keys keep the earliest slab entry, preserving the
+    // documented "ties broken by insertion order" contract.
     std::vector<Route> routes_;
+    net::RouteTable route_index_;
+    // One-entry lookup cache (dst -> slab index), invalidated by any
+    // route mutation. kNoValue = empty; misses are never cached, so a
+    // route added later for a previously-missing dst is found.
+    mutable net::Ipv4Addr route_cache_dst_;
+    mutable std::int32_t route_cache_idx_ = net::RouteTable::kNoValue;
     std::vector<std::unique_ptr<UdpSocket>> udp_socks_;
     std::map<std::pair<net::Endpoint, net::Endpoint>,
              std::unique_ptr<TcpSocket>>

@@ -44,6 +44,16 @@ void Iface::send_ip_raw(net::Bytes datagram, net::Ipv4Addr next_hop) {
         transmit_ip(std::move(datagram), net::MacAddr::broadcast());
         return;
     }
+    // Never ARP for an address outside this interface's subnet: no one
+    // on the segment answers for it, so the datagram would sit behind a
+    // doomed resolution and blackhole once the retry budget runs out.
+    // Substitute the configured gateway — the router on this segment is
+    // the L2 next hop for everything off-link. (Callers that already
+    // resolved a route pass an on-link `via`, which is unaffected.)
+    if (configured_ && !next_hop.same_subnet(addr_, prefix_len_)) {
+        if (gateway_.is_unspecified()) return; // off-link, no router
+        next_hop = gateway_;
+    }
     if (auto mac = arp_.lookup(next_hop)) {
         transmit_ip(std::move(datagram), *mac);
         return;

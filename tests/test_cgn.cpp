@@ -1,0 +1,469 @@
+// Carrier-grade NAT and NAT444 cascaded topologies: CgnEngine unit tests
+// (deterministic port blocks, shared-pool exhaustion, EIM/EDM, hairpin,
+// embedded-quote rewriting) plus end-to-end regression tests for the
+// multi-hop bugs the cascade flushed out — off-subnet ARP blackholes,
+// missing Time Exceeded at the second hop, and stale checksums in
+// double-translated ICMP quotes.
+#include "gateway/cgn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/holepunch.hpp"
+#include "harness/testbed.hpp"
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+#include "net/udp.hpp"
+#include "testutil.hpp"
+
+using namespace gatekit;
+using namespace gatekit::gateway;
+using harness::Testbed;
+using testutil::Net2;
+
+namespace {
+
+const net::Ipv4Addr kAccess(100, 64, 0, 1);
+const net::Ipv4Addr kExternal(198, 51, 100, 7);
+const net::Ipv4Addr kRemote(10, 0, 9, 9);
+
+net::Ipv4Packet udp_pkt(net::Ipv4Addr src, std::uint16_t sport,
+                        net::Ipv4Addr dst, std::uint16_t dport,
+                        net::Bytes payload = {1}) {
+    net::Ipv4Packet pkt;
+    pkt.h.protocol = net::proto::kUdp;
+    pkt.h.src = src;
+    pkt.h.dst = dst;
+    pkt.h.ttl = 64;
+    net::UdpDatagram d;
+    d.src_port = sport;
+    d.dst_port = dport;
+    d.payload = std::move(payload);
+    pkt.payload = d.serialize(src, dst);
+    return pkt;
+}
+
+std::uint16_t udp_src_port(const net::Bytes& wire) {
+    const auto pkt = net::Ipv4Packet::parse(wire);
+    return net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst)
+        .src_port;
+}
+
+struct EngineBed {
+    sim::EventLoop loop;
+    CgnEngine engine;
+    explicit EngineBed(CgnConfig cfg = {}) : engine(loop, cfg) {
+        engine.set_addresses(kAccess, 24, kExternal);
+    }
+};
+
+/// Valid IPv4 header iff the RFC 1071 sum over it (checksum included)
+/// folds to zero.
+bool ip_header_checksum_ok(std::span<const std::uint8_t> quote) {
+    if (quote.size() < 20) return false;
+    const std::size_t ihl = static_cast<std::size_t>(quote[0] & 0xf) * 4;
+    if (quote.size() < ihl) return false;
+    return net::internet_checksum(quote.subspan(0, ihl)) == 0;
+}
+
+} // namespace
+
+// --- Satellite: off-subnet ARP blackhole (stack::Iface) -------------------
+
+// Regression: send_ip_raw with an off-subnet next hop used to broadcast
+// ARP requests no one on the segment answers, parking the datagram
+// behind a doomed resolution until the retry budget dropped it. The
+// interface must resolve its configured gateway instead.
+TEST(Netif, OffSubnetSendResolvesGatewayNotDestination) {
+    Net2 net;
+    net.ia.set_gateway(net::Ipv4Addr(10, 0, 0, 2)); // host b
+
+    const net::Ipv4Addr far(192, 168, 7, 7);
+    bool forwarded = false;
+    net.b.set_forward_hook([&](stack::Iface&, const net::Ipv4Packet& pkt,
+                               std::span<const std::uint8_t>) {
+        if (pkt.h.dst == far) forwarded = true;
+    });
+
+    const auto bytes =
+        udp_pkt(net::Ipv4Addr(10, 0, 0, 1), 40000, far, 7000).serialize();
+    net.a.send_raw(net.ia, bytes, far); // off-subnet next hop, verbatim
+    net.loop.run();
+
+    EXPECT_TRUE(forwarded);
+    // The resolution that happened was for the gateway — the off-subnet
+    // address never entered the ARP cache.
+    EXPECT_TRUE(net.ia.arp_cache().lookup(net::Ipv4Addr(10, 0, 0, 2)));
+    EXPECT_FALSE(net.ia.arp_cache().lookup(far));
+}
+
+TEST(Netif, OffSubnetSendWithoutGatewayDropsSilently) {
+    Net2 net;
+    const net::Ipv4Addr far(192, 168, 7, 7);
+    const auto bytes =
+        udp_pkt(net::Ipv4Addr(10, 0, 0, 1), 40000, far, 7000).serialize();
+    net.a.send_raw(net.ia, bytes, far);
+    net.loop.run();
+    // No router on the segment: the datagram is unroutable, and no ARP
+    // chatter is emitted for an address no one can answer for.
+    EXPECT_EQ(net.link.frames_sent(sim::Link::Side::A), 0u);
+}
+
+// --- CgnEngine: deterministic blocks --------------------------------------
+
+TEST(CgnEngine, DeterministicBlocksComputableOffline) {
+    EngineBed bed; // defaults: pool 1024..65534, block_size 2048
+    EXPECT_EQ(bed.engine.num_blocks(), 31);
+
+    const net::Ipv4Addr sub(100, 64, 0, 5);
+    const auto info = bed.engine.block_of(sub);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->index, 5); // host-id 5 mod 31
+    EXPECT_EQ(info->begin, 1024 + 5 * 2048);
+    EXPECT_EQ(info->end, 1024 + 6 * 2048 - 1);
+
+    // The translation draws from exactly the block the offline formula
+    // names — the RFC 7422 "no per-flow logging" property.
+    const auto out = bed.engine.outbound(udp_pkt(sub, 40000, kRemote, 7000));
+    ASSERT_TRUE(out.has_value());
+    const auto port = udp_src_port(*out);
+    EXPECT_GE(port, info->begin);
+    EXPECT_LE(port, info->end);
+    EXPECT_EQ(bed.engine.live_bindings(sub), 1u);
+}
+
+TEST(CgnEngine, BlockCollisionRefusesSecondSubscriber) {
+    EngineBed bed;
+    // Host ids 5 and 36 are congruent mod 31: same deterministic block.
+    const net::Ipv4Addr first(100, 64, 0, 5);
+    const net::Ipv4Addr second(100, 64, 0, 36);
+    ASSERT_TRUE(
+        bed.engine.outbound(udp_pkt(first, 40000, kRemote, 7000)).has_value());
+    EXPECT_FALSE(
+        bed.engine.outbound(udp_pkt(second, 41000, kRemote, 7000)).has_value());
+    EXPECT_EQ(bed.engine.stats().block_collisions, 1u);
+    // The owner is unaffected — no port leakage across the collision.
+    EXPECT_TRUE(
+        bed.engine.outbound(udp_pkt(first, 40001, kRemote, 7000)).has_value());
+    EXPECT_EQ(bed.engine.live_bindings(second), 0u);
+}
+
+TEST(CgnEngine, SharedPoolExhaustionHitsTheVictim) {
+    CgnConfig cfg;
+    cfg.block_size = 0; // one shared pool
+    cfg.pool_begin = 50000;
+    cfg.pool_end = 50003; // 4 ports total
+    EngineBed bed(cfg);
+
+    // A churning subscriber takes the whole pool...
+    const net::Ipv4Addr churner(100, 64, 0, 10);
+    for (std::uint16_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(bed.engine
+                        .outbound(udp_pkt(churner, 40000 + i, kRemote, 7000))
+                        .has_value());
+    // ...and an unrelated subscriber's first flow is refused: the ReDAN
+    // victim scenario deterministic blocks exist to prevent.
+    const net::Ipv4Addr victim(100, 64, 0, 20);
+    EXPECT_FALSE(
+        bed.engine.outbound(udp_pkt(victim, 40000, kRemote, 7000)).has_value());
+    EXPECT_GE(bed.engine.stats().pool_exhausted, 1u);
+}
+
+TEST(CgnEngine, EimSharesOnePortAcrossRemotes) {
+    EngineBed bed; // eim = true
+    const net::Ipv4Addr sub(100, 64, 0, 5);
+    const auto a = bed.engine.outbound(udp_pkt(sub, 40000, kRemote, 7000));
+    const auto b =
+        bed.engine.outbound(udp_pkt(sub, 40000, net::Ipv4Addr(10, 0, 8, 8), 9));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    // Endpoint-independent: both flows ride one external port (what makes
+    // hole punching through the CGN layer possible)...
+    EXPECT_EQ(udp_src_port(*a), udp_src_port(*b));
+    // ...while a different internal port draws a fresh one.
+    const auto c = bed.engine.outbound(udp_pkt(sub, 40001, kRemote, 7000));
+    ASSERT_TRUE(c.has_value());
+    EXPECT_NE(udp_src_port(*a), udp_src_port(*c));
+}
+
+TEST(CgnEngine, EdmDrawsFreshPortPerFlow) {
+    CgnConfig cfg;
+    cfg.eim = false;
+    EngineBed bed(cfg);
+    const net::Ipv4Addr sub(100, 64, 0, 5);
+    const auto a = bed.engine.outbound(udp_pkt(sub, 40000, kRemote, 7000));
+    const auto b =
+        bed.engine.outbound(udp_pkt(sub, 40000, net::Ipv4Addr(10, 0, 8, 8), 9));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(udp_src_port(*a), udp_src_port(*b)); // symmetric mapping
+}
+
+TEST(CgnEngine, HairpinConnectsTwoSubscribers) {
+    EngineBed bed;
+    const net::Ipv4Addr alice(100, 64, 0, 5);
+    const net::Ipv4Addr bob(100, 64, 0, 6);
+    const auto out = bed.engine.outbound(udp_pkt(alice, 40000, kRemote, 7000));
+    ASSERT_TRUE(out.has_value());
+    const auto alice_ext = udp_src_port(*out);
+
+    const auto pinned =
+        bed.engine.hairpin(udp_pkt(bob, 41000, kExternal, alice_ext));
+    ASSERT_TRUE(pinned.has_value());
+    const auto pkt = net::Ipv4Packet::parse(*pinned);
+    // Bob's packet arrives at Alice from the external address (RFC 4787
+    // REQ-9 "external source" presentation), on her internal endpoint.
+    EXPECT_EQ(pkt.h.src, kExternal);
+    EXPECT_EQ(pkt.h.dst, alice);
+    const auto d = net::UdpDatagram::parse(pkt.payload, pkt.h.src, pkt.h.dst);
+    EXPECT_EQ(d.dst_port, 40000);
+    // Bob's side got a real mapping in his own block.
+    const auto bob_block = bed.engine.block_of(bob);
+    EXPECT_GE(d.src_port, bob_block->begin);
+    EXPECT_LE(d.src_port, bob_block->end);
+    EXPECT_EQ(bed.engine.stats().hairpinned, 1u);
+}
+
+TEST(CgnEngine, HairpinDisabledByConfig) {
+    CgnConfig cfg;
+    cfg.hairpin = false;
+    EngineBed bed(cfg);
+    const net::Ipv4Addr alice(100, 64, 0, 5);
+    const auto out = bed.engine.outbound(udp_pkt(alice, 40000, kRemote, 7000));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_FALSE(bed.engine
+                     .hairpin(udp_pkt(net::Ipv4Addr(100, 64, 0, 6), 41000,
+                                      kExternal, udp_src_port(*out)))
+                     .has_value());
+}
+
+TEST(CgnEngine, UnsolicitedInboundIsNotHandled) {
+    EngineBed bed;
+    // A pool port whose block was never activated: nothing to deliver to.
+    bool handled = true;
+    EXPECT_FALSE(
+        bed.engine.inbound(udp_pkt(kRemote, 7000, kExternal, 30000), handled)
+            .has_value());
+    EXPECT_FALSE(handled); // falls through to the CGN's own stack
+
+    // With a live binding, a packet from the WRONG remote endpoint is
+    // still refused: the CGN filters endpoint-dependently (RFC 6888's
+    // default posture) and counts the drop.
+    const net::Ipv4Addr sub(100, 64, 0, 5);
+    const auto out = bed.engine.outbound(udp_pkt(sub, 40000, kRemote, 7000));
+    ASSERT_TRUE(out.has_value());
+    handled = true;
+    EXPECT_FALSE(bed.engine
+                     .inbound(udp_pkt(net::Ipv4Addr(10, 0, 8, 8), 7000,
+                                      kExternal, udp_src_port(*out)),
+                              handled)
+                     .has_value());
+    EXPECT_FALSE(handled);
+    EXPECT_EQ(bed.engine.stats().dropped_no_binding, 1u);
+}
+
+// --- Satellite: embedded-quote rewriting (the double-NAT ICMP fix) --------
+
+// Regression: an inbound ICMP error's quote must be rewritten to the
+// subscriber's view with VALID checksums. A stale quote IP checksum (or
+// a UDP checksum rewritten to raw 0x0000, which means "disabled")
+// survives a single NAT layer, but the next layer of a NAT444 cascade
+// either re-translates garbage or refuses to attribute the error.
+TEST(CgnEngine, InboundErrorQuoteRewrittenWithValidChecksums) {
+    EngineBed bed;
+    const net::Ipv4Addr sub(100, 64, 0, 5);
+    // Empty payload: the whole datagram fits the RFC 792 8-byte quote,
+    // so the UDP checksum is verifiable end-to-end after rewriting.
+    const auto out =
+        bed.engine.outbound(udp_pkt(sub, 40000, kRemote, 7000, {}));
+    ASSERT_TRUE(out.has_value());
+
+    net::Ipv4Packet err;
+    err.h.protocol = net::proto::kIcmp;
+    err.h.src = kRemote;
+    err.h.dst = kExternal;
+    err.h.ttl = 60;
+    err.payload = net::IcmpMessage::make_error(
+                      net::IcmpType::DestUnreachable,
+                      net::icmp_code::kPortUnreachable, 0, *out)
+                      .serialize();
+
+    bool handled = false;
+    const auto relayed = bed.engine.inbound(err, handled);
+    ASSERT_TRUE(handled);
+    ASSERT_TRUE(relayed.has_value());
+
+    const auto outer = net::Ipv4Packet::parse(*relayed);
+    EXPECT_EQ(outer.h.dst, sub);
+    const auto msg = net::IcmpMessage::parse(outer.payload);
+    const auto quote = net::Ipv4Packet::parse_prefix(msg.payload);
+    EXPECT_EQ(quote.h.src, sub); // internal view restored
+    ASSERT_GE(quote.payload.size(), 8u);
+    const auto d = net::UdpDatagram::parse(quote.payload, quote.h.src,
+                                           quote.h.dst);
+    EXPECT_EQ(d.src_port, 40000);
+    EXPECT_TRUE(ip_header_checksum_ok(msg.payload));
+    EXPECT_TRUE(d.checksum_ok);
+}
+
+// --- NAT444 end-to-end ----------------------------------------------------
+
+namespace {
+
+DeviceProfile member_profile(const char* tag) {
+    DeviceProfile p;
+    p.tag = tag;
+    p.icmp_tcp = IcmpTranslationSet::all();
+    p.icmp_udp = IcmpTranslationSet::all();
+    p.hairpin = true;
+    return p;
+}
+
+} // namespace
+
+TEST(Nat444, BringUpAndEchoThroughBothLayers) {
+    sim::EventLoop loop;
+    Testbed tb(loop);
+    const int g = tb.add_cgn_group();
+    const int ia = tb.add_device_behind_cgn(member_profile("m1"), g);
+    const int ib = tb.add_device_behind_cgn(member_profile("m2"), g);
+    tb.start_and_wait();
+
+    auto& group = tb.cgn_group(g);
+    EXPECT_TRUE(group.cgn->ready());
+    // Members leased their WAN addresses from the carrier access pool.
+    EXPECT_TRUE(tb.slot(ia).gw_wan_addr.same_subnet(group.cgn->access_addr(),
+                                                    24));
+    EXPECT_TRUE(tb.slot(ib).gw_wan_addr.same_subnet(group.cgn->access_addr(),
+                                                    24));
+    EXPECT_NE(tb.slot(ia).gw_wan_addr, tb.slot(ib).gw_wan_addr);
+
+    // Echo across the full chain; the server must see the CGN's single
+    // external address, not the member's access-side lease.
+    net::Ipv4Addr seen_by_server;
+    auto& echo = tb.server().udp_open(net::Ipv4Addr::any(), 7000);
+    echo.set_receive_handler([&](net::Endpoint src,
+                                 std::span<const std::uint8_t> p,
+                                 const net::Ipv4Packet&) {
+        seen_by_server = src.addr;
+        echo.send_to(src, net::Bytes(p.begin(), p.end()));
+    });
+
+    int echoed = 0;
+    auto& sock_a = tb.client().udp_open(tb.slot(ia).client_addr, 46000,
+                                        tb.slot(ia).client_if);
+    auto& sock_b = tb.client().udp_open(tb.slot(ib).client_addr, 46000,
+                                        tb.slot(ib).client_if);
+    sock_a.set_receive_handler([&](net::Endpoint, std::span<const std::uint8_t>,
+                                   const net::Ipv4Packet&) { ++echoed; });
+    sock_b.set_receive_handler([&](net::Endpoint, std::span<const std::uint8_t>,
+                                   const net::Ipv4Packet&) { ++echoed; });
+    sock_a.send_to({tb.slot(ia).server_addr, 7000}, {'a'});
+    loop.run_for(std::chrono::milliseconds(50));
+    sock_b.send_to({tb.slot(ib).server_addr, 7000}, {'b'});
+    loop.run_for(std::chrono::milliseconds(50));
+
+    EXPECT_EQ(echoed, 2);
+    EXPECT_EQ(seen_by_server, group.external_addr);
+}
+
+// Regression: a TTL expiring at the SECOND hop used to vanish — the CGN
+// forwarded without decrementing and no hop ever answered — so
+// traceroute through a NAT444 chain showed one router where two exist.
+TEST(Nat444, TracerouteSeesBothNatHops) {
+    sim::EventLoop loop;
+    Testbed tb(loop);
+    const int g = tb.add_cgn_group();
+    const int i = tb.add_device_behind_cgn(member_profile("m1"), g);
+    tb.start_and_wait();
+
+    auto& sock = tb.client().udp_open(tb.slot(i).client_addr, 46000,
+                                      tb.slot(i).client_if);
+    std::vector<std::pair<net::Ipv4Addr, net::IcmpType>> hops;
+    sock.set_icmp_handler(
+        [&](const net::IcmpMessage& msg, const net::Ipv4Packet& outer) {
+            hops.emplace_back(outer.h.src, msg.type);
+        });
+
+    stack::UdpSocket::SendOptions opts;
+    for (std::uint8_t ttl = 1; ttl <= 2; ++ttl) {
+        opts.ttl = ttl;
+        sock.send_to({tb.slot(i).server_addr, 33434}, {0xbe}, opts);
+        loop.run_for(std::chrono::milliseconds(50));
+    }
+
+    ASSERT_EQ(hops.size(), 2u);
+    // Hop 1: the home gateway, answering with its LAN address.
+    EXPECT_EQ(hops[0].first, net::Ipv4Addr(192, 168, 2, 1));
+    EXPECT_EQ(hops[0].second, net::IcmpType::TimeExceeded);
+    // Hop 2: the CGN. Its Time Exceeded quotes the member gateway's
+    // translated packet, so delivery to the client's socket proves the
+    // home NAT attributed and re-translated the quote.
+    EXPECT_EQ(hops[1].first, tb.cgn_group(g).cgn->access_addr());
+    EXPECT_EQ(hops[1].second, net::IcmpType::TimeExceeded);
+}
+
+// Regression companion to the quote-rewriting unit test, across the real
+// chain: a server-side port unreachable traverses CGN then home NAT, and
+// the quote the client sees must carry its own endpoint with checksums
+// that verify (both NAT layers rewrote incrementally).
+TEST(Nat444, PortUnreachableQuoteSurvivesDoubleTranslation) {
+    sim::EventLoop loop;
+    Testbed tb(loop);
+    const int g = tb.add_cgn_group();
+    const int i = tb.add_device_behind_cgn(member_profile("m1"), g);
+    tb.start_and_wait();
+
+    auto& sock = tb.client().udp_open(tb.slot(i).client_addr, 46000,
+                                      tb.slot(i).client_if);
+    std::optional<net::IcmpMessage> got;
+    sock.set_icmp_handler(
+        [&](const net::IcmpMessage& msg, const net::Ipv4Packet&) {
+            got = msg;
+        });
+    // Empty payload so the UDP checksum is verifiable from the 8-byte
+    // quote; port 9 has no listener on the test server.
+    sock.send_to({tb.slot(i).server_addr, 9}, {});
+    loop.run_for(std::chrono::milliseconds(100));
+
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, net::IcmpType::DestUnreachable);
+    const auto quote = net::Ipv4Packet::parse_prefix(got->payload);
+    EXPECT_EQ(quote.h.src, tb.slot(i).client_addr);
+    EXPECT_EQ(quote.h.dst, tb.slot(i).server_addr);
+    const auto d =
+        net::UdpDatagram::parse(quote.payload, quote.h.src, quote.h.dst);
+    EXPECT_EQ(d.src_port, 46000);
+    EXPECT_TRUE(ip_header_checksum_ok(got->payload));
+    EXPECT_TRUE(d.checksum_ok);
+}
+
+TEST(Nat444, HolePunchAcrossTwoCgns) {
+    // EIM home NATs behind EIM CGNs: the reflexive endpoint each peer
+    // registers is reusable by the other, through both layers.
+    auto a = member_profile("p1");
+    auto b = member_profile("p2");
+    CgnConfig cgn; // defaults: eim + hairpin on
+    const auto r = harness::run_hole_punch_nat444(a, b, cgn, false);
+    EXPECT_TRUE(r.registered);
+    EXPECT_TRUE(r.success);
+    // Each peer's reflexive address is its CGN's external, and the two
+    // CGNs are distinct boxes.
+    EXPECT_NE(r.reflexive_a.addr, r.reflexive_b.addr);
+}
+
+TEST(Nat444, HolePunchSameCgnRidesHairpin) {
+    auto a = member_profile("p1");
+    auto b = member_profile("p2");
+    CgnConfig cgn;
+    const auto r = harness::run_hole_punch_nat444(a, b, cgn, true);
+    EXPECT_TRUE(r.registered);
+    EXPECT_EQ(r.reflexive_a.addr, r.reflexive_b.addr); // shared external
+    EXPECT_TRUE(r.success);
+
+    // With hairpinning off the punch packets die at the shared external
+    // address: same registration, no connectivity.
+    cgn.hairpin = false;
+    const auto r2 = harness::run_hole_punch_nat444(a, b, cgn, true);
+    EXPECT_TRUE(r2.registered);
+    EXPECT_FALSE(r2.success);
+}

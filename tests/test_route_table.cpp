@@ -1,0 +1,256 @@
+// Binary-trie LPM table: unit coverage for the contract Host relies on
+// (masked keys, first-insert-wins, default route, prune-on-remove) plus
+// randomized property tests against a brute-force linear oracle — the
+// exact algorithm the trie replaced in stack::Host::lookup_route.
+#include "net/route_table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace gatekit::net;
+
+namespace {
+
+Ipv4Addr addr_of(std::uint32_t v) {
+    return Ipv4Addr(static_cast<std::uint8_t>(v >> 24),
+                    static_cast<std::uint8_t>(v >> 16),
+                    static_cast<std::uint8_t>(v >> 8),
+                    static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t mask_of(int prefix_len) {
+    return prefix_len == 0 ? 0u : ~0u << (32 - prefix_len);
+}
+
+/// The linear scan the trie replaced: longest matching prefix wins,
+/// first-inserted entry wins among exact-key duplicates (which insert()
+/// refuses, so keys here are unique).
+class LinearOracle {
+public:
+    bool insert(Ipv4Addr prefix, int len, std::int32_t value) {
+        const std::uint32_t key = prefix.value() & mask_of(len);
+        for (const auto& e : entries_)
+            if (e.key == key && e.len == len) return false;
+        entries_.push_back({key, len, value});
+        return true;
+    }
+
+    std::int32_t remove(Ipv4Addr prefix, int len) {
+        const std::uint32_t key = prefix.value() & mask_of(len);
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->key == key && it->len == len) {
+                const auto v = it->value;
+                entries_.erase(it);
+                return v;
+            }
+        }
+        return RouteTable::kNoValue;
+    }
+
+    std::int32_t lookup(Ipv4Addr dst) const {
+        const Entry* best = nullptr;
+        for (const auto& e : entries_) {
+            if ((dst.value() & mask_of(e.len)) != e.key) continue;
+            if (best == nullptr || e.len > best->len) best = &e;
+        }
+        return best ? best->value : RouteTable::kNoValue;
+    }
+
+    std::int32_t find(Ipv4Addr prefix, int len) const {
+        const std::uint32_t key = prefix.value() & mask_of(len);
+        for (const auto& e : entries_)
+            if (e.key == key && e.len == len) return e.value;
+        return RouteTable::kNoValue;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    const auto& entries() const { return entries_; }
+
+private:
+    struct Entry {
+        std::uint32_t key;
+        int len;
+        std::int32_t value;
+    };
+    std::vector<Entry> entries_;
+};
+
+} // namespace
+
+TEST(RouteTable, EmptyLookupMisses) {
+    RouteTable rt;
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 0, 1)), RouteTable::kNoValue);
+    EXPECT_EQ(rt.find(Ipv4Addr(10, 0, 0, 0), 24), RouteTable::kNoValue);
+    EXPECT_EQ(rt.size(), 0u);
+    EXPECT_EQ(rt.node_count(), 1u); // the root
+}
+
+TEST(RouteTable, DefaultRouteMatchesEverything) {
+    RouteTable rt;
+    ASSERT_TRUE(rt.insert(Ipv4Addr::any(), 0, 7));
+    EXPECT_EQ(rt.lookup(Ipv4Addr(1, 2, 3, 4)), 7);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(255, 255, 255, 255)), 7);
+    EXPECT_EQ(rt.lookup(Ipv4Addr::any()), 7);
+    // The default route lives in the root: no extra nodes.
+    EXPECT_EQ(rt.node_count(), 1u);
+}
+
+TEST(RouteTable, LongestPrefixWins) {
+    RouteTable rt;
+    ASSERT_TRUE(rt.insert(Ipv4Addr::any(), 0, 0));
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 0, 0), 8, 1));
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 5, 0), 24, 2));
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 5, 77), 32, 3));
+    EXPECT_EQ(rt.lookup(Ipv4Addr(192, 168, 1, 1)), 0);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 9, 9, 9)), 1);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 5, 1)), 2);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 5, 77)), 3);
+}
+
+TEST(RouteTable, PrefixIsMaskedToLength) {
+    RouteTable rt;
+    // Host bits set in the inserted prefix are ignored...
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 5, 12), 24, 4));
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 5, 200)), 4);
+    EXPECT_EQ(rt.find(Ipv4Addr(10, 0, 5, 0), 24), 4);
+    // ...which makes 10.0.5.99/24 the same key: first insert wins.
+    EXPECT_FALSE(rt.insert(Ipv4Addr(10, 0, 5, 99), 24, 5));
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 5, 1)), 4);
+    EXPECT_EQ(rt.size(), 1u);
+}
+
+TEST(RouteTable, RemoveReturnsValueAndPrunes) {
+    RouteTable rt;
+    const auto base = rt.node_count();
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 0, 0), 8, 1));
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 5, 0), 24, 2));
+    EXPECT_EQ(rt.node_count(), base + 24); // one node per bit of depth
+    EXPECT_EQ(rt.remove(Ipv4Addr(10, 0, 5, 0), 24), 2);
+    // The path below the /8 node is empty and must be recycled.
+    EXPECT_EQ(rt.node_count(), base + 8);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 5, 1)), 1);
+    EXPECT_EQ(rt.remove(Ipv4Addr(10, 0, 0, 0), 8), 1);
+    EXPECT_EQ(rt.node_count(), base);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 5, 1)), RouteTable::kNoValue);
+}
+
+TEST(RouteTable, RemoveKeepsSharedPathForSibling) {
+    RouteTable rt;
+    // Two /32 hosts differing only in the last bit share 31 path nodes.
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 0, 2), 32, 1));
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 0, 3), 32, 2));
+    EXPECT_EQ(rt.node_count(), 1u + 31u + 2u);
+    EXPECT_EQ(rt.remove(Ipv4Addr(10, 0, 0, 2), 32), 1);
+    EXPECT_EQ(rt.node_count(), 1u + 31u + 1u);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 0, 3)), 2);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 0, 2)), RouteTable::kNoValue);
+}
+
+TEST(RouteTable, RemoveMissReportsNoValue) {
+    RouteTable rt;
+    ASSERT_TRUE(rt.insert(Ipv4Addr(10, 0, 0, 0), 24, 1));
+    EXPECT_EQ(rt.remove(Ipv4Addr(10, 0, 0, 0), 25), RouteTable::kNoValue);
+    EXPECT_EQ(rt.remove(Ipv4Addr(10, 0, 1, 0), 24), RouteTable::kNoValue);
+    EXPECT_EQ(rt.remove(Ipv4Addr(10, 0, 0, 0), 16), RouteTable::kNoValue);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 0, 9)), 1);
+    EXPECT_EQ(rt.size(), 1u);
+}
+
+TEST(RouteTable, ClearRecyclesEverything) {
+    RouteTable rt;
+    for (int i = 0; i < 64; ++i)
+        rt.insert(addr_of(0x0a000000u | (static_cast<std::uint32_t>(i) << 8)),
+                  24, i);
+    EXPECT_EQ(rt.size(), 64u);
+    rt.clear();
+    EXPECT_EQ(rt.size(), 0u);
+    EXPECT_EQ(rt.node_count(), 1u);
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 0, 1)), RouteTable::kNoValue);
+    // And the table is fully usable afterwards.
+    EXPECT_TRUE(rt.insert(Ipv4Addr(10, 0, 0, 0), 24, 1));
+    EXPECT_EQ(rt.lookup(Ipv4Addr(10, 0, 0, 1)), 1);
+}
+
+// Randomized equivalence against the linear oracle. Addresses draw from
+// a handful of bases with noise below the prefix boundary so inserts
+// collide, nest, and overlap the way a real routing table's do.
+TEST(RouteTable, PropertyMatchesLinearOracle) {
+    std::mt19937 rng(0xc61e5u); // deterministic: this is a regression test
+    const std::uint32_t bases[] = {0x0a000000u, 0x0a000500u, 0xc0a80000u,
+                                   0x64400000u, 0x00000000u};
+    const int lens[] = {0, 8, 10, 16, 24, 25, 31, 32};
+
+    RouteTable rt;
+    LinearOracle oracle;
+    auto rand_key = [&] {
+        const std::uint32_t base = bases[rng() % std::size(bases)];
+        const int len = lens[rng() % std::size(lens)];
+        // Noise across all 32 bits; masking makes high-bit noise part of
+        // the prefix and low-bit noise exercise the masked-key contract.
+        return std::pair(addr_of(base ^ (rng() & 0x0000ffffu)), len);
+    };
+
+    for (int op = 0; op < 4000; ++op) {
+        const auto [prefix, len] = rand_key();
+        switch (rng() % 4) {
+        case 0: {
+            const auto value = static_cast<std::int32_t>(rng() % 100000);
+            EXPECT_EQ(rt.insert(prefix, len, value),
+                      oracle.insert(prefix, len, value));
+            break;
+        }
+        case 1:
+            EXPECT_EQ(rt.remove(prefix, len), oracle.remove(prefix, len));
+            break;
+        case 2:
+            EXPECT_EQ(rt.find(prefix, len), oracle.find(prefix, len));
+            break;
+        default:
+            EXPECT_EQ(rt.lookup(prefix), oracle.lookup(prefix));
+            break;
+        }
+        ASSERT_EQ(rt.size(), oracle.size());
+    }
+
+    // Exhaustive cross-check at the end: every stored prefix, probed at
+    // its base address and with host-bit noise.
+    std::mt19937 probe_rng(7u);
+    for (const auto& e : oracle.entries()) {
+        const auto at = addr_of(e.key);
+        EXPECT_EQ(rt.lookup(at), oracle.lookup(at));
+        const auto noisy = addr_of(e.key | (probe_rng() & ~mask_of(e.len)));
+        EXPECT_EQ(rt.lookup(noisy), oracle.lookup(noisy));
+        EXPECT_EQ(rt.find(addr_of(e.key), e.len), e.value);
+    }
+}
+
+// Drain-and-refill: remove everything in random order (pruning each
+// path), then confirm the slab recycles by rebuilding to the same size
+// without growing the node count past the fresh build's.
+TEST(RouteTable, PropertyDrainRefillRecyclesNodes) {
+    std::mt19937 rng(42u);
+    std::vector<std::pair<Ipv4Addr, int>> keys;
+    RouteTable rt;
+    for (int i = 0; i < 256; ++i) {
+        const auto prefix = addr_of(rng());
+        const int len = static_cast<int>(rng() % 33);
+        if (rt.insert(prefix, len, i)) keys.emplace_back(prefix, len);
+    }
+    const auto full_nodes = rt.node_count();
+
+    std::shuffle(keys.begin(), keys.end(), rng);
+    for (const auto& [prefix, len] : keys)
+        EXPECT_NE(rt.remove(prefix, len), RouteTable::kNoValue);
+    EXPECT_EQ(rt.size(), 0u);
+    EXPECT_EQ(rt.node_count(), 1u);
+
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_TRUE(rt.insert(keys[i].first, keys[i].second,
+                              static_cast<std::int32_t>(i)));
+    EXPECT_EQ(rt.size(), keys.size());
+    EXPECT_EQ(rt.node_count(), full_nodes);
+}
